@@ -1,0 +1,78 @@
+"""ABL-1 -- section 3.3 lesson 1: modular prompts succeed where
+monolithic prompts fail.
+
+The paper: all participants started with monolithic "implement XX that
+works in the following steps" prompts, which the LLM does not respond
+well to; switching to per-component modular prompts made every
+reproduction succeed.
+"""
+
+from conftest import print_rows
+
+from repro.core.knowledge import (
+    get_component_tests,
+    get_knowledge,
+    get_logic_notes,
+    get_paper_spec,
+    paper_keys,
+)
+from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+from repro.core.prompts import PromptStyle
+from repro.core.simulated import SimulatedLLM
+from repro.core.validation import get_validator
+
+SYSTEMS = ["ncflow", "arrow", "apkeep", "ap"]
+
+
+def _attempt(key, style):
+    llm = SimulatedLLM({key: get_knowledge(key)})
+    pipeline = ReproductionPipeline(
+        llm,
+        get_paper_spec(key),
+        component_tests=get_component_tests(key),
+        logic_notes=get_logic_notes(key),
+        validator=get_validator(key),
+        participant="abl",
+        config=PipelineConfig(style=style),
+    )
+    return pipeline.run()
+
+
+def _run_all():
+    outcomes = []
+    for key in SYSTEMS:
+        monolithic = _attempt(key, PromptStyle.MONOLITHIC)
+        modular = _attempt(key, PromptStyle.MODULAR_PSEUDOCODE)
+        outcomes.append((key, monolithic, modular))
+    return outcomes
+
+
+def test_bench_abl1_modular_vs_monolithic(benchmark, capsys):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    monolithic_successes = sum(1 for _, mono, _ in outcomes if mono.succeeded)
+    modular_successes = sum(1 for _, _, mod in outcomes if mod.succeeded)
+    assert monolithic_successes == 0, "monolithic prompting must fail"
+    assert modular_successes == len(SYSTEMS), "modular prompting must succeed"
+
+    header = (
+        f"{'system':<8} {'monolithic':>11} {'modular':>9} "
+        f"{'mono prompts':>13} {'mod prompts':>12}"
+    )
+    rows = []
+    for key, mono, mod in outcomes:
+        rows.append(
+            f"{key:<8} {'fail' if not mono.succeeded else 'ok':>11} "
+            f"{'ok' if mod.succeeded else 'fail':>9} "
+            f"{mono.num_prompts:>13} {mod.num_prompts:>12}"
+        )
+    rows.append("")
+    rows.append(
+        f"success rate: monolithic {monolithic_successes}/{len(SYSTEMS)}, "
+        f"modular {modular_successes}/{len(SYSTEMS)} "
+        "(paper: participants only succeeded after switching to modular)"
+    )
+    print_rows(capsys, "ABL-1: monolithic vs modular prompting", header, rows)
+
+    benchmark.extra_info["monolithic_successes"] = monolithic_successes
+    benchmark.extra_info["modular_successes"] = modular_successes

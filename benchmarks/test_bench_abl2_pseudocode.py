@@ -1,0 +1,83 @@
+"""ABL-2 -- section 3.3 lesson 2: implement components with pseudocode
+first.
+
+The paper: prompting pseudocode-bearing components in plain text makes
+the LLM pick different data types and structures, forcing extra
+interoperability rework later; pseudocode-first stabilises them.  Here
+the text-style runs incur the extra data-type defects (more debug
+rounds, more revisions) on every system whose spec carries pseudocode.
+"""
+
+from conftest import print_rows
+
+from repro.core.knowledge import (
+    get_component_tests,
+    get_knowledge,
+    get_logic_notes,
+    get_paper_spec,
+)
+from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+from repro.core.prompts import PromptStyle
+from repro.core.simulated import SimulatedLLM
+from repro.core.validation import get_validator
+
+SYSTEMS = ["ncflow", "arrow", "apkeep", "ap"]
+
+
+def _attempt(key, style):
+    llm = SimulatedLLM({key: get_knowledge(key)})
+    pipeline = ReproductionPipeline(
+        llm,
+        get_paper_spec(key),
+        component_tests=get_component_tests(key),
+        logic_notes=get_logic_notes(key),
+        validator=get_validator(key),
+        participant="abl",
+        config=PipelineConfig(style=style),
+    )
+    return pipeline.run()
+
+
+def _run_all():
+    rows = []
+    for key in SYSTEMS:
+        pseudo = _attempt(key, PromptStyle.MODULAR_PSEUDOCODE)
+        text = _attempt(key, PromptStyle.MODULAR_TEXT)
+        rows.append((key, pseudo, text))
+    return rows
+
+
+def test_bench_abl2_pseudocode_first(benchmark, capsys):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    total_pseudo_rounds = 0
+    total_text_rounds = 0
+    for key, pseudo, text in outcomes:
+        assert pseudo.succeeded and text.succeeded
+        total_pseudo_rounds += sum(c.debug_rounds for c in pseudo.components)
+        total_text_rounds += sum(c.debug_rounds for c in text.components)
+    # Shape: text-style costs strictly more debugging overall.
+    assert total_text_rounds > total_pseudo_rounds
+
+    header = (
+        f"{'system':<8} {'pc rounds':>10} {'text rounds':>12} "
+        f"{'pc prompts':>11} {'text prompts':>13}"
+    )
+    rows = []
+    for key, pseudo, text in outcomes:
+        pseudo_rounds = sum(c.debug_rounds for c in pseudo.components)
+        text_rounds = sum(c.debug_rounds for c in text.components)
+        rows.append(
+            f"{key:<8} {pseudo_rounds:>10} {text_rounds:>12} "
+            f"{pseudo.num_prompts:>11} {text.num_prompts:>13}"
+        )
+    rows.append("")
+    rows.append(
+        f"total debug rounds: pseudocode-first {total_pseudo_rounds}, "
+        f"text-first {total_text_rounds} "
+        "(paper: pseudocode-first avoids data-type rework)"
+    )
+    print_rows(capsys, "ABL-2: pseudocode-first vs text-first", header, rows)
+
+    benchmark.extra_info["pseudocode_rounds"] = total_pseudo_rounds
+    benchmark.extra_info["text_rounds"] = total_text_rounds

@@ -1,0 +1,88 @@
+"""EXP-B -- participant B: reproduced ARROW on 2 TE instances.
+
+Paper's finding: the computed objective differs from the open-source
+prototype by up to 30%, rooted in two documented paper-code
+inconsistencies (predefined restoration parameters vs decision
+variables; differing restorable-tunnel definitions).
+
+Shape asserted here: the reproduction matches the paper-faithful
+reference almost exactly; the open-source (code) variant dominates it;
+the worst-case gap across the two instances is substantial (tens of
+percent); restoration always helps (none <= paper <= code).
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.netmodel.instances import arrow_instances
+from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+
+
+def _run_all(reproduced_module):
+    rows = []
+    for instance in arrow_instances(max_commodities=120):
+        scenarios = single_fiber_scenarios(instance.topology, limit=12)
+        objectives = {}
+        for variant in ("none", "paper", "code"):
+            solution = ArrowSolver(variant=variant).solve(
+                instance.topology, instance.traffic, scenarios
+            )
+            objectives[variant] = solution.objective
+        start = time.perf_counter()
+        reproduced = reproduced_module.solve_arrow(
+            instance.topology, instance.traffic
+        )
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "name": instance.name,
+                "reproduced": reproduced,
+                "seconds": seconds,
+                **objectives,
+            }
+        )
+    return rows
+
+
+def test_bench_expB_arrow(benchmark, capsys, reproduced_arrow):
+    rows_data = benchmark.pedantic(
+        _run_all, args=(reproduced_arrow,), rounds=1, iterations=1
+    )
+
+    assert len(rows_data) == 2
+    worst_gap = 0.0
+    for row in rows_data:
+        # Restoration ordering: none <= paper <= code.
+        assert row["none"] <= row["paper"] + 1e-6
+        assert row["paper"] <= row["code"] + 1e-6
+        # The reproduction is the paper-faithful variant.
+        paper_gap = abs(row["reproduced"] - row["paper"]) / row["paper"]
+        assert paper_gap < 0.02, (
+            f"{row['name']}: reproduction does not match the paper variant"
+        )
+        gap = (row["code"] - row["reproduced"]) / row["code"]
+        worst_gap = max(worst_gap, gap)
+    # The documented inconsistency shows up as a large objective gap on
+    # at least one instance (paper: up to 30%).
+    assert 0.05 < worst_gap < 0.45
+
+    header = (
+        f"{'instance':<14} {'no-rest.':>10} {'reproduced':>11} "
+        f"{'paper-var':>10} {'open-src':>10} {'gap':>7}"
+    )
+    rows = []
+    for row in rows_data:
+        gap = (row["code"] - row["reproduced"]) / row["code"]
+        rows.append(
+            f"{row['name']:<14} {row['none']:>10.0f} {row['reproduced']:>11.0f} "
+            f"{row['paper']:>10.0f} {row['code']:>10.0f} {gap * 100:6.1f}%"
+        )
+    rows.append("")
+    rows.append(
+        f"max objective gap vs open source: {worst_gap * 100:.1f}%  "
+        "(paper: up to 30%)"
+    )
+    print_rows(capsys, "EXP-B: reproduced ARROW on 2 instances", header, rows)
+
+    benchmark.extra_info["max_open_source_gap_pct"] = round(worst_gap * 100, 1)

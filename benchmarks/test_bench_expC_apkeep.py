@@ -1,0 +1,91 @@
+"""EXP-C -- participant C: reproduced APKeep on 4 datasets.
+
+Paper's finding: on all four real-topology datasets, the reproduced
+APKeep and the open-source prototype compute the same number of atomic
+predicates and have approximately the same latency (both link the same
+BDD library family).
+
+Shape asserted here: identical atom counts on all four datasets, loop
+verdicts agree (including on a perturbed dataset), and the build latency
+ratio stays within a small constant of 1.
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.apkeep import APKeepVerifier
+from repro.netmodel.datasets import build_verification_dataset, inject_loop
+
+DATASETS = ["Internet2", "Stanford", "Purdue", "Airtel"]
+
+
+def _run_all(reproduced_module):
+    rows = []
+    for name in DATASETS:
+        dataset = build_verification_dataset(name)
+        start = time.perf_counter()
+        reference = APKeepVerifier(dataset)
+        reference_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        state = reproduced_module.build_network(dataset)
+        reproduced_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "name": name,
+                "rules": dataset.total_rules,
+                "reference_atoms": reference.num_atoms_minimal,
+                "reproduced_atoms": reproduced_module.count_atoms(state),
+                "reference_seconds": reference_seconds,
+                "reproduced_seconds": reproduced_seconds,
+                "reference_loops": len(reference.find_loops()),
+                "reproduced_loops": len(reproduced_module.find_loops(state)),
+            }
+        )
+    return rows
+
+
+def test_bench_expC_apkeep(benchmark, capsys, reproduced_apkeep):
+    rows_data = benchmark.pedantic(
+        _run_all, args=(reproduced_apkeep,), rounds=1, iterations=1
+    )
+
+    assert len(rows_data) == 4
+    worst_ratio = 0.0
+    for row in rows_data:
+        assert row["reproduced_atoms"] == row["reference_atoms"], (
+            f"{row['name']}: atom counts differ"
+        )
+        assert row["reproduced_loops"] == row["reference_loops"] == 0
+        ratio = row["reproduced_seconds"] / row["reference_seconds"]
+        worst_ratio = max(worst_ratio, ratio)
+    # "Approximately the same latency": within a small constant factor.
+    assert worst_ratio < 5.0
+
+    # Anomaly agreement on a perturbed dataset.
+    perturbed, _ = inject_loop(build_verification_dataset("Internet2"), seed=3)
+    reference_loops = len(APKeepVerifier(perturbed).find_loops())
+    state = reproduced_apkeep.build_network(perturbed)
+    reproduced_loops = len(reproduced_apkeep.find_loops(state))
+    assert reference_loops > 0 and reproduced_loops > 0
+
+    header = (
+        f"{'dataset':<11} {'rules':>6} {'ref atoms':>9} {'repro atoms':>11} "
+        f"{'ref sec':>9} {'repro sec':>10} {'ratio':>6}"
+    )
+    rows = []
+    for row in rows_data:
+        ratio = row["reproduced_seconds"] / row["reference_seconds"]
+        rows.append(
+            f"{row['name']:<11} {row['rules']:>6} {row['reference_atoms']:>9} "
+            f"{row['reproduced_atoms']:>11} {row['reference_seconds']:>9.3f} "
+            f"{row['reproduced_seconds']:>10.3f} {ratio:>5.1f}x"
+        )
+    rows.append("")
+    rows.append(
+        "paper: same #atomic predicates, approximately the same latency "
+        f"-- measured worst latency ratio {worst_ratio:.1f}x"
+    )
+    print_rows(capsys, "EXP-C: reproduced APKeep on 4 datasets", header, rows)
+
+    benchmark.extra_info["worst_latency_ratio"] = round(worst_ratio, 2)

@@ -1,0 +1,40 @@
+"""FIG1 -- Figure 1: SIGCOMM/NSDI papers with an author open-source
+prototype, 2013-2022.
+
+Paper's numbers: 32% SIGCOMM / 29% NSDI / 31% combined.
+"""
+
+from conftest import print_rows
+
+from repro.study import build_corpus, opensource_stats
+
+
+def test_bench_fig1_opensource_stats(benchmark, capsys):
+    stats = benchmark(lambda: opensource_stats(build_corpus()))
+
+    sigcomm = stats.venue_fraction("SIGCOMM")
+    nsdi = stats.venue_fraction("NSDI")
+    combined = stats.combined_fraction
+
+    # Shape: the rounded percentages match the paper exactly.
+    assert round(sigcomm * 100) == 32
+    assert round(nsdi * 100) == 29
+    assert round(combined * 100) == 31
+
+    rows = [
+        f"{'metric':<24} {'paper':>8} {'measured':>10}",
+        f"{'SIGCOMM open-source':<24} {'32%':>8} {sigcomm * 100:9.1f}%",
+        f"{'NSDI open-source':<24} {'29%':>8} {nsdi * 100:9.1f}%",
+        f"{'combined open-source':<24} {'31%':>8} {combined * 100:9.1f}%",
+        "",
+        f"{'venue':<8} {'year':>5} {'open':>5} {'total':>6} {'frac':>7}",
+    ]
+    for venue, year, opened, total, fraction in stats.rows():
+        rows.append(
+            f"{venue:<8} {year:>5} {opened:>5} {total:>6} {fraction * 100:6.1f}%"
+        )
+    print_rows(capsys, "FIG1: open-source prototype availability", rows[0], rows[1:])
+
+    benchmark.extra_info["sigcomm_pct"] = round(sigcomm * 100, 2)
+    benchmark.extra_info["nsdi_pct"] = round(nsdi * 100, 2)
+    benchmark.extra_info["combined_pct"] = round(combined * 100, 2)

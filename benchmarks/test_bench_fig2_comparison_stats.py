@@ -1,0 +1,49 @@
+"""FIG2 -- Figure 2: systems-in-comparison and manual reproductions.
+
+Paper's numbers: 59.68% of papers compare with at least two other
+systems; papers that reproduce at all reproduce 2.29 systems on average;
+49.20% / 26.65% manually reproduce at least one / two.
+"""
+
+import pytest
+from conftest import print_rows
+
+from repro.study import build_corpus, comparison_stats
+
+
+def test_bench_fig2_comparison_stats(benchmark, capsys):
+    stats = benchmark(lambda: comparison_stats(build_corpus()))
+
+    # Shape: the four reported aggregates within half a point.
+    assert stats.frac_compared_ge2 == pytest.approx(0.5968, abs=0.005)
+    assert stats.frac_manual_ge1 == pytest.approx(0.4920, abs=0.005)
+    assert stats.frac_manual_ge2 == pytest.approx(0.2665, abs=0.005)
+    assert stats.mean_manual_given_any == pytest.approx(2.29, abs=0.03)
+
+    header = f"{'metric':<34} {'paper':>8} {'measured':>10}"
+    rows = [
+        f"{'compare >= 2 systems':<34} {'59.68%':>8} "
+        f"{stats.frac_compared_ge2 * 100:9.2f}%",
+        f"{'mean manual (papers with >= 1)':<34} {'2.29':>8} "
+        f"{stats.mean_manual_given_any:10.2f}",
+        f"{'manually reproduce >= 1':<34} {'49.20%':>8} "
+        f"{stats.frac_manual_ge1 * 100:9.2f}%",
+        f"{'manually reproduce >= 2':<34} {'26.65%':>8} "
+        f"{stats.frac_manual_ge2 * 100:9.2f}%",
+        "",
+        f"{'#manually reproduced':<22} {'papers':>7}",
+    ]
+    for count in sorted(stats.manual_histogram):
+        rows.append(
+            f"{count:<22} {stats.manual_histogram[count]:>7}"
+        )
+    print_rows(
+        capsys, "FIG2: compared and manually reproduced systems", header, rows
+    )
+
+    benchmark.extra_info["compared_ge2_pct"] = round(
+        stats.frac_compared_ge2 * 100, 2
+    )
+    benchmark.extra_info["mean_manual_given_any"] = round(
+        stats.mean_manual_given_any, 3
+    )

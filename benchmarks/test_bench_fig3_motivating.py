@@ -1,0 +1,51 @@
+"""FIG3 -- section 2.2 / Figure 3: the rock-paper-scissors motivating
+example.
+
+Paper's numbers: 4 prompts, 159 words, 93 LoC, and the generated
+client/server program plays correctly.  The benchmark replays the
+conversation *and* plays the game over real loopback sockets.
+"""
+
+import contextlib
+import io
+
+from conftest import print_rows
+
+from repro.core.assembly import assemble_module
+from repro.motivating import play_scripted_game, run_motivating_session
+
+
+def _session_and_game():
+    result = run_motivating_session()
+    module = assemble_module(result.artifacts, "rps_bench")
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        outcome = play_scripted_game(module)
+    return result, outcome
+
+
+def test_bench_fig3_motivating(benchmark, capsys):
+    result, outcome = benchmark.pedantic(
+        _session_and_game, rounds=3, iterations=1
+    )
+
+    # Shape: exactly the paper's conversation and a correct game.
+    assert result.num_prompts == 4
+    assert result.total_words == 159
+    assert result.total_loc == 93
+    assert outcome.results == ["client", "server", "tie"]
+    assert outcome.consistent
+
+    header = f"{'metric':<22} {'paper':>8} {'measured':>10}"
+    rows = [
+        f"{'prompts':<22} {'4':>8} {result.num_prompts:>10}",
+        f"{'prompt words':<22} {'159':>8} {result.total_words:>10}",
+        f"{'generated LoC':<22} {'93':>8} {result.total_loc:>10}",
+        f"{'game rounds played':<22} {'-':>8} {outcome.rounds_played:>10}",
+        f"{'round verdicts':<22} {'-':>8} {' '.join(outcome.results):>10}",
+    ]
+    print_rows(capsys, "FIG3: motivating example", header, rows)
+
+    benchmark.extra_info["prompts"] = result.num_prompts
+    benchmark.extra_info["words"] = result.total_words
+    benchmark.extra_info["loc"] = result.total_loc

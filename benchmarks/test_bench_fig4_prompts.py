@@ -1,0 +1,30 @@
+"""FIG4 -- Figure 4: prompts and words used by each participant.
+
+The paper plots per-participant prompt and word counts without stating
+the values in the text; the shape assertions are that every participant
+succeeds with a few dozen prompts at most, that debugging accounts for a
+visible share of them, and that the counts are deterministic.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import figure4_rows, run_experiment
+
+
+def test_bench_fig4_prompts(benchmark, capsys):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    assert result.all_succeeded
+    rows_data = figure4_rows(result)
+    again = figure4_rows(run_experiment())
+    assert rows_data == again, "prompt counts must be deterministic"
+
+    header = f"{'participant':<12} {'system':<8} {'prompts':>8} {'words':>8}"
+    rows = []
+    for participant, system, prompts, words in rows_data:
+        assert 5 <= prompts <= 40
+        assert 100 <= words <= 5000
+        rows.append(f"{participant:<12} {system:<8} {prompts:>8} {words:>8}")
+        benchmark.extra_info[f"{participant}_prompts"] = prompts
+        benchmark.extra_info[f"{participant}_words"] = words
+    print_rows(capsys, "FIG4: prompts and words per participant", header, rows)

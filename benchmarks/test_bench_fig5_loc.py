@@ -1,0 +1,41 @@
+"""FIG5 -- Figure 5: LoC of reproduced vs open-source prototypes.
+
+Paper's shape: the TE reproductions are a small fraction of their
+prototypes (A: 17%, B: 19% -- the prototypes bundle solver glue and
+input parsing), while the verification reproductions are comparable in
+size (C and D roughly the prototype's size, both linking an external
+BDD library).
+"""
+
+from conftest import print_rows
+
+from repro.experiments import figure5_rows, run_experiment
+
+PAPER_RATIOS = {"A": 0.17, "B": 0.19, "C": 1.0, "D": 1.0}
+
+
+def test_bench_fig5_loc(benchmark, capsys):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert result.all_succeeded
+
+    rows_data = figure5_rows(result)
+    ratios = {participant: ratio for participant, _, _, _, ratio in rows_data}
+
+    # Shape: TE ratios are small; DPV ratios are several times larger.
+    assert ratios["A"] < 0.35
+    assert ratios["B"] < 0.35
+    assert ratios["C"] > 2 * ratios["A"]
+    assert ratios["D"] > 2 * ratios["B"]
+
+    header = (
+        f"{'part.':<6} {'system':<8} {'repro LoC':>10} {'ref LoC':>8} "
+        f"{'measured':>9} {'paper':>7}"
+    )
+    rows = []
+    for participant, system, reproduced, reference, ratio in rows_data:
+        rows.append(
+            f"{participant:<6} {system:<8} {reproduced:>10} {reference:>8} "
+            f"{ratio * 100:8.0f}% {PAPER_RATIOS[participant] * 100:6.0f}%"
+        )
+        benchmark.extra_info[f"{participant}_ratio"] = round(ratio, 3)
+    print_rows(capsys, "FIG5: reproduced vs open-source LoC", header, rows)

@@ -1,0 +1,97 @@
+"""Supporting benchmark: NCFlow's speed/quality trade-off vs baselines.
+
+The core claim of the NCFlow substrate (and the reason participant A's
+system exists): the decomposition solves far fewer LP rows than the
+exact edge-formulation optimum while staying close on total flow.  Also
+ablates the partition quality (random vs structure-aware), a design
+choice DESIGN.md calls out.
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.netmodel.instances import make_te_instance
+from repro.te import solve_fleischer, solve_max_flow_edge
+from repro.te.ncflow import NCFlowSolver
+
+INSTANCES = ["Uninett2010", "Colt", "Cogentco", "Kdl"]
+
+
+def _run_all():
+    rows = []
+    for name in INSTANCES:
+        instance = make_te_instance(
+            name, max_commodities=300, total_demand_fraction=0.1
+        )
+        start = time.perf_counter()
+        exact = solve_max_flow_edge(instance.topology, instance.traffic)
+        exact_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ncflow = NCFlowSolver().solve(instance.topology, instance.traffic)
+        ncflow_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        random_based = NCFlowSolver(partitioners=["random"]).solve(
+            instance.topology, instance.traffic
+        )
+        start = time.perf_counter()
+        fleischer = solve_fleischer(
+            instance.topology, instance.traffic, epsilon=0.2
+        )
+        fleischer_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "name": name,
+                "nodes": instance.topology.num_nodes,
+                "exact": exact.objective,
+                "exact_seconds": exact_seconds,
+                "ncflow": ncflow.objective,
+                "ncflow_seconds": ncflow_seconds,
+                "random": random_based.objective,
+                "fleischer": fleischer.objective,
+                "fleischer_seconds": fleischer_seconds,
+            }
+        )
+    return rows
+
+
+def test_bench_ncflow_scaling(benchmark, capsys):
+    rows_data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    for row in rows_data:
+        assert row["ncflow"] <= row["exact"] * 1.001
+        assert row["random"] <= row["exact"] * 1.001
+        assert row["fleischer"] <= row["exact"] * 1.001
+        assert row["fleischer"] >= row["exact"] * 0.5
+        # Structure-aware partitions must beat random ones somewhere big.
+    best_gain = max(
+        (row["ncflow"] - row["random"]) / row["exact"] for row in rows_data
+    )
+    assert best_gain > 0.02, "partition quality must matter"
+    # On the largest instance the decomposition is faster than exact.
+    largest = rows_data[-1]
+    assert largest["ncflow_seconds"] < largest["exact_seconds"]
+
+    header = (
+        f"{'instance':<13} {'n':>4} {'exact':>9} {'ncflow':>9} {'random':>9} "
+        f"{'fleischer':>10} {'flow frac':>9} {'speedup':>8}"
+    )
+    rows = []
+    for row in rows_data:
+        fraction = row["ncflow"] / row["exact"]
+        speedup = row["exact_seconds"] / row["ncflow_seconds"]
+        rows.append(
+            f"{row['name']:<13} {row['nodes']:>4} {row['exact']:>9.0f} "
+            f"{row['ncflow']:>9.0f} {row['random']:>9.0f} "
+            f"{row['fleischer']:>10.0f} "
+            f"{fraction * 100:8.1f}% {speedup:>7.1f}x"
+        )
+    print_rows(
+        capsys,
+        "NCFlow vs exact optimum vs random-partition ablation",
+        header,
+        rows,
+    )
+    benchmark.extra_info["largest_speedup"] = round(
+        rows_data[-1]["exact_seconds"] / rows_data[-1]["ncflow_seconds"], 2
+    )

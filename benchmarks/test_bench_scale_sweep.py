@@ -1,0 +1,74 @@
+"""Supporting benchmark: satisfied-fraction vs demand scale.
+
+The crossover-style series TE papers plot: sweep the traffic matrix
+scale from underload to overload and track the fraction of demand each
+solver satisfies.  PF4 (optimal within its path set) upper-bounds
+NCFlow everywhere; both sit at ~100% below the max feasible scale and
+roll off beyond it, with NCFlow's decomposition penalty appearing only
+under contention.
+"""
+
+from conftest import print_rows
+
+from repro.netmodel.instances import make_te_instance
+from repro.te import max_feasible_scale, scale_sweep, solve_max_flow
+from repro.te.ncflow import NCFlowSolver
+
+SCALES = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def _run():
+    instance = make_te_instance(
+        "Colt", max_commodities=200, total_demand_fraction=0.05
+    )
+    feasible = max_feasible_scale(instance.topology, instance.traffic)
+    pf4_points = scale_sweep(
+        instance.topology,
+        instance.traffic,
+        lambda topo, tm: solve_max_flow(topo, tm),
+        SCALES,
+    )
+    solver = NCFlowSolver()
+    ncflow_points = scale_sweep(
+        instance.topology,
+        instance.traffic,
+        lambda topo, tm: solver.solve(topo, tm),
+        SCALES,
+    )
+    return feasible, pf4_points, ncflow_points
+
+
+def test_bench_scale_sweep(benchmark, capsys):
+    feasible, pf4_points, ncflow_points = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    assert feasible > 0
+    for pf4, ncflow in zip(pf4_points, ncflow_points):
+        # NCFlow never beats PF4 by more than path-set noise, and both
+        # fractions decrease (weakly) as scale grows.
+        assert ncflow.objective <= pf4.objective * 1.05
+    pf4_fractions = [point.satisfied_fraction for point in pf4_points]
+    assert all(
+        earlier >= later - 1e-6
+        for earlier, later in zip(pf4_fractions, pf4_fractions[1:])
+    ), "satisfied fraction must be non-increasing in scale"
+    # Below the feasibility knee, everything fits.
+    for point in pf4_points:
+        if point.scale * 1.0 <= feasible * 0.99:
+            assert point.satisfied_fraction > 0.99
+
+    header = (
+        f"{'scale':>6} {'demand':>10} {'pf4 sat':>8} {'ncflow sat':>11}"
+    )
+    rows = []
+    for pf4, ncflow in zip(pf4_points, ncflow_points):
+        rows.append(
+            f"{pf4.scale:>6.2f} {pf4.total_demand:>10.0f} "
+            f"{pf4.satisfied_fraction * 100:7.1f}% "
+            f"{ncflow.satisfied_fraction * 100:10.1f}%"
+        )
+    rows.append("")
+    rows.append(f"max feasible scale (exact oracle): {feasible:.2f}")
+    print_rows(capsys, "Demand-scale sweep on Colt", header, rows)
+    benchmark.extra_info["max_feasible_scale"] = round(feasible, 3)

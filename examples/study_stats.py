@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate the paper's background study (Figures 1 and 2).
+
+Builds the calibrated SIGCOMM/NSDI 2013-2022 corpus and prints the
+open-source-availability and comparison/manual-reproduction statistics
+with paper-vs-measured columns.
+
+Run:  python examples/study_stats.py
+"""
+
+from repro.study import build_corpus, comparison_stats, opensource_stats
+
+
+def main():
+    corpus = build_corpus()
+    print(f"Corpus: {len(corpus)} papers across SIGCOMM and NSDI, 2013-2022")
+
+    print()
+    print("Figure 1 -- author open-source prototypes:")
+    stats = opensource_stats(corpus)
+    print(f"  {'metric':<24} {'paper':>7} {'measured':>9}")
+    print(f"  {'SIGCOMM':<24} {'32%':>7} "
+          f"{stats.venue_fraction('SIGCOMM') * 100:8.1f}%")
+    print(f"  {'NSDI':<24} {'29%':>7} "
+          f"{stats.venue_fraction('NSDI') * 100:8.1f}%")
+    print(f"  {'combined':<24} {'31%':>7} "
+          f"{stats.combined_fraction * 100:8.1f}%")
+
+    print()
+    print("  Per-venue, per-year open-source fraction:")
+    for venue in ("SIGCOMM", "NSDI"):
+        series = "  ".join(
+            f"{year % 100:02d}:{stats.year_fraction(venue, year) * 100:4.0f}%"
+            for year in range(2013, 2023)
+        )
+        print(f"    {venue:<8} {series}")
+
+    print()
+    print("Figure 2 -- comparison and manual-reproduction burden:")
+    comparison = comparison_stats(corpus)
+    print(f"  {'metric':<36} {'paper':>8} {'measured':>9}")
+    print(f"  {'compare with >= 2 systems':<36} {'59.68%':>8} "
+          f"{comparison.frac_compared_ge2 * 100:8.2f}%")
+    print(f"  {'mean manual (papers with >= 1)':<36} {'2.29':>8} "
+          f"{comparison.mean_manual_given_any:9.2f}")
+    print(f"  {'manually reproduce >= 1':<36} {'49.20%':>8} "
+          f"{comparison.frac_manual_ge1 * 100:8.2f}%")
+    print(f"  {'manually reproduce >= 2':<36} {'26.65%':>8} "
+          f"{comparison.frac_manual_ge2 * 100:8.2f}%")
+
+    print()
+    print("  Manual-reproduction histogram (papers by #systems reproduced):")
+    for count in sorted(comparison.manual_histogram):
+        papers = comparison.manual_histogram[count]
+        bar = "#" * max(1, papers // 8)
+        print(f"    {count:>3}: {papers:>4} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim so editable installs work offline (no `wheel` package).
+
+The environment has no network access and no `wheel` distribution, so
+PEP 660 editable installs (which build an editable wheel) fail.  With this
+shim, `pip install -e . --no-build-isolation --no-use-pep517` falls back
+to the classic `setup.py develop` code path.  Plain `pip install -e .`
+works on any machine that has `wheel` installed.
+"""
+
+from setuptools import setup
+
+setup()

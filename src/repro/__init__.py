@@ -1,0 +1,32 @@
+"""repro -- reproduction of "Toward Reproducing Network Research Results
+Using Large Language Models" (HotNets 2023).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: an LLM-assisted reproduction framework
+    (prompt engineering pipeline, simulated LLM, debugging guidelines,
+    validation and metrics).
+``repro.lp``
+    LP modelling layer with fast (Gurobi-like) and slow (PuLP-like)
+    backends.
+``repro.netmodel``
+    Topologies, forwarding rules, ACLs, traffic matrices, TE instances.
+``repro.bdd``
+    From-scratch binary decision diagram engine (JDD-like and
+    JavaBDD-like operation profiles).
+``repro.ap`` / ``repro.apkeep``
+    The two data-plane verification systems reproduced in the paper.
+``repro.te``
+    The two traffic-engineering systems (NCFlow, ARROW) plus baselines.
+``repro.study``
+    The SIGCOMM/NSDI 2013-2022 open-source statistics study.
+``repro.experiments``
+    Scripted participants A-D regenerating the paper's experiment.
+``repro.motivating``
+    The rock-paper-scissors motivating example (section 2.2).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,123 @@
+"""Differential verification: what changed between two snapshots.
+
+Operators care less about absolute reachability than about what a
+change *broke*.  This module verifies two data-plane snapshots inside
+one shared BDD engine (so packet sets are directly comparable) and
+reports, per (src, dst) pair, the headers that gained and lost
+reachability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ap.verifier import APVerifier
+from repro.bdd.builder import new_engine
+from repro.bdd.engine import BDD_FALSE
+from repro.netmodel.datasets import VerificationDataset
+
+
+@dataclass(frozen=True)
+class PairDelta:
+    """Reachability change for one (src, dst) pair."""
+
+    src: str
+    dst: str
+    gained_headers: int
+    lost_headers: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.gained_headers or self.lost_headers)
+
+
+@dataclass
+class SnapshotDiff:
+    """Full differential report between two snapshots."""
+
+    before_name: str
+    after_name: str
+    deltas: List[PairDelta] = field(default_factory=list)
+    pairs_compared: int = 0
+    seconds: float = 0.0
+
+    @property
+    def changed_pairs(self) -> List[PairDelta]:
+        return [delta for delta in self.deltas if delta.changed]
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.changed_pairs
+
+    def total_lost(self) -> int:
+        return sum(delta.lost_headers for delta in self.deltas)
+
+    def total_gained(self) -> int:
+        return sum(delta.gained_headers for delta in self.deltas)
+
+    def render(self, limit: int = 10) -> str:
+        lines = [
+            f"Snapshot diff {self.before_name} -> {self.after_name}: "
+            f"{len(self.changed_pairs)}/{self.pairs_compared} pairs changed "
+            f"(+{self.total_gained()} / -{self.total_lost()} headers)"
+        ]
+        for delta in self.changed_pairs[:limit]:
+            lines.append(
+                f"  {delta.src} -> {delta.dst}: "
+                f"+{delta.gained_headers} / -{delta.lost_headers} headers"
+            )
+        remaining = len(self.changed_pairs) - limit
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more changed pairs")
+        return "\n".join(lines)
+
+
+def diff_snapshots(
+    before: VerificationDataset,
+    after: VerificationDataset,
+    pairs: List[Tuple[str, str]] = None,
+) -> SnapshotDiff:
+    """Compare reachability between two snapshots of the same network.
+
+    Both snapshots must share the topology's node set.  ``pairs``
+    restricts the comparison (default: all ordered pairs).
+    """
+    if set(before.topology.nodes) != set(after.topology.nodes):
+        raise ValueError("snapshots must cover the same nodes")
+    start = time.perf_counter()
+    engine = new_engine("jdd")
+    verifier_before = APVerifier(before, engine=engine)
+    verifier_after = APVerifier(after, engine=engine)
+
+    if pairs is None:
+        nodes = before.topology.nodes
+        pairs = [
+            (src, dst) for src in nodes for dst in nodes if src != dst
+        ]
+
+    diff = SnapshotDiff(before.name, after.name)
+    for src, dst in pairs:
+        bdd_before = verifier_before.atomics.union_bdd(
+            verifier_before.reachable_atoms(src, dst).atoms
+        )
+        bdd_after = verifier_after.atomics.union_bdd(
+            verifier_after.reachable_atoms(src, dst).atoms
+        )
+        if bdd_before == bdd_after:
+            diff.deltas.append(PairDelta(src, dst, 0, 0))
+        else:
+            gained = engine.diff(bdd_after, bdd_before)
+            lost = engine.diff(bdd_before, bdd_after)
+            diff.deltas.append(
+                PairDelta(
+                    src,
+                    dst,
+                    engine.satcount(gained) if gained != BDD_FALSE else 0,
+                    engine.satcount(lost) if lost != BDD_FALSE else 0,
+                )
+            )
+    diff.pairs_compared = len(pairs)
+    diff.seconds = time.perf_counter() - start
+    return diff

@@ -1,0 +1,70 @@
+"""Predicate extraction: from FIBs and ACLs to packet-set BDDs.
+
+A *predicate* is the exact set of headers a device sends out of one port
+(after priority shadowing), or the set an ACL permits.  These are the
+inputs to the atomic-predicates computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bdd.builder import acl_permit_bdd, forwarding_port_bdds
+from repro.bdd.engine import BDDEngine, BDD_TRUE
+from repro.netmodel.datasets import VerificationDataset
+
+
+@dataclass
+class PredicateTable:
+    """All predicates of a data plane, as BDD node ids in one engine.
+
+    ``forwarding``
+        ``(device, port) -> BDD`` of headers the device forwards to that
+        port.  Ports follow :mod:`repro.netmodel.rules` conventions: a
+        neighbour device name, ``DROP_PORT`` or ``SELF_PORT``.
+    ``acl``
+        ``device -> BDD`` of headers the device's ingress ACL permits
+        (``BDD_TRUE`` when the device has no ACL).
+    """
+
+    engine: BDDEngine
+    forwarding: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    acl: Dict[str, int] = field(default_factory=dict)
+
+    def distinct_predicates(self) -> List[int]:
+        """All distinct non-trivial predicate BDDs, in deterministic order."""
+        seen = []
+        seen_set = set()
+        for key in sorted(self.forwarding):
+            node = self.forwarding[key]
+            if node not in seen_set:
+                seen_set.add(node)
+                seen.append(node)
+        for device in sorted(self.acl):
+            node = self.acl[device]
+            if node != BDD_TRUE and node not in seen_set:
+                seen_set.add(node)
+                seen.append(node)
+        return seen
+
+    @property
+    def num_forwarding(self) -> int:
+        return len(self.forwarding)
+
+    @property
+    def num_acl(self) -> int:
+        return sum(1 for node in self.acl.values() if node != BDD_TRUE)
+
+
+def extract_predicates(
+    dataset: VerificationDataset, engine: BDDEngine
+) -> PredicateTable:
+    """Build the predicate table of ``dataset`` inside ``engine``."""
+    table = PredicateTable(engine)
+    for name in sorted(dataset.devices):
+        device = dataset.devices[name]
+        for port, bdd in sorted(forwarding_port_bdds(engine, device).items()):
+            table.forwarding[(name, port)] = bdd
+        table.acl[name] = acl_permit_bdd(engine, device)
+    return table

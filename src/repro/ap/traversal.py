@@ -1,0 +1,175 @@
+"""Atom-set traversal algorithms shared by the AP and APKeep verifiers.
+
+Both verifiers end up with the same view of the data plane: per device a
+``port -> atom-id set`` labelling (ports partition the atom space) and per
+device the set of atoms its ingress ACL admits.  Reachability, loop and
+blackhole checks only need that view, so they live here and both systems
+delegate to them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.netmodel.rules import DROP_PORT, SELF_PORT
+from repro.netmodel.topology import Topology
+
+PortAtoms = Dict[Tuple[str, str], FrozenSet[int]]
+AclAtoms = Dict[str, FrozenSet[int]]
+
+
+def selective_bfs(
+    topology: Topology,
+    port_atoms: PortAtoms,
+    acl_atoms: AclAtoms,
+    src: str,
+    dst: str,
+    initial: FrozenSet[int],
+) -> FrozenSet[int]:
+    """Atoms from ``initial`` injected at ``src`` that can arrive at ``dst``.
+
+    The authors' strategy: breadth-first propagation of atom sets with two
+    prunings -- empty sets die, and atoms already seen at a device are not
+    reprocessed (forwarding is deterministic per atom, so a second arrival
+    adds nothing).
+    """
+    if src == dst:
+        return initial
+    seen: Dict[str, Set[int]] = {}
+    arrived: Set[int] = set()
+    queue = deque([(src, set(initial))])
+    while queue:
+        device, atoms = queue.popleft()
+        fresh = atoms - seen.setdefault(device, set())
+        if not fresh:
+            continue
+        seen[device].update(fresh)
+        if device == dst:
+            arrived.update(fresh)
+            continue
+        for neighbor in topology.successors(device):
+            label = port_atoms.get((device, neighbor))
+            if not label:
+                continue
+            moving = fresh & label & acl_atoms.get(neighbor, frozenset())
+            if moving:
+                queue.append((neighbor, moving))
+    return frozenset(arrived)
+
+
+def path_enumeration_reach(
+    topology: Topology,
+    port_atoms: PortAtoms,
+    acl_atoms: AclAtoms,
+    src: str,
+    dst: str,
+    initial: FrozenSet[int],
+    max_paths: Optional[int] = None,
+) -> Tuple[FrozenSet[int], int]:
+    """Participant D's strategy: intersect labels along every simple path.
+
+    Returns ``(atoms, paths_explored)``.  Identical answers to
+    :func:`selective_bfs` (a deterministic trajectory reaching ``dst`` is
+    necessarily simple), at exponential cost.
+    """
+    import networkx as nx
+
+    if src == dst:
+        return initial, 0
+    arrived: Set[int] = set()
+    explored = 0
+    graph = topology.to_networkx()
+    for path in nx.all_simple_paths(graph, src, dst):
+        explored += 1
+        atoms = set(initial)
+        for hop, nxt in zip(path, path[1:]):
+            label = port_atoms.get((hop, nxt))
+            if not label:
+                atoms.clear()
+                break
+            atoms &= label
+            atoms &= acl_atoms.get(nxt, frozenset())
+            if not atoms:
+                break
+        arrived.update(atoms)
+        if max_paths is not None and explored >= max_paths:
+            break
+    return frozenset(arrived), explored
+
+
+def build_next_port(port_atoms: PortAtoms) -> Dict[str, Dict[int, str]]:
+    """Deterministic ``device -> atom -> port`` map from port labels."""
+    next_port: Dict[str, Dict[int, str]] = {}
+    for (device, port), atoms in port_atoms.items():
+        per_device = next_port.setdefault(device, {})
+        for atom in atoms:
+            per_device[atom] = port
+    return next_port
+
+
+def find_loops(
+    topology: Topology,
+    next_port: Dict[str, Dict[int, str]],
+    acl_atoms: AclAtoms,
+    atoms: Iterable[int],
+) -> List[Tuple[int, Tuple[str, ...]]]:
+    """All (atom, canonicalised device cycle) forwarding loops."""
+    reports: List[Tuple[int, Tuple[str, ...]]] = []
+    seen_cycles: Set[Tuple[int, Tuple[str, ...]]] = set()
+    for atom in sorted(atoms):
+        state: Dict[str, int] = {}
+        for start_device in topology.nodes:
+            if atom not in acl_atoms.get(start_device, frozenset()):
+                continue
+            if state.get(start_device):
+                continue
+            path: List[str] = []
+            device = start_device
+            while True:
+                mark = state.get(device)
+                if mark == 2:
+                    break
+                if mark == 1:
+                    cycle = tuple(path[path.index(device):])
+                    rotated = rotate_cycle(cycle)
+                    key = (atom, rotated)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        reports.append(key)
+                    break
+                state[device] = 1
+                path.append(device)
+                port = next_port.get(device, {}).get(atom, DROP_PORT)
+                if port in (DROP_PORT, SELF_PORT):
+                    break
+                if atom not in acl_atoms.get(port, frozenset()):
+                    break
+                device = port
+            for visited in path:
+                state[visited] = 2
+    return reports
+
+
+def find_blackholes(
+    topology: Topology,
+    port_atoms: PortAtoms,
+    acl_atoms: AclAtoms,
+    scope: Optional[FrozenSet[int]] = None,
+) -> List[Tuple[str, FrozenSet[int]]]:
+    """Devices dropping live atoms, optionally restricted to ``scope``."""
+    reports: List[Tuple[str, FrozenSet[int]]] = []
+    for device in topology.nodes:
+        label = port_atoms.get((device, DROP_PORT), frozenset())
+        live = label & acl_atoms.get(device, frozenset())
+        if scope is not None:
+            live = live & scope
+        if live:
+            reports.append((device, frozenset(live)))
+    return reports
+
+
+def rotate_cycle(cycle: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Rotate a cycle so it starts at its lexicographically-smallest node."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]

@@ -1,0 +1,33 @@
+"""APKeep: realtime, incremental data-plane verification (NSDI 2020).
+
+The system participant C reproduced.  APKeep maintains a *port-predicate
+map* (PPM): a network-wide set of atomic predicates plus, for every
+element and port, the set of atoms forwarded to that port.  Rule updates
+are absorbed incrementally:
+
+1. :meth:`ForwardingElement.insert` runs Algorithm 1 of the paper
+   (``IdentifyChangesInsert``, reproduced in the HotNets paper's
+   Figure 6): maintain per-rule *hit* BDDs and emit the behaviour
+   :class:`Change` set caused by the update;
+2. :meth:`PPM.apply_changes` transfers atoms between ports, splitting
+   atoms on partial overlap (and :meth:`PPM.compact` merges atoms that
+   have become behaviourally identical, keeping the predicate set
+   minimal);
+3. properties (loops, blackholes, reachability) are re-checked over the
+   atom labels using the same traversal algorithms as AP.
+"""
+
+from repro.apkeep.changes import Change
+from repro.apkeep.element import AclElement, ElementRule, ForwardingElement
+from repro.apkeep.ppm import PPM
+from repro.apkeep.network import APKeepVerifier, UpdateRecord
+
+__all__ = [
+    "AclElement",
+    "APKeepVerifier",
+    "Change",
+    "ElementRule",
+    "ForwardingElement",
+    "PPM",
+    "UpdateRecord",
+]

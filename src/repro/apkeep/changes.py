@@ -1,0 +1,23 @@
+"""Behaviour changes: the currency between elements and the PPM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Change:
+    """Packets in ``bdd`` move from ``from_port`` to ``to_port``.
+
+    Emitted by rule insertion/deletion on an element (Algorithm 1 and its
+    deletion counterpart) and consumed by :meth:`repro.apkeep.ppm.PPM.
+    apply_changes`.  The ``bdd`` is a node id in the verifier's engine.
+    """
+
+    bdd: int
+    from_port: str
+    to_port: str
+
+    def __post_init__(self):
+        if self.from_port == self.to_port:
+            raise ValueError("a change must move packets between distinct ports")

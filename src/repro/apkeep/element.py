@@ -1,0 +1,227 @@
+"""APKeep elements: forwarding devices and ACLs with per-rule hit BDDs.
+
+A rule's *hit* is the part of its match not shadowed by higher-priority
+rules -- the exact packet set the rule acts on.  Algorithm 1 of the APKeep
+paper (``IdentifyChangesInsert``) maintains hits under insertion and emits
+the behaviour changes; :meth:`ForwardingElement.remove` is the deletion
+counterpart.
+
+Priority ties are broken by insertion order (earlier rule wins), matching
+:meth:`repro.netmodel.rules.Device.lookup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apkeep.changes import Change
+from repro.bdd.builder import prefix_to_bdd
+from repro.bdd.engine import BDDEngine, BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.rules import AclAction, AclRule, DROP_PORT, ForwardingRule
+
+ACL_PERMIT = "permit"
+ACL_DENY = "deny"
+
+
+@dataclass
+class ElementRule:
+    """One installed rule with its live hit BDD."""
+
+    prefix: Prefix
+    port: str
+    priority: int
+    match: int
+    hit: int
+    sequence: int  # insertion order; earlier wins priority ties
+
+
+class ForwardingElement:
+    """A forwarding device inside APKeep.
+
+    The element always contains an implicit default rule (priority minus
+    infinity) sending everything to ``default_port`` (normally the drop
+    port), so hits of all rules plus the default partition the full
+    header space -- an invariant asserted by tests.
+    """
+
+    def __init__(self, name: str, engine: BDDEngine, default_port: str = DROP_PORT):
+        self.name = name
+        self.engine = engine
+        self.default_port = default_port
+        self._rules: List[ElementRule] = []
+        self._default_hit = BDD_TRUE
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> List[ElementRule]:
+        return list(self._rules)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    @property
+    def default_hit(self) -> int:
+        return self._default_hit
+
+    def ports(self) -> List[str]:
+        seen = {self.default_port}
+        for rule in self._rules:
+            seen.add(rule.port)
+        return sorted(seen)
+
+    def hit_of(self, port: str) -> int:
+        """Union of hits of all rules forwarding to ``port``."""
+        out = BDD_FALSE
+        for rule in self._rules:
+            if rule.port == port:
+                out = self.engine.or_(out, rule.hit)
+        if port == self.default_port:
+            out = self.engine.or_(out, self._default_hit)
+        return out
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: IdentifyChangesInsert
+    # ------------------------------------------------------------------
+    def insert(self, rule: ForwardingRule) -> List[Change]:
+        """Insert ``rule``, maintain hits, return the behaviour changes."""
+        engine = self.engine
+        match = prefix_to_bdd(engine, rule.prefix)
+        engine.ref(match)
+        hit = match
+        changes: List[Change] = []
+        for existing in self._rules:
+            wins_over_new = (
+                existing.priority > rule.priority
+                or existing.priority == rule.priority  # earlier insertion wins
+            )
+            if wins_over_new:
+                if engine.and_(hit, existing.hit) != BDD_FALSE:
+                    hit = engine.diff(hit, existing.hit)
+                    if hit == BDD_FALSE:
+                        break
+            else:
+                inter = engine.and_(hit, existing.hit)
+                if inter != BDD_FALSE:
+                    if existing.port != rule.port:
+                        changes.append(Change(inter, existing.port, rule.port))
+                    existing.hit = engine.diff(existing.hit, hit)
+        # The default rule has the lowest priority of all.
+        if hit != BDD_FALSE:
+            inter = engine.and_(hit, self._default_hit)
+            if inter != BDD_FALSE:
+                if self.default_port != rule.port:
+                    changes.append(Change(inter, self.default_port, rule.port))
+                self._default_hit = engine.diff(self._default_hit, hit)
+        self._rules.append(
+            ElementRule(
+                prefix=rule.prefix,
+                port=rule.port,
+                priority=rule.priority,
+                match=match,
+                hit=hit,
+                sequence=self._sequence,
+            )
+        )
+        self._sequence += 1
+        return changes
+
+    # ------------------------------------------------------------------
+    # Deletion counterpart
+    # ------------------------------------------------------------------
+    def remove(self, rule: ForwardingRule) -> List[Change]:
+        """Remove the first installed rule equal to ``rule``.
+
+        The freed hit space is redistributed to the remaining rules in
+        priority order (the highest-priority matching rule inherits each
+        part), with the default rule as the final fallback.
+        """
+        target = self._find(rule)
+        if target is None:
+            raise KeyError(f"rule {rule} not installed on element {self.name!r}")
+        self._rules.remove(target)
+        engine = self.engine
+        changes: List[Change] = []
+        remaining = target.hit
+        if remaining == BDD_FALSE:
+            return changes
+        for existing in self._ordered():
+            inter = engine.and_(remaining, existing.match)
+            if inter == BDD_FALSE:
+                continue
+            existing.hit = engine.or_(existing.hit, inter)
+            if existing.port != target.port:
+                changes.append(Change(inter, target.port, existing.port))
+            remaining = engine.diff(remaining, existing.match)
+            if remaining == BDD_FALSE:
+                break
+        if remaining != BDD_FALSE:
+            self._default_hit = engine.or_(self._default_hit, remaining)
+            if self.default_port != target.port:
+                changes.append(Change(remaining, target.port, self.default_port))
+        return changes
+
+    def _find(self, rule: ForwardingRule) -> Optional[ElementRule]:
+        for existing in self._rules:
+            if (
+                existing.prefix == rule.prefix
+                and existing.port == rule.port
+                and existing.priority == rule.priority
+            ):
+                return existing
+        return None
+
+    def _ordered(self) -> List[ElementRule]:
+        return sorted(self._rules, key=lambda r: (-r.priority, r.sequence))
+
+    def check_partition(self) -> bool:
+        """Invariant: rule hits plus the default hit partition the space."""
+        engine = self.engine
+        union = self._default_hit
+        for rule in self._rules:
+            if engine.and_(union, rule.hit) != BDD_FALSE:
+                return False
+            union = engine.or_(union, rule.hit)
+        return union == BDD_TRUE
+
+
+class AclElement:
+    """An ACL as an APKeep element with ``permit``/``deny`` ports.
+
+    First match wins (priority, then insertion order); the default action
+    is permit, matching :meth:`repro.netmodel.rules.Device.acl_permits`.
+    """
+
+    def __init__(self, name: str, engine: BDDEngine):
+        self.name = name
+        self._inner = ForwardingElement(name, engine, default_port=ACL_PERMIT)
+
+    def insert(self, rule: AclRule) -> List[Change]:
+        port = ACL_PERMIT if rule.action is AclAction.PERMIT else ACL_DENY
+        return self._inner.insert(
+            ForwardingRule(rule.prefix, port, rule.priority)
+        )
+
+    def remove(self, rule: AclRule) -> List[Change]:
+        port = ACL_PERMIT if rule.action is AclAction.PERMIT else ACL_DENY
+        return self._inner.remove(
+            ForwardingRule(rule.prefix, port, rule.priority)
+        )
+
+    @property
+    def num_rules(self) -> int:
+        return self._inner.num_rules
+
+    def permit_bdd(self) -> int:
+        return self._inner.hit_of(ACL_PERMIT)
+
+    def ports(self) -> List[str]:
+        return [ACL_DENY, ACL_PERMIT]
+
+    def check_partition(self) -> bool:
+        return self._inner.check_partition()

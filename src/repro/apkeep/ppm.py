@@ -1,0 +1,163 @@
+"""The port-predicate map: APKeep's incrementally-maintained atom space.
+
+One network-wide set of atomic predicates (atoms) is shared by every
+element.  Each element maps each of its ports to a set of atom ids; the
+sets of one element always partition the atom space.  Applying a
+:class:`~repro.apkeep.changes.Change` moves atoms between two ports of one
+element, splitting any atom that only partially overlaps the change.
+
+Splitting never merges, so after many updates the atom set can be finer
+than the minimal atomic predicates of the final state; :meth:`PPM.compact`
+merges atoms with identical port membership across all elements, restoring
+minimality (this is the equivalent of APKeep's predicate merging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.apkeep.changes import Change
+from repro.bdd.engine import BDDEngine, BDD_FALSE, BDD_TRUE
+
+
+class PPM:
+    """Port-predicate map over one BDD engine."""
+
+    def __init__(self, engine: BDDEngine):
+        self.engine = engine
+        self.atoms: Dict[int, int] = {0: BDD_TRUE}
+        self._next_atom_id = 1
+        # element -> port -> set of atom ids.
+        self.port_map: Dict[str, Dict[str, Set[int]]] = {}
+        # atom id -> element -> port (reverse index for fast splits).
+        self.atom_locations: Dict[int, Dict[str, str]] = {0: {}}
+        self.split_count = 0
+        self.transfer_count = 0
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def add_element(self, name: str, ports: Iterable[str], default_port: str) -> None:
+        """Register an element; every atom starts on its default port."""
+        if name in self.port_map:
+            raise KeyError(f"element {name!r} already registered")
+        port_set = set(ports)
+        port_set.add(default_port)
+        self.port_map[name] = {port: set() for port in sorted(port_set)}
+        self.port_map[name][default_port].update(self.atoms)
+        for atom_id in self.atoms:
+            self.atom_locations[atom_id][name] = default_port
+
+    def ensure_port(self, element: str, port: str) -> None:
+        self.port_map[element].setdefault(port, set())
+
+    # ------------------------------------------------------------------
+    # Change application
+    # ------------------------------------------------------------------
+    def apply_changes(self, element: str, changes: List[Change]) -> int:
+        """Apply changes to one element; returns the number of atom splits."""
+        splits_before = self.split_count
+        for change in changes:
+            self._apply_one(element, change)
+        return self.split_count - splits_before
+
+    def _apply_one(self, element: str, change: Change) -> None:
+        engine = self.engine
+        self.ensure_port(element, change.from_port)
+        self.ensure_port(element, change.to_port)
+        source = self.port_map[element][change.from_port]
+        moving_whole: List[int] = []
+        splitting: List[Tuple[int, int]] = []  # (atom id, intersection bdd)
+        for atom_id in source:
+            atom_bdd = self.atoms[atom_id]
+            inter = engine.and_(atom_bdd, change.bdd)
+            if inter == BDD_FALSE:
+                continue
+            if inter == atom_bdd:
+                moving_whole.append(atom_id)
+            else:
+                splitting.append((atom_id, inter))
+        for atom_id in moving_whole:
+            self._move(atom_id, element, change.from_port, change.to_port)
+        for atom_id, inter in splitting:
+            inside = self._split(atom_id, inter)
+            self._move(inside, element, change.from_port, change.to_port)
+        self.transfer_count += len(moving_whole) + len(splitting)
+
+    def _move(self, atom_id: int, element: str, from_port: str, to_port: str) -> None:
+        self.port_map[element][from_port].discard(atom_id)
+        self.port_map[element][to_port].add(atom_id)
+        self.atom_locations[atom_id][element] = to_port
+
+    def _split(self, atom_id: int, inside_bdd: int) -> int:
+        """Split ``atom_id`` into inside/outside of ``inside_bdd``.
+
+        The original atom id keeps the *outside* part; a fresh id carries
+        the inside part and is returned.  Every element's port set gains
+        the new id alongside the old one.
+        """
+        engine = self.engine
+        outside_bdd = engine.diff(self.atoms[atom_id], inside_bdd)
+        if outside_bdd == BDD_FALSE or inside_bdd == BDD_FALSE:
+            raise ValueError("split requires a strict partial overlap")
+        new_id = self._next_atom_id
+        self._next_atom_id += 1
+        self.atoms[atom_id] = outside_bdd
+        self.atoms[new_id] = inside_bdd
+        self.atom_locations[new_id] = dict(self.atom_locations[atom_id])
+        for element, port in self.atom_locations[new_id].items():
+            self.port_map[element][port].add(new_id)
+        self.split_count += 1
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Compaction (predicate merging)
+    # ------------------------------------------------------------------
+    def equivalence_classes(self) -> List[List[int]]:
+        """Groups of atoms with identical port membership everywhere."""
+        by_profile: Dict[Tuple, List[int]] = {}
+        for atom_id in sorted(self.atoms):
+            profile = tuple(sorted(self.atom_locations[atom_id].items()))
+            by_profile.setdefault(profile, []).append(atom_id)
+        return list(by_profile.values())
+
+    def count_compacted(self) -> int:
+        """Number of atoms after a (virtual) merge of equivalent atoms."""
+        return len(self.equivalence_classes())
+
+    def compact(self) -> int:
+        """Merge behaviourally-identical atoms; returns merges performed."""
+        merged = 0
+        for group in self.equivalence_classes():
+            if len(group) < 2:
+                continue
+            keeper, rest = group[0], group[1:]
+            union = self.atoms[keeper]
+            for atom_id in rest:
+                union = self.engine.or_(union, self.atoms[atom_id])
+                for element, port in self.atom_locations[atom_id].items():
+                    self.port_map[element][port].discard(atom_id)
+                del self.atoms[atom_id]
+                del self.atom_locations[atom_id]
+                merged += 1
+            self.atoms[keeper] = union
+        return merged
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    def atoms_of(self, element: str, port: str) -> FrozenSet[int]:
+        return frozenset(self.port_map[element].get(port, ()))
+
+    def check_partition(self, element: str) -> bool:
+        """Invariant: one element's ports partition the atom space."""
+        seen: Set[int] = set()
+        for atoms in self.port_map[element].values():
+            if atoms & seen:
+                return False
+            seen |= atoms
+        return seen == set(self.atoms)

@@ -1,0 +1,33 @@
+"""From-scratch reduced ordered binary decision diagrams (ROBDDs).
+
+AP and APKeep represent packet sets as BDDs.  The paper attributes a 20x
+predicate-computation gap between participant D's reproduction and the
+open-source AP prototype purely to the BDD library choice (JavaBDD vs
+JDD).  This package provides one correct core (:class:`BDDEngine`) and two
+operation profiles with identical semantics but different constant
+factors:
+
+* :class:`JDDEngine` -- specialised binary operations with a persistent
+  computed-table, like JDD;
+* :class:`JavaBDDEngine` -- every operation routed through generic ITE,
+  computed-table dropped after each top-level call, and a periodic
+  node-table sweep simulating GC pressure, like a poorly tuned JavaBDD
+  deployment.
+
+Both profiles produce identical node ids for identical operand histories,
+so results can be compared across engines by satcount/semantics.
+"""
+
+from repro.bdd.engine import BDDEngine, JDDEngine, JavaBDDEngine, BDD_FALSE, BDD_TRUE
+from repro.bdd.builder import prefix_to_bdd, acl_permit_bdd, rule_match_bdd
+
+__all__ = [
+    "BDDEngine",
+    "BDD_FALSE",
+    "BDD_TRUE",
+    "JDDEngine",
+    "JavaBDDEngine",
+    "acl_permit_bdd",
+    "prefix_to_bdd",
+    "rule_match_bdd",
+]

@@ -1,0 +1,72 @@
+"""Helpers that encode network objects as BDDs.
+
+The verifiers translate prefixes, FIB rules and ACLs into packet-set BDDs
+over :data:`repro.netmodel.headerspace.HEADER_BITS` variables (bit 0 of
+the destination address is variable 0, at the top of the order).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.engine import BDDEngine, BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import HEADER_BITS, Prefix
+from repro.netmodel.rules import AclAction, Device, ForwardingRule
+
+
+def new_engine(profile: str = "jdd") -> BDDEngine:
+    """Engine over the header bits, by profile name (``jdd``/``javabdd``)."""
+    from repro.bdd.engine import JDDEngine, JavaBDDEngine
+
+    if profile == "jdd":
+        return JDDEngine(HEADER_BITS)
+    if profile == "javabdd":
+        return JavaBDDEngine(HEADER_BITS)
+    raise KeyError(f"unknown BDD profile {profile!r}")
+
+
+def prefix_to_bdd(engine: BDDEngine, prefix: Prefix) -> int:
+    """BDD of all headers matched by ``prefix``."""
+    return engine.cube(prefix.bdd_literals())
+
+
+def rule_match_bdd(engine: BDDEngine, rule: ForwardingRule) -> int:
+    """BDD of the rule's raw match set (before priority shadowing)."""
+    return prefix_to_bdd(engine, rule.prefix)
+
+
+def acl_permit_bdd(engine: BDDEngine, device: Device) -> int:
+    """BDD of headers the device's ingress ACL permits (first match wins)."""
+    if not device.has_acl:
+        return BDD_TRUE
+    permitted = BDD_FALSE
+    remaining = BDD_TRUE
+    for acl_rule in device.acl:
+        match = prefix_to_bdd(engine, acl_rule.prefix)
+        effective = engine.and_(match, remaining)
+        if acl_rule.action is AclAction.PERMIT:
+            permitted = engine.or_(permitted, effective)
+        remaining = engine.diff(remaining, match)
+    # Default action is permit, matching Device.acl_permits.
+    return engine.or_(permitted, remaining)
+
+
+def forwarding_port_bdds(engine: BDDEngine, device: Device) -> dict:
+    """Map ``port -> BDD`` of headers the device forwards to that port.
+
+    Applies priority shadowing: a rule only acts on headers not taken by
+    higher-priority rules.  Unmatched headers go to the drop port.
+    """
+    from repro.netmodel.rules import DROP_PORT
+
+    port_sets = {}
+    remaining = BDD_TRUE
+    for rule in device.rules:
+        match = prefix_to_bdd(engine, rule.prefix)
+        effective = engine.and_(match, remaining)
+        if effective != BDD_FALSE:
+            previous = port_sets.get(rule.port, BDD_FALSE)
+            port_sets[rule.port] = engine.or_(previous, effective)
+        remaining = engine.diff(remaining, match)
+    if remaining != BDD_FALSE:
+        previous = port_sets.get(DROP_PORT, BDD_FALSE)
+        port_sets[DROP_PORT] = engine.or_(previous, remaining)
+    return port_sets

@@ -1,0 +1,62 @@
+"""Graphviz DOT export of BDDs — the standard debugging aid.
+
+``to_dot(engine, node)`` renders the sub-DAG rooted at ``node``: solid
+edges for the high (1) branch, dashed for the low (0) branch, boxes for
+the terminals.  Paste the output into any Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bdd.engine import BDDEngine, BDD_FALSE, BDD_TRUE
+
+
+def to_dot(
+    engine: BDDEngine,
+    node: int,
+    name: str = "bdd",
+    var_names: Optional[Dict[int, str]] = None,
+) -> str:
+    """DOT source for the BDD rooted at ``node``."""
+    lines: List[str] = [f"digraph {name} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+
+    visited = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in visited or current in (BDD_FALSE, BDD_TRUE):
+            continue
+        visited.add(current)
+        variable = engine._var[current]
+        label = (
+            var_names[variable]
+            if var_names and variable in var_names
+            else f"x{variable}"
+        )
+        lines.append(f'  node{current} [label="{label}", shape=circle];')
+        low = engine._low[current]
+        high = engine._high[current]
+        lines.append(f"  node{current} -> node{low} [style=dashed];")
+        lines.append(f"  node{current} -> node{high};")
+        stack.append(low)
+        stack.append(high)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def node_count(engine: BDDEngine, node: int) -> int:
+    """Number of internal nodes in the sub-DAG rooted at ``node``."""
+    visited = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in visited or current in (BDD_FALSE, BDD_TRUE):
+            continue
+        visited.add(current)
+        stack.append(engine._low[current])
+        stack.append(engine._high[current])
+    return len(visited)

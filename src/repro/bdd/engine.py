@@ -1,0 +1,372 @@
+"""The ROBDD core and its two operation profiles.
+
+Standard Bryant construction: nodes are ``(var, low, high)`` triples kept
+canonical through a unique table, terminals are the integers ``0``
+(false) and ``1`` (true), and variable order is fixed to ``0 < 1 < ...``
+(variable 0 at the top).  All operations return node ids; equal ids mean
+equal functions.
+
+Reference counting mirrors the JDD/JavaBDD API (``ref``/``deref``) that
+the APKeep pseudocode in the paper's Figure 6 calls; the counts are
+tracked faithfully but nodes are never actually reclaimed (Python owns the
+memory), so a missing ``deref`` can never corrupt results -- it only shows
+up in :attr:`BDDEngine.live_refs` statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+BDD_FALSE = 0
+BDD_TRUE = 1
+
+_OP_AND = "and"
+_OP_OR = "or"
+_OP_DIFF = "diff"
+
+
+class BDDEngine:
+    """Correct ROBDD engine; subclasses choose the operation strategy."""
+
+    name = "base"
+
+    def __init__(self, num_vars: int):
+        if num_vars < 1:
+            raise ValueError("num_vars must be >= 1")
+        self.num_vars = num_vars
+        # Node storage; indices 0/1 are the terminals (var = num_vars acts
+        # as a sentinel level below every real variable).
+        self._var: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._cache: Dict[Tuple, int] = {}
+        self._refs: Dict[int, int] = {}
+        # Operation statistics (used by benchmarks and the GC profile).
+        self.op_count = 0
+        self.mk_count = 0
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        self.mk_count += 1
+        self._after_mk()
+        return node
+
+    def _after_mk(self) -> None:
+        """Hook for profiles that do per-allocation bookkeeping."""
+
+    def var(self, index: int) -> int:
+        """BDD for the single positive literal ``x_index``."""
+        self._check_var(index)
+        return self._mk(index, BDD_FALSE, BDD_TRUE)
+
+    def nvar(self, index: int) -> int:
+        """BDD for the single negative literal ``not x_index``."""
+        self._check_var(index)
+        return self._mk(index, BDD_TRUE, BDD_FALSE)
+
+    def _check_var(self, index: int) -> None:
+        if not 0 <= index < self.num_vars:
+            raise IndexError(f"variable {index} out of [0, {self.num_vars})")
+
+    def cube(self, literals) -> int:
+        """Conjunction of ``(var, polarity)`` literals."""
+        ordered = sorted(literals, key=lambda lit: lit[0], reverse=True)
+        node = BDD_TRUE
+        for index, polarity in ordered:
+            self._check_var(index)
+            if polarity:
+                node = self._mk(index, BDD_FALSE, node)
+            else:
+                node = self._mk(index, node, BDD_FALSE)
+        return node
+
+    # ------------------------------------------------------------------
+    # Operations (profile-specific dispatch)
+    # ------------------------------------------------------------------
+    def and_(self, u: int, v: int) -> int:
+        raise NotImplementedError
+
+    def or_(self, u: int, v: int) -> int:
+        raise NotImplementedError
+
+    def diff(self, u: int, v: int) -> int:
+        """``u AND NOT v`` -- the workhorse of both verifiers."""
+        raise NotImplementedError
+
+    def not_(self, u: int) -> int:
+        self.op_count += 1
+        return self._not_rec(u)
+
+    def _not_rec(self, u: int) -> int:
+        if u == BDD_FALSE:
+            return BDD_TRUE
+        if u == BDD_TRUE:
+            return BDD_FALSE
+        key = ("not", u)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        node = self._mk(self._var[u], self._not_rec(self._low[u]), self._not_rec(self._high[u]))
+        self._cache[key] = node
+        return node
+
+    def xor_(self, u: int, v: int) -> int:
+        return self.or_(self.diff(u, v), self.diff(v, u))
+
+    def implies(self, u: int, v: int) -> bool:
+        """True when the set ``u`` is contained in ``v``."""
+        return self.diff(u, v) == BDD_FALSE
+
+    def equal(self, u: int, v: int) -> bool:
+        return u == v
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        self.op_count += 1
+        return self._ite_rec(f, g, h)
+
+    def _ite_rec(self, f: int, g: int, h: int) -> int:
+        if f == BDD_TRUE:
+            return g
+        if f == BDD_FALSE:
+            return h
+        if g == h:
+            return g
+        if g == BDD_TRUE and h == BDD_FALSE:
+            return f
+        key = ("ite", f, g, h)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        level = min(self._var[f], self._var[g], self._var[h])
+
+        def branch(node: int, take_high: bool) -> int:
+            if self._var[node] != level:
+                return node
+            return self._high[node] if take_high else self._low[node]
+
+        high = self._ite_rec(branch(f, True), branch(g, True), branch(h, True))
+        low = self._ite_rec(branch(f, False), branch(g, False), branch(h, False))
+        node = self._mk(level, low, high)
+        self._cache[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Reference counting (JDD-style API; never reclaims)
+    # ------------------------------------------------------------------
+    def ref(self, u: int) -> int:
+        self._refs[u] = self._refs.get(u, 0) + 1
+        return u
+
+    def deref(self, u: int) -> None:
+        count = self._refs.get(u, 0)
+        if count <= 1:
+            self._refs.pop(u, None)
+        else:
+            self._refs[u] = count - 1
+
+    @property
+    def live_refs(self) -> int:
+        return sum(self._refs.values())
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._var)
+
+    def satcount(self, u: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        memo: Dict[int, int] = {BDD_FALSE: 0, BDD_TRUE: 1}
+
+        def count(node: int) -> int:
+            found = memo.get(node)
+            if found is not None:
+                return found
+            level = self._var[node]
+            low, high = self._low[node], self._high[node]
+            total = count(low) << (self._var[low] - level - 1)
+            total += count(high) << (self._var[high] - level - 1)
+            memo[node] = total
+            return total
+
+        if u == BDD_FALSE:
+            return 0
+        return count(u) << self._var[u]
+
+    def any_sat(self, u: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (partial; unmentioned vars are free)."""
+        if u == BDD_FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = u
+        while node != BDD_TRUE:
+            if self._low[node] != BDD_FALSE:
+                assignment[self._var[node]] = False
+                node = self._low[node]
+            else:
+                assignment[self._var[node]] = True
+                node = self._high[node]
+        return assignment
+
+    def evaluate(self, u: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the function at a full assignment ``var -> bool``."""
+        node = u
+        while node not in (BDD_FALSE, BDD_TRUE):
+            node = self._high[node] if assignment[self._var[node]] else self._low[node]
+        return node == BDD_TRUE
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class JDDEngine(BDDEngine):
+    """Specialised ops + persistent computed-table (the fast profile)."""
+
+    name = "jdd"
+
+    def and_(self, u: int, v: int) -> int:
+        self.op_count += 1
+        return self._apply(_OP_AND, u, v)
+
+    def or_(self, u: int, v: int) -> int:
+        self.op_count += 1
+        return self._apply(_OP_OR, u, v)
+
+    def diff(self, u: int, v: int) -> int:
+        self.op_count += 1
+        return self._apply(_OP_DIFF, u, v)
+
+    def _apply(self, op: str, u: int, v: int) -> int:
+        terminal = _TERMINAL_RULES[op](u, v)
+        if terminal is not None:
+            return terminal
+        if op in (_OP_AND, _OP_OR) and u > v:
+            u, v = v, u  # commutative: canonicalise the cache key
+        key = (op, u, v)
+        found = self._cache.get(key)
+        if found is not None:
+            return found
+        level = min(self._var[u], self._var[v])
+        u_low, u_high = self._branches(u, level)
+        v_low, v_high = self._branches(v, level)
+        node = self._mk(
+            level,
+            self._apply(op, u_low, v_low),
+            self._apply(op, u_high, v_high),
+        )
+        self._cache[key] = node
+        return node
+
+    def _branches(self, node: int, level: int) -> Tuple[int, int]:
+        if self._var[node] != level:
+            return node, node
+        return self._low[node], self._high[node]
+
+
+def _and_terminal(u: int, v: int) -> Optional[int]:
+    if u == BDD_FALSE or v == BDD_FALSE:
+        return BDD_FALSE
+    if u == BDD_TRUE:
+        return v
+    if v == BDD_TRUE:
+        return u
+    if u == v:
+        return u
+    return None
+
+
+def _or_terminal(u: int, v: int) -> Optional[int]:
+    if u == BDD_TRUE or v == BDD_TRUE:
+        return BDD_TRUE
+    if u == BDD_FALSE:
+        return v
+    if v == BDD_FALSE:
+        return u
+    if u == v:
+        return u
+    return None
+
+
+def _diff_terminal(u: int, v: int) -> Optional[int]:
+    if u == BDD_FALSE or v == BDD_TRUE:
+        return BDD_FALSE
+    if v == BDD_FALSE:
+        return u
+    if u == v:
+        return BDD_FALSE
+    return None
+
+
+_TERMINAL_RULES = {
+    _OP_AND: _and_terminal,
+    _OP_OR: _or_terminal,
+    _OP_DIFF: _diff_terminal,
+}
+
+
+class JavaBDDEngine(BDDEngine):
+    """Generic-ITE ops, cache dropped per call, periodic sweep (slow profile).
+
+    Semantics are identical to :class:`JDDEngine`; only constant factors
+    differ, which is exactly the paper's explanation for participant D's
+    20x predicate-computation slowdown.
+    """
+
+    name = "javabdd"
+
+    #: Sweep the node table every this many allocations (GC pressure model).
+    gc_interval = 256
+
+    def __init__(self, num_vars: int):
+        super().__init__(num_vars)
+        self.gc_sweeps = 0
+
+    def and_(self, u: int, v: int) -> int:
+        result = self.ite(u, v, BDD_FALSE)
+        self.clear_cache()
+        return result
+
+    def or_(self, u: int, v: int) -> int:
+        result = self.ite(u, BDD_TRUE, v)
+        self.clear_cache()
+        return result
+
+    def diff(self, u: int, v: int) -> int:
+        inverted = self._not_rec(v)
+        result = self._ite_rec(u, inverted, BDD_FALSE)
+        self.op_count += 1
+        self.clear_cache()
+        return result
+
+    def not_(self, u: int) -> int:
+        result = super().not_(u)
+        self.clear_cache()
+        return result
+
+    def _after_mk(self) -> None:
+        if self.mk_count % self.gc_interval == 0:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Walk the whole node table, as a mark phase would."""
+        self.gc_sweeps += 1
+        touched = 0
+        for var, low, high in zip(self._var, self._low, self._high):
+            touched += var + (low ^ high)
+        self._last_sweep_checksum = touched

@@ -1,0 +1,419 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the library's main flows so a downstream user can
+explore the reproduction without writing code:
+
+* ``experiment``   -- run participants A-D and print Figures 4-5;
+* ``participant``  -- run one participant (optionally changing the
+  prompting style) and print the component log;
+* ``study``        -- print the Figure 1-2 statistics;
+* ``verify``       -- verify a data plane with AP and APKeep, optionally
+  injecting an anomaly first;
+* ``te``           -- solve a TE instance with a chosen solver;
+* ``motivating``   -- replay the rock-paper-scissors example and play it;
+* ``transcript``   -- run a participant session and dump the markdown
+  conversation log;
+* ``analyze``      -- comparative discrepancy analysis of a reproduced
+  system against its reference prototype;
+* ``paperdoc``     -- render a paper's structured document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Toward Reproducing Network Research Results "
+            "Using Large Language Models' (HotNets 2023)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("experiment", help="run participants A-D")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="batch-reproduce several papers"
+    )
+    campaign.add_argument(
+        "papers", nargs="+",
+        choices=["ncflow", "arrow", "apkeep", "ap", "rps"],
+    )
+    campaign.add_argument(
+        "--styles", nargs="+",
+        choices=["monolithic", "modular-text", "modular-pseudocode"],
+        default=["modular-pseudocode"],
+    )
+
+    participant = subparsers.add_parser("participant", help="run one participant")
+    participant.add_argument("name", choices=["A", "B", "C", "D"])
+    participant.add_argument(
+        "--style",
+        choices=["monolithic", "modular-text", "modular-pseudocode"],
+        default=None,
+        help="override the prompting style",
+    )
+
+    subparsers.add_parser("study", help="print the Figure 1-2 statistics")
+
+    verify = subparsers.add_parser("verify", help="verify a data plane")
+    verify.add_argument("dataset", nargs="?", default="Internet2")
+    verify.add_argument(
+        "--inject", choices=["loop", "blackhole"], default=None
+    )
+
+    te = subparsers.add_parser("te", help="solve a TE instance")
+    te.add_argument("instance", nargs="?", default="Colt")
+    te.add_argument(
+        "--solver",
+        choices=["ncflow", "pf4", "edge", "arrow-paper", "arrow-code", "arrow-none"],
+        default="ncflow",
+    )
+    te.add_argument("--commodities", type=int, default=300)
+    te.add_argument("--load", type=float, default=0.1,
+                    help="total demand as a fraction of total capacity")
+
+    subparsers.add_parser("motivating", help="replay the motivating example")
+
+    transcript = subparsers.add_parser(
+        "transcript", help="dump a participant's conversation log"
+    )
+    transcript.add_argument("name", choices=["A", "B", "C", "D"])
+    transcript.add_argument("--out", default=None, help="write to a file")
+    transcript.add_argument(
+        "--format", choices=["markdown", "json", "summary"], default="markdown"
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze", help="discrepancy analysis vs the reference prototype"
+    )
+    analyze.add_argument("system", choices=["ncflow", "arrow", "apkeep", "ap"])
+
+    paperdoc = subparsers.add_parser(
+        "paperdoc", help="render a paper's structured document"
+    )
+    paperdoc.add_argument(
+        "key", choices=["ncflow", "arrow", "apkeep", "ap", "rps"]
+    )
+    paperdoc.add_argument(
+        "--lint", action="store_true",
+        help="flag missing details instead of rendering",
+    )
+
+    export = subparsers.add_parser(
+        "export", help="write every figure/experiment series as CSV"
+    )
+    export.add_argument("--out", default="results", help="output directory")
+
+    diff = subparsers.add_parser(
+        "diff", help="differential verification between two snapshots"
+    )
+    diff.add_argument("dataset", nargs="?", default="Internet2")
+    diff.add_argument(
+        "--inject", choices=["loop", "blackhole"], default="blackhole",
+        help="perturbation applied to the second snapshot",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_experiment(args, out) -> int:
+    from repro.experiments import figure4_rows, figure5_rows, run_experiment
+
+    result = run_experiment()
+    out.write("Figure 4 (prompts / words):\n")
+    for participant, system, prompts, words in figure4_rows(result):
+        out.write(f"  {participant} {system:<8} {prompts:>4} {words:>6}\n")
+    out.write("Figure 5 (LoC reproduced / reference):\n")
+    for participant, system, reproduced, reference, ratio in figure5_rows(result):
+        out.write(
+            f"  {participant} {system:<8} {reproduced:>5} / {reference:>5} "
+            f"({ratio * 100:.0f}%)\n"
+        )
+    out.write(f"all succeeded: {result.all_succeeded}\n")
+    return 0 if result.all_succeeded else 1
+
+
+def cmd_campaign(args, out) -> int:
+    from repro.core.prompts import PromptStyle
+    from repro.experiments import run_campaign
+
+    result = run_campaign(
+        args.papers, styles=[PromptStyle(style) for style in args.styles]
+    )
+    out.write(result.render() + "\n")
+    return 0 if result.num_succeeded == result.num_runs else 1
+
+
+def cmd_participant(args, out) -> int:
+    from repro.core.prompts import PromptStyle
+    from repro.experiments import run_participant
+
+    style = PromptStyle(args.style) if args.style else None
+    report = run_participant(args.name, style=style)
+    out.write(report.summary_row() + "\n")
+    for outcome in report.components:
+        out.write(
+            f"  {outcome.name:<16} revisions={outcome.revisions} "
+            f"debug={outcome.debug_rounds} loc={outcome.final_loc} "
+            f"{'ok' if outcome.passed else 'FAILED'}\n"
+        )
+    for key, value in sorted(report.validation_details.items()):
+        out.write(f"  {key} = {value}\n")
+    return 0 if report.succeeded else 1
+
+
+def cmd_study(args, out) -> int:
+    from repro.study import build_corpus, comparison_stats, opensource_stats
+
+    corpus = build_corpus()
+    open_stats = opensource_stats(corpus)
+    comp_stats = comparison_stats(corpus)
+    out.write(f"papers: {len(corpus)}\n")
+    out.write(
+        f"open source: SIGCOMM {open_stats.venue_fraction('SIGCOMM') * 100:.1f}%  "
+        f"NSDI {open_stats.venue_fraction('NSDI') * 100:.1f}%  "
+        f"combined {open_stats.combined_fraction * 100:.1f}%\n"
+    )
+    out.write(
+        f"compare >=2: {comp_stats.frac_compared_ge2 * 100:.2f}%  "
+        f"manual mean|>=1: {comp_stats.mean_manual_given_any:.2f}  "
+        f"manual >=1: {comp_stats.frac_manual_ge1 * 100:.2f}%  "
+        f"manual >=2: {comp_stats.frac_manual_ge2 * 100:.2f}%\n"
+    )
+    return 0
+
+
+def cmd_verify(args, out) -> int:
+    from repro.ap import APVerifier
+    from repro.apkeep import APKeepVerifier
+    from repro.netmodel.datasets import (
+        build_verification_dataset,
+        inject_blackhole,
+        inject_loop,
+    )
+
+    dataset = build_verification_dataset(args.dataset)
+    note = ""
+    if args.inject == "loop":
+        dataset, where = inject_loop(dataset, seed=3)
+        note = f" (loop injected at {where})"
+    elif args.inject == "blackhole":
+        dataset, where = inject_blackhole(dataset, seed=3)
+        note = f" (blackhole injected at {where})"
+    out.write(
+        f"{dataset.name}{note}: {dataset.topology.num_nodes} devices, "
+        f"{dataset.total_rules} rules\n"
+    )
+    ap = APVerifier(dataset)
+    apkeep = APKeepVerifier(dataset)
+    loops = ap.find_loops()
+    blackholes = ap.find_blackholes(scope=ap.allocated_atoms())
+    out.write(
+        f"AP: {ap.num_atoms} atoms in {ap.predicate_seconds:.3f}s; "
+        f"loops={len(loops)} blackholes={len(blackholes)}\n"
+    )
+    out.write(
+        f"APKeep: {apkeep.num_atoms_minimal} atoms (minimal) in "
+        f"{apkeep.build_seconds:.3f}s over {len(apkeep.updates)} updates; "
+        f"agrees with AP: {apkeep.num_atoms_minimal == ap.num_atoms}\n"
+    )
+    for atom, cycle in [(r.atom, r.cycle) for r in loops][:5]:
+        out.write(f"  loop: atom {atom} via {' -> '.join(cycle)}\n")
+    for report in blackholes[:5]:
+        out.write(f"  blackhole: {report.device} atoms {sorted(report.atoms)}\n")
+    return 0
+
+
+def cmd_te(args, out) -> int:
+    from repro.netmodel.instances import make_te_instance
+    from repro.te import solve_max_flow, solve_max_flow_edge
+    from repro.te.arrow import ArrowSolver
+    from repro.te.ncflow import NCFlowSolver
+
+    instance = make_te_instance(
+        args.instance,
+        max_commodities=args.commodities,
+        total_demand_fraction=args.load,
+    )
+    if args.solver == "ncflow":
+        solution = NCFlowSolver().solve(instance.topology, instance.traffic)
+    elif args.solver == "pf4":
+        solution = solve_max_flow(instance.topology, instance.traffic)
+    elif args.solver == "edge":
+        solution = solve_max_flow_edge(instance.topology, instance.traffic)
+    else:
+        variant = args.solver.split("-", 1)[1]
+        solution = ArrowSolver(variant=variant).solve(
+            instance.topology, instance.traffic
+        )
+    out.write(
+        f"{args.instance} ({instance.topology.num_nodes} nodes, "
+        f"{instance.num_commodities} commodities, "
+        f"{instance.traffic.total_demand:.0f} Mbps demand)\n"
+    )
+    out.write(
+        f"{solution.solver}: {solution.objective:.1f} Mbps "
+        f"({solution.satisfied_fraction(instance.traffic.total_demand) * 100:.1f}% "
+        f"of demand) in {solution.solve_seconds:.2f}s "
+        f"[{solution.lp_count} LPs, status {solution.status}]\n"
+    )
+    return 0 if solution.ok else 1
+
+
+def cmd_motivating(args, out) -> int:
+    from repro.core.assembly import assemble_module
+    from repro.motivating import play_scripted_game, run_motivating_session
+
+    result = run_motivating_session()
+    out.write(
+        f"{result.num_prompts} prompts, {result.total_words} words, "
+        f"{result.total_loc} LoC (paper: 4 / 159 / 93)\n"
+    )
+    module = assemble_module(result.artifacts, "rps_cli")
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        outcome = play_scripted_game(module)
+    out.write(f"game verdicts: {outcome.results} (consistent: {outcome.consistent})\n")
+    return 0
+
+
+def cmd_transcript(args, out) -> int:
+    from repro.core import transcript as transcript_mod
+    from repro.core.knowledge import get_knowledge
+    from repro.core.simulated import SimulatedLLM
+    from repro.experiments import PARTICIPANTS, run_participant
+
+    profile = PARTICIPANTS[args.name]
+    llm = SimulatedLLM({profile.paper_key: get_knowledge(profile.paper_key)})
+    # Re-run the session through the shared LLM so we hold its session.
+    from repro.core.knowledge import (
+        get_component_tests,
+        get_logic_notes,
+        get_paper_spec,
+    )
+    from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+    from repro.core.validation import get_validator
+
+    pipeline = ReproductionPipeline(
+        llm,
+        get_paper_spec(profile.paper_key),
+        component_tests=get_component_tests(profile.paper_key),
+        logic_notes=get_logic_notes(profile.paper_key),
+        validator=get_validator(profile.paper_key),
+        participant=args.name,
+        config=PipelineConfig(style=profile.style),
+    )
+    pipeline.run()
+    if args.format == "markdown":
+        text = transcript_mod.to_markdown(pipeline.session)
+    elif args.format == "json":
+        text = transcript_mod.to_json(pipeline.session)
+    else:
+        text = transcript_mod.summarize(pipeline.session)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        out.write(f"wrote {args.out}\n")
+    else:
+        out.write(text + "\n")
+    return 0
+
+
+def cmd_analyze(args, out) -> int:
+    from repro.core.discrepancy import analyze
+    from repro.core.knowledge import get_knowledge, get_paper_spec
+    from repro.core.assembly import assemble_module
+    from repro.core.llm import CodeArtifact
+
+    knowledge = get_knowledge(args.system)
+    artifacts = [
+        CodeArtifact(c.name, "python", knowledge.components[c.name].final_source, 9)
+        for c in get_paper_spec(args.system).components
+    ]
+    module = assemble_module(artifacts, f"analyzed_{args.system}")
+    report = analyze(args.system, module)
+    out.write(report.render() + "\n")
+    return 0
+
+
+def cmd_paperdoc(args, out) -> int:
+    from repro.core.knowledge import get_paper_spec
+    from repro.core.paperdoc import lint_spec, render_paperdoc
+
+    spec = get_paper_spec(args.key)
+    if args.lint:
+        warnings = lint_spec(spec)
+        if not warnings:
+            out.write("no missing details flagged\n")
+        for warning in warnings:
+            out.write(f"warning: {warning}\n")
+        return 0
+    out.write(render_paperdoc(spec))
+    return 0
+
+
+def cmd_export(args, out) -> int:
+    from repro.reporting import export_all
+
+    files = export_all(args.out)
+    out.write(f"wrote {len(files)} files to {args.out}/:\n")
+    for name in files:
+        out.write(f"  {name}\n")
+    return 0
+
+
+def cmd_diff(args, out) -> int:
+    from repro.ap.diff import diff_snapshots
+    from repro.netmodel.datasets import (
+        build_verification_dataset,
+        inject_blackhole,
+        inject_loop,
+    )
+
+    before = build_verification_dataset(args.dataset)
+    if args.inject == "loop":
+        after, where = inject_loop(before, seed=3)
+    else:
+        after, where = inject_blackhole(before, seed=3)
+    after.name = f"{before.name}+{args.inject}"
+    report = diff_snapshots(before, after)
+    out.write(f"perturbation at {where}\n")
+    out.write(report.render() + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "experiment": cmd_experiment,
+    "campaign": cmd_campaign,
+    "participant": cmd_participant,
+    "study": cmd_study,
+    "verify": cmd_verify,
+    "te": cmd_te,
+    "motivating": cmd_motivating,
+    "transcript": cmd_transcript,
+    "analyze": cmd_analyze,
+    "paperdoc": cmd_paperdoc,
+    "export": cmd_export,
+    "diff": cmd_diff,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    return _COMMANDS[args.command](args, stream)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's contribution: an LLM-assisted reproduction framework.
+
+The framework implements the unified top-down prompt-engineering workflow
+of section 4, hardened with the lessons of section 3.3:
+
+1. describe the system's key components to the LLM;
+2. describe how components interact and fix the interfaces;
+3. per component, send a detailed modular prompt (pseudocode-based when
+   the paper gives pseudocode) to generate the code;
+4. test the component and drive the three debugging guidelines
+   (error-message feedback, failing-test-case feedback, step-by-step
+   logic feedback) until it passes;
+5. repeat for every component;
+6. assemble and test the complete system against a reference prototype.
+
+Because this environment has no LLM API access, the
+:class:`~repro.core.simulated.SimulatedLLM` stands in for ChatGPT: a
+deterministic model of an LLM code assistant whose behaviour (monolithic
+prompts fail, modular prompts succeed, seeded first-draft defects are
+fixed by matching feedback) is calibrated to the paper's experiment.  Any
+:class:`~repro.core.llm.LLMClient` implementation -- including a real API
+client -- can be plugged into the pipeline instead.
+"""
+
+from repro.core.paper import ComponentSpec, PaperSpec, PseudocodeBlock
+from repro.core.prompts import Prompt, PromptBuilder, PromptStyle
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient, LLMResponse
+from repro.core.simulated import SimulatedLLM
+from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+from repro.core.metrics import ReproductionReport, count_loc
+from repro.core.assembly import assemble_module
+from repro.core.discrepancy import DiscrepancyReport, analyze
+from repro.core.paperdoc import parse_paperdoc, render_paperdoc
+
+__all__ = [
+    "ChatSession",
+    "CodeArtifact",
+    "ComponentSpec",
+    "DiscrepancyReport",
+    "LLMClient",
+    "LLMResponse",
+    "PaperSpec",
+    "PipelineConfig",
+    "Prompt",
+    "PromptBuilder",
+    "PromptStyle",
+    "PseudocodeBlock",
+    "ReproductionPipeline",
+    "ReproductionReport",
+    "SimulatedLLM",
+    "analyze",
+    "assemble_module",
+    "count_loc",
+    "parse_paperdoc",
+    "render_paperdoc",
+]

@@ -1,0 +1,81 @@
+"""Assembling generated code artifacts into an importable module.
+
+Step 6 of the framework: once every component passes its tests, the
+artifacts are concatenated in dependency order and executed in a fresh
+module namespace.  Generated code may import the substrate libraries a
+student would have had available (the BDD engines standing in for
+JDD/JavaBDD, the LP backends standing in for Gurobi/PuLP, networkx,
+numpy) -- but never the reference implementations of the systems being
+reproduced; :data:`FORBIDDEN_IMPORTS` is enforced at assembly time.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Sequence
+
+from repro.core.llm import CodeArtifact
+
+#: Generated code importing the reference implementation of a reproduced
+#: system would be cheating, the same way a participant was not allowed
+#: to copy the open-source prototype.
+FORBIDDEN_IMPORTS = (
+    "repro.te.ncflow",
+    "repro.te.arrow",
+    "repro.ap",
+    "repro.apkeep",
+    "repro.experiments",
+)
+
+
+class AssemblyError(RuntimeError):
+    """Raised when artifacts cannot be combined into a working module."""
+
+
+def check_imports(source: str) -> None:
+    """Reject sources that import a reference system implementation."""
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not (stripped.startswith("import ") or stripped.startswith("from ")):
+            continue
+        for forbidden in FORBIDDEN_IMPORTS:
+            if forbidden in stripped:
+                raise AssemblyError(
+                    f"generated code imports the reference implementation: "
+                    f"{stripped!r}"
+                )
+
+
+def assemble_module(
+    artifacts: Sequence[CodeArtifact],
+    module_name: str = "reproduced",
+) -> types.ModuleType:
+    """Execute the artifacts, in order, inside one fresh module.
+
+    Raises :class:`AssemblyError` on forbidden imports or on any
+    exception raised while executing the code (with the failing
+    component named).
+    """
+    module = types.ModuleType(module_name)
+    module.__dict__["__name__"] = module_name
+    for artifact in artifacts:
+        check_imports(artifact.source)
+        try:
+            exec(compile(artifact.source, f"<{module_name}:{artifact.component}>", "exec"),
+                 module.__dict__)
+        except AssemblyError:
+            raise
+        except Exception as exc:
+            raise AssemblyError(
+                f"component {artifact.component!r} failed to execute: {exc!r}"
+            ) from exc
+    return module
+
+
+def run_component_in_module(
+    artifact: CodeArtifact,
+    dependencies: Sequence[CodeArtifact],
+    module_name: str = "component_under_test",
+) -> types.ModuleType:
+    """Execute one artifact plus its dependencies for component testing."""
+    return assemble_module(list(dependencies) + [artifact], module_name)

@@ -1,0 +1,56 @@
+"""The three debugging guidelines of section 3.3, as a feedback policy.
+
+Given a component-test failure, pick which guideline to apply:
+
+1. compiler / runtime errors -> send the error message verbatim
+   (``DEBUG_ERROR``); many such bugs are data-type errors;
+2. wrong output (an ``AssertionError`` from the participant's test) ->
+   send the failing test case (``DEBUG_TESTCASE``);
+3. if the test-case feedback did not fix it, the bug is complex -> spell
+   out the correct logic step by step (``DEBUG_LOGIC``).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.prompts import Prompt, PromptBuilder
+
+
+@dataclass
+class DebugPolicy:
+    """Chooses and builds the next debugging prompt for a component."""
+
+    builder: PromptBuilder
+    logic_notes: Dict[str, str] = field(default_factory=dict)
+    #: per-component count of test-case feedback already sent
+    _testcase_rounds: Dict[str, int] = field(default_factory=dict)
+
+    def next_prompt(self, component: str, failure: BaseException) -> Prompt:
+        """The guideline-appropriate prompt for this failure."""
+        if not isinstance(failure, AssertionError):
+            message = f"{type(failure).__name__}: {failure}"
+            return self.builder.debug_error(component, message)
+        if self._testcase_rounds.get(component, 0) < 1:
+            self._testcase_rounds[component] = (
+                self._testcase_rounds.get(component, 0) + 1
+            )
+            return self.builder.debug_testcase(component, str(failure))
+        note = self.logic_notes.get(
+            component,
+            "re-derive the algorithm from the paper and follow it exactly.",
+        )
+        return self.builder.debug_logic(component, note)
+
+    def reset(self, component: str) -> None:
+        self._testcase_rounds.pop(component, None)
+
+
+def describe_failure(failure: BaseException) -> str:
+    """Short single-line failure description for reports."""
+    text = "".join(
+        traceback.format_exception_only(type(failure), failure)
+    ).strip()
+    return text.splitlines()[-1] if text else repr(failure)

@@ -1,0 +1,68 @@
+"""Per-paper knowledge bases for the simulated LLM.
+
+Each module defines, for one paper:
+
+* ``PAPER`` -- the :class:`~repro.core.paper.PaperSpec` a participant
+  distils from the publication;
+* ``KNOWLEDGE`` -- the :class:`~repro.core.simulated.PaperKnowledge`
+  holding the code the simulated LLM generates (final sources plus the
+  seeded first-draft defects);
+* ``COMPONENT_TESTS`` -- the small-scale tests the participant writes
+  per component (callables taking the assembled module, raising on
+  failure);
+* ``LOGIC_NOTES`` -- the step-by-step correct-logic text used by the
+  third debugging guideline.
+
+The generated sources may import the substrate libraries a student had
+(BDD engines, LP backends, networkx, the dataset loaders) but never the
+reference implementations of the systems being reproduced -- the
+assembler enforces that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.paper import PaperSpec
+from repro.core.simulated import PaperKnowledge
+
+_REGISTRY: Dict[str, str] = {
+    "ap": "repro.core.knowledge.ap_kb",
+    "apkeep": "repro.core.knowledge.apkeep_kb",
+    "ncflow": "repro.core.knowledge.ncflow_kb",
+    "arrow": "repro.core.knowledge.arrow_kb",
+    "rps": "repro.core.knowledge.rps_kb",
+}
+
+
+def _load(key: str):
+    import importlib
+
+    if key not in _REGISTRY:
+        raise KeyError(f"no knowledge base for {key!r}; known: {sorted(_REGISTRY)}")
+    return importlib.import_module(_REGISTRY[key])
+
+
+def paper_keys():
+    """All paper keys with a knowledge base."""
+    return sorted(_REGISTRY)
+
+
+def get_paper_spec(key: str) -> PaperSpec:
+    return _load(key).PAPER
+
+
+def get_knowledge(key: str) -> PaperKnowledge:
+    return _load(key).KNOWLEDGE
+
+
+def get_component_tests(key: str) -> Dict[str, Callable]:
+    return _load(key).COMPONENT_TESTS
+
+
+def get_logic_notes(key: str) -> Dict[str, str]:
+    return _load(key).LOGIC_NOTES
+
+
+def all_knowledge() -> Dict[str, PaperKnowledge]:
+    return {key: get_knowledge(key) for key in paper_keys()}

@@ -1,0 +1,681 @@
+"""Knowledge base: APKeep (participant C).
+
+The generated prototype mirrors participant C's session: it links against
+the JDD-profile BDD engine (same library family as the non-author
+open-source prototype, hence the comparable latency the paper reports)
+and implements Algorithm 1 (``IdentifyChangesInsert``) from the paper's
+pseudocode -- the very listing the HotNets paper reprints in Figure 6.
+
+Seeded defects: an off-by-one BDD variable index (runtime error), a
+missing hit-subtraction in Algorithm 1 (failing test case: rule hits must
+partition the header space), and a split that forgets to propagate the
+new atom to the other elements' port maps (complex logic bug).
+"""
+
+from __future__ import annotations
+
+from repro.core.paper import ComponentSpec, PaperSpec, PseudocodeBlock
+from repro.core.prompts import PromptKind
+from repro.core.simulated import ComponentKnowledge, Defect, PaperKnowledge
+
+ALGORITHM_1 = PseudocodeBlock(
+    name="Algorithm 1: IdentifyChangesInsert(r, R)",
+    text=(
+        "Input: r: the newly inserted rule; R: existing rules\n"
+        "Output: C: the set of changes due to the insertion of r\n"
+        "r.hit <- r.match\n"
+        "foreach r' in R do\n"
+        "    if r'.prio > r.prio and r'.hit AND r.hit != empty then\n"
+        "        r.hit <- r.hit AND NOT r'.hit\n"
+        "    if r'.prio < r.prio and r'.hit AND r.hit != empty then\n"
+        "        if r'.port != r.port then\n"
+        "            C <- C + {(r.hit AND r'.hit, r'.port, r.port)}\n"
+        "        r'.hit <- r'.hit AND NOT r.hit\n"
+        "Insert r into R\n"
+        "return C\n"
+    ),
+)
+
+PAPER = PaperSpec(
+    key="apkeep",
+    title="APKeep: Realtime Verification for Real Networks",
+    venue="NSDI",
+    year=2020,
+    system_summary=(
+        "An incremental data plane verifier: maintain a network-wide "
+        "port-predicate map of atomic predicates and absorb each rule "
+        "update by computing its behaviour changes and transferring atoms "
+        "between ports."
+    ),
+    components=(
+        ComponentSpec(
+            name="bdd_setup",
+            description=(
+                "Wrap the JDD BDD library so destination prefixes become "
+                "packet-set BDDs over the header bits."
+            ),
+            interfaces=(
+                "make_engine() -> engine",
+                "prefix_bdd(engine, prefix) -> bdd",
+            ),
+        ),
+        ComponentSpec(
+            name="element_update",
+            description=(
+                "Model a forwarding element with per-rule hit BDDs and "
+                "implement rule insertion: identify the behaviour changes "
+                "caused by the new rule while keeping every rule's hit "
+                "equal to its match minus higher-priority hits."
+            ),
+            pseudocode=ALGORITHM_1,
+            interfaces=(
+                "new_element(name, default_port) -> element",
+                "insert_rule(engine, element, rule) -> [(bdd, from, to)]",
+            ),
+            depends_on=("bdd_setup",),
+        ),
+        ComponentSpec(
+            name="ppm_update",
+            description=(
+                "Maintain the port-predicate map: a global set of atoms and "
+                "per-element port membership. Apply a change by moving the "
+                "overlapping atoms between the two ports, splitting atoms "
+                "that only partially overlap -- and registering every new "
+                "atom with every element."
+            ),
+            interfaces=(
+                "new_ppm(engine) -> ppm",
+                "register_element(ppm, name, default_port)",
+                "apply_changes(ppm, element_name, changes)",
+            ),
+            depends_on=("bdd_setup", "element_update"),
+        ),
+        ComponentSpec(
+            name="property_check",
+            description=(
+                "Build the verifier over a dataset by replaying every FIB "
+                "rule and ACL entry as an incremental insertion, then check "
+                "properties: count the (merged) atomic predicates, find "
+                "forwarding loops and blackholes."
+            ),
+            interfaces=(
+                "build_network(dataset) -> state",
+                "count_atoms(state) -> int",
+                "find_loops(state) -> list",
+                "find_blackholes(state) -> list",
+            ),
+            depends_on=("bdd_setup", "element_update", "ppm_update"),
+        ),
+    ),
+    data_format_notes=(
+        "Datasets are VerificationDataset objects: a topology plus per-device "
+        "FIBs of (prefix, port, priority) rules and optional first-match ACLs."
+    ),
+)
+
+
+_BDD_SETUP_SOURCE = '''\
+"""BDD setup: the reproduction links against the JDD library."""
+
+from repro.bdd.engine import JDDEngine, BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import HEADER_BITS
+
+
+def make_engine():
+    return JDDEngine(HEADER_BITS)
+
+
+def prefix_bdd(engine, prefix):
+    literals = []
+    for bit in range(prefix.length):
+        shift = HEADER_BITS - 1 - bit
+        literals.append((bit, bool((prefix.value >> shift) & 1)))
+    node = engine.cube(literals)
+    engine.ref(node)
+    return node
+'''
+
+
+_ELEMENT_UPDATE_SOURCE = '''\
+"""Forwarding elements with per-rule hit BDDs (Algorithm 1)."""
+
+
+def new_element(name, default_port):
+    return {
+        "name": name,
+        "default_port": default_port,
+        "default_hit": BDD_TRUE,
+        "rules": [],
+        "seq": 0,
+    }
+
+
+def insert_rule(engine, element, rule):
+    match = prefix_bdd(engine, rule.prefix)
+    hit = match
+    changes = []
+    for existing in element["rules"]:
+        wins = (
+            existing["priority"] > rule.priority
+            or existing["priority"] == rule.priority
+        )
+        if wins:
+            inter = engine.and_(hit, existing["hit"])
+            if inter != BDD_FALSE:
+                hit = engine.diff(hit, existing["hit"])
+                if hit == BDD_FALSE:
+                    break
+        else:
+            inter = engine.and_(hit, existing["hit"])
+            if inter != BDD_FALSE:
+                if existing["port"] != rule.port:
+                    changes.append((inter, existing["port"], rule.port))
+                existing["hit"] = engine.diff(existing["hit"], hit)
+    if hit != BDD_FALSE:
+        inter = engine.and_(hit, element["default_hit"])
+        if inter != BDD_FALSE:
+            if element["default_port"] != rule.port:
+                changes.append((inter, element["default_port"], rule.port))
+            element["default_hit"] = engine.diff(element["default_hit"], hit)
+    element["rules"].append(
+        {
+            "prefix": rule.prefix,
+            "port": rule.port,
+            "priority": rule.priority,
+            "match": match,
+            "hit": hit,
+            "seq": element["seq"],
+        }
+    )
+    element["seq"] += 1
+    return changes
+
+
+def element_partition_ok(engine, element):
+    union = element["default_hit"]
+    for entry in element["rules"]:
+        if engine.and_(union, entry["hit"]) != BDD_FALSE:
+            return False
+        union = engine.or_(union, entry["hit"])
+    return union == BDD_TRUE
+
+
+def remove_rule(engine, element, rule):
+    target = None
+    for entry in element["rules"]:
+        if (
+            entry["prefix"] == rule.prefix
+            and entry["port"] == rule.port
+            and entry["priority"] == rule.priority
+        ):
+            target = entry
+            break
+    if target is None:
+        raise KeyError("rule not installed on element " + element["name"])
+    element["rules"].remove(target)
+    changes = []
+    remaining = target["hit"]
+    if remaining == BDD_FALSE:
+        return changes
+    ordered = sorted(
+        element["rules"], key=lambda e: (-e["priority"], e["seq"])
+    )
+    for entry in ordered:
+        inter = engine.and_(remaining, entry["match"])
+        if inter == BDD_FALSE:
+            continue
+        entry["hit"] = engine.or_(entry["hit"], inter)
+        if entry["port"] != target["port"]:
+            changes.append((inter, target["port"], entry["port"]))
+        remaining = engine.diff(remaining, entry["match"])
+        if remaining == BDD_FALSE:
+            break
+    if remaining != BDD_FALSE:
+        element["default_hit"] = engine.or_(element["default_hit"], remaining)
+        if element["default_port"] != target["port"]:
+            changes.append((remaining, target["port"], element["default_port"]))
+    return changes
+'''
+
+
+_PPM_UPDATE_SOURCE = '''\
+"""The port-predicate map: global atoms plus per-element port sets."""
+
+
+def new_ppm(engine):
+    return {
+        "engine": engine,
+        "atoms": {0: BDD_TRUE},
+        "next_id": 1,
+        "ports": {},
+        "locations": {0: {}},
+    }
+
+
+def register_element(ppm, name, default_port):
+    ppm["ports"][name] = {default_port: set(ppm["atoms"])}
+    for atom_id in ppm["atoms"]:
+        ppm["locations"][atom_id][name] = default_port
+
+
+def _ensure_port(ppm, element_name, port):
+    ppm["ports"][element_name].setdefault(port, set())
+
+
+def _move(ppm, atom_id, element_name, from_port, to_port):
+    ppm["ports"][element_name][from_port].discard(atom_id)
+    ppm["ports"][element_name][to_port].add(atom_id)
+    ppm["locations"][atom_id][element_name] = to_port
+
+
+def _split(ppm, atom_id, inside_bdd):
+    engine = ppm["engine"]
+    outside = engine.diff(ppm["atoms"][atom_id], inside_bdd)
+    new_id = ppm["next_id"]
+    ppm["next_id"] += 1
+    ppm["atoms"][atom_id] = outside
+    ppm["atoms"][new_id] = inside_bdd
+    ppm["locations"][new_id] = dict(ppm["locations"][atom_id])
+    for element_name, port in ppm["locations"][new_id].items():
+        ppm["ports"][element_name][port].add(new_id)
+    return new_id
+
+
+def apply_changes(ppm, element_name, changes):
+    engine = ppm["engine"]
+    for bdd, from_port, to_port in changes:
+        _ensure_port(ppm, element_name, from_port)
+        _ensure_port(ppm, element_name, to_port)
+        moving = []
+        splitting = []
+        for atom_id in ppm["ports"][element_name][from_port]:
+            atom_bdd = ppm["atoms"][atom_id]
+            inter = engine.and_(atom_bdd, bdd)
+            if inter == BDD_FALSE:
+                continue
+            if inter == atom_bdd:
+                moving.append(atom_id)
+            else:
+                splitting.append((atom_id, inter))
+        for atom_id in moving:
+            _move(ppm, atom_id, element_name, from_port, to_port)
+        for atom_id, inter in splitting:
+            new_id = _split(ppm, atom_id, inter)
+            _move(ppm, new_id, element_name, from_port, to_port)
+
+
+def ppm_partition_ok(ppm, element_name):
+    seen = set()
+    for atoms in ppm["ports"][element_name].values():
+        if atoms & seen:
+            return False
+        seen |= atoms
+    return seen == set(ppm["atoms"])
+'''
+
+
+_PROPERTY_CHECK_SOURCE = '''\
+"""Build the network incrementally and check properties."""
+
+
+def build_network(dataset):
+    engine = make_engine()
+    ppm = new_ppm(engine)
+    elements = {}
+    acl_elements = {}
+    for name in sorted(dataset.devices):
+        element = new_element(name, "drop")
+        elements[name] = element
+        register_element(ppm, name, "drop")
+        if dataset.devices[name].has_acl:
+            acl = new_element("acl:" + name, "permit")
+            acl_elements[name] = acl
+            register_element(ppm, "acl:" + name, "permit")
+    for name in sorted(dataset.devices):
+        device = dataset.devices[name]
+        for rule in device.rules:
+            changes = insert_rule(engine, elements[name], rule)
+            apply_changes(ppm, name, changes)
+        for acl_rule in device.acl:
+            port = "permit" if acl_rule.action.value == "permit" else "deny"
+            pseudo = _AclRuleView(acl_rule.prefix, port, acl_rule.priority)
+            changes = insert_rule(engine, acl_elements[name], pseudo)
+            apply_changes(ppm, "acl:" + name, changes)
+    return {
+        "engine": engine,
+        "dataset": dataset,
+        "ppm": ppm,
+        "elements": elements,
+        "acl_elements": acl_elements,
+    }
+
+
+class _AclRuleView:
+    def __init__(self, prefix, port, priority):
+        self.prefix = prefix
+        self.port = port
+        self.priority = priority
+
+
+def count_atoms(state):
+    ppm = state["ppm"]
+    profiles = set()
+    for atom_id in ppm["atoms"]:
+        profiles.add(tuple(sorted(ppm["locations"][atom_id].items())))
+    return len(profiles)
+
+
+def _acl_atoms(state):
+    ppm = state["ppm"]
+    all_atoms = frozenset(ppm["atoms"])
+    admitted = {}
+    for name in state["elements"]:
+        if name in state["acl_elements"]:
+            admitted[name] = frozenset(ppm["ports"]["acl:" + name]["permit"])
+        else:
+            admitted[name] = all_atoms
+    return admitted
+
+
+def find_loops(state):
+    ppm = state["ppm"]
+    dataset = state["dataset"]
+    admitted = _acl_atoms(state)
+    next_port = {}
+    for name in state["elements"]:
+        table = {}
+        for port, atoms in ppm["ports"][name].items():
+            for atom_id in atoms:
+                table[atom_id] = port
+        next_port[name] = table
+    loops = []
+    for atom_id in sorted(ppm["atoms"]):
+        state_of = {}
+        for start in dataset.topology.nodes:
+            if atom_id not in admitted[start] or state_of.get(start):
+                continue
+            path = []
+            device = start
+            while True:
+                mark = state_of.get(device)
+                if mark == 2:
+                    break
+                if mark == 1:
+                    cycle = tuple(path[path.index(device):])
+                    loops.append((atom_id, cycle))
+                    break
+                state_of[device] = 1
+                path.append(device)
+                port = next_port[device].get(atom_id, "drop")
+                if port in ("drop", "self"):
+                    break
+                if atom_id not in admitted.get(port, frozenset()):
+                    break
+                device = port
+            for visited in path:
+                state_of[visited] = 2
+    return loops
+
+
+def find_blackholes(state):
+    ppm = state["ppm"]
+    admitted = _acl_atoms(state)
+    reports = []
+    for name in sorted(state["elements"]):
+        dropped = set(ppm["ports"][name].get("drop", set())) & set(admitted[name])
+        if dropped:
+            reports.append((name, frozenset(dropped)))
+    return reports
+
+
+def update_rule(state, device, rule, operation):
+    ppm = state["ppm"]
+    element = state["elements"][device]
+    if operation == "insert":
+        changes = insert_rule(ppm["engine"], element, rule)
+    elif operation == "remove":
+        changes = remove_rule(ppm["engine"], element, rule)
+    else:
+        raise ValueError("operation must be insert or remove")
+    apply_changes(ppm, device, changes)
+    return changes
+
+
+def merge_equivalent_atoms(state):
+    ppm = state["ppm"]
+    engine = ppm["engine"]
+    by_profile = {}
+    for atom_id in sorted(ppm["atoms"]):
+        profile = tuple(sorted(ppm["locations"][atom_id].items()))
+        by_profile.setdefault(profile, []).append(atom_id)
+    merged = 0
+    for group in by_profile.values():
+        if len(group) < 2:
+            continue
+        keeper = group[0]
+        union = ppm["atoms"][keeper]
+        for atom_id in group[1:]:
+            union = engine.or_(union, ppm["atoms"][atom_id])
+            for element_name, port in ppm["locations"][atom_id].items():
+                ppm["ports"][element_name][port].discard(atom_id)
+            del ppm["atoms"][atom_id]
+            del ppm["locations"][atom_id]
+            merged += 1
+        ppm["atoms"][keeper] = union
+    return merged
+
+
+def reachable(state, src, dst):
+    ppm = state["ppm"]
+    dataset = state["dataset"]
+    admitted = _acl_atoms(state)
+    labels = {}
+    for name in state["elements"]:
+        for port, atoms in ppm["ports"][name].items():
+            labels[(name, port)] = frozenset(atoms)
+    if src == dst:
+        return frozenset(admitted[src])
+    seen = {}
+    arrived = set()
+    queue = [(src, set(admitted[src]))]
+    while queue:
+        device, atoms = queue.pop(0)
+        fresh = atoms - seen.setdefault(device, set())
+        if not fresh:
+            continue
+        seen[device].update(fresh)
+        if device == dst:
+            arrived.update(fresh)
+            continue
+        for neighbor in dataset.topology.successors(device):
+            label = labels.get((device, neighbor), frozenset())
+            moving = fresh & label & admitted.get(neighbor, frozenset())
+            if moving:
+                queue.append((neighbor, moving))
+    return frozenset(arrived)
+'''
+
+
+KNOWLEDGE = PaperKnowledge(
+    paper_key="apkeep",
+    components={
+        "bdd_setup": ComponentKnowledge(
+            component="bdd_setup",
+            final_source=_BDD_SETUP_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_ERROR,
+                    description=(
+                        "the prefix loop iterated one bit too far; on a "
+                        "full-length prefix the shift went negative."
+                    ),
+                    broken="for bit in range(prefix.length + 1):",
+                    fixed="for bit in range(prefix.length):",
+                    error_hint="negative shift count",
+                ),
+            ),
+        ),
+        "element_update": ComponentKnowledge(
+            component="element_update",
+            final_source=_ELEMENT_UPDATE_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_TESTCASE,
+                    description=(
+                        "the lower-priority branch never subtracted the new "
+                        "rule's hit from the shadowed rule, so two rules "
+                        "claimed the same packets."
+                    ),
+                    broken=(
+                        "                if existing[\"port\"] != rule.port:\n"
+                        "                    changes.append((inter, existing[\"port\"], rule.port))\n"
+                        "                existing[\"hit\"] = existing[\"hit\"]"
+                    ),
+                    fixed=(
+                        "                if existing[\"port\"] != rule.port:\n"
+                        "                    changes.append((inter, existing[\"port\"], rule.port))\n"
+                        "                existing[\"hit\"] = engine.diff(existing[\"hit\"], hit)"
+                    ),
+                    error_hint="hits must partition",
+                ),
+            ),
+            text_style_defect=Defect(
+                kind=PromptKind.DEBUG_ERROR,
+                description=(
+                    "without the pseudocode the reply modelled rules as "
+                    "tuples and indexed them positionally."
+                ),
+                broken="    for existing in element[\"rules\"][0:]:\n        wins = (\n            existing.priority > rule.priority",
+                fixed="    for existing in element[\"rules\"]:\n        wins = (\n            existing[\"priority\"] > rule.priority",
+                error_hint="'dict' object has no attribute",
+            ),
+        ),
+        "ppm_update": ComponentKnowledge(
+            component="ppm_update",
+            final_source=_PPM_UPDATE_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_LOGIC,
+                    description=(
+                        "a split atom was only registered with the element "
+                        "being updated; every other element's port map must "
+                        "also learn the new atom."
+                    ),
+                    broken=(
+                        "    ppm[\"locations\"][new_id] = dict(ppm[\"locations\"][atom_id])\n"
+                        "    for element_name, port in list(ppm[\"locations\"][new_id].items())[:0]:\n"
+                        "        ppm[\"ports\"][element_name][port].add(new_id)"
+                    ),
+                    fixed=(
+                        "    ppm[\"locations\"][new_id] = dict(ppm[\"locations\"][atom_id])\n"
+                        "    for element_name, port in ppm[\"locations\"][new_id].items():\n"
+                        "        ppm[\"ports\"][element_name][port].add(new_id)"
+                    ),
+                    error_hint="PPM ports must partition",
+                ),
+            ),
+        ),
+        "property_check": ComponentKnowledge(
+            component="property_check",
+            final_source=_PROPERTY_CHECK_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_ERROR,
+                    description=(
+                        "the replay loop called device.rules as a method; "
+                        "it is a property."
+                    ),
+                    broken="        for rule in device.rules():",
+                    fixed="        for rule in device.rules:",
+                    error_hint="not callable",
+                ),
+            ),
+        ),
+    },
+    overview_reply=(
+        "APKeep maintains a port-predicate map and absorbs each rule update "
+        "incrementally via its change set. Ready to implement component by "
+        "component."
+    ),
+)
+
+
+def _test_bdd_setup(module):
+    from repro.netmodel.headerspace import HEADER_BITS, Prefix
+
+    engine = module.make_engine()
+    node = module.prefix_bdd(engine, Prefix.host(3))
+    assert engine.satcount(node) == 1
+    node = module.prefix_bdd(engine, Prefix(0, 2))
+    assert engine.satcount(node) == 1 << (HEADER_BITS - 2)
+
+
+def _test_element_update(module):
+    from repro.netmodel.headerspace import Prefix
+    from repro.netmodel.rules import ForwardingRule
+
+    engine = module.make_engine()
+    element = module.new_element("r1", "drop")
+    module.insert_rule(engine, element, ForwardingRule.lpm(Prefix(0, 1), "a"))
+    module.insert_rule(engine, element, ForwardingRule.lpm(Prefix(0, 2), "b"))
+    module.insert_rule(engine, element, ForwardingRule.lpm(Prefix(0, 3), "a"))
+    assert module.element_partition_ok(engine, element), (
+        "rule hits must partition the header space"
+    )
+
+
+def _test_ppm_update(module):
+    from repro.netmodel.headerspace import Prefix
+    from repro.netmodel.rules import ForwardingRule
+
+    engine = module.make_engine()
+    ppm = module.new_ppm(engine)
+    module.register_element(ppm, "r1", "drop")
+    module.register_element(ppm, "r2", "drop")
+    e1 = module.new_element("r1", "drop")
+    e2 = module.new_element("r2", "drop")
+    changes = module.insert_rule(engine, e1, ForwardingRule.lpm(Prefix(0, 1), "a"))
+    module.apply_changes(ppm, "r1", changes)
+    changes = module.insert_rule(engine, e2, ForwardingRule.lpm(Prefix(0, 2), "b"))
+    module.apply_changes(ppm, "r2", changes)
+    assert module.ppm_partition_ok(ppm, "r1"), (
+        "PPM ports must partition the atom space on every element"
+    )
+    assert module.ppm_partition_ok(ppm, "r2"), (
+        "PPM ports must partition the atom space on every element"
+    )
+
+
+def _test_property_check(module):
+    from repro.apkeep import APKeepVerifier
+    from repro.netmodel.datasets import build_verification_dataset, inject_loop
+
+    dataset = build_verification_dataset("Internet2")
+    state = module.build_network(dataset)
+    reference = APKeepVerifier(dataset)
+    assert module.count_atoms(state) == reference.num_atoms_minimal, (
+        "atom count differs from the open-source prototype"
+    )
+    assert not module.find_loops(state), "clean dataset must be loop-free"
+    looped, _ = inject_loop(dataset, seed=3)
+    state2 = module.build_network(looped)
+    assert module.find_loops(state2), "injected loop must be detected"
+
+
+COMPONENT_TESTS = {
+    "bdd_setup": _test_bdd_setup,
+    "element_update": _test_element_update,
+    "ppm_update": _test_ppm_update,
+    "property_check": _test_property_check,
+}
+
+LOGIC_NOTES = {
+    "ppm_update": (
+        "(1) when an atom only partially overlaps a change, split it into "
+        "inside and outside parts; (2) the outside part keeps the old atom "
+        "id, the inside part gets a fresh id; (3) the fresh id must be "
+        "added to the SAME port as the old atom on EVERY element (copy the "
+        "old atom's locations), only then (4) move the fresh id between "
+        "the two ports of the element being updated."
+    ),
+}

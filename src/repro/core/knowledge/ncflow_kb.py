@@ -1,0 +1,679 @@
+"""Knowledge base: NCFlow (participant A).
+
+The generated prototype mirrors participant A's session: the same
+contract-and-decompose algorithm as the open-source prototype, but the
+LPs go through the *PuLP-style* slow backend (serialise to LP text, round
+trip, dual simplex) -- the paper blames exactly this toolchain choice for
+the up-to-111x end-to-end latency gap -- and the partition comes from
+label propagation rather than the prototype's tuned partitioner, which is
+where the small objective differences (max 3.51% in the paper) come from.
+
+Seeded defects: a demand dict passed where a float bound belongs (runtime
+type error), communities returned unmerged (failing test case), and a
+``max`` where the segment-combination ``min`` belongs (complex logic bug
+that silently *overestimates* the objective -- caught by comparing
+against the optimal baseline, which is how A validated).
+"""
+
+from __future__ import annotations
+
+from repro.core.paper import ComponentSpec, PaperSpec, PseudocodeBlock
+from repro.core.prompts import PromptKind
+from repro.core.simulated import ComponentKnowledge, Defect, PaperKnowledge
+
+PAPER = PaperSpec(
+    key="ncflow",
+    title="Contracting Wide-area Network Topologies to Solve Flow Problems Quickly",
+    venue="NSDI",
+    year=2021,
+    system_summary=(
+        "A TE solver that partitions the WAN into clusters, solves a max "
+        "flow on the contracted graph and small per-cluster flow problems, "
+        "and combines them into an always-feasible end-to-end allocation."
+    ),
+    components=(
+        ComponentSpec(
+            name="lp_utils",
+            description=(
+                "A path-formulation max-flow LP helper on top of the PuLP "
+                "toolchain: given link capacities, per-commodity candidate "
+                "paths and demands, maximise total routed flow."
+            ),
+            interfaces=(
+                "solve_path_lp(link_capacity, commodity_paths, demands)"
+                " -> (objective, {key: [flow per path]})",
+            ),
+        ),
+        ComponentSpec(
+            name="partition",
+            description=(
+                "Partition the nodes into about sqrt(n) connected clusters "
+                "using label-propagation communities, splitting disconnected "
+                "communities and merging adjacent small ones."
+            ),
+            interfaces=("partition_nodes(topology, k=None) -> {node: cid}",),
+        ),
+        ComponentSpec(
+            name="contraction",
+            description=(
+                "Contract the WAN: aggregate inter-cluster link capacity per "
+                "ordered cluster pair and remember the physical border links."
+            ),
+            interfaces=(
+                "contract(topology, cluster_of) -> (agg_capacity, border_links)",
+            ),
+            depends_on=("partition",),
+        ),
+        ComponentSpec(
+            name="decomposition",
+            description=(
+                "The full solver: bundle demands per cluster pair, solve the "
+                "contracted max flow (R1), allocate bundle flow onto border "
+                "links in proportion to capacity, route each cluster's "
+                "transit segments and intra-cluster demands in a per-cluster "
+                "LP (R2), and combine each bundle path at the minimum "
+                "fraction achieved along its clusters; repeat once on the "
+                "residual capacity."
+            ),
+            pseudocode=PseudocodeBlock(
+                name="NCFlow decomposition",
+                text=(
+                    "partition nodes into clusters\n"
+                    "for iteration in 1..2:\n"
+                    "    contract the (residual) WAN\n"
+                    "    R1: max flow over the contracted graph\n"
+                    "    allocate contracted-edge flow to border links "
+                    "proportionally to capacity\n"
+                    "    R2: per cluster, route transit segments (a single "
+                    "scale variable each) and intra demands\n"
+                    "    realized(bundle path) = R1 flow * MIN cluster "
+                    "fraction\n"
+                    "    subtract used capacity and satisfied demand\n"
+                    "return total realized flow\n"
+                ),
+            ),
+            interfaces=(
+                "solve_ncflow(topology, traffic) -> objective",
+            ),
+            depends_on=("lp_utils", "partition", "contraction"),
+        ),
+    ),
+    data_format_notes=(
+        "TE instances are a Topology (directed capacitated links) plus a "
+        "TrafficMatrix mapping (src, dst) node pairs to Mbps demands."
+    ),
+)
+
+
+_LP_UTILS_SOURCE = '''\
+"""Path-formulation max-flow LP on the PuLP-style toolchain."""
+
+from repro.lp.backends import SlowLPBackend
+from repro.lp.model import LinExpr, Model
+
+
+def solve_path_lp(link_capacity, commodity_paths, demands):
+    model = Model("maxflow")
+    usage = {}
+    path_vars = {}
+    for key in sorted(commodity_paths):
+        commodity_vars = []
+        for path in commodity_paths[key]:
+            var = model.add_var(upper=demands[key])
+            commodity_vars.append(var)
+            for hop_a, hop_b in zip(path, path[1:]):
+                expr = usage.setdefault((hop_a, hop_b), LinExpr())
+                expr += var
+        path_vars[key] = commodity_vars
+        model.add_constraint(LinExpr.sum_of(commodity_vars) <= demands[key])
+    for edge in sorted(usage):
+        model.add_constraint(usage[edge] <= link_capacity[edge])
+    model.maximize(
+        LinExpr.sum_of(v for vs in path_vars.values() for v in vs)
+    )
+    result = model.solve(backend=SlowLPBackend())
+    if not result.ok:
+        return 0.0, {key: [0.0] * len(vs) for key, vs in path_vars.items()}
+    flows = {
+        key: [result.value_of(v) for v in vs]
+        for key, vs in path_vars.items()
+    }
+    return result.objective, flows
+'''
+
+
+_PARTITION_SOURCE = '''\
+"""Label-propagation partitioning into connected clusters."""
+
+import math
+
+import networkx
+
+
+def partition_nodes(topology, k=None):
+    undirected = topology.to_networkx().to_undirected()
+    target = k or max(2, int(round(math.sqrt(topology.num_nodes))))
+    communities = list(
+        networkx.algorithms.community.asyn_lpa_communities(undirected, seed=7)
+    )
+    groups = []
+    for community in communities:
+        sub = undirected.subgraph(community)
+        for component in networkx.connected_components(sub):
+            groups.append(set(component))
+    groups = merge_adjacent(groups, undirected, target)
+    return groups_to_clusters(groups)
+
+
+def modularity_partition_nodes(topology, k=None):
+    undirected = topology.to_networkx().to_undirected()
+    target = k or max(2, int(round(math.sqrt(topology.num_nodes))))
+    communities = list(
+        networkx.algorithms.community.greedy_modularity_communities(
+            undirected, cutoff=min(target, topology.num_nodes)
+        )
+    )
+    groups = []
+    for community in communities:
+        sub = undirected.subgraph(community)
+        for component in networkx.connected_components(sub):
+            groups.append(set(component))
+    groups = merge_adjacent(groups, undirected, target)
+    return groups_to_clusters(groups)
+
+
+def partition_candidates(topology, k=None):
+    return [
+        modularity_partition_nodes(topology, k),
+        partition_nodes(topology, k),
+    ]
+
+
+def groups_to_clusters(groups):
+    cluster_of = {}
+    for cid, group in enumerate(sorted(groups, key=lambda g: sorted(g)[0])):
+        for node in group:
+            cluster_of[node] = cid
+    return cluster_of
+
+
+def merge_adjacent(groups, undirected, target):
+    while len(groups) > target:
+        groups.sort(key=lambda g: (len(g), sorted(g)[0]))
+        smallest = groups.pop(0)
+        best_index, best_weight = 0, -1
+        for index, other in enumerate(groups):
+            weight = sum(
+                1 for u in smallest for v in undirected.neighbors(u) if v in other
+            )
+            if weight > best_weight:
+                best_index, best_weight = index, weight
+        groups[best_index] = groups[best_index] | smallest
+    return groups
+'''
+
+
+_CONTRACTION_SOURCE = '''\
+"""Topology contraction: aggregated capacities plus border links."""
+
+
+def contract(topology, cluster_of):
+    agg_capacity = {}
+    border_links = {}
+    for link in topology.links():
+        cluster_a = cluster_of[link.src]
+        cluster_b = cluster_of[link.dst]
+        if cluster_a == cluster_b:
+            continue
+        key = (cluster_a, cluster_b)
+        agg_capacity[key] = agg_capacity.get(key, 0.0) + link.capacity
+        border_links.setdefault(key, []).append(
+            (link.src, link.dst, link.capacity)
+        )
+    return agg_capacity, border_links
+'''
+
+_CONTRACTION_DEFECT = Defect(
+    kind=PromptKind.DEBUG_ERROR,
+    description=(
+        "the aggregate accumulator indexed a key that does not exist "
+        "yet on the first crossing link."
+    ),
+    broken="        agg_capacity[key] = agg_capacity[key] + link.capacity",
+    fixed="        agg_capacity[key] = agg_capacity.get(key, 0.0) + link.capacity",
+    error_hint="KeyError",
+)
+
+
+_DECOMPOSITION_SOURCE = '''\
+"""The contract-and-decompose solver."""
+
+import networkx
+
+from repro.lp.backends import SlowLPBackend
+from repro.lp.model import LinExpr, Model
+
+NUM_PATHS = 4
+NUM_ITERATIONS = 2
+EPS = 1e-6
+
+
+def cluster_paths(agg_capacity, src, dst, k):
+    graph = networkx.DiGraph()
+    for (cluster_a, cluster_b), capacity in agg_capacity.items():
+        graph.add_edge(cluster_a, cluster_b, capacity=capacity)
+    if src not in graph or dst not in graph:
+        return []
+    try:
+        generator = networkx.shortest_simple_paths(graph, src, dst)
+    except networkx.NetworkXNoPath:
+        return []
+    paths = []
+    try:
+        for path in generator:
+            paths.append(path)
+            if len(paths) >= k:
+                break
+    except networkx.NetworkXNoPath:
+        pass
+    return paths
+
+
+def solve_r1(agg_capacity, bundle_demand):
+    commodity_paths = {}
+    demands = {}
+    for bundle in sorted(bundle_demand):
+        paths = cluster_paths(agg_capacity, bundle[0], bundle[1], NUM_PATHS)
+        if paths:
+            commodity_paths[bundle] = paths
+            demands[bundle] = bundle_demand[bundle]
+    objective, flows = solve_path_lp(agg_capacity, commodity_paths, demands)
+    result = {}
+    for bundle, paths in commodity_paths.items():
+        for index, path in enumerate(paths):
+            flow = flows[bundle][index]
+            if flow > EPS:
+                result[(bundle, index)] = (path, flow)
+    return result
+
+
+def border_allocation(border_links, cluster_a, cluster_b, flow):
+    links = border_links[(cluster_a, cluster_b)]
+    cap_sum = sum(capacity for _, _, capacity in links)
+    exits, entries, usage = {}, {}, {}
+    if cap_sum <= 0.0:
+        return exits, entries, usage
+    for link_src, link_dst, capacity in links:
+        share = flow * capacity / cap_sum
+        exits[link_src] = exits.get(link_src, 0.0) + share
+        entries[link_dst] = entries.get(link_dst, 0.0) + share
+        usage[(link_src, link_dst)] = share
+    return exits, entries, usage
+
+
+def solve_r2(members, capacity, segments, intra):
+    model = Model("r2")
+    edges = sorted(
+        edge for edge in capacity
+        if edge[0] in members and edge[1] in members
+    )
+    usage = {edge: LinExpr() for edge in edges}
+    objective = LinExpr()
+    phi_vars = []
+    seg_flows = []
+    for supply, sink, flow in segments:
+        phi = model.add_var(upper=1.0)
+        phi_vars.append(phi)
+        flow_vars = {edge: model.add_var() for edge in edges}
+        seg_flows.append(flow_vars)
+        for edge, var in flow_vars.items():
+            usage[edge] += var
+        for node in sorted(members):
+            balance = LinExpr()
+            for edge in edges:
+                if edge[1] == node:
+                    balance += flow_vars[edge]
+                elif edge[0] == node:
+                    balance -= flow_vars[edge]
+            net = supply.get(node, 0.0) - sink.get(node, 0.0)
+            if net != 0.0:
+                balance += net * phi
+            model.add_constraint(balance.equals(0.0))
+        objective += flow * phi
+    intra_vars = []
+    intra_flows = []
+    for (src, dst), demand in intra:
+        delivered = model.add_var(upper=demand)
+        intra_vars.append(delivered)
+        flow_vars = {edge: model.add_var() for edge in edges}
+        intra_flows.append(flow_vars)
+        for edge, var in flow_vars.items():
+            usage[edge] += var
+        for node in sorted(members):
+            balance = LinExpr()
+            for edge in edges:
+                if edge[1] == node:
+                    balance += flow_vars[edge]
+                elif edge[0] == node:
+                    balance -= flow_vars[edge]
+            if node == src:
+                balance += delivered
+            elif node == dst:
+                balance -= delivered
+            model.add_constraint(balance.equals(0.0))
+        objective += delivered
+    for edge in edges:
+        if usage[edge].coefs:
+            model.add_constraint(usage[edge] <= capacity[edge])
+    model.maximize(objective)
+    result = model.solve(backend=SlowLPBackend())
+    if not result.ok:
+        return [0.0] * len(phi_vars), [0.0] * len(intra_vars), {}
+    fractions = [result.value_of(phi) for phi in phi_vars]
+    delivered = [result.value_of(var) for var in intra_vars]
+    edge_usage = {}
+    for flow_vars in seg_flows + intra_flows:
+        for edge, var in flow_vars.items():
+            value = result.value_of(var)
+            if value > EPS:
+                edge_usage[edge] = edge_usage.get(edge, 0.0) + value
+    return fractions, delivered, edge_usage
+
+
+def solve_ncflow(topology, traffic):
+    best = 0.0
+    for cluster_of in partition_candidates(topology):
+        objective = solve_with_clusters(topology, traffic, cluster_of)
+        if objective > best:
+            best = objective
+    return best
+
+
+def solve_with_clusters(topology, traffic, cluster_of):
+    clusters = sorted(set(cluster_of.values()))
+    members_of = {
+        cid: {node for node, c in cluster_of.items() if c == cid}
+        for cid in clusters
+    }
+    capacity = {
+        (link.src, link.dst): link.capacity for link in topology.links()
+    }
+    remaining = {
+        (src, dst): amount
+        for (src, dst), amount in traffic.demands.items()
+        if amount > EPS
+    }
+    total_objective = 0.0
+    for _ in range(NUM_ITERATIONS):
+        bundle_demand = {}
+        bundle_members = {}
+        intra = {}
+        for (src, dst), amount in sorted(remaining.items()):
+            if amount <= EPS:
+                continue
+            key = (cluster_of[src], cluster_of[dst])
+            if key[0] == key[1]:
+                intra.setdefault(key[0], []).append(((src, dst), amount))
+            else:
+                bundle_demand[key] = bundle_demand.get(key, 0.0) + amount
+                bundle_members.setdefault(key, []).append(((src, dst), amount))
+        agg_capacity, border_links = contract_with_capacity(
+            topology, cluster_of, capacity
+        )
+        r1_flows = solve_r1(agg_capacity, bundle_demand)
+
+        segments = {cid: [] for cid in clusters}
+        for (bundle, index), (path, flow) in sorted(r1_flows.items()):
+            total = sum(amount for _, amount in bundle_members[bundle])
+            allocations = [
+                border_allocation(border_links, a, b, flow)
+                for a, b in zip(path, path[1:])
+            ]
+            for position, cid in enumerate(path):
+                if position == 0:
+                    supply = {}
+                    for (src, _), amount in bundle_members[bundle]:
+                        supply[src] = supply.get(src, 0.0) + flow * amount / total
+                else:
+                    supply = dict(allocations[position - 1][1])
+                if position == len(path) - 1:
+                    sink = {}
+                    for (_, dst), amount in bundle_members[bundle]:
+                        sink[dst] = sink.get(dst, 0.0) + flow * amount / total
+                else:
+                    sink = dict(allocations[position][0])
+                segments[cid].append(
+                    ((bundle, index), supply, sink, flow)
+                )
+
+        fractions = {}
+        cluster_results = []
+        iteration_objective = 0.0
+        for cid in clusters:
+            cluster_segments = segments[cid]
+            cluster_intra = intra.get(cid, [])
+            if not cluster_segments and not cluster_intra:
+                continue
+            seg_input = [
+                (supply, sink, flow)
+                for _, supply, sink, flow in cluster_segments
+            ]
+            phi_values, delivered, edge_usage = solve_r2(
+                members_of[cid], capacity, seg_input, cluster_intra
+            )
+            cluster_results.append(
+                (cid, cluster_segments, phi_values, edge_usage)
+            )
+            for (key, _, _, _), phi in zip(cluster_segments, phi_values):
+                fractions[key] = min(fractions.get(key, 1.0), phi)
+            for ((src, dst), _), amount in zip(cluster_intra, delivered):
+                iteration_objective += amount
+                remaining[(src, dst)] = max(
+                    0.0, remaining.get((src, dst), 0.0) - amount
+                )
+
+        # Subtract the full LP usage inside each cluster.  The realized
+        # segment flows are at most what the LP routed, so this is
+        # conservative and keeps every iteration feasible.
+        for cid, cluster_segments, phi_values, edge_usage in cluster_results:
+            for edge, used in edge_usage.items():
+                capacity[edge] = max(0.0, capacity[edge] - used)
+
+        for (bundle, index), (path, flow) in sorted(r1_flows.items()):
+            fraction = fractions.get((bundle, index), 0.0)
+            realized = flow * fraction
+            if realized <= EPS:
+                continue
+            iteration_objective += realized
+            total = bundle_demand[bundle]
+            for (src, dst), amount in bundle_members[bundle]:
+                share = realized * amount / total
+                remaining[(src, dst)] = max(
+                    0.0, remaining.get((src, dst), 0.0) - share
+                )
+            for hop_a, hop_b in zip(path, path[1:]):
+                _, _, usage = border_allocation(
+                    border_links, hop_a, hop_b, realized
+                )
+                for edge, used in usage.items():
+                    capacity[edge] = max(0.0, capacity[edge] - used)
+
+        total_objective += iteration_objective
+        if iteration_objective <= EPS:
+            break
+    return total_objective
+
+
+def contract_with_capacity(topology, cluster_of, capacity):
+    agg_capacity = {}
+    border_links = {}
+    for (link_src, link_dst), cap in capacity.items():
+        cluster_a = cluster_of[link_src]
+        cluster_b = cluster_of[link_dst]
+        if cluster_a == cluster_b:
+            continue
+        key = (cluster_a, cluster_b)
+        agg_capacity[key] = agg_capacity.get(key, 0.0) + cap
+        border_links.setdefault(key, []).append((link_src, link_dst, cap))
+    return agg_capacity, border_links
+'''
+
+
+KNOWLEDGE = PaperKnowledge(
+    paper_key="ncflow",
+    components={
+        "lp_utils": ComponentKnowledge(
+            component="lp_utils",
+            final_source=_LP_UTILS_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_ERROR,
+                    description=(
+                        "the variable bound received the whole demand dict "
+                        "instead of the commodity's demand."
+                    ),
+                    broken="var = model.add_var(upper=demands)",
+                    fixed="var = model.add_var(upper=demands[key])",
+                    error_hint="not supported between instances",
+                ),
+            ),
+        ),
+        "partition": ComponentKnowledge(
+            component="partition",
+            final_source=_PARTITION_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_TESTCASE,
+                    description=(
+                        "the communities were returned as-is; they must be "
+                        "merged down to the target cluster count."
+                    ),
+                    broken="groups = merge_adjacent(groups, undirected, len(groups))",
+                    fixed="groups = merge_adjacent(groups, undirected, target)",
+                    error_hint="too many clusters",
+                ),
+            ),
+        ),
+        "contraction": ComponentKnowledge(
+            component="contraction",
+            final_source=_CONTRACTION_SOURCE,
+            defects=(_CONTRACTION_DEFECT,),
+        ),
+        "decomposition": ComponentKnowledge(
+            component="decomposition",
+            final_source=_DECOMPOSITION_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_LOGIC,
+                    description=(
+                        "segments were combined at the MAXIMUM fraction over "
+                        "the clusters on the path; a bundle path is only as "
+                        "wide as its narrowest segment, so it must be the "
+                        "minimum."
+                    ),
+                    broken="fractions[key] = max(fractions.get(key, 1.0), phi)",
+                    fixed="fractions[key] = min(fractions.get(key, 1.0), phi)",
+                    error_hint="exceeds the optimal baseline",
+                ),
+            ),
+            text_style_defect=Defect(
+                kind=PromptKind.DEBUG_ERROR,
+                description=(
+                    "without the pseudocode the reply treated the traffic "
+                    "matrix as a plain dict instead of using .demands."
+                ),
+                broken="        for (src, dst), amount in sorted(traffic.items()):",
+                fixed="        for (src, dst), amount in sorted(remaining.items()):",
+                error_hint="has no attribute 'items'",
+            ),
+        ),
+    },
+    overview_reply=(
+        "NCFlow contracts the WAN into clusters and replaces one huge flow "
+        "LP with small ones per cluster. Ready to implement component by "
+        "component."
+    ),
+)
+
+
+def _toy_topology():
+    from repro.netmodel.topology import Topology
+
+    topo = Topology("toy")
+    for node in "abcdef":
+        topo.add_node(node)
+    topo.add_bidi_link("a", "b", 10.0)
+    topo.add_bidi_link("b", "c", 10.0)
+    topo.add_bidi_link("c", "d", 10.0)
+    topo.add_bidi_link("d", "e", 10.0)
+    topo.add_bidi_link("e", "f", 10.0)
+    topo.add_bidi_link("f", "a", 10.0)
+    topo.add_bidi_link("b", "e", 5.0)
+    return topo
+
+
+def _test_lp_utils(module):
+    objective, flows = module.solve_path_lp(
+        {("a", "b"): 10.0, ("b", "c"): 5.0},
+        {("a", "c"): [["a", "b", "c"]]},
+        {("a", "c"): 8.0},
+    )
+    assert abs(objective - 5.0) < 1e-6, f"expected 5.0, got {objective}"
+
+
+def _test_partition(module):
+    import math
+
+    from repro.netmodel.topozoo import make_topology
+
+    topology = make_topology("Kdl")
+    cluster_of = module.partition_nodes(topology)
+    target = max(2, int(round(math.sqrt(topology.num_nodes))))
+    count = len(set(cluster_of.values()))
+    assert count <= target, f"too many clusters: {count} > {target}"
+    assert set(cluster_of) == set(topology.nodes)
+
+
+def _test_contraction(module):
+    topo = _toy_topology()
+    cluster_of = {"a": 0, "b": 0, "c": 1, "d": 1, "e": 1, "f": 0}
+    agg, border = module.contract(topo, cluster_of)
+    # Crossing links are b->c (10), b->e (5) and f->e (10).
+    assert agg[(0, 1)] == 25.0, f"aggregate capacity wrong: {agg}"
+    assert len(border[(0, 1)]) == 3
+    assert agg[(1, 0)] == 25.0
+
+
+def _test_decomposition(module):
+    from repro.netmodel.instances import make_te_instance
+    from repro.te import solve_max_flow
+
+    instance = make_te_instance(
+        "Uninett2010", max_commodities=50, total_demand_fraction=0.2
+    )
+    objective = module.solve_ncflow(instance.topology, instance.traffic)
+    optimal = solve_max_flow(instance.topology, instance.traffic)
+    assert objective > 0, "no flow admitted"
+    assert objective <= optimal.objective * 1.01, (
+        f"objective {objective:.1f} exceeds the optimal baseline "
+        f"{optimal.objective:.1f}"
+    )
+
+
+COMPONENT_TESTS = {
+    "lp_utils": _test_lp_utils,
+    "partition": _test_partition,
+    "contraction": _test_contraction,
+    "decomposition": _test_decomposition,
+}
+
+LOGIC_NOTES = {
+    "decomposition": (
+        "(1) every bundle path crosses several clusters; (2) each cluster "
+        "routes a scaled copy of the planned border amounts and reports "
+        "the fraction it achieved; (3) the path's end-to-end flow equals "
+        "the R1 flow times the MINIMUM fraction over its clusters, because "
+        "the narrowest segment limits the whole path; (4) use min, never "
+        "max, when combining the fractions."
+    ),
+}

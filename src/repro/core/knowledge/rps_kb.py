@@ -1,0 +1,233 @@
+"""Knowledge base: the rock-paper-scissors motivating example.
+
+Two components (server, client) over loopback TCP sockets, mirroring the
+paper's Figure 3 (which uses ``SOCK_STREAM`` despite the prose saying
+UDP).  The client's first draft lacks input validation; the fourth prompt
+of the motivating session adds it -- giving the paper's four-prompt
+conversation shape with a correct 93-LoC program at the end.
+"""
+
+from __future__ import annotations
+
+from repro.core.paper import ComponentSpec, PaperSpec
+from repro.core.prompts import PromptKind
+from repro.core.simulated import ComponentKnowledge, Defect, PaperKnowledge
+
+PAPER = PaperSpec(
+    key="rps",
+    title="Rock-paper-scissors over sockets (motivating example)",
+    venue="(none)",
+    year=2023,
+    system_summary=(
+        "A server and a client that connect over loopback sockets and play "
+        "rock-paper-scissors round by round until the client disconnects."
+    ),
+    components=(
+        ComponentSpec(
+            name="server",
+            description=(
+                "A socket server that accepts one client, picks its own move "
+                "each round, judges the round and reports the result."
+            ),
+            interfaces=(
+                "run_server(host, port, max_rounds=None, ready=None) -> [results]",
+            ),
+        ),
+        ComponentSpec(
+            name="client",
+            description=(
+                "A socket client that sends the player's moves (P/R/S, D to "
+                "disconnect) and prints the server's verdicts."
+            ),
+            interfaces=(
+                "run_client(host, port, moves=None) -> [results]",
+                "validate_input(guess) -> str",
+            ),
+            depends_on=("server",),
+        ),
+    ),
+    data_format_notes="Moves are single letters: P, R, S, or D to disconnect.",
+)
+
+
+_SERVER_SOURCE = '''\
+"""Rock-paper-scissors server (TCP, as in the paper's Figure 3)."""
+
+import socket
+
+BEATS = {"R": "S", "P": "R", "S": "P"}
+SERVER_MOVES = ["R", "P", "S"]
+
+
+def judge(server_move, client_move):
+    if server_move == client_move:
+        return "tie"
+    if BEATS[server_move] == client_move:
+        return "server"
+    return "client"
+
+
+def run_server(host, port, max_rounds=None, ready=None):
+    server_socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server_socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server_socket.bind((host, port))
+    server_socket.listen(1)
+    if ready is not None:
+        ready(server_socket.getsockname()[1])
+    print("Server is running...")
+    results = []
+    score = {"server": 0, "client": 0, "tie": 0}
+    round_number = 0
+    client_socket, addr = server_socket.accept()
+    print("Connected to", addr)
+    while True:
+        client_message = client_socket.recv(1024).decode("utf-8")
+        if not client_message or client_message == "D":
+            print("Client disconnected.")
+            break
+        server_move = SERVER_MOVES[round_number % len(SERVER_MOVES)]
+        round_number += 1
+        result = judge(server_move, client_message)
+        results.append(result)
+        score[result] += 1
+        print("Round", round_number, "server:", server_move,
+              "client:", client_message, "->", result)
+        reply = server_move + ":" + result
+        client_socket.sendall(reply.encode("utf-8"))
+        if max_rounds is not None and round_number >= max_rounds:
+            break
+    print("Final score:", score)
+    client_socket.close()
+    server_socket.close()
+    return results
+
+
+def main():
+    host = "127.0.0.1"
+    port = 12345
+    print("Starting server on", host, "port", port)
+    results = run_server(host, port)
+    print("Game over after", len(results), "rounds.")
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+_CLIENT_SOURCE = '''\
+"""Rock-paper-scissors client."""
+
+import socket
+
+VALID_MOVES = ("P", "R", "S", "D")
+
+
+def validate_input(guess):
+    guess = guess.strip().upper()
+    while guess not in VALID_MOVES:
+        guess = input("Invalid move, enter P/R/S or D: ").strip().upper()
+    return guess
+
+
+def run_client(host, port, moves=None):
+    client_socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    client_socket.connect((host, port))
+    print("Connected to the server.")
+    scripted = list(moves) if moves is not None else None
+    results = []
+    while True:
+        if scripted is not None:
+            if not scripted:
+                break
+            guess = scripted.pop(0)
+        else:
+            guess = input(
+                "Enter your guess (P/R/S for paper/rock/scissors, "
+                "or D to disconnect): "
+            )
+        guess = validate_input(guess)
+        client_socket.sendall(guess.encode("utf-8"))
+        if guess == "D":
+            break
+        reply = client_socket.recv(1024).decode("utf-8")
+        if not reply:
+            break
+        server_move, result = reply.split(":")
+        print("Server played", server_move, "->", result)
+        results.append(result)
+    client_socket.close()
+    return results
+
+
+def main():
+    host = "127.0.0.1"
+    port = 12345
+    print("Connecting to", host, "port", port)
+    results = run_client(host, port)
+    print("You played", len(results), "rounds.")
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+KNOWLEDGE = PaperKnowledge(
+    paper_key="rps",
+    components={
+        "server": ComponentKnowledge(
+            component="server",
+            final_source=_SERVER_SOURCE,
+            defects=(),
+        ),
+        "client": ComponentKnowledge(
+            component="client",
+            final_source=_CLIENT_SOURCE,
+            defects=(
+                Defect(
+                    kind=PromptKind.DEBUG_TESTCASE,
+                    description=(
+                        "the client passed moves through unvalidated; "
+                        "lowercase or padded input reached the server as-is."
+                    ),
+                    broken=(
+                        "def validate_input(guess):\n"
+                        "    return guess\n"
+                        "    guess = guess.strip().upper()"
+                    ),
+                    fixed=(
+                        "def validate_input(guess):\n"
+                        "    guess = guess.strip().upper()"
+                    ),
+                    error_hint="validate",
+                ),
+            ),
+        ),
+    },
+    overview_reply=(
+        "A small client/server game over sockets; the server judges each "
+        "round. Happy to write both programs."
+    ),
+)
+
+
+def _test_server(module):
+    assert module.judge("R", "R") == "tie"
+    assert module.judge("R", "S") == "server"
+    assert module.judge("R", "P") == "client"
+
+
+def _test_client(module):
+    assert module.validate_input(" p ") == "P", (
+        "validate_input must strip and uppercase the move"
+    )
+    assert module.validate_input("D") == "D"
+
+
+COMPONENT_TESTS = {
+    "server": _test_server,
+    "client": _test_client,
+}
+
+LOGIC_NOTES = {}

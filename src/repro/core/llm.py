@@ -1,0 +1,98 @@
+"""LLM client abstraction: sessions, responses, code artifacts.
+
+:class:`LLMClient` is the seam between the reproduction pipeline and any
+language model.  The offline :class:`~repro.core.simulated.SimulatedLLM`
+implements it; a thin wrapper over a real chat API could too -- the
+pipeline only ever calls :meth:`LLMClient.chat`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.prompts import Prompt
+
+
+@dataclass(frozen=True)
+class CodeArtifact:
+    """One generated piece of code."""
+
+    component: str
+    language: str
+    source: str
+    revision: int
+
+    @property
+    def loc(self) -> int:
+        from repro.core.metrics import count_loc
+
+        return count_loc(self.source)
+
+
+@dataclass
+class LLMResponse:
+    """One assistant reply: prose plus zero or more code artifacts."""
+
+    text: str
+    artifacts: List[CodeArtifact] = field(default_factory=list)
+
+    @property
+    def has_code(self) -> bool:
+        return bool(self.artifacts)
+
+
+@dataclass
+class TranscriptEntry:
+    """One prompt/response exchange, timestamped for the session log."""
+
+    prompt: Prompt
+    response: LLMResponse
+    timestamp: float
+
+
+class ChatSession:
+    """A conversation with an LLM: history plus Figure 4 counters."""
+
+    def __init__(self, name: str = "session"):
+        self.name = name
+        self.transcript: List[TranscriptEntry] = []
+
+    def record(self, prompt: Prompt, response: LLMResponse) -> None:
+        self.transcript.append(
+            TranscriptEntry(prompt, response, time.time())
+        )
+
+    @property
+    def num_prompts(self) -> int:
+        return len(self.transcript)
+
+    @property
+    def total_words(self) -> int:
+        return sum(entry.prompt.word_count for entry in self.transcript)
+
+    def prompts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.transcript:
+            kind = entry.prompt.kind.value
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def latest_artifact(self, component: str) -> Optional[CodeArtifact]:
+        for entry in reversed(self.transcript):
+            for artifact in entry.response.artifacts:
+                if artifact.component == component:
+                    return artifact
+        return None
+
+
+class LLMClient:
+    """Interface the pipeline talks to."""
+
+    name = "abstract-llm"
+
+    def chat(self, session: ChatSession, prompt: Prompt) -> LLMResponse:
+        """Process ``prompt`` in ``session``; implementations must call
+        :meth:`ChatSession.record` with the exchange before returning."""
+        raise NotImplementedError

@@ -1,0 +1,112 @@
+"""Metrics: lines of code, prompt counts, reproduction reports.
+
+Figure 4 of the paper counts prompts and words per participant; Figure 5
+compares the LoC of reproduced prototypes against the open-source ones.
+These helpers produce exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def count_loc(source: str) -> int:
+    """Non-blank, non-comment physical lines (the usual LoC convention)."""
+    count = 0
+    in_docstring = False
+    delimiter = ""
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if in_docstring:
+            if delimiter in line:
+                in_docstring = False
+            continue
+        if not line or line.startswith("#"):
+            continue
+        for quote in ('"""', "'''"):
+            if line.startswith(quote):
+                remainder = line[len(quote):]
+                if quote not in remainder:
+                    in_docstring = True
+                    delimiter = quote
+                break
+        else:
+            count += 1
+    return count
+
+
+def count_module_loc(module) -> int:
+    """LoC of an importable module's source file."""
+    source = inspect.getsource(module)
+    return count_loc(source)
+
+
+def count_package_loc(package) -> int:
+    """Total LoC across a package's modules (non-recursive submodules).
+
+    Used to size the "open-source prototype" (this repository's reference
+    implementation) for the Figure 5 comparison.
+    """
+    import importlib
+    import pkgutil
+
+    total = count_module_loc(package)
+    if hasattr(package, "__path__"):
+        for info in pkgutil.iter_modules(package.__path__):
+            module = importlib.import_module(f"{package.__name__}.{info.name}")
+            if hasattr(module, "__path__"):
+                total += count_package_loc(module)
+            else:
+                total += count_module_loc(module)
+    return total
+
+
+@dataclass
+class ComponentOutcome:
+    """Per-component record inside a reproduction report."""
+
+    name: str
+    revisions: int
+    debug_rounds: int
+    final_loc: int
+    passed: bool
+
+
+@dataclass
+class ReproductionReport:
+    """Everything the experiment measures about one reproduction run."""
+
+    paper_key: str
+    participant: str
+    style: str
+    num_prompts: int
+    total_prompt_words: int
+    components: List[ComponentOutcome] = field(default_factory=list)
+    reproduced_loc: int = 0
+    reference_loc: int = 0
+    assembled: bool = False
+    validation_passed: bool = False
+    validation_details: Dict[str, object] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.assembled and self.validation_passed
+
+    @property
+    def loc_ratio(self) -> float:
+        """Reproduced LoC as a fraction of the reference prototype LoC."""
+        if self.reference_loc <= 0:
+            return 0.0
+        return self.reproduced_loc / self.reference_loc
+
+    def summary_row(self) -> str:
+        status = "ok" if self.succeeded else "FAILED"
+        return (
+            f"{self.paper_key:<8} {self.participant:<3} {self.style:<18} "
+            f"prompts={self.num_prompts:<4} words={self.total_prompt_words:<6} "
+            f"loc={self.reproduced_loc}/{self.reference_loc} "
+            f"({self.loc_ratio * 100:.0f}%) {status}"
+        )

@@ -1,0 +1,77 @@
+"""Structured models of the papers being reproduced.
+
+A :class:`PaperSpec` is what a participant distils out of a publication
+before prompting: the component breakdown, each component's description,
+its pseudocode if the paper gives any (the part "closest to the real
+code", per lesson 2 of section 3.3), the interfaces between components,
+and hints about input data formats (lesson 3: data preprocessing is
+important to the system but absent from the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PseudocodeBlock:
+    """A pseudocode listing from the paper (e.g. APKeep's Algorithm 1)."""
+
+    name: str
+    text: str
+
+    @property
+    def num_lines(self) -> int:
+        return len([line for line in self.text.splitlines() if line.strip()])
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One system component a participant asks the LLM to implement."""
+
+    name: str
+    description: str
+    pseudocode: Optional[PseudocodeBlock] = None
+    interfaces: tuple = ()
+    depends_on: tuple = ()
+
+    @property
+    def has_pseudocode(self) -> bool:
+        return self.pseudocode is not None
+
+
+@dataclass(frozen=True)
+class PaperSpec:
+    """Everything the framework needs to know about one paper."""
+
+    key: str
+    title: str
+    venue: str
+    year: int
+    system_summary: str
+    components: tuple  # of ComponentSpec, in dependency order
+    data_format_notes: str = ""
+    language: str = "python"
+
+    def component(self, name: str) -> ComponentSpec:
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise KeyError(f"paper {self.key!r} has no component {name!r}")
+
+    @property
+    def component_names(self) -> List[str]:
+        return [component.name for component in self.components]
+
+    def validate_dependency_order(self) -> None:
+        """Components must be listed after everything they depend on."""
+        seen: set = set()
+        for component in self.components:
+            missing = [dep for dep in component.depends_on if dep not in seen]
+            if missing:
+                raise ValueError(
+                    f"component {component.name!r} depends on {missing} "
+                    "which appear later (or never) in the spec"
+                )
+            seen.add(component.name)

@@ -1,0 +1,258 @@
+"""Structured paper documents: the semi-automatic front end of section 4.
+
+The paper sketches a (semi-)automatic prompt-engineering framework whose
+first step extracts a system's architecture, components and pseudocode
+from the publication.  A real deployment would put an LLM there; this
+module provides the deterministic equivalent: a light markdown-flavoured
+*paper document* format that humans (or an upstream model) write, and a
+parser that turns it into the :class:`~repro.core.paper.PaperSpec` the
+pipeline consumes.  ``render_paperdoc`` is the exact inverse, so specs
+and documents round-trip.
+
+Format::
+
+    # <title>
+    key: <paper key>
+    venue: <venue>
+    year: <year>
+    language: <language>
+
+    summary: <one-paragraph system summary>
+
+    data-formats: <notes on input data formats>
+
+    ## component: <name>
+    depends: <comma-separated names>        (optional)
+    <free-text description over one or more lines>
+
+    interfaces:
+    - <signature>
+    - <signature>
+
+    pseudocode <listing name>:
+        <indented pseudocode lines>
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.core.paper import ComponentSpec, PaperSpec, PseudocodeBlock
+
+
+class PaperDocError(ValueError):
+    """Raised on malformed paper documents."""
+
+
+_HEADER_KEYS = ("key", "venue", "year", "language")
+
+
+def parse_paperdoc(text: str) -> PaperSpec:
+    """Parse a paper document into a :class:`PaperSpec`."""
+    lines = text.splitlines()
+    title = None
+    header: Dict[str, str] = {}
+    summary_parts: List[str] = []
+    data_format_parts: List[str] = []
+    components: List[ComponentSpec] = []
+
+    index = 0
+    mode = "header"  # header -> summary/data until first component
+    current: Optional[Dict] = None
+
+    def flush_component():
+        nonlocal current
+        if current is None:
+            return
+        pseudocode = None
+        if current["pseudocode_lines"]:
+            pseudocode = PseudocodeBlock(
+                name=current["pseudocode_name"],
+                text="\n".join(current["pseudocode_lines"]) + "\n",
+            )
+        components.append(
+            ComponentSpec(
+                name=current["name"],
+                description=" ".join(current["description"]).strip(),
+                pseudocode=pseudocode,
+                interfaces=tuple(current["interfaces"]),
+                depends_on=tuple(current["depends"]),
+            )
+        )
+        current = None
+
+    sub_mode = None  # None | "interfaces" | "pseudocode"
+    while index < len(lines):
+        raw = lines[index]
+        line = raw.rstrip()
+        stripped = line.strip()
+        index += 1
+
+        if stripped.startswith("# ") and title is None:
+            title = stripped[2:].strip()
+            continue
+        if stripped.startswith("## component:"):
+            flush_component()
+            name = stripped.split(":", 1)[1].strip()
+            if not name:
+                raise PaperDocError("component heading without a name")
+            current = {
+                "name": name,
+                "description": [],
+                "interfaces": [],
+                "depends": [],
+                "pseudocode_name": "",
+                "pseudocode_lines": [],
+            }
+            sub_mode = None
+            continue
+
+        if current is None:
+            # Document header / preamble.
+            match = re.match(r"^(\w[\w-]*):\s*(.*)$", stripped)
+            if match and match.group(1) in _HEADER_KEYS:
+                header[match.group(1)] = match.group(2).strip()
+                continue
+            if stripped.startswith("summary:"):
+                summary_parts.append(stripped.split(":", 1)[1].strip())
+                mode = "summary"
+                continue
+            if stripped.startswith("data-formats:"):
+                data_format_parts.append(stripped.split(":", 1)[1].strip())
+                mode = "data-formats"
+                continue
+            if stripped:
+                if mode == "summary":
+                    summary_parts.append(stripped)
+                elif mode == "data-formats":
+                    data_format_parts.append(stripped)
+            continue
+
+        # Inside a component.
+        if stripped.startswith("depends:"):
+            names = stripped.split(":", 1)[1]
+            current["depends"] = [
+                n.strip() for n in names.split(",") if n.strip()
+            ]
+            sub_mode = None
+            continue
+        if stripped == "interfaces:":
+            sub_mode = "interfaces"
+            continue
+        match = re.match(r"^pseudocode\s+(.*):$", stripped)
+        if match:
+            current["pseudocode_name"] = match.group(1).strip()
+            sub_mode = "pseudocode"
+            continue
+        if sub_mode == "interfaces":
+            if stripped.startswith("- "):
+                current["interfaces"].append(stripped[2:].strip())
+                continue
+            sub_mode = None  # fall through to description handling
+        if sub_mode == "pseudocode":
+            if raw.startswith("    ") or not stripped:
+                if stripped or current["pseudocode_lines"]:
+                    current["pseudocode_lines"].append(raw[4:])
+                continue
+            sub_mode = None
+        if stripped:
+            current["description"].append(stripped)
+
+    flush_component()
+
+    if title is None:
+        raise PaperDocError("paper document must start with '# <title>'")
+    for required in ("key", "venue", "year"):
+        if required not in header:
+            raise PaperDocError(f"missing header field {required!r}")
+    if not components:
+        raise PaperDocError("paper document defines no components")
+
+    # Trim trailing blank pseudocode lines captured by the block scanner.
+    spec = PaperSpec(
+        key=header["key"],
+        title=title,
+        venue=header["venue"],
+        year=int(header["year"]),
+        system_summary=" ".join(summary_parts).strip(),
+        components=tuple(components),
+        data_format_notes=" ".join(data_format_parts).strip(),
+        language=header.get("language", "python"),
+    )
+    spec.validate_dependency_order()
+    return spec
+
+
+def lint_spec(spec: PaperSpec) -> List[str]:
+    """Flag the gaps that bit the paper's participants (section 4).
+
+    Returns human-readable warnings: components without pseudocode (the
+    LLM will improvise data types -- lesson 2), components without
+    declared interfaces (interop breakage between components), missing
+    data-format notes (lesson 3), and suspiciously thin descriptions
+    (missing details like AP's unstated selective-BFS, participant D's
+    10^4x trap).
+    """
+    warnings: List[str] = []
+    if not spec.data_format_notes:
+        warnings.append(
+            "no data-format notes: input preprocessing is usually absent "
+            "from papers but essential to the system (lesson 3)"
+        )
+    for component in spec.components:
+        prefix = f"component {component.name!r}"
+        if not component.interfaces:
+            warnings.append(
+                f"{prefix}: no interfaces declared; later components may "
+                "not interoperate without rework"
+            )
+        if component.pseudocode is None:
+            warnings.append(
+                f"{prefix}: no pseudocode; generated data types and "
+                "structures may drift between prompts (lesson 2)"
+            )
+        if len(component.description.split()) < 8:
+            warnings.append(
+                f"{prefix}: description is very short; missing algorithmic "
+                "details push the LLM toward naive strategies (cf. the "
+                "paper's participant D)"
+            )
+        if component.pseudocode is not None and component.pseudocode.num_lines < 2:
+            warnings.append(
+                f"{prefix}: pseudocode is only a single line; consider "
+                "expanding it"
+            )
+    return warnings
+
+
+def render_paperdoc(spec: PaperSpec) -> str:
+    """Render a :class:`PaperSpec` back into the document format."""
+    lines: List[str] = [f"# {spec.title}"]
+    lines.append(f"key: {spec.key}")
+    lines.append(f"venue: {spec.venue}")
+    lines.append(f"year: {spec.year}")
+    lines.append(f"language: {spec.language}")
+    lines.append("")
+    lines.append(f"summary: {spec.system_summary}")
+    if spec.data_format_notes:
+        lines.append("")
+        lines.append(f"data-formats: {spec.data_format_notes}")
+    for component in spec.components:
+        lines.append("")
+        lines.append(f"## component: {component.name}")
+        if component.depends_on:
+            lines.append(f"depends: {', '.join(component.depends_on)}")
+        lines.append(component.description)
+        if component.interfaces:
+            lines.append("")
+            lines.append("interfaces:")
+            for interface in component.interfaces:
+                lines.append(f"- {interface}")
+        if component.pseudocode is not None:
+            lines.append("")
+            lines.append(f"pseudocode {component.pseudocode.name}:")
+            for code_line in component.pseudocode.text.rstrip("\n").splitlines():
+                lines.append(f"    {code_line}")
+    lines.append("")
+    return "\n".join(lines)

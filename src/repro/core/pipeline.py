@@ -1,0 +1,232 @@
+"""The unified top-down reproduction pipeline (paper section 4).
+
+Drives an :class:`~repro.core.llm.LLMClient` through the six-step
+workflow: overview, interfaces, per-component generate/test/debug, data
+preprocessing, assembly, and system validation.  All Figure 4 quantities
+(prompts, words) fall out of the session transcript; all Figure 5
+quantities (LoC) fall out of the final artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.assembly import AssemblyError, assemble_module
+from repro.core.debugging import DebugPolicy, describe_failure
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient
+from repro.core.metrics import ComponentOutcome, ReproductionReport
+from repro.core.paper import PaperSpec
+from repro.core.prompts import PromptBuilder, PromptStyle
+
+#: A validator takes the assembled module and returns (passed, details).
+Validator = Callable[[object], Tuple[bool, Dict[str, object]]]
+#: A component test takes the assembled-so-far module and raises on failure.
+ComponentTest = Callable[[object], None]
+
+
+@dataclass
+class PipelineConfig:
+    """Tunable workflow parameters."""
+
+    style: PromptStyle = PromptStyle.MODULAR_PSEUDOCODE
+    max_debug_rounds: int = 6
+    send_overview: bool = True
+    send_interfaces: bool = True
+    send_data_format: bool = True
+
+
+class ReproductionPipeline:
+    """One reproduction attempt of one paper by one participant."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        paper: PaperSpec,
+        component_tests: Optional[Dict[str, ComponentTest]] = None,
+        logic_notes: Optional[Dict[str, str]] = None,
+        validator: Optional[Validator] = None,
+        participant: str = "X",
+        config: Optional[PipelineConfig] = None,
+        reference_loc: int = 0,
+    ):
+        paper.validate_dependency_order()
+        self.llm = llm
+        self.paper = paper
+        self.component_tests = component_tests or {}
+        self.logic_notes = logic_notes or {}
+        self.validator = validator
+        self.participant = participant
+        self.config = config or PipelineConfig()
+        self.reference_loc = reference_loc
+        self.session = ChatSession(f"{participant}:{paper.key}")
+        self.builder = PromptBuilder(paper)
+        self.artifacts: Dict[str, CodeArtifact] = {}
+        self.failures: List[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> ReproductionReport:
+        start = time.perf_counter()
+        if self.config.style is PromptStyle.MONOLITHIC:
+            report = self._run_monolithic()
+        else:
+            report = self._run_modular()
+        report.wall_seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_monolithic(self) -> ReproductionReport:
+        """The approach that fails (kept for the ablation benchmark)."""
+        response = self.llm.chat(self.session, self.builder.monolithic())
+        outcomes: List[ComponentOutcome] = []
+        assembled = False
+        validation_passed = False
+        details: Dict[str, object] = {}
+        if response.has_code:
+            artifact = response.artifacts[0]
+            self.artifacts[artifact.component] = artifact
+            try:
+                module = assemble_module([artifact], "monolithic_attempt")
+                if self.validator is not None:
+                    validation_passed, details = self.validator(module)
+                assembled = True
+            except AssemblyError as exc:
+                details = {"assembly_error": str(exc)}
+            except Exception as exc:  # validator crashed on the sketch
+                details = {"validation_error": describe_failure(exc)}
+            outcomes.append(
+                ComponentOutcome(
+                    name=artifact.component,
+                    revisions=1,
+                    debug_rounds=0,
+                    final_loc=artifact.loc,
+                    passed=validation_passed,
+                )
+            )
+        return self._report(outcomes, assembled, validation_passed, details)
+
+    # ------------------------------------------------------------------
+    def _run_modular(self) -> ReproductionReport:
+        if self.config.send_overview:
+            self.llm.chat(self.session, self.builder.system_overview())
+        if self.config.send_interfaces:
+            self.llm.chat(self.session, self.builder.interfaces())
+
+        policy = DebugPolicy(self.builder, self.logic_notes)
+        outcomes: List[ComponentOutcome] = []
+        for component in self.paper.components:
+            outcome = self._build_component(component.name, policy)
+            outcomes.append(outcome)
+
+        if self.config.send_data_format and self.paper.data_format_notes:
+            self.llm.chat(self.session, self.builder.data_format())
+
+        assembled = False
+        validation_passed = False
+        details: Dict[str, object] = {}
+        ordered = [
+            self.artifacts[c.name]
+            for c in self.paper.components
+            if c.name in self.artifacts
+        ]
+        try:
+            module = assemble_module(ordered, f"reproduced_{self.paper.key}")
+            assembled = True
+        except AssemblyError as exc:
+            details = {"assembly_error": str(exc)}
+            module = None
+        if module is not None and self.validator is not None:
+            try:
+                validation_passed, details = self.validator(module)
+            except Exception as exc:
+                details = {"validation_error": describe_failure(exc)}
+        elif module is not None:
+            validation_passed = all(outcome.passed for outcome in outcomes)
+        return self._report(outcomes, assembled, validation_passed, details)
+
+    # ------------------------------------------------------------------
+    def _build_component(self, name: str, policy: DebugPolicy) -> ComponentOutcome:
+        spec = self.paper.component(name)
+        prompt = self.builder.component(spec, self.config.style)
+        response = self.llm.chat(self.session, prompt)
+        artifact = self._artifact_from(response, name)
+        revisions = 1
+        debug_rounds = 0
+        failure = self._test_component(name, artifact)
+        while failure is not None and debug_rounds < self.config.max_debug_rounds:
+            debug_prompt = policy.next_prompt(name, failure)
+            response = self.llm.chat(self.session, debug_prompt)
+            new_artifact = self._artifact_from(response, name)
+            if new_artifact is not None:
+                artifact = new_artifact
+                revisions += 1
+            debug_rounds += 1
+            failure = self._test_component(name, artifact)
+        if failure is not None:
+            self.failures.append(f"{name}: {describe_failure(failure)}")
+        if artifact is not None:
+            self.artifacts[name] = artifact
+        return ComponentOutcome(
+            name=name,
+            revisions=revisions,
+            debug_rounds=debug_rounds,
+            final_loc=artifact.loc if artifact is not None else 0,
+            passed=failure is None,
+        )
+
+    def _artifact_from(self, response, name: str) -> Optional[CodeArtifact]:
+        for artifact in response.artifacts:
+            if artifact.component == name:
+                return artifact
+        return None
+
+    def _test_component(
+        self, name: str, artifact: Optional[CodeArtifact]
+    ) -> Optional[BaseException]:
+        """Run the participant's test for ``name``; None means pass."""
+        if artifact is None:
+            return RuntimeError(f"the LLM returned no code for {name!r}")
+        test = self.component_tests.get(name)
+        dependencies = [
+            self.artifacts[c.name]
+            for c in self.paper.components
+            if c.name in self.artifacts and c.name != name
+        ]
+        try:
+            module = assemble_module(
+                dependencies + [artifact], f"test_{self.paper.key}_{name}"
+            )
+        except AssemblyError as exc:
+            cause = exc.__cause__
+            return cause if cause is not None else exc
+        if test is None:
+            return None
+        try:
+            test(module)
+        except BaseException as exc:  # participants catch everything
+            return exc
+        return None
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        outcomes: List[ComponentOutcome],
+        assembled: bool,
+        validation_passed: bool,
+        details: Dict[str, object],
+    ) -> ReproductionReport:
+        reproduced_loc = sum(artifact.loc for artifact in self.artifacts.values())
+        return ReproductionReport(
+            paper_key=self.paper.key,
+            participant=self.participant,
+            style=self.config.style.value,
+            num_prompts=self.session.num_prompts,
+            total_prompt_words=self.session.total_words,
+            components=outcomes,
+            reproduced_loc=reproduced_loc,
+            reference_loc=self.reference_loc,
+            assembled=assembled,
+            validation_passed=validation_passed,
+            validation_details=details,
+        )

@@ -1,0 +1,158 @@
+"""Prompt construction for the reproduction workflow.
+
+Prompts are plain text; the framework tracks how many were sent and how
+many words they contain, because Figure 4 of the paper reports exactly
+those two quantities per participant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.paper import ComponentSpec, PaperSpec
+
+
+class PromptStyle(enum.Enum):
+    """How a system is presented to the LLM (section 3.3 lessons)."""
+
+    #: One prompt describing the whole system ("implement XX that works
+    #: in the following steps...").  The paper found LLMs do not respond
+    #: well to these.
+    MONOLITHIC = "monolithic"
+    #: One prompt per component, described in prose.
+    MODULAR_TEXT = "modular-text"
+    #: One prompt per component, built around the paper's pseudocode
+    #: (stabilises data types and structures across components).
+    MODULAR_PSEUDOCODE = "modular-pseudocode"
+
+
+class PromptKind(enum.Enum):
+    """What a prompt asks for (used by the simulated LLM's dispatcher)."""
+
+    SYSTEM_OVERVIEW = "system-overview"
+    INTERFACES = "interfaces"
+    GENERATE = "generate"
+    DATA_FORMAT = "data-format"
+    DEBUG_ERROR = "debug-error"
+    DEBUG_TESTCASE = "debug-testcase"
+    DEBUG_LOGIC = "debug-logic"
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """One message sent to the LLM."""
+
+    text: str
+    kind: PromptKind
+    component: Optional[str] = None
+    style: Optional[PromptStyle] = None
+
+    @property
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+
+class PromptBuilder:
+    """Builds the framework's prompts for one paper."""
+
+    def __init__(self, paper: PaperSpec):
+        self.paper = paper
+
+    # -- step 1: system overview ---------------------------------------
+    def system_overview(self) -> Prompt:
+        names = ", ".join(self.paper.component_names)
+        text = (
+            f"I want to reproduce the system from the paper "
+            f"'{self.paper.title}' ({self.paper.venue} {self.paper.year}). "
+            f"{self.paper.system_summary} "
+            f"The system has these components: {names}. "
+            f"We will implement them one by one in {self.paper.language}. "
+            f"Do not write code yet; confirm you understand the design."
+        )
+        return Prompt(text, PromptKind.SYSTEM_OVERVIEW)
+
+    # -- step 2: interfaces --------------------------------------------
+    def interfaces(self) -> Prompt:
+        lines = []
+        for component in self.paper.components:
+            if component.interfaces:
+                lines.append(
+                    f"{component.name}: " + "; ".join(component.interfaces)
+                )
+        text = (
+            "Define the interfaces between the components so they "
+            "interoperate without data type changes later. "
+            "Use these signatures: " + " | ".join(lines)
+        )
+        return Prompt(text, PromptKind.INTERFACES)
+
+    # -- monolithic (the approach that fails) ---------------------------
+    def monolithic(self) -> Prompt:
+        steps = " then ".join(
+            component.description for component in self.paper.components
+        )
+        text = (
+            f"Implement {self.paper.title} in {self.paper.language}. "
+            f"It works in the following steps: {steps}. "
+            "Write the complete implementation in one reply."
+        )
+        return Prompt(text, PromptKind.GENERATE, style=PromptStyle.MONOLITHIC)
+
+    # -- step 3: per-component generation --------------------------------
+    def component(self, component: ComponentSpec, style: PromptStyle) -> Prompt:
+        if style is PromptStyle.MONOLITHIC:
+            raise ValueError("use monolithic() for whole-system prompts")
+        parts = [
+            f"Now implement the component '{component.name}' in "
+            f"{self.paper.language}. {component.description}"
+        ]
+        if component.depends_on:
+            parts.append(
+                "It must interoperate with the already-implemented "
+                "components: " + ", ".join(component.depends_on) + "."
+            )
+        if style is PromptStyle.MODULAR_PSEUDOCODE and component.has_pseudocode:
+            parts.append(
+                f"Base the implementation on this pseudocode from the "
+                f"paper ({component.pseudocode.name}):\n"
+                f"{component.pseudocode.text}"
+            )
+        if component.interfaces:
+            parts.append("Expose exactly: " + "; ".join(component.interfaces))
+        return Prompt(
+            " ".join(parts), PromptKind.GENERATE, component.name, style
+        )
+
+    # -- data preprocessing (lesson 3) ------------------------------------
+    def data_format(self) -> Prompt:
+        text = (
+            "The paper does not describe the input data format. "
+            f"Here is what the datasets look like: {self.paper.data_format_notes} "
+            "Add the preprocessing code needed to parse this format."
+        )
+        return Prompt(text, PromptKind.DATA_FORMAT)
+
+    # -- debugging guidelines (lesson 4) ----------------------------------
+    def debug_error(self, component: str, error_message: str) -> Prompt:
+        text = (
+            f"Running {component} raised this error, please fix the code: "
+            f"{error_message}"
+        )
+        return Prompt(text, PromptKind.DEBUG_ERROR, component)
+
+    def debug_testcase(self, component: str, case_description: str) -> Prompt:
+        text = (
+            f"{component} returns the wrong output on this test case, "
+            f"please fix the logic: {case_description}"
+        )
+        return Prompt(text, PromptKind.DEBUG_TESTCASE, component)
+
+    def debug_logic(self, component: str, correct_logic: str) -> Prompt:
+        text = (
+            f"{component} is still wrong. The correct logic, step by "
+            f"step, is: {correct_logic} Rewrite the code to follow these "
+            "steps exactly."
+        )
+        return Prompt(text, PromptKind.DEBUG_LOGIC, component)

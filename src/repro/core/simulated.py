@@ -1,0 +1,251 @@
+"""A deterministic, offline stand-in for ChatGPT.
+
+No LLM API is reachable in this environment, so the experiment's LLM is
+*modelled*: for each paper, a knowledge base holds the code a capable
+chat assistant produces for each component -- including the buggy first
+drafts -- and :class:`SimulatedLLM` replays the assistant's documented
+behaviour:
+
+* monolithic whole-system prompts yield a non-functional sketch
+  (section 3.3: "ChatGPT does not respond well to such monolithic
+  prompts");
+* modular per-component prompts yield a first draft carrying that
+  component's seeded defects; prompting a pseudocode-bearing component
+  in plain text adds an extra data-type interoperability defect
+  (lesson 2: pseudocode-first stabilises data types);
+* debugging feedback fixes the next outstanding defect *only when the
+  right guideline is used* -- compiler/runtime error messages fix type
+  errors, failing test cases fix simple logic bugs, and step-by-step
+  logic prompts fix complex logic bugs (lesson 4's three guidelines).
+
+Everything is deterministic: the same prompt sequence always produces
+the same artifacts, so Figure 4's prompt counts are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient, LLMResponse
+from repro.core.prompts import Prompt, PromptKind, PromptStyle
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One seeded bug in a component's first draft.
+
+    ``kind`` names the debugging guideline that fixes it.  The buggy
+    revision is produced by replacing ``fixed`` with ``broken`` in the
+    final source, so every revision is real, runnable (or really-failing)
+    code.  ``error_hint`` is a substring of the failure the defect
+    causes, used by tests and by the demo narrations.
+    """
+
+    kind: PromptKind
+    description: str
+    broken: str
+    fixed: str
+    error_hint: str = ""
+
+    def __post_init__(self):
+        if self.kind not in (
+            PromptKind.DEBUG_ERROR,
+            PromptKind.DEBUG_TESTCASE,
+            PromptKind.DEBUG_LOGIC,
+        ):
+            raise ValueError(f"defect kind must be a DEBUG_* kind, got {self.kind}")
+
+
+@dataclass(frozen=True)
+class ComponentKnowledge:
+    """What the simulated LLM knows how to write for one component."""
+
+    component: str
+    final_source: str
+    defects: Tuple[Defect, ...] = ()
+    #: Extra interop defect added when the component is prompted in
+    #: plain text even though the paper provides pseudocode.
+    text_style_defect: Optional[Defect] = None
+
+    def defect_chain(self, style: PromptStyle) -> Tuple[Defect, ...]:
+        chain = list(self.defects)
+        if (
+            style is PromptStyle.MODULAR_TEXT
+            and self.text_style_defect is not None
+        ):
+            chain.insert(0, self.text_style_defect)
+        return tuple(chain)
+
+    def source_with(self, style: PromptStyle, fixed_indices) -> str:
+        """Source with exactly the given chain indices repaired."""
+        chain = self.defect_chain(style)
+        fixed = set(fixed_indices)
+        source = self.final_source
+        for index, defect in enumerate(chain):
+            if index in fixed:
+                continue
+            if defect.fixed not in source:
+                raise ValueError(
+                    f"defect for {self.component!r} does not apply: "
+                    f"{defect.fixed!r} not found in final source"
+                )
+            source = source.replace(defect.fixed, defect.broken, 1)
+        return source
+
+    def source_at(self, style: PromptStyle, fixed_count: int) -> str:
+        """Source with the first ``fixed_count`` defects repaired."""
+        return self.source_with(style, range(fixed_count))
+
+
+@dataclass(frozen=True)
+class PaperKnowledge:
+    """Everything the simulated LLM can produce for one paper."""
+
+    paper_key: str
+    components: Dict[str, ComponentKnowledge]
+    overview_reply: str = "Understood; let us build it component by component."
+    interface_reply: str = "Interfaces noted; I will keep the signatures stable."
+    monolithic_sketch: str = (
+        "def reproduce_system(*args, **kwargs):\n"
+        "    raise NotImplementedError(\n"
+        "        'this sketch only outlines the system; the details of '\n"
+        "        'each step still need to be implemented')\n"
+    )
+
+
+@dataclass
+class _ComponentState:
+    style: PromptStyle
+    fixed: set = field(default_factory=set)
+    revision: int = 0
+
+
+class SimulatedLLM(LLMClient):
+    """Deterministic LLM model over a set of paper knowledge bases."""
+
+    name = "simulated-chatgpt"
+
+    def __init__(self, knowledge: Dict[str, PaperKnowledge]):
+        self.knowledge = dict(knowledge)
+        self._state: Dict[Tuple[int, str], _ComponentState] = {}
+
+    # ------------------------------------------------------------------
+    def chat(self, session: ChatSession, prompt: Prompt) -> LLMResponse:
+        response = self._dispatch(session, prompt)
+        session.record(prompt, response)
+        return response
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, session: ChatSession, prompt: Prompt) -> LLMResponse:
+        paper = self._paper_for(session)
+        if prompt.kind is PromptKind.SYSTEM_OVERVIEW:
+            return LLMResponse(paper.overview_reply)
+        if prompt.kind is PromptKind.INTERFACES:
+            return LLMResponse(paper.interface_reply)
+        if prompt.kind is PromptKind.DATA_FORMAT:
+            return LLMResponse(
+                "Preprocessing added: the loaders now parse the described "
+                "format before the solver runs."
+            )
+        if prompt.kind is PromptKind.GENERATE:
+            if prompt.style is PromptStyle.MONOLITHIC:
+                return LLMResponse(
+                    "Here is an outline of the whole system; filling in all "
+                    "steps at once is beyond a single reply.",
+                    [CodeArtifact("monolith", "python", paper.monolithic_sketch, 0)],
+                )
+            return self._generate(session, paper, prompt)
+        if prompt.kind in (
+            PromptKind.DEBUG_ERROR,
+            PromptKind.DEBUG_TESTCASE,
+            PromptKind.DEBUG_LOGIC,
+        ):
+            return self._debug(session, paper, prompt)
+        raise ValueError(f"unhandled prompt kind {prompt.kind}")
+
+    # ------------------------------------------------------------------
+    def _paper_for(self, session: ChatSession) -> PaperKnowledge:
+        # Session names are "<participant>:<paper_key>" by convention.
+        key = session.name.split(":")[-1]
+        if key not in self.knowledge:
+            raise KeyError(
+                f"simulated LLM has no knowledge of paper {key!r}; "
+                f"known: {sorted(self.knowledge)}"
+            )
+        return self.knowledge[key]
+
+    def _state_key(self, session: ChatSession, component: str) -> Tuple[int, str]:
+        return (id(session), component)
+
+    def _generate(
+        self, session: ChatSession, paper: PaperKnowledge, prompt: Prompt
+    ) -> LLMResponse:
+        if prompt.component is None:
+            raise ValueError("component prompts must name a component")
+        knowledge = paper.components.get(prompt.component)
+        if knowledge is None:
+            return LLMResponse(
+                f"I do not have enough detail to implement "
+                f"{prompt.component!r}; please describe it further."
+            )
+        style = prompt.style or PromptStyle.MODULAR_TEXT
+        state = _ComponentState(style=style)
+        self._state[self._state_key(session, prompt.component)] = state
+        source = knowledge.source_at(style, 0)
+        artifact = CodeArtifact(prompt.component, "python", source, 0)
+        return LLMResponse(
+            f"Here is an implementation of {prompt.component}.", [artifact]
+        )
+
+    def _debug(
+        self, session: ChatSession, paper: PaperKnowledge, prompt: Prompt
+    ) -> LLMResponse:
+        if prompt.component is None:
+            raise ValueError("debug prompts must name a component")
+        knowledge = paper.components.get(prompt.component)
+        key = self._state_key(session, prompt.component)
+        state = self._state.get(key)
+        if knowledge is None or state is None:
+            return LLMResponse(
+                f"I have not generated {prompt.component!r} yet in this "
+                "conversation; ask me to implement it first."
+            )
+        chain = knowledge.defect_chain(state.style)
+        outstanding = [
+            index for index in range(len(chain)) if index not in state.fixed
+        ]
+        if not outstanding:
+            # Nothing left to fix; reissue the current (final) code.
+            source = knowledge.source_with(state.style, state.fixed)
+            artifact = CodeArtifact(
+                prompt.component, "python", source, state.revision
+            )
+            return LLMResponse(
+                "I reviewed the code again and believe it is correct.",
+                [artifact],
+            )
+        # The model fixes the first outstanding defect the feedback's
+        # guideline actually describes; unrelated feedback fixes nothing.
+        matching = next(
+            (i for i in outstanding if chain[i].kind is prompt.kind), None
+        )
+        if matching is None:
+            source = knowledge.source_with(state.style, state.fixed)
+            state.revision += 1
+            artifact = CodeArtifact(
+                prompt.component, "python", source, state.revision
+            )
+            return LLMResponse(
+                "I adjusted the code, but the root cause may lie elsewhere; "
+                "if the problem persists, describe the failing case in more "
+                "detail.",
+                [artifact],
+            )
+        state.fixed.add(matching)
+        state.revision += 1
+        source = knowledge.source_with(state.style, state.fixed)
+        artifact = CodeArtifact(prompt.component, "python", source, state.revision)
+        return LLMResponse(
+            f"Good catch -- {chain[matching].description} Fixed.", [artifact]
+        )

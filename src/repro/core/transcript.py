@@ -1,0 +1,100 @@
+"""Conversation-log export.
+
+The paper's authors published their ChatGPT conversation logs; this
+module renders a :class:`~repro.core.llm.ChatSession` the same way — a
+markdown document with one section per exchange, code blocks preserved —
+plus a machine-readable JSON form for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.llm import ChatSession
+
+
+def to_markdown(session: ChatSession, title: str = None) -> str:
+    """Render the session as a human-readable markdown log."""
+    lines: List[str] = []
+    lines.append(f"# Conversation log: {title or session.name}")
+    lines.append("")
+    lines.append(
+        f"{session.num_prompts} prompts, {session.total_words} prompt words."
+    )
+    for index, entry in enumerate(session.transcript, start=1):
+        lines.append("")
+        component = f" [{entry.prompt.component}]" if entry.prompt.component else ""
+        lines.append(
+            f"## Exchange {index} — {entry.prompt.kind.value}{component}"
+        )
+        lines.append("")
+        lines.append("**User:**")
+        lines.append("")
+        lines.append(entry.prompt.text)
+        lines.append("")
+        lines.append("**Assistant:**")
+        lines.append("")
+        lines.append(entry.response.text)
+        for artifact in entry.response.artifacts:
+            lines.append("")
+            lines.append(
+                f"```{artifact.language} "
+                f"# component={artifact.component} revision={artifact.revision}"
+            )
+            lines.append(artifact.source.rstrip("\n"))
+            lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def to_json(session: ChatSession) -> str:
+    """Machine-readable session dump (prompt/response/artifact metadata)."""
+    exchanges: List[Dict] = []
+    for entry in session.transcript:
+        exchanges.append(
+            {
+                "kind": entry.prompt.kind.value,
+                "component": entry.prompt.component,
+                "style": entry.prompt.style.value if entry.prompt.style else None,
+                "prompt_words": entry.prompt.word_count,
+                "prompt": entry.prompt.text,
+                "response": entry.response.text,
+                "artifacts": [
+                    {
+                        "component": artifact.component,
+                        "language": artifact.language,
+                        "revision": artifact.revision,
+                        "loc": artifact.loc,
+                        "source": artifact.source,
+                    }
+                    for artifact in entry.response.artifacts
+                ],
+                "timestamp": entry.timestamp,
+            }
+        )
+    return json.dumps(
+        {
+            "session": session.name,
+            "num_prompts": session.num_prompts,
+            "total_words": session.total_words,
+            "exchanges": exchanges,
+        },
+        indent=2,
+    )
+
+
+def summarize(session: ChatSession) -> str:
+    """One line per exchange — the quick-scan view."""
+    rows = []
+    for index, entry in enumerate(session.transcript, start=1):
+        artifact_note = ""
+        if entry.response.artifacts:
+            artifact = entry.response.artifacts[-1]
+            artifact_note = f" -> {artifact.component} r{artifact.revision} ({artifact.loc} loc)"
+        component = entry.prompt.component or "-"
+        rows.append(
+            f"{index:>3}. {entry.prompt.kind.value:<16} {component:<16} "
+            f"{entry.prompt.word_count:>4}w{artifact_note}"
+        )
+    return "\n".join(rows)

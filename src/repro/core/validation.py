@@ -1,0 +1,222 @@
+"""System-level validation of reproduced prototypes (section 3.1).
+
+Participants validated reproductions by comparing them with the systems'
+open-source prototypes on small-scale test cases.  In this repository
+the reference implementations under :mod:`repro.ap`, :mod:`repro.apkeep`,
+:mod:`repro.te.ncflow` and :mod:`repro.te.arrow` play the open-source
+prototypes; each validator runs the assembled reproduced module and the
+reference side by side and returns ``(passed, details)``.
+
+"Passed" means what it meant in the paper: the reproduction faithfully
+implements the *paper's description*.  For ARROW, that explicitly allows
+a large objective gap against the open-source variant (the documented
+paper-code inconsistency); the gap is recorded in the details.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+Validator = Callable[[object], Tuple[bool, Dict[str, object]]]
+
+
+def get_validator(key: str) -> Validator:
+    validators = {
+        "ap": validate_ap,
+        "apkeep": validate_apkeep,
+        "ncflow": validate_ncflow,
+        "arrow": validate_arrow,
+        "rps": validate_rps,
+    }
+    if key not in validators:
+        raise KeyError(f"no validator for paper {key!r}")
+    return validators[key]
+
+
+# ----------------------------------------------------------------------
+# AP (participant D)
+# ----------------------------------------------------------------------
+def validate_ap(module) -> Tuple[bool, Dict[str, object]]:
+    from repro.ap import APVerifier
+    from repro.netmodel.datasets import build_verification_dataset
+
+    dataset = build_verification_dataset("Internet2")
+    reference = APVerifier(dataset)
+
+    start = time.perf_counter()
+    state = module.build_verifier(dataset)
+    build_seconds = time.perf_counter() - start
+
+    details: Dict[str, object] = {
+        "dataset": dataset.name,
+        "reference_atoms": reference.num_atoms,
+        "reproduced_atoms": module.count_atoms(state),
+        "reproduced_build_seconds": build_seconds,
+        "reference_build_seconds": reference.predicate_seconds,
+    }
+    if module.count_atoms(state) != reference.num_atoms:
+        details["mismatch"] = "atom counts differ"
+        return False, details
+
+    nodes = dataset.topology.nodes
+    pairs_checked = 0
+    for src in nodes[:3]:
+        for dst in nodes[-3:]:
+            if src == dst:
+                continue
+            got = module.reachable(state, src, dst)
+            want = reference.reachable_atoms(src, dst).atoms
+            got_sat = sum(
+                state["engine"].satcount(state["atoms"][a]) for a in got
+            )
+            want_sat = reference.atomics.satcount(want)
+            if got_sat != want_sat:
+                details["mismatch"] = f"reachability differs on {src}->{dst}"
+                return False, details
+            pairs_checked += 1
+    details["pairs_checked"] = pairs_checked
+    return True, details
+
+
+# ----------------------------------------------------------------------
+# APKeep (participant C)
+# ----------------------------------------------------------------------
+def validate_apkeep(module) -> Tuple[bool, Dict[str, object]]:
+    from repro.apkeep import APKeepVerifier
+    from repro.netmodel.datasets import build_verification_dataset
+
+    dataset = build_verification_dataset("Internet2")
+    reference = APKeepVerifier(dataset)
+
+    start = time.perf_counter()
+    state = module.build_network(dataset)
+    build_seconds = time.perf_counter() - start
+
+    details: Dict[str, object] = {
+        "dataset": dataset.name,
+        "reference_atoms": reference.num_atoms_minimal,
+        "reproduced_atoms": module.count_atoms(state),
+        "reproduced_build_seconds": build_seconds,
+        "reference_build_seconds": reference.build_seconds,
+    }
+    if module.count_atoms(state) != reference.num_atoms_minimal:
+        details["mismatch"] = "atom counts differ"
+        return False, details
+
+    got_loops = module.find_loops(state)
+    want_loops = reference.find_loops()
+    details["reproduced_loops"] = len(got_loops)
+    details["reference_loops"] = len(want_loops)
+    if bool(got_loops) != bool(want_loops):
+        details["mismatch"] = "loop verdicts differ"
+        return False, details
+    return True, details
+
+
+# ----------------------------------------------------------------------
+# NCFlow (participant A)
+# ----------------------------------------------------------------------
+def validate_ncflow(module) -> Tuple[bool, Dict[str, object]]:
+    from repro.netmodel.instances import make_te_instance
+    from repro.te import solve_max_flow
+    from repro.te.ncflow import NCFlowSolver
+
+    instance = make_te_instance(
+        "Uninett2010", max_commodities=120, total_demand_fraction=0.15
+    )
+    reference = NCFlowSolver().solve(instance.topology, instance.traffic)
+    optimal = solve_max_flow(instance.topology, instance.traffic)
+
+    start = time.perf_counter()
+    objective = module.solve_ncflow(instance.topology, instance.traffic)
+    reproduced_seconds = time.perf_counter() - start
+
+    details: Dict[str, object] = {
+        "instance": instance.name,
+        "reference_objective": reference.objective,
+        "reproduced_objective": objective,
+        "pf4_objective": optimal.objective,
+        "reproduced_seconds": reproduced_seconds,
+        "reference_seconds": reference.solve_seconds,
+    }
+    if objective <= 0:
+        details["mismatch"] = "reproduction admitted no flow"
+        return False, details
+    if objective > optimal.objective * 1.01:
+        details["mismatch"] = "reproduction exceeds the PF4 optimum (infeasible)"
+        return False, details
+    gap = abs(reference.objective - objective) / reference.objective
+    details["objective_gap"] = gap
+    if gap > 0.15:
+        details["mismatch"] = f"objective gap {gap:.1%} too large"
+        return False, details
+    return True, details
+
+
+# ----------------------------------------------------------------------
+# ARROW (participant B)
+# ----------------------------------------------------------------------
+def validate_arrow(module) -> Tuple[bool, Dict[str, object]]:
+    from repro.netmodel.instances import make_te_instance
+    from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+
+    instance = make_te_instance("B4", max_commodities=120)
+    scenarios = single_fiber_scenarios(instance.topology, limit=12)
+    paper_ref = ArrowSolver(variant="paper").solve(
+        instance.topology, instance.traffic, scenarios
+    )
+    code_ref = ArrowSolver(variant="code").solve(
+        instance.topology, instance.traffic, scenarios
+    )
+
+    start = time.perf_counter()
+    objective = module.solve_arrow(instance.topology, instance.traffic)
+    reproduced_seconds = time.perf_counter() - start
+
+    details: Dict[str, object] = {
+        "instance": instance.name,
+        "reproduced_objective": objective,
+        "paper_variant_objective": paper_ref.objective,
+        "open_source_objective": code_ref.objective,
+        "reproduced_seconds": reproduced_seconds,
+    }
+    if objective <= 0:
+        details["mismatch"] = "reproduction admitted no flow"
+        return False, details
+    # Faithful to the PAPER: must match the paper-variant reference.
+    paper_gap = abs(paper_ref.objective - objective) / paper_ref.objective
+    details["paper_variant_gap"] = paper_gap
+    # The documented inconsistency: gap against the open-source variant.
+    code_gap = (code_ref.objective - objective) / code_ref.objective
+    details["open_source_gap"] = code_gap
+    if paper_gap > 0.05:
+        details["mismatch"] = (
+            f"does not match the paper-variant reference ({paper_gap:.1%})"
+        )
+        return False, details
+    return True, details
+
+
+# ----------------------------------------------------------------------
+# Rock-paper-scissors (motivating example)
+# ----------------------------------------------------------------------
+def validate_rps(module) -> Tuple[bool, Dict[str, object]]:
+    import contextlib
+    import io
+
+    from repro.motivating.harness import play_scripted_game
+
+    # The generated programs print their round-by-round chatter; keep the
+    # validation itself quiet.
+    with contextlib.redirect_stdout(io.StringIO()):
+        outcome = play_scripted_game(module)
+    details: Dict[str, object] = {
+        "rounds_played": outcome.rounds_played,
+        "server_results": outcome.results,
+    }
+    expected = ["client", "server", "tie"]
+    if outcome.results != expected:
+        details["mismatch"] = f"expected {expected}, got {outcome.results}"
+        return False, details
+    return True, details

@@ -1,0 +1,34 @@
+"""Scripted participants A-D and the full-experiment driver (section 3).
+
+Each participant is a configuration of the reproduction pipeline: which
+paper they were assigned, which prompting style they converged on, and
+which reference code plays the "open-source prototype" for the LoC
+comparison of Figure 5.
+"""
+
+from repro.experiments.participants import (
+    PARTICIPANTS,
+    ParticipantProfile,
+    reference_loc_for,
+    run_participant,
+)
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.experiment import (
+    ExperimentResult,
+    figure4_rows,
+    figure5_rows,
+    run_experiment,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ExperimentResult",
+    "PARTICIPANTS",
+    "ParticipantProfile",
+    "figure4_rows",
+    "figure5_rows",
+    "reference_loc_for",
+    "run_campaign",
+    "run_experiment",
+    "run_participant",
+]

@@ -1,0 +1,109 @@
+"""Reproduction campaigns: many papers through the pipeline in one run.
+
+The paper's long-term vision is reproducing *many* published systems,
+not four.  A :class:`Campaign` batches pipeline runs across paper keys
+and prompting styles, collects the reports, and renders a summary — the
+scaffolding a larger study (or a replicability track) would run on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.knowledge import (
+    get_component_tests,
+    get_knowledge,
+    get_logic_notes,
+    get_paper_spec,
+)
+from repro.core.metrics import ReproductionReport
+from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+from repro.core.prompts import PromptStyle
+from repro.core.simulated import SimulatedLLM
+from repro.core.validation import get_validator
+
+
+@dataclass
+class CampaignResult:
+    """All reports of one campaign, keyed by (paper, style)."""
+
+    reports: Dict[str, ReproductionReport] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @staticmethod
+    def key(paper_key: str, style: PromptStyle) -> str:
+        return f"{paper_key}/{style.value}"
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def num_succeeded(self) -> int:
+        return sum(1 for report in self.reports.values() if report.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return self.num_succeeded / self.num_runs
+
+    def by_style(self) -> Dict[str, Dict[str, int]]:
+        """Per-style success counts: ``{style: {"ok": n, "failed": m}}``."""
+        table: Dict[str, Dict[str, int]] = {}
+        for key, report in self.reports.items():
+            style = key.split("/", 1)[1]
+            entry = table.setdefault(style, {"ok": 0, "failed": 0})
+            entry["ok" if report.succeeded else "failed"] += 1
+        return table
+
+    def render(self) -> str:
+        lines = [
+            f"Campaign: {self.num_runs} runs, "
+            f"{self.num_succeeded} succeeded "
+            f"({self.success_rate * 100:.0f}%) in {self.wall_seconds:.1f}s"
+        ]
+        for key in sorted(self.reports):
+            report = self.reports[key]
+            status = "ok" if report.succeeded else "FAILED"
+            lines.append(
+                f"  {key:<32} prompts={report.num_prompts:<4} "
+                f"words={report.total_prompt_words:<6} "
+                f"loc={report.reproduced_loc:<5} {status}"
+            )
+        for style, counts in sorted(self.by_style().items()):
+            lines.append(
+                f"  style {style}: {counts['ok']} ok / {counts['failed']} failed"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    paper_keys: List[str],
+    styles: Optional[List[PromptStyle]] = None,
+    max_debug_rounds: int = 6,
+) -> CampaignResult:
+    """Run every (paper, style) combination through the pipeline."""
+    if styles is None:
+        styles = [PromptStyle.MODULAR_PSEUDOCODE]
+    result = CampaignResult()
+    start = time.perf_counter()
+    for paper_key in paper_keys:
+        for style in styles:
+            llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
+            pipeline = ReproductionPipeline(
+                llm,
+                get_paper_spec(paper_key),
+                component_tests=get_component_tests(paper_key),
+                logic_notes=get_logic_notes(paper_key),
+                validator=get_validator(paper_key),
+                participant="campaign",
+                config=PipelineConfig(
+                    style=style, max_debug_rounds=max_debug_rounds
+                ),
+            )
+            result.reports[CampaignResult.key(paper_key, style)] = pipeline.run()
+    result.wall_seconds = time.perf_counter() - start
+    return result

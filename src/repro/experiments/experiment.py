@@ -1,0 +1,62 @@
+"""The full experiment: all four participants plus the figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.metrics import ReproductionReport
+from repro.experiments.participants import PARTICIPANTS, run_participant
+
+
+@dataclass
+class ExperimentResult:
+    """Reports of all four participants, keyed by participant name."""
+
+    reports: Dict[str, ReproductionReport] = field(default_factory=dict)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return all(report.succeeded for report in self.reports.values())
+
+    def report(self, participant: str) -> ReproductionReport:
+        return self.reports[participant]
+
+
+def run_experiment() -> ExperimentResult:
+    """Run participants A-D; every reproduction must assemble and pass."""
+    result = ExperimentResult()
+    for name in sorted(PARTICIPANTS):
+        result.reports[name] = run_participant(name)
+    return result
+
+
+def figure4_rows(result: ExperimentResult) -> List[Tuple[str, str, int, int]]:
+    """Figure 4 series: (participant, system, #prompts, #words)."""
+    rows = []
+    for name in sorted(result.reports):
+        report = result.reports[name]
+        rows.append(
+            (name, report.paper_key, report.num_prompts, report.total_prompt_words)
+        )
+    return rows
+
+
+def figure5_rows(
+    result: ExperimentResult,
+) -> List[Tuple[str, str, int, int, float]]:
+    """Figure 5 series: (participant, system, reproduced LoC, reference
+    LoC, ratio)."""
+    rows = []
+    for name in sorted(result.reports):
+        report = result.reports[name]
+        rows.append(
+            (
+                name,
+                report.paper_key,
+                report.reproduced_loc,
+                report.reference_loc,
+                report.loc_ratio,
+            )
+        )
+    return rows

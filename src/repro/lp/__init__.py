@@ -1,0 +1,49 @@
+"""Linear-programming modelling layer used by the TE substrates.
+
+The paper's participants used two different LP toolchains: the NCFlow
+open-source prototype uses Gurobi while participant A's reproduction uses
+PuLP (CBC), which the paper identifies as the sole cause of a up-to-111x
+end-to-end latency gap.  This package provides a small modelling API
+(:class:`Model`, :class:`Variable`, :class:`LinExpr`) on top of
+``scipy.optimize.linprog`` plus two backend personalities that recreate the
+asymmetry:
+
+* :class:`FastLPBackend` -- solves the assembled sparse matrices directly
+  (stands in for Gurobi).
+* :class:`SlowLPBackend` -- first serialises the model to CPLEX LP text
+  format and re-parses it, the way PuLP shells out through an ``.lp`` file
+  to CBC, and solves with the slower dual-simplex method (stands in for
+  PuLP/CBC).
+
+Both backends return identical optima; only the constant factors differ.
+"""
+
+from repro.lp.model import (
+    ConstraintSense,
+    InfeasibleError,
+    LinExpr,
+    Model,
+    SolveResult,
+    SolveStatus,
+    Variable,
+)
+from repro.lp.backends import (
+    FastLPBackend,
+    LPBackend,
+    SlowLPBackend,
+    get_backend,
+)
+
+__all__ = [
+    "ConstraintSense",
+    "FastLPBackend",
+    "InfeasibleError",
+    "LPBackend",
+    "LinExpr",
+    "Model",
+    "SlowLPBackend",
+    "SolveResult",
+    "SolveStatus",
+    "Variable",
+    "get_backend",
+]

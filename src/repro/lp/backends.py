@@ -1,0 +1,279 @@
+"""LP solver backends with the two "personalities" described in DESIGN.md.
+
+Participant A's reproduced NCFlow was up to 111x slower end-to-end than the
+open-source prototype purely because of the LP toolchain: the prototype calls
+Gurobi in-process while the reproduction goes through PuLP, which serialises
+the model to an ``.lp`` file, shells out to CBC, and parses the solution back.
+
+* :class:`FastLPBackend` solves the assembled sparse matrices directly with
+  HiGHS (interior point / dual simplex chosen by HiGHS), like Gurobi's
+  in-process API.
+* :class:`SlowLPBackend` reproduces the PuLP code path honestly: it writes
+  the model to CPLEX LP text format, re-parses that text into a fresh model,
+  and only then solves -- with the plain dual-simplex method.  All the extra
+  latency is real serialisation work, not a sleep.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, List, Optional
+
+from repro.lp.model import (
+    ConstraintSense,
+    LinExpr,
+    Model,
+    SolveResult,
+    SolveStatus,
+)
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class LPBackend:
+    """Interface all LP backends implement."""
+
+    name = "abstract"
+
+    def solve(self, model: Model) -> SolveResult:
+        raise NotImplementedError
+
+    def _run_linprog(self, model: Model, method: str) -> SolveResult:
+        from scipy.optimize import linprog
+
+        assembled = model.to_matrices()
+        start = time.perf_counter()
+        if assembled.cost.shape[0] == 0:
+            return SolveResult(
+                status=SolveStatus.OPTIMAL,
+                objective=assembled.objective_constant,
+                values=[],
+                backend_name=self.name,
+            )
+        raw = linprog(
+            c=assembled.cost,
+            A_ub=assembled.a_ub,
+            b_ub=assembled.b_ub,
+            A_eq=assembled.a_eq,
+            b_eq=assembled.b_eq,
+            bounds=assembled.bounds,
+            method=method,
+        )
+        elapsed = time.perf_counter() - start
+        status = _STATUS_MAP.get(raw.status, SolveStatus.ERROR)
+        if status is SolveStatus.OPTIMAL:
+            objective = float(raw.fun)
+            if assembled.maximize:
+                objective = -objective
+            objective += assembled.objective_constant
+            values = [float(v) for v in raw.x]
+        else:
+            objective = float("nan")
+            values = [0.0] * len(model.variables)
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=values,
+            iterations=int(getattr(raw, "nit", 0) or 0),
+            solve_seconds=elapsed,
+            backend_name=self.name,
+        )
+
+
+class FastLPBackend(LPBackend):
+    """In-process solve, standing in for Gurobi."""
+
+    name = "fast-highs"
+
+    def solve(self, model: Model) -> SolveResult:
+        return self._run_linprog(model, method="highs")
+
+
+class SlowLPBackend(LPBackend):
+    """File-format round-trip solve, standing in for PuLP + CBC.
+
+    The round-trip count can be raised to model slower toolchains; each
+    round trip serialises the model to LP text and re-parses it, which is
+    exactly the overhead PuLP pays once per solve (write ``.lp``, fork CBC,
+    CBC re-reads the file).
+    """
+
+    name = "slow-pulp"
+
+    def __init__(self, round_trips: int = 3):
+        if round_trips < 1:
+            raise ValueError("round_trips must be >= 1")
+        self.round_trips = round_trips
+
+    def solve(self, model: Model) -> SolveResult:
+        start = time.perf_counter()
+        current = model
+        for _ in range(self.round_trips):
+            text = write_lp_text(current)
+            current = parse_lp_text(text)
+        result = self._run_linprog(current, method="highs-ds")
+        result.solve_seconds = time.perf_counter() - start
+        result.backend_name = self.name
+        return result
+
+
+def get_backend(name: str) -> LPBackend:
+    """Look up a backend by personality name (``"fast"`` or ``"slow"``)."""
+    normalised = name.lower()
+    if normalised in ("fast", "gurobi", "fast-highs"):
+        return FastLPBackend()
+    if normalised in ("slow", "pulp", "cbc", "slow-pulp"):
+        return SlowLPBackend()
+    raise KeyError(f"unknown LP backend {name!r}")
+
+
+# ----------------------------------------------------------------------
+# CPLEX LP text format (the subset PuLP emits)
+# ----------------------------------------------------------------------
+
+def _format_expr(expr: LinExpr, var_names: List[str]) -> str:
+    parts: List[str] = []
+    for idx in sorted(expr.coefs):
+        coef = expr.coefs[idx]
+        if coef == 0.0:
+            continue
+        sign = "+" if coef >= 0 else "-"
+        parts.append(f"{sign} {abs(coef):.12g} {var_names[idx]}")
+    if not parts:
+        return "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def _sanitize_names(model: Model) -> List[str]:
+    """LP-format-safe, unique variable names (like ``PuLP.writeLP``)."""
+    names: List[str] = []
+    seen = set()
+    for var in model.variables:
+        name = re.sub(r"[^A-Za-z0-9_]", "_", var.name)
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            name = f"x_{var.index}"
+        if name in seen:
+            name = f"{name}_{var.index}"
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def write_lp_text(model: Model) -> str:
+    """Serialise ``model`` to CPLEX LP format, like ``PuLP.writeLP``."""
+    names = _sanitize_names(model)
+    lines = [f"\\* {model.name} *\\"]
+    lines.append("Maximize" if model.is_maximize else "Minimize")
+    lines.append(" obj: " + _format_expr(model.objective_expr, names))
+    lines.append("Subject To")
+    sense_token = {
+        ConstraintSense.LE: "<=",
+        ConstraintSense.GE: ">=",
+        ConstraintSense.EQ: "=",
+    }
+    for constraint in model.constraints:
+        rhs = -constraint.expr.constant
+        row_name = re.sub(r"[^A-Za-z0-9_]", "_", constraint.name) or f"c{constraint.row}"
+        lines.append(
+            f" {row_name}: {_format_expr(constraint.expr, names)} "
+            f"{sense_token[constraint.sense]} {rhs:.12g}"
+        )
+    lines.append("Bounds")
+    for var, name in zip(model.variables, names):
+        upper = "+inf" if var.upper == float("inf") else f"{var.upper:.12g}"
+        lines.append(f" {var.lower:.12g} <= {name} <= {upper}")
+    lines.append("End")
+    return "\n".join(lines)
+
+
+_TERM_RE = re.compile(r"([+-]?)\s*(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)?\s*([A-Za-z_][\w.\[\],]*)")
+
+
+def _parse_expr(text: str, var_index: Dict[str, int]) -> LinExpr:
+    expr = LinExpr()
+    for sign, coef_text, name in _TERM_RE.findall(text):
+        coef = float(coef_text) if coef_text else 1.0
+        if sign == "-":
+            coef = -coef
+        idx = var_index[name]
+        expr.coefs[idx] = expr.coefs.get(idx, 0.0) + coef
+    return expr
+
+
+def parse_lp_text(text: str) -> Model:
+    """Parse LP text produced by :func:`write_lp_text` back into a model."""
+    lines = [ln.rstrip() for ln in text.splitlines() if ln.strip()]
+    model = Model("parsed")
+    section = None
+    maximize = False
+    objective_text: Optional[str] = None
+    constraint_rows: List[str] = []
+    bound_rows: List[str] = []
+    for line in lines:
+        stripped = line.strip()
+        lowered = stripped.lower()
+        if stripped.startswith("\\*"):
+            continue
+        if lowered in ("maximize", "minimize"):
+            maximize = lowered == "maximize"
+            section = "objective"
+            continue
+        if lowered == "subject to":
+            section = "constraints"
+            continue
+        if lowered == "bounds":
+            section = "bounds"
+            continue
+        if lowered == "end":
+            break
+        if section == "objective":
+            objective_text = stripped.split(":", 1)[1]
+        elif section == "constraints":
+            constraint_rows.append(stripped)
+        elif section == "bounds":
+            bound_rows.append(stripped)
+
+    var_index: Dict[str, int] = {}
+    for row in bound_rows:
+        lower_text, name, upper_text = _split_bound(row)
+        upper = float("inf") if upper_text in ("+inf", "inf") else float(upper_text)
+        var = model.add_var(name=name, lower=float(lower_text), upper=upper)
+        var_index[name] = var.index
+
+    if objective_text is not None:
+        objective = _parse_expr(objective_text, var_index)
+        if maximize:
+            model.maximize(objective)
+        else:
+            model.minimize(objective)
+
+    for row in constraint_rows:
+        name, body = row.split(":", 1)
+        match = re.search(r"(<=|>=|=)\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)\s*$", body)
+        if match is None:
+            raise ValueError(f"cannot parse constraint row {row!r}")
+        sense_token, rhs_text = match.group(1), match.group(2)
+        lhs = _parse_expr(body[: match.start()], var_index)
+        rhs = float(rhs_text)
+        if sense_token == "<=":
+            model.add_constraint(lhs <= rhs, name=name.strip())
+        elif sense_token == ">=":
+            model.add_constraint(lhs >= rhs, name=name.strip())
+        else:
+            model.add_constraint(lhs.equals(rhs), name=name.strip())
+    return model
+
+
+def _split_bound(row: str):
+    parts = row.split("<=")
+    if len(parts) != 3:
+        raise ValueError(f"cannot parse bound row {row!r}")
+    return parts[0].strip(), parts[1].strip(), parts[2].strip()

@@ -1,0 +1,374 @@
+"""A small LP modelling API assembled into sparse matrices for HiGHS.
+
+The API is intentionally close to the subset of Gurobi/PuLP that the TE
+systems in this repository need: continuous variables with bounds, linear
+expressions built with ``+``/``-``/``*``, ``<=``/``>=``/``==`` constraints,
+and a linear objective.  Expressions keep ``{variable index: coefficient}``
+dictionaries, so building a model is O(number of nonzeros).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class ConstraintSense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class InfeasibleError(RuntimeError):
+    """Raised by :meth:`Model.solve` when ``raise_on_infeasible`` is set."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A continuous decision variable.
+
+    Instances are created through :meth:`Model.add_var` and are only
+    meaningful within their owning model (``index`` is the column number).
+    """
+
+    index: int
+    name: str
+    lower: float
+    upper: float
+
+    def __add__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return LinExpr.from_term(self) + other
+
+    def __radd__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        return LinExpr.from_term(self) + other
+
+    def __sub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return LinExpr.from_term(self) - other
+
+    def __rsub__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        return (-LinExpr.from_term(self)) + other
+
+    def __mul__(self, coef: Number) -> "LinExpr":
+        return LinExpr({self.index: float(coef)})
+
+    def __rmul__(self, coef: Number) -> "LinExpr":
+        return self.__mul__(coef)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({self.index: -1.0})
+
+    def __le__(self, other: Union["Variable", "LinExpr", Number]) -> "_PendingConstraint":
+        return LinExpr.from_term(self) <= other
+
+    def __ge__(self, other: Union["Variable", "LinExpr", Number]) -> "_PendingConstraint":
+        return LinExpr.from_term(self) >= other
+
+
+class LinExpr:
+    """A linear expression: ``sum(coef[i] * x[i]) + constant``."""
+
+    __slots__ = ("coefs", "constant")
+
+    def __init__(self, coefs: Optional[Dict[int, float]] = None, constant: float = 0.0):
+        self.coefs: Dict[int, float] = dict(coefs) if coefs else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def from_term(var: Variable, coef: float = 1.0) -> "LinExpr":
+        return LinExpr({var.index: float(coef)})
+
+    @staticmethod
+    def sum_of(terms: Iterable[Union[Variable, "LinExpr"]]) -> "LinExpr":
+        """Sum many variables/expressions without quadratic re-copying."""
+        out = LinExpr()
+        for term in terms:
+            out._iadd(term)
+        return out
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coefs, self.constant)
+
+    def _iadd(self, other: Union[Variable, "LinExpr", Number], sign: float = 1.0) -> None:
+        if isinstance(other, Variable):
+            self.coefs[other.index] = self.coefs.get(other.index, 0.0) + sign
+        elif isinstance(other, LinExpr):
+            for idx, coef in other.coefs.items():
+                self.coefs[idx] = self.coefs.get(idx, 0.0) + sign * coef
+            self.constant += sign * other.constant
+        else:
+            self.constant += sign * float(other)
+
+    def __add__(self, other: Union[Variable, "LinExpr", Number]) -> "LinExpr":
+        out = self.copy()
+        out._iadd(other)
+        return out
+
+    def __radd__(self, other: Union[Variable, Number]) -> "LinExpr":
+        return self.__add__(other)
+
+    def __iadd__(self, other: Union[Variable, "LinExpr", Number]) -> "LinExpr":
+        self._iadd(other)
+        return self
+
+    def __sub__(self, other: Union[Variable, "LinExpr", Number]) -> "LinExpr":
+        out = self.copy()
+        out._iadd(other, sign=-1.0)
+        return out
+
+    def __rsub__(self, other: Union[Variable, Number]) -> "LinExpr":
+        out = -self
+        out._iadd(other)
+        return out
+
+    def __isub__(self, other: Union[Variable, "LinExpr", Number]) -> "LinExpr":
+        self._iadd(other, sign=-1.0)
+        return self
+
+    def __mul__(self, coef: Number) -> "LinExpr":
+        scale = float(coef)
+        return LinExpr(
+            {idx: c * scale for idx, c in self.coefs.items()}, self.constant * scale
+        )
+
+    def __rmul__(self, coef: Number) -> "LinExpr":
+        return self.__mul__(coef)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    def __le__(self, other: Union[Variable, "LinExpr", Number]) -> "_PendingConstraint":
+        return _PendingConstraint(self - other, ConstraintSense.LE)
+
+    def __ge__(self, other: Union[Variable, "LinExpr", Number]) -> "_PendingConstraint":
+        return _PendingConstraint(self - other, ConstraintSense.GE)
+
+    def equals(self, other: Union[Variable, "LinExpr", Number]) -> "_PendingConstraint":
+        """Build an equality constraint (``==`` is kept for identity)."""
+        return _PendingConstraint(self - other, ConstraintSense.EQ)
+
+    def value(self, solution: Sequence[float]) -> float:
+        """Evaluate the expression against a solution vector."""
+        return self.constant + sum(
+            coef * solution[idx] for idx, coef in self.coefs.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coefs.items()))
+        return f"LinExpr({terms} + {self.constant:g})"
+
+
+@dataclass
+class _PendingConstraint:
+    """Normalised constraint ``expr (sense) 0`` awaiting registration."""
+
+    expr: LinExpr
+    sense: ConstraintSense
+
+
+@dataclass
+class Constraint:
+    """A registered constraint; ``row`` is its row number in the model."""
+
+    row: int
+    name: str
+    expr: LinExpr
+    sense: ConstraintSense
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`Model.solve`."""
+
+    status: SolveStatus
+    objective: float
+    values: List[float]
+    iterations: int = 0
+    solve_seconds: float = 0.0
+    backend_name: str = ""
+
+    def value_of(self, var: Variable) -> float:
+        return self.values[var.index]
+
+    @property
+    def ok(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+
+class Model:
+    """An LP model with a Gurobi/PuLP-flavoured construction API.
+
+    >>> m = Model("toy")
+    >>> x = m.add_var(name="x", upper=4)
+    >>> y = m.add_var(name="y", upper=3)
+    >>> _ = m.add_constraint(x + y <= 5, name="cap")
+    >>> m.maximize(x + 2 * y)
+    >>> result = m.solve()
+    >>> round(result.objective, 6)
+    8.0
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self._objective = LinExpr()
+        self._maximize = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: Optional[str] = None,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+    ) -> Variable:
+        """Add one continuous variable and return its handle."""
+        if upper < lower:
+            raise ValueError(f"variable {name!r}: upper {upper} < lower {lower}")
+        index = len(self.variables)
+        var = Variable(index, name or f"x{index}", float(lower), float(upper))
+        self.variables.append(var)
+        return var
+
+    def add_vars(self, count: int, prefix: str = "x", **kwargs) -> List[Variable]:
+        """Add ``count`` variables named ``prefix0..prefixN-1``."""
+        return [self.add_var(name=f"{prefix}{i}", **kwargs) for i in range(count)]
+
+    def add_constraint(
+        self, pending: _PendingConstraint, name: Optional[str] = None
+    ) -> Constraint:
+        """Register a constraint built via ``<=``, ``>=`` or ``.equals``."""
+        if not isinstance(pending, _PendingConstraint):
+            raise TypeError(
+                "add_constraint expects an expression comparison, "
+                f"got {type(pending).__name__}"
+            )
+        row = len(self.constraints)
+        constraint = Constraint(row, name or f"c{row}", pending.expr, pending.sense)
+        self.constraints.append(constraint)
+        return constraint
+
+    def maximize(self, expr: Union[Variable, LinExpr]) -> None:
+        self._objective = LinExpr.from_term(expr) if isinstance(expr, Variable) else expr.copy()
+        self._maximize = True
+
+    def minimize(self, expr: Union[Variable, LinExpr]) -> None:
+        self._objective = LinExpr.from_term(expr) if isinstance(expr, Variable) else expr.copy()
+        self._maximize = False
+
+    @property
+    def objective_expr(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def is_maximize(self) -> bool:
+        return self._maximize
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # ------------------------------------------------------------------
+    # Matrix assembly
+    # ------------------------------------------------------------------
+    def to_matrices(self) -> "AssembledLP":
+        """Assemble the model into the arrays ``linprog`` expects."""
+        import numpy as np
+        from scipy import sparse
+
+        n = len(self.variables)
+        cost = np.zeros(n)
+        for idx, coef in self._objective.coefs.items():
+            cost[idx] = coef
+        if self._maximize:
+            cost = -cost
+
+        ub_rows: List[Tuple[Dict[int, float], float]] = []
+        eq_rows: List[Tuple[Dict[int, float], float]] = []
+        for constraint in self.constraints:
+            rhs = -constraint.expr.constant
+            if constraint.sense is ConstraintSense.LE:
+                ub_rows.append((constraint.expr.coefs, rhs))
+            elif constraint.sense is ConstraintSense.GE:
+                negated = {i: -c for i, c in constraint.expr.coefs.items()}
+                ub_rows.append((negated, -rhs))
+            else:
+                eq_rows.append((constraint.expr.coefs, rhs))
+
+        def build(rows: List[Tuple[Dict[int, float], float]]):
+            if not rows:
+                return None, None
+            data, row_idx, col_idx, rhs_vec = [], [], [], []
+            for r, (coefs, rhs) in enumerate(rows):
+                rhs_vec.append(rhs)
+                for col, coef in coefs.items():
+                    row_idx.append(r)
+                    col_idx.append(col)
+                    data.append(coef)
+            matrix = sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            )
+            return matrix, np.asarray(rhs_vec)
+
+        a_ub, b_ub = build(ub_rows)
+        a_eq, b_eq = build(eq_rows)
+        bounds = [(v.lower, None if v.upper == float("inf") else v.upper) for v in self.variables]
+        return AssembledLP(
+            cost=cost,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            maximize=self._maximize,
+            objective_constant=self._objective.constant,
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, backend=None, raise_on_infeasible: bool = False) -> SolveResult:
+        """Solve with ``backend`` (default: a :class:`FastLPBackend`)."""
+        from repro.lp.backends import FastLPBackend
+
+        if backend is None:
+            backend = FastLPBackend()
+        result = backend.solve(self)
+        if raise_on_infeasible and result.status is not SolveStatus.OPTIMAL:
+            raise InfeasibleError(
+                f"model {self.name!r}: solve ended with status {result.status.value}"
+            )
+        return result
+
+
+@dataclass
+class AssembledLP:
+    """Sparse-matrix form of a :class:`Model`, ready for ``linprog``."""
+
+    cost: "object"
+    a_ub: "object"
+    b_ub: "object"
+    a_eq: "object"
+    b_eq: "object"
+    bounds: List[Tuple[float, Optional[float]]]
+    maximize: bool
+    objective_constant: float = 0.0

@@ -1,0 +1,27 @@
+"""The motivating example (paper section 2.2).
+
+An undergraduate prompts the LLM four times (159 words in total) and gets
+a working client/server rock-paper-scissors game of 93 lines of Python.
+The paper calls the program a "UDP server and client", but the code in
+its Figure 3 uses ``SOCK_STREAM`` -- TCP; this reproduction follows the
+figure (the code), not the prose, and EXPERIMENTS.md records the
+discrepancy.
+
+:mod:`repro.motivating.session` replays the four-prompt conversation
+against the simulated LLM; :mod:`repro.motivating.harness` actually runs
+the generated program over loopback sockets and checks the game plays
+correctly.
+"""
+
+from repro.motivating.harness import GameOutcome, play_scripted_game
+from repro.motivating.session import (
+    MOTIVATING_PROMPTS,
+    run_motivating_session,
+)
+
+__all__ = [
+    "GameOutcome",
+    "MOTIVATING_PROMPTS",
+    "play_scripted_game",
+    "run_motivating_session",
+]

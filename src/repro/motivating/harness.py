@@ -1,0 +1,84 @@
+"""Run the generated rock-paper-scissors program over real loopback sockets.
+
+The server runs in a background thread on an ephemeral port; the client
+plays a scripted sequence of moves.  With the server cycling R, P, S and
+the client playing P, R, S, the expected verdicts are client / server /
+tie.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+#: Client script used by the validation game (D disconnects at the end).
+SCRIPTED_MOVES = ["P", "R", "S", "D"]
+
+
+@dataclass
+class GameOutcome:
+    """What happened in one scripted game."""
+
+    rounds_played: int
+    results: List[str]
+    client_results: List[str]
+
+    @property
+    def consistent(self) -> bool:
+        """Server and client must agree on every round's verdict."""
+        return self.results == self.client_results
+
+
+def play_scripted_game(
+    module,
+    moves: Optional[Sequence[str]] = None,
+    timeout: float = 10.0,
+) -> GameOutcome:
+    """Play one game using the module's ``run_server`` / ``run_client``.
+
+    ``module`` is an assembled artifact module exposing the generated
+    ``run_server(host, port, max_rounds, ready)`` and
+    ``run_client(host, port, moves)`` functions.
+    """
+    moves = list(moves if moves is not None else SCRIPTED_MOVES)
+    rounds = sum(1 for move in moves if move != "D")
+
+    port_box: List[int] = []
+    port_ready = threading.Event()
+
+    def on_ready(port: int) -> None:
+        port_box.append(port)
+        port_ready.set()
+
+    server_results: List[str] = []
+    server_error: List[BaseException] = []
+
+    def server_main() -> None:
+        try:
+            server_results.extend(
+                module.run_server("127.0.0.1", 0, max_rounds=None, ready=on_ready)
+            )
+        except BaseException as exc:  # surfaced to the caller below
+            server_error.append(exc)
+            port_ready.set()
+
+    server_thread = threading.Thread(target=server_main, daemon=True)
+    server_thread.start()
+    if not port_ready.wait(timeout):
+        raise TimeoutError("server did not start listening in time")
+    if server_error:
+        raise RuntimeError(f"server crashed on startup: {server_error[0]!r}")
+
+    client_results = module.run_client("127.0.0.1", port_box[0], moves=moves)
+    server_thread.join(timeout)
+    if server_thread.is_alive():
+        raise TimeoutError("server did not shut down after the game")
+    if server_error:
+        raise RuntimeError(f"server crashed mid-game: {server_error[0]!r}")
+
+    return GameOutcome(
+        rounds_played=rounds,
+        results=server_results,
+        client_results=list(client_results),
+    )

@@ -1,0 +1,98 @@
+"""The four-prompt motivating conversation (paper section 2.2).
+
+The paper reports that four prompts totalling 159 words produced a
+correct 93-LoC program.  This module replays that conversation against
+the simulated LLM: the prompt texts below total exactly 159 words, and
+the final artifacts total exactly 93 lines of code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.llm import ChatSession, CodeArtifact
+from repro.core.prompts import Prompt, PromptKind, PromptStyle
+from repro.core.simulated import SimulatedLLM
+
+#: The four prompts of the undergraduate's conversation (159 words).
+MOTIVATING_PROMPTS: List[Prompt] = [
+    Prompt(
+        text=(
+            "I want to build a small game in Python where a server and a "
+            "client play rock paper scissors over "
+            "sockets on one machine. The server should judge every round "
+            "and tell the client who won. Confirm the plan "
+            "first, we will write the two programs one at a time."
+        ),
+        kind=PromptKind.SYSTEM_OVERVIEW,
+    ),
+    Prompt(
+        text=(
+            "Write the server first. It listens on a host and "
+            "port, accepts one client, picks its own move each round "
+            "cycling rock paper scissors, judges the round, then sends "
+            "its move and result back. Stop when the client sends D "
+            "or hangs up."
+        ),
+        kind=PromptKind.GENERATE,
+        component="server",
+        style=PromptStyle.MODULAR_TEXT,
+    ),
+    Prompt(
+        text=(
+            "Now write the client program. It connects to the server, "
+            "asks me for a move each round, P, R or S, sends it, then "
+            "prints the move the server played and who won. Typing D "
+            "should disconnect cleanly."
+        ),
+        kind=PromptKind.GENERATE,
+        component="client",
+        style=PromptStyle.MODULAR_TEXT,
+    ),
+    Prompt(
+        text=(
+            "Problem: when I type lowercase p or spaces the game "
+            "breaks. Please validate the input, accept it in any case, "
+            "and keep asking until the move is valid."
+        ),
+        kind=PromptKind.DEBUG_TESTCASE,
+        component="client",
+    ),
+]
+
+
+@dataclass
+class MotivatingResult:
+    """Outcome of replaying the motivating conversation."""
+
+    session: ChatSession
+    artifacts: List[CodeArtifact]
+
+    @property
+    def num_prompts(self) -> int:
+        return self.session.num_prompts
+
+    @property
+    def total_words(self) -> int:
+        return self.session.total_words
+
+    @property
+    def total_loc(self) -> int:
+        return sum(artifact.loc for artifact in self.artifacts)
+
+
+def run_motivating_session(llm: SimulatedLLM = None) -> MotivatingResult:
+    """Replay the four prompts and return the conversation + final code."""
+    if llm is None:
+        from repro.core.knowledge import get_knowledge
+
+        llm = SimulatedLLM({"rps": get_knowledge("rps")})
+    session = ChatSession("undergrad:rps")
+    latest: Dict[str, CodeArtifact] = {}
+    for prompt in MOTIVATING_PROMPTS:
+        response = llm.chat(session, prompt)
+        for artifact in response.artifacts:
+            latest[artifact.component] = artifact
+    artifacts = [latest[name] for name in ("server", "client") if name in latest]
+    return MotivatingResult(session=session, artifacts=artifacts)

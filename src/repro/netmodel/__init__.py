@@ -1,0 +1,65 @@
+"""Network modelling substrate shared by the TE and verification systems.
+
+Provides topologies (:class:`Topology`), IPv4-style prefixes and header
+space helpers, forwarding rules and ACLs, deterministic synthetic Topology
+Zoo-scale graphs (:mod:`repro.netmodel.topozoo`), gravity-model traffic
+matrices, and dataset builders for the verification experiments.
+"""
+
+from repro.netmodel.topology import Link, Topology
+from repro.netmodel.headerspace import Prefix, HeaderSpace
+from repro.netmodel.rules import (
+    AclAction,
+    AclRule,
+    Device,
+    ForwardingRule,
+    DROP_PORT,
+    SELF_PORT,
+)
+from repro.netmodel.traffic import TrafficMatrix, TEInstance, gravity_traffic_matrix
+from repro.netmodel.topozoo import (
+    NCFLOW_INSTANCE_NAMES,
+    ARROW_INSTANCE_NAMES,
+    VERIFICATION_DATASET_NAMES,
+    topology_catalog,
+    make_topology,
+)
+from repro.netmodel.datasets import (
+    VerificationDataset,
+    build_verification_dataset,
+    inject_blackhole,
+    inject_loop,
+)
+from repro.netmodel.instances import (
+    arrow_instances,
+    make_te_instance,
+    ncflow_instances,
+)
+
+__all__ = [
+    "AclAction",
+    "AclRule",
+    "ARROW_INSTANCE_NAMES",
+    "Device",
+    "DROP_PORT",
+    "ForwardingRule",
+    "HeaderSpace",
+    "Link",
+    "NCFLOW_INSTANCE_NAMES",
+    "Prefix",
+    "SELF_PORT",
+    "TEInstance",
+    "Topology",
+    "TrafficMatrix",
+    "VERIFICATION_DATASET_NAMES",
+    "VerificationDataset",
+    "arrow_instances",
+    "build_verification_dataset",
+    "gravity_traffic_matrix",
+    "make_te_instance",
+    "ncflow_instances",
+    "inject_blackhole",
+    "inject_loop",
+    "make_topology",
+    "topology_catalog",
+]

@@ -1,0 +1,270 @@
+"""Builders for data-plane verification datasets.
+
+AP and APKeep were evaluated on snapshots of real networks (Internet2,
+Stanford backbone, Purdue, Airtel).  This module builds synthetic
+equivalents: each device owns one destination prefix, FIBs install
+longest-prefix-match routes along shortest paths, a fraction of devices
+additionally carry shorter *aggregate* routes (which is what makes atomic
+predicates interesting -- overlapping rules of different lengths), and the
+"Stanford" dataset carries ingress ACLs like the real Stanford backbone
+configs do.
+
+:func:`inject_loop` and :func:`inject_blackhole` perturb a dataset so the
+verifiers have real anomalies to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netmodel.headerspace import HEADER_BITS, Prefix, split_address_space
+from repro.netmodel.rules import (
+    AclAction,
+    AclRule,
+    Device,
+    DROP_PORT,
+    ForwardingRule,
+    SELF_PORT,
+)
+from repro.netmodel.topology import Topology
+from repro.netmodel.topozoo import make_topology, _seed_for
+
+
+@dataclass
+class VerificationDataset:
+    """A data plane: topology + per-device FIBs (+ optional ACLs)."""
+
+    name: str
+    topology: Topology
+    devices: Dict[str, Device]
+    prefix_of: Dict[str, Prefix]
+
+    @property
+    def total_rules(self) -> int:
+        return sum(device.num_rules for device in self.devices.values())
+
+    def device(self, name: str) -> Device:
+        return self.devices[name]
+
+    def all_rules(self) -> List[Tuple[str, ForwardingRule]]:
+        """Every (device, rule) pair in deterministic order."""
+        out: List[Tuple[str, ForwardingRule]] = []
+        for node in sorted(self.devices):
+            for rule in self.devices[node].rules:
+                out.append((node, rule))
+        return out
+
+    def copy(self) -> "VerificationDataset":
+        devices: Dict[str, Device] = {}
+        for node, device in self.devices.items():
+            clone = Device(node)
+            for rule in device.rules:
+                clone.add_rule(rule)
+            for acl_rule in device.acl:
+                clone.add_acl_rule(acl_rule)
+            devices[node] = clone
+        return VerificationDataset(
+            self.name, self.topology.copy(), devices, dict(self.prefix_of)
+        )
+
+
+def build_verification_dataset(
+    name: str,
+    aggregate_fraction: float = 0.3,
+    with_acls: Optional[bool] = None,
+) -> VerificationDataset:
+    """Build the named dataset (see module docstring).
+
+    ``with_acls`` defaults to True only for "Stanford", matching the paper's
+    datasets (the Stanford backbone snapshot is the one with ACLs).
+    """
+    topology = make_topology(name)
+    if with_acls is None:
+        with_acls = name == "Stanford"
+    rng = np.random.RandomState(_seed_for(name) ^ 0x5EED)
+
+    nodes = topology.nodes
+    prefixes = split_address_space(len(nodes))
+    prefix_of = dict(zip(nodes, prefixes))
+
+    devices: Dict[str, Device] = {node: Device(node) for node in nodes}
+
+    # Exact routes along shortest paths.
+    for dst in nodes:
+        dst_prefix = prefix_of[dst]
+        for src in nodes:
+            if src == dst:
+                devices[src].add_rule(ForwardingRule.lpm(dst_prefix, SELF_PORT))
+                continue
+            path = topology.shortest_path(src, dst)
+            if path is None or len(path) < 2:
+                continue
+            next_hop = path[1]
+            devices[src].add_rule(ForwardingRule.lpm(dst_prefix, next_hop))
+
+    # Aggregate (shorter-prefix) routes on a fraction of devices: route a
+    # covering prefix toward the device's highest-degree neighbour.  These
+    # lower-priority rules overlap the exact routes, which is what gives
+    # the datasets a nontrivial atomic-predicate structure.
+    for node in nodes:
+        if rng.rand() >= aggregate_fraction:
+            continue
+        neighbors = topology.successors(node)
+        if not neighbors:
+            continue
+        uplink = max(neighbors, key=lambda n: (topology.degree(n), n))
+        own = prefix_of[node]
+        if own.length >= 2:
+            shorter_length = own.length - 2
+            shorter_mask = Prefix(0, 0).mask if shorter_length == 0 else (
+                Prefix(own.value, own.length).mask
+                & ~((1 << (HEADER_BITS - shorter_length)) - 1)
+            )
+            shorter = Prefix(own.value & shorter_mask, shorter_length)
+            devices[node].add_rule(ForwardingRule.lpm(shorter, uplink))
+
+    if with_acls:
+        _install_acls(devices, prefix_of, rng)
+
+    return VerificationDataset(name, topology, devices, prefix_of)
+
+
+def _install_acls(
+    devices: Dict[str, Device],
+    prefix_of: Dict[str, Prefix],
+    rng: np.random.RandomState,
+    fraction: float = 0.25,
+) -> None:
+    """Deny a random foreign prefix at a fraction of devices."""
+    nodes = sorted(devices)
+    for node in nodes:
+        if rng.rand() >= fraction:
+            continue
+        victim = nodes[rng.randint(len(nodes))]
+        if victim == node:
+            continue
+        devices[node].add_acl_rule(
+            AclRule(prefix_of[victim], AclAction.DENY, priority=10)
+        )
+        devices[node].add_acl_rule(
+            AclRule(Prefix.full(), AclAction.PERMIT, priority=1)
+        )
+
+
+def random_dataset(
+    num_nodes: int = 4,
+    rules_per_device: int = 6,
+    seed: int = 0,
+    acl_fraction: float = 0.0,
+    name: str = "random",
+) -> VerificationDataset:
+    """A fuzzing data plane: arbitrary overlapping rules, not routes.
+
+    Unlike :func:`build_verification_dataset`, rules here are random
+    prefixes with random priorities pointing at random neighbours (or
+    drop/self), so they exercise the verifiers' shadowing, splitting and
+    tie-breaking logic far harder than shortest-path FIBs do.  Used by
+    the property-based AP-vs-APKeep equivalence tests.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    rng = np.random.RandomState(seed)
+    topology = Topology(name)
+    nodes = [f"{name}-n{i}" for i in range(num_nodes)]
+    for node in nodes:
+        topology.add_node(node)
+    # Ring plus random chords: connected, with path diversity.
+    for i in range(num_nodes):
+        topology.add_bidi_link(nodes[i], nodes[(i + 1) % num_nodes], 1000.0)
+    for _ in range(num_nodes // 2):
+        a, b = rng.randint(num_nodes), rng.randint(num_nodes)
+        if a != b and not topology.has_link(nodes[a], nodes[b]):
+            topology.add_bidi_link(nodes[a], nodes[b], 1000.0)
+
+    prefixes = split_address_space(num_nodes)
+    prefix_of = dict(zip(nodes, prefixes))
+    devices: Dict[str, Device] = {node: Device(node) for node in nodes}
+    for node in nodes:
+        neighbors = topology.successors(node)
+        ports = neighbors + [DROP_PORT, SELF_PORT]
+        for _ in range(rules_per_device):
+            length = int(rng.randint(0, HEADER_BITS + 1))
+            if length == 0:
+                value = 0
+            else:
+                bits = int(rng.randint(0, 1 << length))
+                value = bits << (HEADER_BITS - length)
+            port = ports[int(rng.randint(len(ports)))]
+            priority = int(rng.randint(0, 2 * HEADER_BITS))
+            devices[node].add_rule(
+                ForwardingRule(Prefix(value, length), port, priority)
+            )
+        if acl_fraction > 0 and rng.rand() < acl_fraction:
+            victim = nodes[int(rng.randint(num_nodes))]
+            devices[node].add_acl_rule(
+                AclRule(prefix_of[victim], AclAction.DENY, priority=5)
+            )
+    return VerificationDataset(name, topology, devices, prefix_of)
+
+
+def inject_loop(dataset: VerificationDataset, seed: int = 0) -> Tuple[VerificationDataset, Tuple[str, str]]:
+    """Return a copy with a forwarding loop for one destination prefix.
+
+    Picks two adjacent devices ``u, v`` on the path to some destination and
+    makes ``v`` forward that destination's prefix back to ``u`` with a
+    higher-priority rule.  Returns the perturbed dataset and ``(u, v)``.
+    """
+    rng = np.random.RandomState(seed)
+    out = dataset.copy()
+    nodes = out.topology.nodes
+    for _ in range(200):
+        dst = nodes[rng.randint(len(nodes))]
+        src = nodes[rng.randint(len(nodes))]
+        if src == dst:
+            continue
+        path = out.topology.shortest_path(src, dst)
+        if path is None or len(path) < 3:
+            continue
+        u, v = path[0], path[1]
+        if not out.topology.has_link(v, u):
+            continue
+        prefix = out.prefix_of[dst]
+        out.devices[v].add_rule(
+            ForwardingRule(prefix, u, priority=prefix.length + 1)
+        )
+        return out, (u, v)
+    raise RuntimeError("could not find a place to inject a loop")
+
+
+def inject_blackhole(dataset: VerificationDataset, seed: int = 0) -> Tuple[VerificationDataset, str]:
+    """Return a copy where one transit device drops a destination prefix.
+
+    Picks a device on the path to some destination (not the destination
+    itself) and overrides the route with a higher-priority drop rule.
+    Returns the perturbed dataset and the device name.
+    """
+    from repro.netmodel.rules import DROP_PORT
+
+    rng = np.random.RandomState(seed)
+    out = dataset.copy()
+    nodes = out.topology.nodes
+    for _ in range(200):
+        dst = nodes[rng.randint(len(nodes))]
+        src = nodes[rng.randint(len(nodes))]
+        if src == dst:
+            continue
+        path = out.topology.shortest_path(src, dst)
+        if path is None or len(path) < 3:
+            continue
+        middle = path[len(path) // 2]
+        if middle == dst:
+            continue
+        prefix = out.prefix_of[dst]
+        out.devices[middle].add_rule(
+            ForwardingRule(prefix, DROP_PORT, priority=prefix.length + 1)
+        )
+        return out, middle
+    raise RuntimeError("could not find a place to inject a blackhole")

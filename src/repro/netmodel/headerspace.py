@@ -1,0 +1,157 @@
+"""Packet header space: IPv4-style destination prefixes.
+
+The verification systems (AP, APKeep) reason about sets of packets.  We
+model a packet header as ``HEADER_BITS`` destination-address bits; a
+:class:`Prefix` denotes the set of headers whose leading bits match.  The
+BDD engines encode these sets; :meth:`Prefix.bdd_literals` yields the
+(variable, polarity) pairs a BDD builder needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: Width of the modelled destination-address field.  32 matches IPv4 but
+#: makes BDDs needlessly deep for synthetic datasets; 16 keeps the same
+#: prefix semantics at a comfortable scale and is what the tests assume.
+HEADER_BITS = 16
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A ``value/length`` destination prefix over ``HEADER_BITS``-bit headers.
+
+    ``value`` holds the prefix bits left-aligned in a ``HEADER_BITS``-bit
+    integer with the don't-care bits zeroed, e.g. ``Prefix(0x1200, 8)`` is
+    ``18.0.0.0/8`` scaled down to 16 bits.
+    """
+
+    value: int
+    length: int
+
+    def __post_init__(self):
+        if not 0 <= self.length <= HEADER_BITS:
+            raise ValueError(f"prefix length {self.length} out of [0, {HEADER_BITS}]")
+        if not 0 <= self.value < (1 << HEADER_BITS):
+            raise ValueError(f"prefix value {self.value:#x} out of range")
+        mask = self.mask
+        if self.value & ~mask & ((1 << HEADER_BITS) - 1):
+            raise ValueError(
+                f"prefix value {self.value:#x} has bits set outside /{self.length}"
+            )
+
+    @property
+    def mask(self) -> int:
+        """Bitmask with the ``length`` leading bits set."""
+        if self.length == 0:
+            return 0
+        return ((1 << self.length) - 1) << (HEADER_BITS - self.length)
+
+    @staticmethod
+    def full() -> "Prefix":
+        """The match-everything prefix ``0/0``."""
+        return Prefix(0, 0)
+
+    @staticmethod
+    def host(address: int) -> "Prefix":
+        """A /``HEADER_BITS`` prefix matching exactly one address."""
+        return Prefix(address, HEADER_BITS)
+
+    def contains_address(self, address: int) -> bool:
+        return (address & self.mask) == self.value
+
+    def covers(self, other: "Prefix") -> bool:
+        """True when every header in ``other`` is also in ``self``."""
+        return self.length <= other.length and (other.value & self.mask) == self.value
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.covers(other) or other.covers(self)
+
+    def num_addresses(self) -> int:
+        return 1 << (HEADER_BITS - self.length)
+
+    def bdd_literals(self) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(bit_index, polarity)`` for each constrained bit.
+
+        Bit 0 is the most significant header bit, matching the variable
+        ordering the BDD engines use (top-down MSB-first gives compact
+        prefix BDDs).
+        """
+        for bit in range(self.length):
+            shift = HEADER_BITS - 1 - bit
+            yield bit, bool((self.value >> shift) & 1)
+
+    def __str__(self) -> str:
+        return f"{self.value:#06x}/{self.length}"
+
+
+class HeaderSpace:
+    """An explicit set of header addresses -- the slow reference semantics.
+
+    The BDD-backed verifiers are validated against this brute-force
+    representation in tests.  It is intentionally simple: a frozenset of
+    integer addresses.  Only usable for small ``HEADER_BITS``.
+    """
+
+    __slots__ = ("addresses",)
+
+    def __init__(self, addresses: frozenset):
+        self.addresses = frozenset(addresses)
+
+    @staticmethod
+    def empty() -> "HeaderSpace":
+        return HeaderSpace(frozenset())
+
+    @staticmethod
+    def all() -> "HeaderSpace":
+        return HeaderSpace(frozenset(range(1 << HEADER_BITS)))
+
+    @staticmethod
+    def from_prefix(prefix: Prefix) -> "HeaderSpace":
+        base = prefix.value
+        span = prefix.num_addresses()
+        return HeaderSpace(frozenset(range(base, base + span)))
+
+    def union(self, other: "HeaderSpace") -> "HeaderSpace":
+        return HeaderSpace(self.addresses | other.addresses)
+
+    def intersect(self, other: "HeaderSpace") -> "HeaderSpace":
+        return HeaderSpace(self.addresses & other.addresses)
+
+    def minus(self, other: "HeaderSpace") -> "HeaderSpace":
+        return HeaderSpace(self.addresses - other.addresses)
+
+    def complement(self) -> "HeaderSpace":
+        return HeaderSpace(frozenset(range(1 << HEADER_BITS)) - self.addresses)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.addresses
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HeaderSpace) and self.addresses == other.addresses
+
+    def __hash__(self) -> int:
+        return hash(self.addresses)
+
+
+def split_address_space(count: int) -> List[Prefix]:
+    """Partition the header space into ``count`` equal-size prefixes.
+
+    Used to assign each router in a synthetic dataset its own destination
+    block.  ``count`` is rounded up to the next power of two internally;
+    only the first ``count`` prefixes are returned.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    length = 0
+    while (1 << length) < count:
+        length += 1
+    if length > HEADER_BITS:
+        raise ValueError(f"cannot split {HEADER_BITS}-bit space into {count} prefixes")
+    stride = HEADER_BITS - length
+    return [Prefix(i << stride, length) for i in range(count)]

@@ -1,0 +1,47 @@
+"""Canonical TE instances used by the experiments and benchmarks.
+
+Participant A evaluated NCFlow on 13 TE instances, participant B evaluated
+ARROW on 2; these builders produce the synthetic equivalents (named
+topologies plus seeded gravity traffic) so every experiment runs on the
+same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netmodel.topozoo import (
+    ARROW_INSTANCE_NAMES,
+    NCFLOW_INSTANCE_NAMES,
+    make_topology,
+)
+from repro.netmodel.traffic import TEInstance, gravity_traffic_matrix
+
+
+def make_te_instance(
+    name: str,
+    seed: Optional[int] = None,
+    total_demand_fraction: float = 0.05,
+    max_commodities: int = 300,
+) -> TEInstance:
+    """Build the named instance; the seed defaults to a per-name constant."""
+    topology = make_topology(name)
+    if seed is None:
+        seed = sum(ord(c) for c in name)
+    traffic = gravity_traffic_matrix(
+        topology,
+        seed=seed,
+        total_demand_fraction=total_demand_fraction,
+        max_commodities=max_commodities,
+    )
+    return TEInstance(name=name, topology=topology, traffic=traffic)
+
+
+def ncflow_instances(**kwargs) -> List[TEInstance]:
+    """The 13 instances of participant A's NCFlow evaluation."""
+    return [make_te_instance(name, **kwargs) for name in NCFLOW_INSTANCE_NAMES]
+
+
+def arrow_instances(**kwargs) -> List[TEInstance]:
+    """The 2 instances of participant B's ARROW evaluation."""
+    return [make_te_instance(name, **kwargs) for name in ARROW_INSTANCE_NAMES]

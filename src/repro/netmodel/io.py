@@ -1,0 +1,162 @@
+"""JSON serialisation for network objects.
+
+Downstream users need to pin down the exact inputs an experiment ran on;
+these functions dump and load topologies, traffic matrices and full
+verification datasets as plain JSON.  Round-trips are exact (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.netmodel.datasets import VerificationDataset
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.rules import AclAction, AclRule, Device, ForwardingRule
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def topology_to_dict(topology: Topology) -> Dict:
+    return {
+        "name": topology.name,
+        "nodes": topology.nodes,
+        "links": [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "capacity": link.capacity,
+                "fiber_id": link.fiber_id,
+            }
+            for link in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(payload: Dict) -> Topology:
+    topology = Topology(payload["name"])
+    for node in payload["nodes"]:
+        topology.add_node(node)
+    for link in payload["links"]:
+        topology.add_link(
+            link["src"], link["dst"], link["capacity"], link.get("fiber_id")
+        )
+    return topology
+
+
+# ----------------------------------------------------------------------
+# Traffic
+# ----------------------------------------------------------------------
+def traffic_to_dict(traffic: TrafficMatrix) -> Dict:
+    return {
+        "demands": [
+            {"src": src, "dst": dst, "mbps": amount}
+            for (src, dst), amount in sorted(traffic.demands.items())
+        ]
+    }
+
+
+def traffic_from_dict(payload: Dict) -> TrafficMatrix:
+    matrix = TrafficMatrix()
+    for entry in payload["demands"]:
+        matrix.demands[(entry["src"], entry["dst"])] = entry["mbps"]
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Verification datasets
+# ----------------------------------------------------------------------
+def dataset_to_dict(dataset: VerificationDataset) -> Dict:
+    devices = {}
+    for name in sorted(dataset.devices):
+        device = dataset.devices[name]
+        devices[name] = {
+            "rules": [
+                {
+                    "prefix": {"value": rule.prefix.value, "length": rule.prefix.length},
+                    "port": rule.port,
+                    "priority": rule.priority,
+                }
+                for rule in device.rules
+            ],
+            "acl": [
+                {
+                    "prefix": {"value": rule.prefix.value, "length": rule.prefix.length},
+                    "action": rule.action.value,
+                    "priority": rule.priority,
+                }
+                for rule in device.acl
+            ],
+        }
+    return {
+        "name": dataset.name,
+        "topology": topology_to_dict(dataset.topology),
+        "devices": devices,
+        "prefix_of": {
+            node: {"value": prefix.value, "length": prefix.length}
+            for node, prefix in sorted(dataset.prefix_of.items())
+        },
+    }
+
+
+def dataset_from_dict(payload: Dict) -> VerificationDataset:
+    topology = topology_from_dict(payload["topology"])
+    devices: Dict[str, Device] = {}
+    for name, entry in payload["devices"].items():
+        device = Device(name)
+        for rule in entry["rules"]:
+            device.add_rule(
+                ForwardingRule(
+                    Prefix(rule["prefix"]["value"], rule["prefix"]["length"]),
+                    rule["port"],
+                    rule["priority"],
+                )
+            )
+        for rule in entry["acl"]:
+            device.add_acl_rule(
+                AclRule(
+                    Prefix(rule["prefix"]["value"], rule["prefix"]["length"]),
+                    AclAction(rule["action"]),
+                    rule["priority"],
+                )
+            )
+        devices[name] = device
+    prefix_of = {
+        node: Prefix(entry["value"], entry["length"])
+        for node, entry in payload["prefix_of"].items()
+    }
+    return VerificationDataset(payload["name"], topology, devices, prefix_of)
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def save_json(obj, path: str) -> None:
+    """Save a Topology, TrafficMatrix or VerificationDataset to a file."""
+    if isinstance(obj, Topology):
+        payload = {"type": "topology", "data": topology_to_dict(obj)}
+    elif isinstance(obj, TrafficMatrix):
+        payload = {"type": "traffic", "data": traffic_to_dict(obj)}
+    elif isinstance(obj, VerificationDataset):
+        payload = {"type": "dataset", "data": dataset_to_dict(obj)}
+    else:
+        raise TypeError(f"cannot serialise {type(obj).__name__}")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_json(path: str):
+    """Load whatever :func:`save_json` wrote."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    kind = payload.get("type")
+    if kind == "topology":
+        return topology_from_dict(payload["data"])
+    if kind == "traffic":
+        return traffic_from_dict(payload["data"])
+    if kind == "dataset":
+        return dataset_from_dict(payload["data"])
+    raise ValueError(f"unknown payload type {kind!r}")

@@ -1,0 +1,161 @@
+"""Forwarding rules, ACLs and devices -- the data plane the verifiers read.
+
+A :class:`Device` owns a priority-ordered FIB of :class:`ForwardingRule`
+entries (longest-prefix-match is expressed as priority = prefix length,
+exactly how the AP/APKeep papers model it) plus an optional ACL applied to
+packets entering the device.
+
+Two distinguished ports exist on every device:
+
+* ``DROP_PORT`` -- packets forwarded here are dropped (the default route
+  when no rule matches);
+* ``SELF_PORT`` -- packets delivered locally (the device owns the prefix).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.netmodel.headerspace import HeaderSpace, Prefix
+
+DROP_PORT = "drop"
+SELF_PORT = "self"
+
+
+class AclAction(enum.Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One FIB entry: packets matching ``prefix`` leave via ``port``.
+
+    ``port`` names the neighbour device for transit links, or one of the
+    distinguished ``DROP_PORT`` / ``SELF_PORT`` values.  Higher ``priority``
+    wins; ties are broken by insertion order (earlier wins), matching the
+    APKeep rule model.
+    """
+
+    prefix: Prefix
+    port: str
+    priority: int
+
+    @staticmethod
+    def lpm(prefix: Prefix, port: str) -> "ForwardingRule":
+        """Longest-prefix-match rule: priority equals prefix length."""
+        return ForwardingRule(prefix, port, prefix.length)
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One ACL entry; first match (by priority, then order) wins."""
+
+    prefix: Prefix
+    action: AclAction
+    priority: int
+
+
+class Device:
+    """A forwarding device: name, FIB, optional ingress ACL."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._rules: List[ForwardingRule] = []
+        self._acl: List[AclRule] = []
+
+    # ------------------------------------------------------------------
+    # FIB
+    # ------------------------------------------------------------------
+    def add_rule(self, rule: ForwardingRule) -> None:
+        self._rules.append(rule)
+
+    def remove_rule(self, rule: ForwardingRule) -> None:
+        """Remove one occurrence of ``rule``; raises ValueError if absent."""
+        self._rules.remove(rule)
+
+    @property
+    def rules(self) -> List[ForwardingRule]:
+        """Rules in decreasing match priority (stable for equal priority)."""
+        return self._sorted_rules()
+
+    def _sorted_rules(self) -> List[ForwardingRule]:
+        indexed = list(enumerate(self._rules))
+        indexed.sort(key=lambda item: (-item[1].priority, item[0]))
+        return [rule for _, rule in indexed]
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    def lookup(self, address: int) -> str:
+        """Port the device forwards ``address`` to (``DROP_PORT`` default)."""
+        for rule in self._sorted_rules():
+            if rule.prefix.contains_address(address):
+                return rule.port
+        return DROP_PORT
+
+    def forwarding_space(self, port: str) -> HeaderSpace:
+        """Exact set of headers the device sends out of ``port``.
+
+        Brute-force reference semantics used to validate the BDD verifiers.
+        """
+        matched = HeaderSpace.empty()
+        remaining = HeaderSpace.all()
+        result = HeaderSpace.empty()
+        for rule in self._sorted_rules():
+            space = HeaderSpace.from_prefix(rule.prefix).intersect(remaining)
+            if rule.port == port:
+                result = result.union(space)
+            remaining = remaining.minus(space)
+        if port == DROP_PORT:
+            result = result.union(remaining)
+        return result
+
+    # ------------------------------------------------------------------
+    # ACL
+    # ------------------------------------------------------------------
+    def add_acl_rule(self, rule: AclRule) -> None:
+        self._acl.append(rule)
+
+    @property
+    def acl(self) -> List[AclRule]:
+        indexed = list(enumerate(self._acl))
+        indexed.sort(key=lambda item: (-item[1].priority, item[0]))
+        return [rule for _, rule in indexed]
+
+    @property
+    def has_acl(self) -> bool:
+        return bool(self._acl)
+
+    def acl_permits(self, address: int) -> bool:
+        """First-match ACL decision; default permit when no ACL/ no match."""
+        for rule in self.acl:
+            if rule.prefix.contains_address(address):
+                return rule.action is AclAction.PERMIT
+        return True
+
+    def acl_permit_space(self) -> HeaderSpace:
+        """Exact permitted header set (reference semantics)."""
+        if not self._acl:
+            return HeaderSpace.all()
+        permitted = HeaderSpace.empty()
+        remaining = HeaderSpace.all()
+        for rule in self.acl:
+            space = HeaderSpace.from_prefix(rule.prefix).intersect(remaining)
+            if rule.action is AclAction.PERMIT:
+                permitted = permitted.union(space)
+            remaining = remaining.minus(space)
+        return permitted.union(remaining)
+
+    def ports(self) -> List[str]:
+        """All ports referenced by the FIB plus the distinguished ports."""
+        seen = {DROP_PORT}
+        for rule in self._rules:
+            seen.add(rule.port)
+        return sorted(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device(name={self.name!r}, rules={len(self._rules)}, acl={len(self._acl)})"

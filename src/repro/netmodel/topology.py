@@ -1,0 +1,212 @@
+"""Directed capacitated topologies.
+
+A :class:`Topology` is a thin, explicit wrapper around ``networkx.DiGraph``
+that fixes the conventions every other subsystem relies on:
+
+* nodes are strings;
+* every link is directed and has a ``capacity`` in Mbps;
+* undirected physical links are added as two directed links sharing a
+  ``fiber_id``, which the ARROW substrate uses to model fiber cuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link."""
+
+    src: str
+    dst: str
+    capacity: float
+    fiber_id: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+
+class Topology:
+    """A directed capacitated graph with stable node ordering."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        self._graph.add_node(str(node))
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        fiber_id: Optional[str] = None,
+    ) -> Link:
+        """Add one directed link; replaces any existing ``src -> dst`` link."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        src, dst = str(src), str(dst)
+        if src == dst:
+            raise ValueError(f"self-loop link on {src!r} is not allowed")
+        self._graph.add_edge(src, dst, capacity=float(capacity), fiber_id=fiber_id)
+        return Link(src, dst, float(capacity), fiber_id)
+
+    def add_bidi_link(
+        self,
+        a: str,
+        b: str,
+        capacity: float,
+        fiber_id: Optional[str] = None,
+    ) -> Tuple[Link, Link]:
+        """Add a physical (bidirectional) link as two directed links."""
+        if fiber_id is None:
+            fiber_id = f"fiber:{min(a, b)}--{max(a, b)}"
+        return (
+            self.add_link(a, b, capacity, fiber_id),
+            self.add_link(b, a, capacity, fiber_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    def links(self) -> Iterator[Link]:
+        for src, dst, data in sorted(self._graph.edges(data=True)):
+            yield Link(src, dst, data["capacity"], data.get("fiber_id"))
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return self._graph.has_edge(src, dst)
+
+    def capacity(self, src: str, dst: str) -> float:
+        return self._graph.edges[src, dst]["capacity"]
+
+    def set_capacity(self, src: str, dst: str, capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._graph.edges[src, dst]["capacity"] = float(capacity)
+
+    def fiber_of(self, src: str, dst: str) -> Optional[str]:
+        return self._graph.edges[src, dst].get("fiber_id")
+
+    def fibers(self) -> List[str]:
+        """All distinct fiber ids, sorted."""
+        found = {
+            data.get("fiber_id")
+            for _, _, data in self._graph.edges(data=True)
+            if data.get("fiber_id") is not None
+        }
+        return sorted(found)
+
+    def links_on_fiber(self, fiber_id: str) -> List[Link]:
+        return [link for link in self.links() if link.fiber_id == fiber_id]
+
+    def successors(self, node: str) -> List[str]:
+        return sorted(self._graph.successors(node))
+
+    def predecessors(self, node: str) -> List[str]:
+        return sorted(self._graph.predecessors(node))
+
+    def out_links(self, node: str) -> List[Link]:
+        return [
+            Link(node, dst, data["capacity"], data.get("fiber_id"))
+            for dst, data in sorted(self._graph[node].items())
+        ]
+
+    def degree(self, node: str) -> int:
+        return self._graph.degree(node)
+
+    # ------------------------------------------------------------------
+    # Algorithms
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Hop-count shortest path, or ``None`` when unreachable."""
+        try:
+            return nx.shortest_path(self._graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def k_shortest_paths(self, src: str, dst: str, k: int) -> List[List[str]]:
+        """Up to ``k`` loop-free shortest paths by hop count."""
+        if src == dst:
+            return [[src]]
+        try:
+            generator = nx.shortest_simple_paths(self._graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+        paths: List[List[str]] = []
+        try:
+            for path in generator:
+                paths.append(path)
+                if len(paths) >= k:
+                    break
+        except nx.NetworkXNoPath:
+            pass
+        return paths
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return True
+        return nx.is_strongly_connected(self._graph)
+
+    def subgraph(self, nodes: Iterable[str], name: Optional[str] = None) -> "Topology":
+        """Topology induced by ``nodes`` (links with both ends inside)."""
+        keep = set(nodes)
+        sub = Topology(name or f"{self.name}/sub")
+        for node in sorted(keep):
+            sub.add_node(node)
+        for link in self.links():
+            if link.src in keep and link.dst in keep:
+                sub.add_link(link.src, link.dst, link.capacity, link.fiber_id)
+        return sub
+
+    def without_fibers(self, cut_fibers: Iterable[str], name: Optional[str] = None) -> "Topology":
+        """Copy of the topology with every link on a cut fiber removed."""
+        cut = set(cut_fibers)
+        out = Topology(name or f"{self.name}/cut")
+        for node in self.nodes:
+            out.add_node(node)
+        for link in self.links():
+            if link.fiber_id not in cut:
+                out.add_link(link.src, link.dst, link.capacity, link.fiber_id)
+        return out
+
+    def copy(self) -> "Topology":
+        out = Topology(self.name)
+        out._graph = self._graph.copy()
+        return out
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The underlying graph (a copy, so callers cannot desync us)."""
+        return self._graph.copy()
+
+    def total_capacity(self) -> float:
+        return sum(link.capacity for link in self.links())
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )

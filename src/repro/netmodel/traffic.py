@@ -1,0 +1,112 @@
+"""Traffic matrices and TE instances.
+
+NCFlow and ARROW consume a topology plus a demand matrix.  The paper's
+instances use production matrices we cannot ship, so demands come from the
+standard *gravity model*: demand(s, d) proportional to weight(s) *
+weight(d), with node weights drawn log-normally (heavy-tailed, as real
+PoP weights are).  Matrices are seeded per instance name for determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netmodel.topology import Topology
+
+
+@dataclass
+class TrafficMatrix:
+    """Demands in Mbps keyed by ``(src, dst)`` node-name pairs."""
+
+    demands: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def demand(self, src: str, dst: str) -> float:
+        return self.demands.get((src, dst), 0.0)
+
+    def commodities(self) -> List[Tuple[str, str, float]]:
+        """Nonzero demands sorted by key for deterministic iteration."""
+        return [
+            (src, dst, amount)
+            for (src, dst), amount in sorted(self.demands.items())
+            if amount > 0.0
+        ]
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.demands.values())
+
+    @property
+    def num_commodities(self) -> int:
+        return sum(1 for amount in self.demands.values() if amount > 0.0)
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        return TrafficMatrix(
+            {key: amount * factor for key, amount in self.demands.items()}
+        )
+
+    def top_k(self, k: int) -> "TrafficMatrix":
+        """Keep only the ``k`` largest demands (common TE preprocessing)."""
+        ranked = sorted(self.demands.items(), key=lambda item: (-item[1], item[0]))
+        return TrafficMatrix(dict(ranked[:k]))
+
+
+@dataclass
+class TEInstance:
+    """One TE problem: a topology and its traffic matrix."""
+
+    name: str
+    topology: Topology
+    traffic: TrafficMatrix
+
+    @property
+    def num_commodities(self) -> int:
+        return self.traffic.num_commodities
+
+
+def gravity_traffic_matrix(
+    topology: Topology,
+    seed: int,
+    total_demand_fraction: float = 0.05,
+    max_commodities: int = 600,
+) -> TrafficMatrix:
+    """Gravity-model demands scaled so total demand is a fraction of capacity.
+
+    ``total_demand_fraction`` keeps instances feasible-but-loaded: the
+    aggregate demand equals that fraction of the topology's total link
+    capacity.  ``max_commodities`` caps LP size by keeping only the largest
+    demands (the NCFlow evaluation similarly works on the dominant
+    commodities).
+    """
+    if not 0.0 < total_demand_fraction <= 1.0:
+        raise ValueError("total_demand_fraction must be in (0, 1]")
+    nodes = topology.nodes
+    rng = np.random.RandomState(seed)
+    weights = rng.lognormal(mean=0.0, sigma=1.0, size=len(nodes))
+    weight_of = dict(zip(nodes, weights))
+
+    raw: Dict[Tuple[str, str], float] = {}
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            raw[(src, dst)] = weight_of[src] * weight_of[dst]
+
+    matrix = TrafficMatrix(raw).top_k(max_commodities)
+    target = topology.total_capacity() * total_demand_fraction
+    current = matrix.total_demand
+    if current <= 0.0:
+        return matrix
+    return matrix.scaled(target / current)
+
+
+def uniform_traffic_matrix(topology: Topology, demand: float) -> TrafficMatrix:
+    """Equal demand between every ordered node pair (tiny test instances)."""
+    matrix = TrafficMatrix()
+    for src in topology.nodes:
+        for dst in topology.nodes:
+            if src != dst:
+                matrix.demands[(src, dst)] = demand
+    return matrix

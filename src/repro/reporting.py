@@ -1,0 +1,151 @@
+"""CSV export of every figure/experiment series.
+
+``python -m repro export --out results/`` writes one CSV per paper
+artifact so the series can be plotted or diffed outside Python.  Each
+function returns the rows it wrote (header first) for testing.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from typing import Dict, List
+
+
+def _write(path: str, rows: List[List]) -> List[List]:
+    with open(path, "w", newline="") as handle:
+        csv.writer(handle).writerows(rows)
+    return rows
+
+
+def export_fig1(out_dir: str) -> List[List]:
+    from repro.study import build_corpus, opensource_stats
+
+    stats = opensource_stats(build_corpus())
+    rows: List[List] = [["venue", "year", "open_source", "total", "fraction"]]
+    for venue, year, opened, total, fraction in stats.rows():
+        rows.append([venue, year, opened, total, round(fraction, 4)])
+    return _write(os.path.join(out_dir, "fig1_opensource.csv"), rows)
+
+
+def export_fig2(out_dir: str) -> List[List]:
+    from repro.study import build_corpus, comparison_stats
+
+    stats = comparison_stats(build_corpus())
+    rows: List[List] = [["metric", "value"]]
+    rows.append(["frac_compared_ge2", round(stats.frac_compared_ge2, 4)])
+    rows.append(["mean_manual_given_any", round(stats.mean_manual_given_any, 4)])
+    rows.append(["frac_manual_ge1", round(stats.frac_manual_ge1, 4)])
+    rows.append(["frac_manual_ge2", round(stats.frac_manual_ge2, 4)])
+    for count in sorted(stats.manual_histogram):
+        rows.append([f"manual_histogram_{count}", stats.manual_histogram[count]])
+    return _write(os.path.join(out_dir, "fig2_comparisons.csv"), rows)
+
+
+def export_fig4_fig5(out_dir: str) -> Dict[str, List[List]]:
+    from repro.experiments import figure4_rows, figure5_rows, run_experiment
+
+    result = run_experiment()
+    fig4: List[List] = [["participant", "system", "prompts", "words"]]
+    for row in figure4_rows(result):
+        fig4.append(list(row))
+    fig5: List[List] = [
+        ["participant", "system", "reproduced_loc", "reference_loc", "ratio"]
+    ]
+    for participant, system, reproduced, reference, ratio in figure5_rows(result):
+        fig5.append([participant, system, reproduced, reference, round(ratio, 4)])
+    _write(os.path.join(out_dir, "fig4_prompts.csv"), fig4)
+    _write(os.path.join(out_dir, "fig5_loc.csv"), fig5)
+    return {"fig4": fig4, "fig5": fig5}
+
+
+def export_exp_a(out_dir: str) -> List[List]:
+    from repro.core.knowledge import get_knowledge, get_paper_spec
+    from repro.core.assembly import assemble_module
+    from repro.core.llm import CodeArtifact
+    from repro.netmodel.instances import ncflow_instances
+    from repro.te.ncflow import NCFlowSolver
+
+    knowledge = get_knowledge("ncflow")
+    artifacts = [
+        CodeArtifact(c.name, "python", knowledge.components[c.name].final_source, 9)
+        for c in get_paper_spec("ncflow").components
+    ]
+    module = assemble_module(artifacts, "export_ncflow")
+    rows: List[List] = [
+        ["instance", "reference_objective", "reproduced_objective",
+         "reference_seconds", "reproduced_seconds"]
+    ]
+    for instance in ncflow_instances(max_commodities=300, total_demand_fraction=0.1):
+        start = time.perf_counter()
+        reference = NCFlowSolver().solve(instance.topology, instance.traffic)
+        reference_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        reproduced = module.solve_ncflow(instance.topology, instance.traffic)
+        reproduced_seconds = time.perf_counter() - start
+        rows.append(
+            [
+                instance.name,
+                round(reference.objective, 2),
+                round(reproduced, 2),
+                round(reference_seconds, 4),
+                round(reproduced_seconds, 4),
+            ]
+        )
+    return _write(os.path.join(out_dir, "expA_ncflow.csv"), rows)
+
+
+def export_exp_b(out_dir: str) -> List[List]:
+    from repro.netmodel.instances import arrow_instances
+    from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+
+    rows: List[List] = [["instance", "none", "paper", "ticket", "code"]]
+    for instance in arrow_instances(max_commodities=120):
+        scenarios = single_fiber_scenarios(instance.topology, limit=12)
+        record = [instance.name]
+        for variant in ("none", "paper", "ticket", "code"):
+            solution = ArrowSolver(variant=variant).solve(
+                instance.topology, instance.traffic, scenarios
+            )
+            record.append(round(solution.objective, 2))
+        rows.append(record)
+    return _write(os.path.join(out_dir, "expB_arrow.csv"), rows)
+
+
+def export_exp_cd(out_dir: str) -> List[List]:
+    from repro.ap import APVerifier
+    from repro.apkeep import APKeepVerifier
+    from repro.netmodel.datasets import build_verification_dataset
+
+    rows: List[List] = [
+        ["dataset", "rules", "ap_atoms", "apkeep_atoms",
+         "ap_seconds", "apkeep_seconds"]
+    ]
+    for name in ("Internet2", "Stanford", "Purdue", "Airtel"):
+        dataset = build_verification_dataset(name)
+        ap = APVerifier(dataset)
+        apkeep = APKeepVerifier(dataset)
+        rows.append(
+            [
+                name,
+                dataset.total_rules,
+                ap.num_atoms,
+                apkeep.num_atoms_minimal,
+                round(ap.predicate_seconds, 5),
+                round(apkeep.build_seconds, 5),
+            ]
+        )
+    return _write(os.path.join(out_dir, "expCD_verifiers.csv"), rows)
+
+
+def export_all(out_dir: str) -> List[str]:
+    """Write every CSV; returns the file names written."""
+    os.makedirs(out_dir, exist_ok=True)
+    export_fig1(out_dir)
+    export_fig2(out_dir)
+    export_fig4_fig5(out_dir)
+    export_exp_a(out_dir)
+    export_exp_b(out_dir)
+    export_exp_cd(out_dir)
+    return sorted(os.listdir(out_dir))

@@ -1,0 +1,30 @@
+"""The SIGCOMM/NSDI 2013-2022 reproduction study (paper section 2.1).
+
+The authors collected, for every full research paper in both venues over
+ten years: whether the authors open-sourced a prototype, how many other
+systems the evaluation compares against, and how many of those had to be
+manually reproduced.  The raw per-paper dataset is not published, so
+:mod:`repro.study.corpus` builds a *calibrated synthetic corpus*: paper
+records whose aggregate statistics deterministically reproduce every
+number reported in the paper (32%/29%/31% open source; 59.68% comparing
+at least two systems; 2.29 mean manual reproductions; 49.20%/26.65%
+reproducing at least one/two).  :mod:`repro.study.analysis` computes the
+Figure 1 and Figure 2 series from any corpus.
+"""
+
+from repro.study.corpus import PaperRecord, build_corpus
+from repro.study.analysis import (
+    ComparisonStats,
+    OpenSourceStats,
+    comparison_stats,
+    opensource_stats,
+)
+
+__all__ = [
+    "ComparisonStats",
+    "OpenSourceStats",
+    "PaperRecord",
+    "build_corpus",
+    "comparison_stats",
+    "opensource_stats",
+]

@@ -1,0 +1,101 @@
+"""Figure 1 / Figure 2 analyses over a paper corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.study.corpus import PaperRecord
+
+
+@dataclass
+class OpenSourceStats:
+    """Figure 1: open-source prototype availability."""
+
+    per_venue_year: Dict[Tuple[str, int], Tuple[int, int]] = field(
+        default_factory=dict
+    )  # (venue, year) -> (open, total)
+    per_venue: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    combined: Tuple[int, int] = (0, 0)
+
+    def venue_fraction(self, venue: str) -> float:
+        opened, total = self.per_venue[venue]
+        return opened / total if total else 0.0
+
+    @property
+    def combined_fraction(self) -> float:
+        opened, total = self.combined
+        return opened / total if total else 0.0
+
+    def year_fraction(self, venue: str, year: int) -> float:
+        opened, total = self.per_venue_year[(venue, year)]
+        return opened / total if total else 0.0
+
+    def rows(self) -> List[Tuple[str, int, int, int, float]]:
+        """Printable (venue, year, open, total, fraction) rows."""
+        out = []
+        for (venue, year), (opened, total) in sorted(self.per_venue_year.items()):
+            out.append((venue, year, opened, total, opened / total if total else 0.0))
+        return out
+
+
+@dataclass
+class ComparisonStats:
+    """Figure 2: systems-in-comparison and manual-reproduction burden."""
+
+    num_papers: int = 0
+    compared_histogram: Dict[int, int] = field(default_factory=dict)
+    manual_histogram: Dict[int, int] = field(default_factory=dict)
+    mean_manual: float = 0.0
+    mean_manual_given_any: float = 0.0
+    frac_compared_ge2: float = 0.0
+    frac_manual_ge1: float = 0.0
+    frac_manual_ge2: float = 0.0
+
+
+def opensource_stats(corpus: Iterable[PaperRecord]) -> OpenSourceStats:
+    """Compute the Figure 1 statistics."""
+    stats = OpenSourceStats()
+    opened_all, total_all = 0, 0
+    for record in corpus:
+        key = (record.venue, record.year)
+        opened, total = stats.per_venue_year.get(key, (0, 0))
+        stats.per_venue_year[key] = (opened + int(record.open_source), total + 1)
+        opened, total = stats.per_venue.get(record.venue, (0, 0))
+        stats.per_venue[record.venue] = (opened + int(record.open_source), total + 1)
+        opened_all += int(record.open_source)
+        total_all += 1
+    stats.combined = (opened_all, total_all)
+    return stats
+
+
+def comparison_stats(corpus: Iterable[PaperRecord]) -> ComparisonStats:
+    """Compute the Figure 2 statistics."""
+    stats = ComparisonStats()
+    manual_sum = 0
+    compared_ge2 = 0
+    manual_ge1 = 0
+    manual_ge2 = 0
+    for record in corpus:
+        stats.num_papers += 1
+        stats.compared_histogram[record.num_compared] = (
+            stats.compared_histogram.get(record.num_compared, 0) + 1
+        )
+        stats.manual_histogram[record.num_manual] = (
+            stats.manual_histogram.get(record.num_manual, 0) + 1
+        )
+        manual_sum += record.num_manual
+        if record.num_compared >= 2:
+            compared_ge2 += 1
+        if record.num_manual >= 1:
+            manual_ge1 += 1
+        if record.num_manual >= 2:
+            manual_ge2 += 1
+    if stats.num_papers:
+        stats.mean_manual = manual_sum / stats.num_papers
+        stats.frac_compared_ge2 = compared_ge2 / stats.num_papers
+        stats.frac_manual_ge1 = manual_ge1 / stats.num_papers
+        stats.frac_manual_ge2 = manual_ge2 / stats.num_papers
+    if manual_ge1:
+        stats.mean_manual_given_any = manual_sum / manual_ge1
+    return stats

@@ -1,0 +1,31 @@
+"""Traffic engineering substrate: the two TE systems plus their baseline.
+
+* :mod:`repro.te.maxflow` -- PF-k: the path-formulation multi-commodity
+  max-flow LP (the "PF4" optimal baseline of the NCFlow paper).
+* :mod:`repro.te.ncflow` -- NCFlow: contract the WAN into clusters, solve
+  small flow problems per cluster and on the contracted graph, combine
+  conservatively (participant A's system).
+* :mod:`repro.te.arrow` -- ARROW: restoration-aware TE under fiber cuts,
+  in the two variants whose inconsistency explains participant B's 30%
+  objective gap (paper-faithful vs open-source-faithful).
+"""
+
+from repro.te.solution import TESolution
+from repro.te.maxflow import solve_max_flow, solve_max_flow_edge
+from repro.te.demandscale import ScalePoint, max_feasible_scale, scale_sweep
+from repro.te.fleischer import solve_fleischer
+from repro.te.mlu import solve_min_mlu
+from repro.te.paths import k_shortest_tunnels, path_links
+
+__all__ = [
+    "ScalePoint",
+    "TESolution",
+    "k_shortest_tunnels",
+    "max_feasible_scale",
+    "path_links",
+    "scale_sweep",
+    "solve_fleischer",
+    "solve_max_flow",
+    "solve_max_flow_edge",
+    "solve_min_mlu",
+]

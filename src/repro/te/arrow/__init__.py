@@ -1,0 +1,40 @@
+"""ARROW: restoration-aware traffic engineering (SIGCOMM 2021).
+
+The system participant B reproduced.  ARROW couples TE with *optical
+restoration*: when a fiber is cut, spare wavelengths can restore part of
+the lost IP capacity, and the TE formulation decides flows that remain
+feasible under every failure scenario given the restoration.
+
+The paper's experiment found an up-to-30% objective gap between the
+reproduction (built from the paper text) and the open-source prototype,
+caused by two documented inconsistencies; both variants are implemented:
+
+* ``variant="paper"`` -- restoration capacities are *predefined
+  parameters* (a fixed fraction of each designated restorable link), and
+  a tunnel crossing a cut fiber is restorable only if all its cut links
+  are designated;
+* ``variant="code"`` -- restoration capacities are *decision variables*
+  (the LP allocates a per-fiber wavelength budget across the cut links),
+  and every tunnel is restorable.
+
+``variant="none"`` disables restoration entirely (the no-restoration
+baseline in the ARROW paper's comparisons).
+"""
+
+from repro.te.arrow.restoration import (
+    FailureScenario,
+    RestorationTicket,
+    designated_restorable_links,
+    generate_tickets,
+    single_fiber_scenarios,
+)
+from repro.te.arrow.solver import ArrowSolver
+
+__all__ = [
+    "ArrowSolver",
+    "FailureScenario",
+    "RestorationTicket",
+    "designated_restorable_links",
+    "generate_tickets",
+    "single_fiber_scenarios",
+]

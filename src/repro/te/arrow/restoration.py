@@ -1,0 +1,144 @@
+"""Failure scenarios and optical-restoration modelling for ARROW."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.netmodel.topology import Topology
+
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One failure: the set of cut fibers (empty = no failure)."""
+
+    name: str
+    cut_fibers: FrozenSet[str]
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.cut_fibers
+
+    def cuts_link(self, topology: Topology, src: str, dst: str) -> bool:
+        return topology.fiber_of(src, dst) in self.cut_fibers
+
+
+def single_fiber_scenarios(
+    topology: Topology,
+    limit: Optional[int] = None,
+    include_baseline: bool = True,
+) -> List[FailureScenario]:
+    """One scenario per fiber (every-other fiber when ``limit`` binds).
+
+    The deterministic stride-based subsampling keeps benchmark scenario
+    sets stable across runs while still spreading cuts over the topology.
+    """
+    fibers = topology.fibers()
+    if limit is not None and limit < len(fibers):
+        stride = max(1, len(fibers) // limit)
+        fibers = fibers[::stride][:limit]
+    scenarios = []
+    if include_baseline:
+        scenarios.append(FailureScenario("no-failure", frozenset()))
+    for fiber in fibers:
+        scenarios.append(FailureScenario(f"cut:{fiber}", frozenset([fiber])))
+    return scenarios
+
+
+def designated_restorable_links(topology: Topology, fiber: str) -> List[Edge]:
+    """The links on ``fiber`` that the paper variant designates restorable.
+
+    The paper (as participant B read it) fixes the restoration targets in
+    advance; we model that as the first half of the fiber's links in
+    sorted order -- a deterministic, topology-only designation.
+    """
+    links = sorted(
+        (link.src, link.dst) for link in topology.links_on_fiber(fiber)
+    )
+    keep = math.ceil(len(links) / 2)
+    return links[:keep]
+
+
+def cut_links(topology: Topology, scenario: FailureScenario) -> List[Edge]:
+    """All directed links lost in ``scenario``."""
+    lost: List[Edge] = []
+    for fiber in sorted(scenario.cut_fibers):
+        lost.extend(
+            (link.src, link.dst) for link in topology.links_on_fiber(fiber)
+        )
+    return sorted(set(lost))
+
+
+@dataclass(frozen=True)
+class RestorationTicket:
+    """One discrete restoration candidate for a cut fiber.
+
+    ARROW's "lottery ticket" abstraction: the optical layer proposes a
+    set of candidates per fiber, each a concrete allocation of the spare
+    wavelength budget to the failed IP links; the TE layer picks among
+    them (here: an LP-relaxed convex combination).
+    """
+
+    name: str
+    fiber: str
+    restored: Tuple[Tuple[Edge, float], ...]
+
+    def restored_map(self) -> dict:
+        return dict(self.restored)
+
+    @property
+    def total_restored(self) -> float:
+        return sum(capacity for _, capacity in self.restored)
+
+
+def generate_tickets(
+    topology: Topology,
+    fiber: str,
+    budget_fraction: float = 0.5,
+) -> List[RestorationTicket]:
+    """Deterministic restoration candidates for one fiber.
+
+    Candidates model the knobs the optical layer actually has: spread the
+    wavelength budget evenly, or concentrate it on one failed link (one
+    candidate per link), always capped by each link's original capacity.
+    """
+    links = sorted(
+        (link.src, link.dst, link.capacity)
+        for link in topology.links_on_fiber(fiber)
+    )
+    if not links:
+        return []
+    budget = budget_fraction * sum(capacity for _, _, capacity in links)
+
+    tickets: List[RestorationTicket] = []
+
+    # Candidate 0: spread evenly (capped per link).
+    share = budget / len(links)
+    spread = tuple(
+        ((src, dst), min(share, capacity)) for src, dst, capacity in links
+    )
+    tickets.append(RestorationTicket(f"{fiber}#spread", fiber, spread))
+
+    # One candidate per link: concentrate the budget there, spill the
+    # remainder evenly over the other links.
+    for focus_index, (focus_src, focus_dst, focus_capacity) in enumerate(links):
+        allocation = {}
+        used = min(budget, focus_capacity)
+        allocation[(focus_src, focus_dst)] = used
+        remainder = budget - used
+        others = [l for i, l in enumerate(links) if i != focus_index]
+        if others and remainder > 0:
+            per_other = remainder / len(others)
+            for src, dst, capacity in others:
+                allocation[(src, dst)] = min(per_other, capacity)
+        restored = tuple(
+            ((src, dst), allocation.get((src, dst), 0.0))
+            for src, dst, _ in links
+        )
+        tickets.append(
+            RestorationTicket(f"{fiber}#focus{focus_index}", fiber, restored)
+        )
+    return tickets

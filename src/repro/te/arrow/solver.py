@@ -1,0 +1,264 @@
+"""The ARROW LP: failure-scenario-robust max flow with restoration.
+
+Formulation (simplified from the ARROW paper's MaxFlow objective, but
+preserving its structure):
+
+* ``f_k`` -- admitted flow of commodity ``k`` (bounded by demand);
+* ``y_{t,q}`` -- flow on tunnel ``t`` in scenario ``q``;
+* per scenario, surviving tunnels of each commodity must carry ``f_k``,
+  and per-link tunnel flow must fit the scenario's capacity;
+* scenario capacity of a link on a cut fiber depends on the variant:
+  ``paper`` uses predefined restored capacities on designated links,
+  ``code`` makes restoration a decision variable under a per-fiber
+  wavelength budget, ``none`` restores nothing.
+
+maximize ``sum_k f_k``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.lp import LinExpr, Model, LPBackend
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.arrow.restoration import (
+    FailureScenario,
+    designated_restorable_links,
+    single_fiber_scenarios,
+)
+from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te.solution import TESolution
+
+Edge = Tuple[str, str]
+
+#: ``paper`` / ``code`` are the two variants behind participant B's 30%
+#: finding; ``none`` disables restoration; ``ticket`` is the full
+#: lottery-ticket abstraction of the original system (LP-relaxed choice
+#: among discrete per-fiber restoration candidates).
+_VARIANTS = ("paper", "code", "none", "ticket")
+
+
+class ArrowSolver:
+    """Restoration-aware TE solver (see module docstring for variants)."""
+
+    def __init__(
+        self,
+        variant: str = "code",
+        num_tunnels: int = 3,
+        backend: Optional[LPBackend] = None,
+        restore_fraction: float = 0.5,
+        budget_fraction: float = 0.5,
+    ):
+        if variant not in _VARIANTS:
+            raise KeyError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+        if not 0.0 <= restore_fraction <= 1.0:
+            raise ValueError("restore_fraction must be in [0, 1]")
+        if not 0.0 <= budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in [0, 1]")
+        self.variant = variant
+        self.num_tunnels = num_tunnels
+        self.backend = backend
+        self.restore_fraction = restore_fraction
+        self.budget_fraction = budget_fraction
+
+    def solve(
+        self,
+        topology: Topology,
+        traffic: TrafficMatrix,
+        scenarios: Optional[List[FailureScenario]] = None,
+    ) -> TESolution:
+        start = time.perf_counter()
+        if scenarios is None:
+            scenarios = single_fiber_scenarios(topology)
+        tunnels = k_shortest_tunnels(topology, traffic, self.num_tunnels)
+
+        model = Model(f"arrow-{self.variant}:{topology.name}")
+        admitted: Dict[Tuple[str, str], object] = {}
+        for (src, dst) in sorted(tunnels):
+            admitted[(src, dst)] = model.add_var(
+                name=f"f[{src}->{dst}]", upper=traffic.demand(src, dst)
+            )
+
+        for scenario_id, scenario in enumerate(scenarios):
+            self._add_scenario(
+                model, topology, tunnels, admitted, scenario, scenario_id
+            )
+
+        model.maximize(LinExpr.sum_of(admitted.values()))
+        result = model.solve(backend=self.backend)
+
+        per_commodity: Dict[Tuple[str, str], float] = {}
+        if result.ok:
+            for key, var in admitted.items():
+                per_commodity[key] = result.value_of(var)
+        return TESolution(
+            solver=f"arrow-{self.variant}",
+            objective=result.objective if result.ok else 0.0,
+            flow_per_commodity=per_commodity,
+            solve_seconds=time.perf_counter() - start,
+            lp_count=1,
+            status=result.status.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Scenario constraints
+    # ------------------------------------------------------------------
+    def _add_scenario(
+        self,
+        model: Model,
+        topology: Topology,
+        tunnels: Dict[Tuple[str, str], List[List[str]]],
+        admitted: Dict[Tuple[str, str], object],
+        scenario: FailureScenario,
+        scenario_id: int,
+    ) -> None:
+        restored_caps, restored_vars = self._restoration(
+            model, topology, scenario, scenario_id
+        )
+        link_usage: Dict[Edge, LinExpr] = {}
+        for (src, dst) in sorted(tunnels):
+            alive_vars = []
+            for index, path in enumerate(tunnels[(src, dst)]):
+                links = path_links(path)
+                if not self._tunnel_alive(topology, scenario, links):
+                    continue
+                var = model.add_var(name=f"y{scenario_id}[{src}->{dst}:{index}]")
+                alive_vars.append(var)
+                for link in links:
+                    link_usage.setdefault(link, LinExpr())._iadd(var)
+            expr = LinExpr.sum_of(alive_vars)
+            model.add_constraint(
+                expr >= admitted[(src, dst)],
+                name=f"sat{scenario_id}[{src}->{dst}]",
+            )
+        for (link_src, link_dst), usage in sorted(link_usage.items()):
+            if scenario.cuts_link(topology, link_src, link_dst):
+                if (link_src, link_dst) in restored_vars:
+                    restored = restored_vars[(link_src, link_dst)]
+                    model.add_constraint(
+                        (usage - restored) <= 0.0,
+                        name=f"rcap{scenario_id}[{link_src}->{link_dst}]",
+                    )
+                else:
+                    cap = restored_caps.get((link_src, link_dst), 0.0)
+                    model.add_constraint(
+                        usage <= cap,
+                        name=f"rcap{scenario_id}[{link_src}->{link_dst}]",
+                    )
+            else:
+                model.add_constraint(
+                    usage <= topology.capacity(link_src, link_dst),
+                    name=f"cap{scenario_id}[{link_src}->{link_dst}]",
+                )
+
+    def _restoration(
+        self,
+        model: Model,
+        topology: Topology,
+        scenario: FailureScenario,
+        scenario_id: int,
+    ) -> Tuple[Dict[Edge, float], Dict[Edge, object]]:
+        """Per-variant restored capacity: fixed values and/or LP variables."""
+        fixed: Dict[Edge, float] = {}
+        variables: Dict[Edge, object] = {}
+        if scenario.is_baseline or self.variant == "none":
+            return fixed, variables
+        for fiber in sorted(scenario.cut_fibers):
+            fiber_links = sorted(
+                (link.src, link.dst, link.capacity)
+                for link in topology.links_on_fiber(fiber)
+            )
+            if self.variant == "paper":
+                designated = set(designated_restorable_links(topology, fiber))
+                for src, dst, capacity in fiber_links:
+                    if (src, dst) in designated:
+                        fixed[(src, dst)] = self.restore_fraction * capacity
+            elif self.variant == "ticket":
+                self._ticket_restoration(
+                    model, topology, fiber, fiber_links, variables, scenario_id
+                )
+            else:  # code variant: budgeted decision variables
+                budget = self.budget_fraction * sum(
+                    capacity for _, _, capacity in fiber_links
+                )
+                budget_expr = LinExpr()
+                for src, dst, capacity in fiber_links:
+                    var = model.add_var(
+                        name=f"r{scenario_id}[{src}->{dst}]", upper=capacity
+                    )
+                    variables[(src, dst)] = var
+                    budget_expr._iadd(var)
+                model.add_constraint(
+                    budget_expr <= budget, name=f"budget{scenario_id}[{fiber}]"
+                )
+        return fixed, variables
+
+    def _ticket_restoration(
+        self,
+        model: Model,
+        topology: Topology,
+        fiber: str,
+        fiber_links,
+        variables: Dict[Edge, object],
+        scenario_id: int,
+    ) -> None:
+        """Lottery tickets: restored capacity is a convex combination of
+        the fiber's discrete restoration candidates."""
+        from repro.te.arrow.restoration import generate_tickets
+
+        tickets = generate_tickets(
+            topology, fiber, budget_fraction=self.budget_fraction
+        )
+        weight_vars = [
+            model.add_var(name=f"w{scenario_id}[{ticket.name}]", upper=1.0)
+            for ticket in tickets
+        ]
+        model.add_constraint(
+            LinExpr.sum_of(weight_vars) <= 1.0,
+            name=f"tickets{scenario_id}[{fiber}]",
+        )
+        for src, dst, _capacity in fiber_links:
+            restored = LinExpr()
+            for ticket, weight in zip(tickets, weight_vars):
+                amount = ticket.restored_map().get((src, dst), 0.0)
+                if amount > 0.0:
+                    restored._iadd(weight, sign=amount)
+            # Materialise as a variable so the capacity constraints can
+            # treat ticket restoration like the code variant's.
+            var = model.add_var(name=f"r{scenario_id}[{src}->{dst}]")
+            model.add_constraint(
+                (LinExpr.from_term(var) - restored).equals(0.0),
+                name=f"rdef{scenario_id}[{src}->{dst}]",
+            )
+            variables[(src, dst)] = var
+
+    def _tunnel_alive(
+        self,
+        topology: Topology,
+        scenario: FailureScenario,
+        links: List[Edge],
+    ) -> bool:
+        """Variant-specific "restorable tunnel" definition.
+
+        * ``code``: every tunnel survives (restored capacity limits it);
+        * ``paper``: a tunnel crossing a cut fiber survives only if all
+          its cut links are designated restorable;
+        * ``none``: a tunnel crossing any cut fiber is dead.
+        """
+        if scenario.is_baseline or self.variant in ("code", "ticket"):
+            return True
+        crossed = [
+            (src, dst)
+            for src, dst in links
+            if scenario.cuts_link(topology, src, dst)
+        ]
+        if not crossed:
+            return True
+        if self.variant == "none":
+            return False
+        designated = set()
+        for fiber in scenario.cut_fibers:
+            designated.update(designated_restorable_links(topology, fiber))
+        return all(link in designated for link in crossed)

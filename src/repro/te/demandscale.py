@@ -1,0 +1,94 @@
+"""Demand-scaling utilities.
+
+The NCFlow evaluation sweeps traffic-matrix *scale factors* to probe
+solvers from underload to overload.  These helpers find the maximum
+scale at which all demand still fits (via the exact edge-formulation
+max flow) and sweep a solver across scale factors, producing the
+satisfied-fraction series the crossover plots are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.maxflow import solve_max_flow_edge
+from repro.te.solution import TESolution
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One point of a scale sweep."""
+
+    scale: float
+    total_demand: float
+    objective: float
+
+    @property
+    def satisfied_fraction(self) -> float:
+        if self.total_demand <= 0:
+            return 0.0
+        return self.objective / self.total_demand
+
+
+def max_feasible_scale(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    tolerance: float = 0.01,
+    upper_start: float = 4.0,
+) -> float:
+    """Largest demand scale at which ALL demand can still be routed.
+
+    Binary search over the scale factor, using the exact edge-formulation
+    max flow as the oracle (all demand fits iff objective == demand).
+    """
+    if traffic.total_demand <= 0:
+        raise ValueError("traffic matrix has no demand")
+
+    def fits(scale: float) -> bool:
+        scaled = traffic.scaled(scale)
+        solution = solve_max_flow_edge(topology, scaled)
+        return solution.objective >= scaled.total_demand * (1 - 1e-6)
+
+    low = 0.0
+    high = upper_start
+    # Grow the bracket until demand no longer fits.
+    for _ in range(20):
+        if not fits(high):
+            break
+        low = high
+        high *= 2.0
+    else:
+        return high
+    while high - low > tolerance * max(high, 1.0):
+        middle = (low + high) / 2.0
+        if fits(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+def scale_sweep(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    solver: Callable[[Topology, TrafficMatrix], TESolution],
+    scales: List[float],
+) -> List[ScalePoint]:
+    """Run ``solver`` at each demand scale; returns one point per scale."""
+    points: List[ScalePoint] = []
+    for scale in scales:
+        if scale <= 0:
+            raise ValueError("scales must be positive")
+        scaled = traffic.scaled(scale)
+        solution = solver(topology, scaled)
+        points.append(
+            ScalePoint(
+                scale=scale,
+                total_demand=scaled.total_demand,
+                objective=solution.objective,
+            )
+        )
+    return points

@@ -1,0 +1,139 @@
+"""Fleischer's FPTAS for maximum multicommodity flow.
+
+The NCFlow paper's evaluation compares against Fleischer's combinatorial
+(1 - epsilon)-approximation as the no-LP baseline; this module implements
+it (the Garg-Konemann framework with Fleischer's round organisation).
+
+Demand caps are handled with the standard construction: each commodity
+``k`` gets a virtual source ``s_k'`` connected to its real source by an
+edge of capacity ``d_k``, so the maximum multicommodity flow in the
+augmented graph equals the demand-capped optimum.
+
+Algorithm sketch (lengths as dual weights):
+
+* every edge starts with length ``delta / capacity``;
+* in rounds, each commodity repeatedly routes along its current
+  shortest path (by length) while that path is shorter than the round's
+  threshold, pushing the path's bottleneck capacity and multiplying
+  each used edge's length by ``(1 + eps * used / capacity)``;
+* the accumulated primal flow overshoots capacities by exactly
+  ``log_{1+eps}(1/delta)``, so dividing by that factor yields a feasible
+  flow within ``(1 - eps')`` of optimal.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.solution import TESolution
+
+Edge = Tuple[str, str]
+
+
+def solve_fleischer(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    epsilon: float = 0.1,
+    max_rounds: Optional[int] = None,
+) -> TESolution:
+    """Approximate demand-capped max multicommodity flow.
+
+    Returns a feasible flow whose total is at least ``(1 - 3*epsilon)``
+    of the optimum (the classic guarantee), typically much closer.
+    """
+    if not 0 < epsilon < 0.5:
+        raise ValueError("epsilon must be in (0, 0.5)")
+    start = time.perf_counter()
+
+    commodities = traffic.commodities()
+    graph = nx.DiGraph()
+    capacity: Dict[Edge, float] = {}
+    for link in topology.links():
+        if link.capacity > 0:
+            capacity[(link.src, link.dst)] = link.capacity
+            graph.add_edge(link.src, link.dst)
+    # Virtual demand-cap edges.
+    sources: List[Tuple[str, str, str]] = []  # (virtual, src, dst)
+    for index, (src, dst, demand) in enumerate(commodities):
+        if demand <= 0:
+            continue
+        virtual = f"__src{index}"
+        graph.add_edge(virtual, src)
+        capacity[(virtual, src)] = demand
+        sources.append((virtual, src, dst))
+
+    num_edges = len(capacity)
+    if num_edges == 0 or not sources:
+        return TESolution(
+            "fleischer", 0.0, {}, time.perf_counter() - start, 0, "optimal"
+        )
+
+    delta = (1 + epsilon) * ((1 + epsilon) * num_edges) ** (-1.0 / epsilon)
+    length: Dict[Edge, float] = {
+        edge: delta / cap for edge, cap in capacity.items()
+    }
+    flow_on_edge: Dict[Edge, float] = {edge: 0.0 for edge in capacity}
+    commodity_flow: Dict[Tuple[str, str], float] = {}
+
+    def shortest(virtual: str, dst: str):
+        try:
+            return nx.single_source_dijkstra(
+                graph, virtual, dst, weight=lambda u, v, d: length[(u, v)]
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return math.inf, None
+
+    rounds = 0
+    threshold = delta * (1 + epsilon)
+    budget = max_rounds if max_rounds is not None else 10_000
+    while threshold < 1.0 and rounds < budget:
+        progress = False
+        for index, (virtual, src, dst) in enumerate(sources):
+            while True:
+                dist, path = shortest(virtual, dst)
+                if path is None or dist >= min(threshold, 1.0):
+                    break
+                progress = True
+                edges = list(zip(path, path[1:]))
+                bottleneck = min(capacity[edge] for edge in edges)
+                for edge in edges:
+                    flow_on_edge[edge] += bottleneck
+                    length[edge] *= 1 + epsilon * bottleneck / capacity[edge]
+                real_src, real_dst = commodities[_source_index(virtual)][:2]
+                key = (real_src, real_dst)
+                commodity_flow[key] = commodity_flow.get(key, 0.0) + bottleneck
+        threshold *= 1 + epsilon
+        rounds += 1
+        if not progress and threshold >= 1.0:
+            break
+
+    # Scale down to feasibility: the theoretical factor is
+    # log_{1+eps}((1+eps)/delta); measuring the true worst edge overuse
+    # and dividing by it is exact (and never scales less than needed).
+    scale = max(
+        (flow_on_edge[edge] / cap for edge, cap in capacity.items() if cap > 0),
+        default=1.0,
+    )
+    scale = max(scale, 1.0)
+    per_commodity = {
+        key: value / scale for key, value in commodity_flow.items()
+    }
+    objective = sum(per_commodity.values())
+    return TESolution(
+        solver="fleischer",
+        objective=objective,
+        flow_per_commodity=per_commodity,
+        solve_seconds=time.perf_counter() - start,
+        lp_count=0,
+        status="optimal",
+    )
+
+
+def _source_index(virtual: str) -> int:
+    return int(virtual[len("__src"):])

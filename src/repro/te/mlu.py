@@ -1,0 +1,74 @@
+"""Minimum max-link-utilisation TE: the other classic objective.
+
+NCFlow and ARROW both maximise admitted flow; much of the TE literature
+instead routes *all* demand while minimising the maximum link
+utilisation (MLU).  This solver provides that baseline: one flow
+variable per (commodity, tunnel), full-demand routing constraints, a
+shared utilisation bound ``u``, minimise ``u``.
+
+``objective`` in the returned :class:`TESolution` is the MLU (may exceed
+1.0 when demand physically cannot fit -- the LP is then still feasible
+and reports how much the network is over capacity).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.lp import LinExpr, Model, LPBackend
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te.solution import TESolution
+
+
+def solve_min_mlu(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    num_paths: int = 4,
+    backend: Optional[LPBackend] = None,
+) -> TESolution:
+    """Route every commodity fully, minimising max link utilisation."""
+    start = time.perf_counter()
+    tunnels = k_shortest_tunnels(topology, traffic, num_paths)
+
+    model = Model(f"min-mlu:{topology.name}")
+    mlu = model.add_var(name="u")
+    link_usage: Dict[Tuple[str, str], LinExpr] = {}
+    flow_vars: Dict[Tuple[str, str], List] = {}
+    for (src, dst), paths in sorted(tunnels.items()):
+        demand = traffic.demand(src, dst)
+        commodity_vars = []
+        for index, path in enumerate(paths):
+            var = model.add_var(name=f"f[{src}->{dst}:{index}]")
+            commodity_vars.append(var)
+            for link in path_links(path):
+                link_usage.setdefault(link, LinExpr())._iadd(var)
+        flow_vars[(src, dst)] = commodity_vars
+        model.add_constraint(
+            LinExpr.sum_of(commodity_vars).equals(demand),
+            name=f"route[{src}->{dst}]",
+        )
+    for (link_src, link_dst), usage in sorted(link_usage.items()):
+        capacity = topology.capacity(link_src, link_dst)
+        if capacity <= 0:
+            continue
+        # usage <= u * capacity
+        bound = usage - LinExpr({mlu.index: capacity})
+        model.add_constraint(bound <= 0.0, name=f"util[{link_src}->{link_dst}]")
+    model.minimize(LinExpr.from_term(mlu))
+    result = model.solve(backend=backend)
+
+    per_commodity: Dict[Tuple[str, str], float] = {}
+    if result.ok:
+        for key, commodity_vars in flow_vars.items():
+            per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
+    return TESolution(
+        solver="min-mlu",
+        objective=result.objective if result.ok else float("inf"),
+        flow_per_commodity=per_commodity,
+        solve_seconds=time.perf_counter() - start,
+        lp_count=1,
+        status=result.status.value,
+    )

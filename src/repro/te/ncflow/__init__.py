@@ -1,0 +1,39 @@
+"""NCFlow: contracting WAN topologies to solve flow problems quickly.
+
+Implementation of Abuzaid et al. (NSDI 2021), the system participant A
+reproduced.  The algorithm replaces one monolithic multi-commodity flow
+LP with a sequence of much smaller ones:
+
+1. partition the nodes into clusters (:mod:`repro.te.ncflow.partition`);
+2. contract the WAN: one node per cluster, inter-cluster capacities
+   aggregated, demands bundled per cluster pair;
+3. ``R1``: solve max flow on the contracted graph;
+4. allocate each contracted edge's flow onto the physical inter-cluster
+   links (capacity-proportional, so neighbouring clusters always agree --
+   the role NCFlow's reconciliation step plays);
+5. ``R2``: per cluster, solve an edge-formulation flow problem routing
+   intra-cluster commodities and the transit segments implied by R1;
+6. combine conservatively: each bundle's end-to-end flow is the minimum
+   of its segment fractions, so the result is always feasible and at most
+   the PF4 optimum.
+
+The solver can try several candidate partitions and keep the best result,
+like the original system.
+"""
+
+from repro.te.ncflow.partition import (
+    Partition,
+    label_propagation_partition,
+    modularity_partition,
+    random_partition,
+)
+from repro.te.ncflow.solver import NCFlowSolver, NCFlowRun
+
+__all__ = [
+    "NCFlowRun",
+    "NCFlowSolver",
+    "Partition",
+    "label_propagation_partition",
+    "modularity_partition",
+    "random_partition",
+]

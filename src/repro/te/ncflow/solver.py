@@ -1,0 +1,514 @@
+"""The NCFlow decomposition solver.
+
+See the package docstring for the algorithm outline.  The implementation
+keeps NCFlow's feasibility guarantee through two conservative devices:
+
+* contracted-edge flow is allocated to physical inter-cluster links in
+  proportion to capacity, so neighbouring clusters always agree on the
+  border amounts (playing the role of NCFlow's reconciliation step);
+* each cluster routes a transit segment as a *scaled copy* of its planned
+  border amounts (one fraction variable per segment), so per-bundle
+  segments can be rescaled to the minimum fraction along the bundle's
+  cluster path and concatenate into a valid end-to-end flow.
+
+Like the original system, the solver then *iterates*: it subtracts the
+capacity the first pass used and re-runs the decomposition on the
+residual topology and residual demands, which recovers most of the flow a
+single conservative pass leaves behind.
+
+The objective is therefore always feasible and at most the PF4 optimum,
+matching the original system's "always-feasible, near-optimal" contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lp import LinExpr, Model, LPBackend
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.ncflow.partition import (
+    Partition,
+    label_propagation_partition,
+    modularity_partition,
+    random_partition,
+)
+from repro.te.paths import path_links
+from repro.te.solution import TESolution
+
+Commodity = Tuple[str, str]
+Bundle = Tuple[int, int]
+Edge = Tuple[str, str]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Segment:
+    """One bundle-path's traversal of one cluster."""
+
+    bundle: Bundle
+    path_index: int
+    flow: float
+    # Planned injections/extractions at cluster nodes, both summing to flow.
+    supply: Dict[str, float] = field(default_factory=dict)
+    sink: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class NCFlowRun:
+    """Result of one partition's single decomposition pass."""
+
+    partition: Partition
+    solution: TESolution
+    r1_objective: float = 0.0
+    segment_fractions: Dict[Tuple[Bundle, int], float] = field(default_factory=dict)
+    link_usage: Dict[Edge, float] = field(default_factory=dict)
+
+
+class NCFlowSolver:
+    """Contract-and-decompose TE solver.
+
+    ``partitioners`` names the candidate partitioning methods; the best
+    objective wins, like the original system's partition search.
+    ``num_iterations`` controls the residual re-solve passes.
+    """
+
+    def __init__(
+        self,
+        num_paths: int = 4,
+        backend: Optional[LPBackend] = None,
+        partitioners: Optional[List[str]] = None,
+        num_iterations: int = 3,
+        seed: int = 7,
+    ):
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        self.num_paths = num_paths
+        self.backend = backend
+        # Like the original system, search more than one candidate
+        # partition and keep the best result.
+        self.partitioners = partitioners or ["modularity", "label-propagation"]
+        self.num_iterations = num_iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, topology: Topology, traffic: TrafficMatrix) -> TESolution:
+        """Best iterated solution across the configured partitions."""
+        best: Optional[TESolution] = None
+        start = time.perf_counter()
+        lp_count = 0
+        for name in self.partitioners:
+            partition = self._make_partition(name, topology)
+            candidate = self.solve_iterated(topology, traffic, partition)
+            lp_count += candidate.lp_count
+            if best is None or candidate.objective > best.objective:
+                best = candidate
+        if best is None:
+            raise ValueError("no candidate partitions configured")
+        best.solve_seconds = time.perf_counter() - start
+        best.lp_count = lp_count
+        return best
+
+    def solve_iterated(
+        self,
+        topology: Topology,
+        traffic: TrafficMatrix,
+        partition: Partition,
+    ) -> TESolution:
+        """Run the decomposition on residual capacity until flow dries up."""
+        start = time.perf_counter()
+        residual_topo = topology.copy()
+        remaining = TrafficMatrix(dict(traffic.demands))
+        total_objective = 0.0
+        per_commodity: Dict[Commodity, float] = {}
+        lp_count = 0
+        for _ in range(self.num_iterations):
+            run = self.solve_with_partition(residual_topo, remaining, partition)
+            lp_count += run.solution.lp_count
+            if run.solution.objective <= max(_EPS, 1e-6 * traffic.total_demand):
+                break
+            total_objective += run.solution.objective
+            for commodity, amount in run.solution.flow_per_commodity.items():
+                per_commodity[commodity] = per_commodity.get(commodity, 0.0) + amount
+                remaining.demands[commodity] = max(
+                    0.0, remaining.demands.get(commodity, 0.0) - amount
+                )
+            for (src, dst), used in run.link_usage.items():
+                left = max(0.0, residual_topo.capacity(src, dst) - used)
+                residual_topo.set_capacity(src, dst, left)
+        return TESolution(
+            solver="ncflow",
+            objective=total_objective,
+            flow_per_commodity=per_commodity,
+            solve_seconds=time.perf_counter() - start,
+            lp_count=lp_count,
+        )
+
+    def _make_partition(self, name: str, topology: Topology) -> Partition:
+        if name == "modularity":
+            return modularity_partition(topology)
+        if name == "label-propagation":
+            return label_propagation_partition(topology, seed=self.seed)
+        if name == "random":
+            return random_partition(topology, seed=self.seed)
+        raise KeyError(f"unknown partitioner {name!r}")
+
+    # ------------------------------------------------------------------
+    # One decomposition pass
+    # ------------------------------------------------------------------
+    def solve_with_partition(
+        self,
+        topology: Topology,
+        traffic: TrafficMatrix,
+        partition: Partition,
+    ) -> NCFlowRun:
+        start = time.perf_counter()
+        cluster_of = partition.cluster_of
+
+        # Split commodities into inter-cluster bundles and intra lists.
+        bundle_demand: Dict[Bundle, float] = {}
+        bundle_members: Dict[Bundle, List[Tuple[Commodity, float]]] = {}
+        intra: Dict[int, List[Tuple[Commodity, float]]] = {}
+        for src, dst, amount in traffic.commodities():
+            cs, cd = cluster_of[src], cluster_of[dst]
+            if cs == cd:
+                intra.setdefault(cs, []).append(((src, dst), amount))
+            else:
+                bundle = (cs, cd)
+                bundle_demand[bundle] = bundle_demand.get(bundle, 0.0) + amount
+                bundle_members.setdefault(bundle, []).append(((src, dst), amount))
+
+        contracted, border_links = _contract(topology, partition)
+
+        # R1: max flow on the contracted graph.
+        r1_flows, r1_objective = self._solve_r1(contracted, bundle_demand)
+
+        # Build per-cluster segments from the R1 paths.
+        segments: Dict[int, List[_Segment]] = {c: [] for c in partition.clusters()}
+        for (bundle, path_index), (cluster_path, flow) in sorted(r1_flows.items()):
+            if flow <= _EPS:
+                continue
+            self._build_segments(
+                segments, bundle, path_index, cluster_path, flow,
+                bundle_members, border_links,
+            )
+
+        # R2 per cluster.
+        fractions: Dict[Tuple[Bundle, int], float] = {}
+        seg_cluster_results: List[Tuple[_Segment, float, Dict[Edge, float]]] = []
+        intra_delivered: Dict[Commodity, float] = {}
+        link_usage: Dict[Edge, float] = {}
+        lp_count = 1
+        for cluster in partition.clusters():
+            members = partition.members(cluster)
+            cluster_topo = topology.subgraph(members, name=f"cluster{cluster}")
+            cluster_segments = segments.get(cluster, [])
+            cluster_intra = intra.get(cluster, [])
+            if not cluster_segments and not cluster_intra:
+                continue
+            lp_count += 1
+            seg_results, delivered, intra_usage = self._solve_r2(
+                cluster_topo, cluster_segments, cluster_intra
+            )
+            seg_cluster_results.extend(seg_results)
+            for segment, fraction, _ in seg_results:
+                key = (segment.bundle, segment.path_index)
+                fractions[key] = min(fractions.get(key, 1.0), fraction)
+            for commodity, amount in delivered.items():
+                intra_delivered[commodity] = (
+                    intra_delivered.get(commodity, 0.0) + amount
+                )
+            for edge, used in intra_usage.items():
+                link_usage[edge] = link_usage.get(edge, 0.0) + used
+
+        # Intra-cluster usage of transit segments, rescaled to the final
+        # bundle-path fraction (phi_final / phi_cluster per cluster).
+        for segment, cluster_fraction, edge_flows in seg_cluster_results:
+            final = fractions.get((segment.bundle, segment.path_index), 0.0)
+            if final <= _EPS or cluster_fraction <= _EPS:
+                continue
+            scale = final / cluster_fraction
+            for edge, flow in edge_flows.items():
+                link_usage[edge] = link_usage.get(edge, 0.0) + flow * scale
+
+        # Combine: every bundle path is scaled to its minimum fraction;
+        # border-link usage follows the capacity-proportional allocation.
+        per_commodity: Dict[Commodity, float] = dict(intra_delivered)
+        objective = sum(intra_delivered.values())
+        bundle_flow: Dict[Bundle, float] = {}
+        for (bundle, path_index), (cluster_path, flow) in sorted(r1_flows.items()):
+            if flow <= _EPS:
+                continue
+            fraction = fractions.get((bundle, path_index), 1.0)
+            realized = flow * fraction
+            if realized <= _EPS:
+                continue
+            bundle_flow[bundle] = bundle_flow.get(bundle, 0.0) + realized
+            objective += realized
+            for hop_a, hop_b in zip(cluster_path, cluster_path[1:]):
+                links = border_links[(hop_a, hop_b)]
+                cap_sum = sum(capacity for _, _, capacity in links)
+                if cap_sum <= 0.0:
+                    continue
+                for link_src, link_dst, capacity in links:
+                    used = realized * capacity / cap_sum
+                    link_usage[(link_src, link_dst)] = (
+                        link_usage.get((link_src, link_dst), 0.0) + used
+                    )
+        for bundle, realized in bundle_flow.items():
+            total = bundle_demand[bundle]
+            for commodity, amount in bundle_members[bundle]:
+                share = realized * amount / total if total > 0 else 0.0
+                per_commodity[commodity] = per_commodity.get(commodity, 0.0) + share
+
+        solution = TESolution(
+            solver="ncflow",
+            objective=objective,
+            flow_per_commodity=per_commodity,
+            solve_seconds=time.perf_counter() - start,
+            lp_count=lp_count,
+        )
+        return NCFlowRun(
+            partition=partition,
+            solution=solution,
+            r1_objective=r1_objective,
+            segment_fractions=fractions,
+            link_usage=link_usage,
+        )
+
+    # ------------------------------------------------------------------
+    # R1
+    # ------------------------------------------------------------------
+    def _solve_r1(
+        self,
+        contracted: Topology,
+        bundle_demand: Dict[Bundle, float],
+    ) -> Tuple[Dict[Tuple[Bundle, int], Tuple[List[int], float]], float]:
+        """Max flow on the contracted graph; keeps per-path flows.
+
+        Returns ``{(bundle, path_index): (cluster path, flow)}`` and the
+        R1 objective.
+        """
+        model = Model("ncflow-r1")
+        link_usage: Dict[Edge, LinExpr] = {}
+        path_vars: Dict[Tuple[Bundle, int], Tuple[List[int], object]] = {}
+        all_vars = []
+        for bundle in sorted(bundle_demand):
+            demand = bundle_demand[bundle]
+            src, dst = f"C{bundle[0]}", f"C{bundle[1]}"
+            paths = contracted.k_shortest_paths(src, dst, self.num_paths)
+            if not paths:
+                continue
+            commodity_vars = []
+            for index, path in enumerate(paths):
+                var = model.add_var(
+                    name=f"b[{bundle[0]}-{bundle[1]}:{index}]", upper=demand
+                )
+                commodity_vars.append(var)
+                all_vars.append(var)
+                cluster_path = [int(node[1:]) for node in path]
+                path_vars[(bundle, index)] = (cluster_path, var)
+                for link in path_links(path):
+                    link_usage.setdefault(link, LinExpr())._iadd(var)
+            model.add_constraint(
+                LinExpr.sum_of(commodity_vars) <= demand,
+                name=f"dem[{bundle[0]}-{bundle[1]}]",
+            )
+        for (link_src, link_dst), usage in sorted(link_usage.items()):
+            model.add_constraint(
+                usage <= contracted.capacity(link_src, link_dst),
+                name=f"cap[{link_src}->{link_dst}]",
+            )
+        model.maximize(LinExpr.sum_of(all_vars))
+        result = model.solve(backend=self.backend)
+        flows: Dict[Tuple[Bundle, int], Tuple[List[int], float]] = {}
+        objective = 0.0
+        if result.ok:
+            objective = result.objective
+            for key, (cluster_path, var) in path_vars.items():
+                flows[key] = (cluster_path, result.value_of(var))
+        return flows, objective
+
+    # ------------------------------------------------------------------
+    # Segment construction
+    # ------------------------------------------------------------------
+    def _build_segments(
+        self,
+        segments: Dict[int, List[_Segment]],
+        bundle: Bundle,
+        path_index: int,
+        cluster_path: List[int],
+        flow: float,
+        bundle_members: Dict[Bundle, List[Tuple[Commodity, float]]],
+        border_links: Dict[Tuple[int, int], List[Tuple[str, str, float]]],
+    ) -> None:
+        members = bundle_members[bundle]
+        total = sum(amount for _, amount in members)
+
+        def allocation(cluster_a: int, cluster_b: int) -> Dict[str, Dict[str, float]]:
+            """Planned flow per border node: ``{"exit": ..., "entry": ...}``."""
+            links = border_links[(cluster_a, cluster_b)]
+            cap_sum = sum(capacity for _, _, capacity in links)
+            exit_amounts: Dict[str, float] = {}
+            entry_amounts: Dict[str, float] = {}
+            if cap_sum <= 0.0:
+                # Numerical residue can put an epsilon flow on a drained
+                # aggregate edge; an empty plan zeroes the segment.
+                return {"exit": exit_amounts, "entry": entry_amounts}
+            for link_src, link_dst, capacity in links:
+                share = flow * capacity / cap_sum
+                exit_amounts[link_src] = exit_amounts.get(link_src, 0.0) + share
+                entry_amounts[link_dst] = entry_amounts.get(link_dst, 0.0) + share
+            return {"exit": exit_amounts, "entry": entry_amounts}
+
+        hop_alloc = [
+            allocation(a, b) for a, b in zip(cluster_path, cluster_path[1:])
+        ]
+        for position, cluster in enumerate(cluster_path):
+            segment = _Segment(bundle=bundle, path_index=path_index, flow=flow)
+            if position == 0:
+                for (src, _), amount in members:
+                    scaled = flow * amount / total if total > 0 else 0.0
+                    segment.supply[src] = segment.supply.get(src, 0.0) + scaled
+            else:
+                segment.supply = dict(hop_alloc[position - 1]["entry"])
+            if position == len(cluster_path) - 1:
+                for (_, dst), amount in members:
+                    scaled = flow * amount / total if total > 0 else 0.0
+                    segment.sink[dst] = segment.sink.get(dst, 0.0) + scaled
+            else:
+                segment.sink = dict(hop_alloc[position]["exit"])
+            segments[cluster].append(segment)
+
+    # ------------------------------------------------------------------
+    # R2
+    # ------------------------------------------------------------------
+    def _solve_r2(
+        self,
+        cluster_topo: Topology,
+        cluster_segments: List[_Segment],
+        cluster_intra: List[Tuple[Commodity, float]],
+    ) -> Tuple[
+        List[Tuple[_Segment, float, Dict[Edge, float]]],
+        Dict[Commodity, float],
+        Dict[Edge, float],
+    ]:
+        """Route segments (scaled copies) and intra commodities in a cluster.
+
+        Returns ``(segment, fraction, per-edge flow)`` triples, delivered
+        intra flow per commodity, and the intra commodities' edge usage.
+        """
+        model = Model(f"ncflow-r2:{cluster_topo.name}")
+        edges = [(link.src, link.dst) for link in cluster_topo.links()]
+        capacity = {
+            (link.src, link.dst): link.capacity for link in cluster_topo.links()
+        }
+        link_usage: Dict[Edge, LinExpr] = {e: LinExpr() for e in edges}
+        nodes = cluster_topo.nodes
+
+        objective = LinExpr()
+        seg_entries: List[Tuple[_Segment, object, Dict[Edge, object]]] = []
+        for seg_id, segment in enumerate(cluster_segments):
+            phi = model.add_var(name=f"phi{seg_id}", upper=1.0)
+            flow_vars = {
+                e: model.add_var(name=f"s{seg_id}[{e[0]}->{e[1]}]") for e in edges
+            }
+            seg_entries.append((segment, phi, flow_vars))
+            for e, var in flow_vars.items():
+                link_usage[e]._iadd(var)
+            for node in nodes:
+                balance = LinExpr()
+                for pred in cluster_topo.predecessors(node):
+                    balance._iadd(flow_vars[(pred, node)])
+                for succ in cluster_topo.successors(node):
+                    balance._iadd(flow_vars[(node, succ)], sign=-1.0)
+                net = segment.supply.get(node, 0.0) - segment.sink.get(node, 0.0)
+                if net != 0.0:
+                    balance._iadd(phi, sign=net)
+                model.add_constraint(
+                    balance.equals(0.0), name=f"cons{seg_id}[{node}]"
+                )
+            objective._iadd(phi, sign=segment.flow)
+
+        intra_entries: List[Tuple[Commodity, object, Dict[Edge, object]]] = []
+        for intra_id, (commodity, demand) in enumerate(cluster_intra):
+            src, dst = commodity
+            delivered = model.add_var(name=f"g{intra_id}", upper=demand)
+            flow_vars = {
+                e: model.add_var(name=f"i{intra_id}[{e[0]}->{e[1]}]") for e in edges
+            }
+            intra_entries.append((commodity, delivered, flow_vars))
+            for e, var in flow_vars.items():
+                link_usage[e]._iadd(var)
+            for node in nodes:
+                balance = LinExpr()
+                for pred in cluster_topo.predecessors(node):
+                    balance._iadd(flow_vars[(pred, node)])
+                for succ in cluster_topo.successors(node):
+                    balance._iadd(flow_vars[(node, succ)], sign=-1.0)
+                if node == src:
+                    balance._iadd(delivered)
+                elif node == dst:
+                    balance._iadd(delivered, sign=-1.0)
+                model.add_constraint(
+                    balance.equals(0.0), name=f"icons{intra_id}[{node}]"
+                )
+            objective._iadd(delivered)
+
+        for e, usage in link_usage.items():
+            if usage.coefs:
+                model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
+
+        model.maximize(objective)
+        result = model.solve(backend=self.backend)
+
+        seg_results: List[Tuple[_Segment, float, Dict[Edge, float]]] = []
+        delivered_flow: Dict[Commodity, float] = {}
+        intra_usage: Dict[Edge, float] = {}
+        if result.ok:
+            for segment, phi, flow_vars in seg_entries:
+                edge_flows = {
+                    e: result.value_of(var)
+                    for e, var in flow_vars.items()
+                    if result.value_of(var) > _EPS
+                }
+                seg_results.append((segment, result.value_of(phi), edge_flows))
+            for commodity, delivered, flow_vars in intra_entries:
+                delivered_flow[commodity] = (
+                    delivered_flow.get(commodity, 0.0) + result.value_of(delivered)
+                )
+                for e, var in flow_vars.items():
+                    value = result.value_of(var)
+                    if value > _EPS:
+                        intra_usage[e] = intra_usage.get(e, 0.0) + value
+        else:
+            for segment, _, _ in seg_entries:
+                seg_results.append((segment, 0.0, {}))
+        return seg_results, delivered_flow, intra_usage
+
+
+def _contract(
+    topology: Topology, partition: Partition
+) -> Tuple[Topology, Dict[Tuple[int, int], List[Tuple[str, str, float]]]]:
+    """Contracted cluster graph plus the physical border links per pair."""
+    cluster_of = partition.cluster_of
+    contracted = Topology(f"{topology.name}/contracted")
+    for cluster in partition.clusters():
+        contracted.add_node(f"C{cluster}")
+    border_links: Dict[Tuple[int, int], List[Tuple[str, str, float]]] = {}
+    aggregated: Dict[Tuple[int, int], float] = {}
+    for link in topology.links():
+        ca, cb = cluster_of[link.src], cluster_of[link.dst]
+        if ca == cb:
+            continue
+        key = (ca, cb)
+        border_links.setdefault(key, []).append((link.src, link.dst, link.capacity))
+        aggregated[key] = aggregated.get(key, 0.0) + link.capacity
+    for (ca, cb), capacity in sorted(aggregated.items()):
+        contracted.add_link(f"C{ca}", f"C{cb}", capacity)
+    return contracted, border_links

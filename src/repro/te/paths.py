@@ -1,0 +1,33 @@
+"""Tunnel (path) helpers shared by the TE solvers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+
+
+def path_links(path: List[str]) -> List[Tuple[str, str]]:
+    """Directed links traversed by a node path."""
+    return list(zip(path, path[1:]))
+
+
+def k_shortest_tunnels(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    k: int,
+) -> Dict[Tuple[str, str], List[List[str]]]:
+    """Up to ``k`` loop-free shortest paths for every nonzero commodity.
+
+    Commodities with no path at all are omitted (they can never carry
+    flow, and the LPs should not see them).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    tunnels: Dict[Tuple[str, str], List[List[str]]] = {}
+    for src, dst, _ in traffic.commodities():
+        paths = topology.k_shortest_paths(src, dst, k)
+        if paths:
+            tunnels[(src, dst)] = paths
+    return tunnels

@@ -1,0 +1,39 @@
+"""Common result type for TE solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class TESolution:
+    """Outcome of one TE solve.
+
+    ``flow_per_commodity`` maps ``(src, dst)`` to the end-to-end flow the
+    solver admits for that commodity, in the same Mbps units as the
+    traffic matrix.  ``objective`` is the total admitted flow.
+    """
+
+    solver: str
+    objective: float
+    flow_per_commodity: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    lp_count: int = 0
+    status: str = "optimal"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+    def satisfied_fraction(self, total_demand: float) -> float:
+        """Fraction of offered demand admitted (0 when demand is 0)."""
+        if total_demand <= 0:
+            return 0.0
+        return self.objective / total_demand
+
+    def relative_gap(self, reference: "TESolution") -> float:
+        """``(reference - self) / reference``; positive means worse."""
+        if reference.objective == 0:
+            return 0.0
+        return (reference.objective - self.objective) / reference.objective

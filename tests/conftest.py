@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache the expensive objects (verifiers over the
+named datasets, reference TE solutions) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.datasets import build_verification_dataset
+from repro.netmodel.instances import make_te_instance
+
+
+@pytest.fixture(scope="session")
+def internet2():
+    return build_verification_dataset("Internet2")
+
+
+@pytest.fixture(scope="session")
+def stanford():
+    return build_verification_dataset("Stanford")
+
+
+@pytest.fixture(scope="session")
+def internet2_ap(internet2):
+    from repro.ap import APVerifier
+
+    return APVerifier(internet2)
+
+
+@pytest.fixture(scope="session")
+def internet2_apkeep(internet2):
+    from repro.apkeep import APKeepVerifier
+
+    return APKeepVerifier(internet2)
+
+
+@pytest.fixture(scope="session")
+def uninett_instance():
+    return make_te_instance("Uninett2010", max_commodities=120)
+
+
+@pytest.fixture(scope="session")
+def b4_instance():
+    return make_te_instance("B4", max_commodities=120)

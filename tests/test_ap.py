@@ -1,0 +1,210 @@
+"""Tests for the AP verifier: atoms, reachability, property checks."""
+
+import random
+
+import pytest
+
+from repro.ap import APVerifier, compute_atomic_predicates
+from repro.ap.predicates import extract_predicates
+from repro.bdd.builder import new_engine, prefix_to_bdd
+from repro.bdd.engine import BDD_FALSE, BDD_TRUE
+from repro.netmodel.datasets import (
+    build_verification_dataset,
+    inject_blackhole,
+    inject_loop,
+)
+from repro.netmodel.headerspace import HEADER_BITS, Prefix
+from repro.netmodel.rules import DROP_PORT, SELF_PORT
+
+
+class TestAtomicPredicates:
+    def test_atoms_partition_the_space(self):
+        engine = new_engine("jdd")
+        predicates = [
+            prefix_to_bdd(engine, Prefix(0x0000, 1)),
+            prefix_to_bdd(engine, Prefix(0x0000, 3)),
+            prefix_to_bdd(engine, Prefix(0x4000, 2)),
+        ]
+        atomics = compute_atomic_predicates(engine, predicates)
+        total = 0
+        for i, a in atomics.atoms.items():
+            for j, b in atomics.atoms.items():
+                if i < j:
+                    assert engine.and_(a, b) == BDD_FALSE
+            total += engine.satcount(a)
+        assert total == 1 << HEADER_BITS
+
+    def test_predicates_are_unions_of_atoms(self):
+        engine = new_engine("jdd")
+        predicates = [
+            prefix_to_bdd(engine, Prefix(0x0000, 2)),
+            prefix_to_bdd(engine, Prefix(0x0000, 4)),
+        ]
+        atomics = compute_atomic_predicates(engine, predicates)
+        for predicate in predicates:
+            rebuilt = atomics.union_bdd(atomics.atoms_of(predicate))
+            assert rebuilt == predicate
+
+    def test_minimality_two_nested_prefixes(self):
+        engine = new_engine("jdd")
+        predicates = [
+            prefix_to_bdd(engine, Prefix(0x0000, 1)),
+            prefix_to_bdd(engine, Prefix(0x0000, 2)),
+        ]
+        atomics = compute_atomic_predicates(engine, predicates)
+        assert atomics.num_atoms == 3
+
+    def test_trivial_predicates_handled(self):
+        engine = new_engine("jdd")
+        atomics = compute_atomic_predicates(engine, [BDD_TRUE, BDD_FALSE])
+        assert atomics.num_atoms == 1
+        assert atomics.atoms_of(BDD_TRUE) == frozenset(atomics.atoms)
+        assert atomics.atoms_of(BDD_FALSE) == frozenset()
+
+    def test_duplicate_predicates_no_extra_atoms(self):
+        engine = new_engine("jdd")
+        node = prefix_to_bdd(engine, Prefix(0x8000, 1))
+        atomics = compute_atomic_predicates(engine, [node, node, node])
+        assert atomics.num_atoms == 2
+
+
+class TestPredicateExtraction:
+    def test_counts(self, internet2):
+        engine = new_engine("jdd")
+        table = extract_predicates(internet2, engine)
+        assert table.num_forwarding > 0
+        assert table.num_acl == 0  # Internet2 carries no ACLs
+        assert len(table.distinct_predicates()) > 0
+
+    def test_stanford_has_acl_predicates(self, stanford):
+        engine = new_engine("jdd")
+        table = extract_predicates(stanford, engine)
+        assert table.num_acl > 0
+
+
+class TestReachability:
+    def test_bfs_equals_path_enumeration(self, internet2_ap, internet2):
+        nodes = internet2.topology.nodes
+        random.seed(4)
+        pairs = [(random.choice(nodes), random.choice(nodes)) for _ in range(6)]
+        for src, dst in pairs:
+            if src == dst:
+                continue
+            bfs = internet2_ap.reachable_atoms(src, dst)
+            enum = internet2_ap.reachable_atoms_by_path_enumeration(src, dst)
+            assert bfs.atoms == enum.atoms, f"strategies disagree on {src}->{dst}"
+
+    def test_destination_prefix_reaches(self, internet2_ap, internet2):
+        nodes = internet2.topology.nodes
+        src, dst = nodes[0], nodes[-1]
+        result = internet2_ap.reachable_atoms(src, dst)
+        prefix_bdd = prefix_to_bdd(
+            internet2_ap.engine, internet2.prefix_of[dst]
+        )
+        reachable_bdd = internet2_ap.atomics.union_bdd(result.atoms)
+        # Every header destined to dst must be able to reach dst.
+        assert internet2_ap.engine.implies(prefix_bdd, reachable_bdd)
+
+    def test_self_reachability(self, internet2_ap, internet2):
+        node = internet2.topology.nodes[0]
+        result = internet2_ap.reachable_atoms(node, node)
+        assert result.atoms == internet2_ap.acl_atoms[node]
+
+    def test_unknown_device_rejected(self, internet2_ap):
+        with pytest.raises(KeyError):
+            internet2_ap.reachable_atoms("nowhere", "Internet2-n0")
+
+    def test_brute_force_agreement(self, internet2_ap, internet2):
+        """Atom-level answers must match per-address forwarding walks."""
+        nodes = internet2.topology.nodes
+        src, dst = nodes[1], nodes[6]
+        result = internet2_ap.reachable_atoms(src, dst)
+        random.seed(11)
+        for _ in range(200):
+            address = random.randrange(1 << HEADER_BITS)
+            device, arrived, visited = src, False, set()
+            if internet2.devices[device].acl_permits(address):
+                while True:
+                    if device == dst:
+                        arrived = True
+                        break
+                    if device in visited:
+                        break
+                    visited.add(device)
+                    port = internet2.devices[device].lookup(address)
+                    if port in (DROP_PORT, SELF_PORT):
+                        break
+                    if not internet2.devices[port].acl_permits(address):
+                        break
+                    device = port
+            assignment = {
+                i: bool((address >> (HEADER_BITS - 1 - i)) & 1)
+                for i in range(HEADER_BITS)
+            }
+            in_result = any(
+                internet2_ap.engine.evaluate(
+                    internet2_ap.atomics.atoms[a], assignment
+                )
+                for a in result.atoms
+            )
+            assert arrived == in_result, f"address {address:#x} disagrees"
+
+    def test_max_paths_caps_enumeration(self, internet2_ap, internet2):
+        nodes = internet2.topology.nodes
+        result = internet2_ap.reachable_atoms_by_path_enumeration(
+            nodes[0], nodes[-1], max_paths=3
+        )
+        assert result.paths_explored <= 3
+
+    def test_verify_all_pairs(self, internet2_ap, internet2):
+        results = internet2_ap.verify_all_pairs()
+        n = internet2.topology.num_nodes
+        assert len(results) == n * (n - 1)
+
+    def test_verify_all_pairs_unknown_strategy(self, internet2_ap):
+        with pytest.raises(KeyError):
+            internet2_ap.verify_all_pairs(strategy="magic")
+
+
+class TestPropertyChecks:
+    def test_clean_dataset_loop_free(self, internet2_ap):
+        assert internet2_ap.find_loops() == []
+
+    def test_clean_dataset_blackhole_free_in_allocated_space(self, internet2_ap):
+        scope = internet2_ap.allocated_atoms()
+        assert internet2_ap.find_blackholes(scope=scope) == []
+
+    def test_unallocated_space_drops(self, internet2_ap):
+        # Unscoped, the default-drop of unallocated space is visible.
+        assert internet2_ap.find_blackholes()
+
+    def test_injected_loop_found(self, internet2):
+        perturbed, _ = inject_loop(internet2, seed=3)
+        verifier = APVerifier(perturbed)
+        loops = verifier.find_loops()
+        assert loops
+        for report in loops:
+            assert len(report.cycle) >= 2
+
+    def test_injected_blackhole_found(self, internet2):
+        perturbed, device = inject_blackhole(internet2, seed=3)
+        verifier = APVerifier(perturbed)
+        scope = verifier.allocated_atoms()
+        reports = verifier.find_blackholes(scope=scope)
+        assert any(report.device == device for report in reports)
+
+    def test_loop_cycle_is_canonical(self, internet2):
+        perturbed, _ = inject_loop(internet2, seed=5)
+        verifier = APVerifier(perturbed)
+        for report in verifier.find_loops():
+            assert report.cycle[0] == min(report.cycle)
+
+
+class TestAllDatasets:
+    @pytest.mark.parametrize("name", ["Internet2", "Stanford", "Purdue", "Airtel"])
+    def test_verifier_builds_and_is_clean(self, name):
+        dataset = build_verification_dataset(name)
+        verifier = APVerifier(dataset)
+        assert verifier.num_atoms > 1
+        assert verifier.find_loops() == []
+        assert verifier.find_blackholes(scope=verifier.allocated_atoms()) == []

@@ -1,0 +1,211 @@
+"""Tests for the BDD engines, including cross-engine agreement."""
+
+import pytest
+
+from repro.bdd import (
+    BDD_FALSE,
+    BDD_TRUE,
+    JDDEngine,
+    JavaBDDEngine,
+    prefix_to_bdd,
+)
+from repro.bdd.builder import acl_permit_bdd, forwarding_port_bdds, new_engine
+from repro.netmodel.headerspace import HEADER_BITS, HeaderSpace, Prefix
+from repro.netmodel.rules import (
+    AclAction,
+    AclRule,
+    Device,
+    DROP_PORT,
+    ForwardingRule,
+)
+
+ENGINES = [JDDEngine, JavaBDDEngine]
+
+
+@pytest.fixture(params=ENGINES, ids=lambda cls: cls.name)
+def engine(request):
+    return request.param(HEADER_BITS)
+
+
+class TestBasics:
+    def test_terminals(self, engine):
+        assert engine.satcount(BDD_FALSE) == 0
+        assert engine.satcount(BDD_TRUE) == 1 << HEADER_BITS
+
+    def test_var_and_nvar(self, engine):
+        x = engine.var(0)
+        nx = engine.nvar(0)
+        assert engine.satcount(x) == 1 << (HEADER_BITS - 1)
+        assert engine.or_(x, nx) == BDD_TRUE
+        assert engine.and_(x, nx) == BDD_FALSE
+
+    def test_var_bounds_checked(self, engine):
+        with pytest.raises(IndexError):
+            engine.var(HEADER_BITS)
+        with pytest.raises(IndexError):
+            engine.nvar(-1)
+
+    def test_not_involution(self, engine):
+        x = engine.var(3)
+        assert engine.not_(engine.not_(x)) == x
+
+    def test_canonical_ids(self, engine):
+        a = engine.and_(engine.var(0), engine.var(1))
+        b = engine.and_(engine.var(1), engine.var(0))
+        assert a == b, "commutative ops must produce the same node"
+
+    def test_diff_semantics(self, engine):
+        a = engine.var(0)
+        b = engine.var(1)
+        diff = engine.diff(a, b)
+        # a AND NOT b: a half minus the quarter where both hold.
+        assert engine.satcount(diff) == (1 << (HEADER_BITS - 1)) - (
+            1 << (HEADER_BITS - 2)
+        )
+
+    def test_xor(self, engine):
+        a = engine.var(0)
+        b = engine.var(1)
+        x = engine.xor_(a, b)
+        assert engine.satcount(x) == 1 << (HEADER_BITS - 1)
+
+    def test_ite(self, engine):
+        f = engine.var(0)
+        g = engine.var(1)
+        h = engine.var(2)
+        node = engine.ite(f, g, h)
+        # Brute-force check on a few assignments.
+        for bits in range(8):
+            assignment = {i: bool((bits >> i) & 1) for i in range(HEADER_BITS)}
+            expected = (
+                assignment[1] if assignment[0] else assignment[2]
+            )
+            assert engine.evaluate(node, assignment) == expected
+
+    def test_implies(self, engine):
+        narrow = prefix_to_bdd(engine, Prefix(0x1200, 8))
+        wide = prefix_to_bdd(engine, Prefix(0x1000, 4))
+        assert engine.implies(narrow, wide)
+        assert not engine.implies(wide, narrow)
+
+    def test_cube_empty_is_true(self, engine):
+        assert engine.cube([]) == BDD_TRUE
+
+    def test_any_sat(self, engine):
+        prefix = Prefix(0xA000, 4)
+        node = prefix_to_bdd(engine, prefix)
+        assignment = engine.any_sat(node)
+        address = 0
+        for bit, value in assignment.items():
+            if value:
+                address |= 1 << (HEADER_BITS - 1 - bit)
+        assert prefix.contains_address(address)
+        assert engine.any_sat(BDD_FALSE) is None
+
+    def test_ref_counting(self, engine):
+        x = engine.var(0)
+        engine.ref(x)
+        engine.ref(x)
+        assert engine.live_refs == 2
+        engine.deref(x)
+        assert engine.live_refs == 1
+        engine.deref(x)
+        engine.deref(x)  # over-deref must be harmless
+        assert engine.live_refs == 0
+
+    def test_num_vars_validated(self):
+        with pytest.raises(ValueError):
+            JDDEngine(0)
+
+
+class TestAgainstHeaderSpace:
+    """The BDD engines must agree with the brute-force reference."""
+
+    PREFIXES = [
+        Prefix(0x0000, 1),
+        Prefix(0x0000, 3),
+        Prefix(0x4000, 2),
+        Prefix(0x1200, 8),
+        Prefix.full(),
+    ]
+
+    def test_prefix_satcount(self, engine):
+        for prefix in self.PREFIXES:
+            node = prefix_to_bdd(engine, prefix)
+            assert engine.satcount(node) == len(
+                HeaderSpace.from_prefix(prefix)
+            )
+
+    def test_pairwise_operations(self, engine):
+        for a in self.PREFIXES:
+            for b in self.PREFIXES:
+                bdd_a = prefix_to_bdd(engine, a)
+                bdd_b = prefix_to_bdd(engine, b)
+                hs_a = HeaderSpace.from_prefix(a)
+                hs_b = HeaderSpace.from_prefix(b)
+                assert engine.satcount(engine.and_(bdd_a, bdd_b)) == len(
+                    hs_a.intersect(hs_b)
+                )
+                assert engine.satcount(engine.or_(bdd_a, bdd_b)) == len(
+                    hs_a.union(hs_b)
+                )
+                assert engine.satcount(engine.diff(bdd_a, bdd_b)) == len(
+                    hs_a.minus(hs_b)
+                )
+
+
+class TestEnginesAgree:
+    def test_same_semantics_both_profiles(self):
+        jdd = JDDEngine(HEADER_BITS)
+        javabdd = JavaBDDEngine(HEADER_BITS)
+        prefixes = [Prefix(0x0000, 2), Prefix(0x2000, 4), Prefix(0x2200, 8)]
+        for engine in (jdd, javabdd):
+            nodes = [prefix_to_bdd(engine, p) for p in prefixes]
+            union = BDD_FALSE
+            for node in nodes:
+                union = engine.or_(union, node)
+            engine.last_union_count = engine.satcount(union)
+        assert jdd.last_union_count == javabdd.last_union_count
+
+    def test_javabdd_sweeps(self):
+        engine = JavaBDDEngine(HEADER_BITS)
+        for value in range(0, 1 << HEADER_BITS, 17):
+            prefix = Prefix(value & Prefix(0, 8).mask, 8)
+            prefix_to_bdd(engine, prefix)
+        assert engine.gc_sweeps >= 0  # bookkeeping exists and never crashes
+
+
+class TestBuilders:
+    def test_forwarding_port_bdds_partition(self, engine):
+        device = Device("r")
+        device.add_rule(ForwardingRule.lpm(Prefix(0x0000, 2), "a"))
+        device.add_rule(ForwardingRule.lpm(Prefix(0x0000, 4), "b"))
+        ports = forwarding_port_bdds(engine, device)
+        total = sum(engine.satcount(bdd) for bdd in ports.values())
+        assert total == 1 << HEADER_BITS
+        assert DROP_PORT in ports
+
+    def test_forwarding_matches_reference_spaces(self, engine):
+        device = Device("r")
+        device.add_rule(ForwardingRule.lpm(Prefix(0x0000, 1), "a"))
+        device.add_rule(ForwardingRule.lpm(Prefix(0x4000, 3), "b"))
+        ports = forwarding_port_bdds(engine, device)
+        for port, bdd in ports.items():
+            assert engine.satcount(bdd) == len(device.forwarding_space(port))
+
+    def test_acl_permit_bdd_matches_reference(self, engine):
+        device = Device("r")
+        device.add_acl_rule(AclRule(Prefix(0x8000, 1), AclAction.DENY, 5))
+        device.add_acl_rule(AclRule(Prefix(0xC000, 2), AclAction.PERMIT, 9))
+        node = acl_permit_bdd(engine, device)
+        assert engine.satcount(node) == len(device.acl_permit_space())
+
+    def test_acl_default_permit(self, engine):
+        device = Device("r")
+        assert acl_permit_bdd(engine, device) == BDD_TRUE
+
+    def test_new_engine_profiles(self):
+        assert isinstance(new_engine("jdd"), JDDEngine)
+        assert isinstance(new_engine("javabdd"), JavaBDDEngine)
+        with pytest.raises(KeyError):
+            new_engine("buddy")

@@ -1,0 +1,271 @@
+"""Tests for the reproduction framework: prompts, LLM model, assembly,
+metrics, debugging policy."""
+
+import pytest
+
+from repro.core import (
+    ChatSession,
+    CodeArtifact,
+    PromptBuilder,
+    PromptStyle,
+    SimulatedLLM,
+    assemble_module,
+    count_loc,
+)
+from repro.core.assembly import AssemblyError, check_imports
+from repro.core.debugging import DebugPolicy, describe_failure
+from repro.core.knowledge import get_knowledge, get_paper_spec, paper_keys
+from repro.core.prompts import PromptKind
+from repro.core.simulated import ComponentKnowledge, Defect, PaperKnowledge
+
+
+class TestCountLoc:
+    def test_blank_and_comment_lines_skipped(self):
+        source = "\n".join(
+            ["# comment", "", "x = 1", "   ", "y = 2  # trailing", "# more"]
+        )
+        assert count_loc(source) == 2
+
+    def test_docstrings_skipped(self):
+        source = '"""Module doc.\n\nSecond line.\n"""\nx = 1\n'
+        assert count_loc(source) == 1
+
+    def test_single_line_docstring(self):
+        source = '"""One line."""\nx = 1\n'
+        assert count_loc(source) == 1
+
+
+class TestPromptBuilder:
+    @pytest.fixture
+    def builder(self):
+        return PromptBuilder(get_paper_spec("ap"))
+
+    def test_overview_mentions_components(self, builder):
+        prompt = builder.system_overview()
+        assert "bdd_setup" in prompt.text
+        assert prompt.kind is PromptKind.SYSTEM_OVERVIEW
+
+    def test_component_pseudocode_included(self, builder):
+        spec = get_paper_spec("ap").component("atomic")
+        prompt = builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE)
+        assert "atoms <- {true}" in prompt.text
+
+    def test_component_text_style_omits_pseudocode(self, builder):
+        spec = get_paper_spec("ap").component("atomic")
+        prompt = builder.component(spec, PromptStyle.MODULAR_TEXT)
+        assert "atoms <- {true}" not in prompt.text
+
+    def test_monolithic_rejected_for_component(self, builder):
+        spec = get_paper_spec("ap").component("atomic")
+        with pytest.raises(ValueError):
+            builder.component(spec, PromptStyle.MONOLITHIC)
+
+    def test_word_count(self, builder):
+        prompt = builder.debug_error("atomic", "TypeError: boom")
+        assert prompt.word_count == len(prompt.text.split())
+
+
+class TestPaperSpecs:
+    @pytest.mark.parametrize("key", paper_keys())
+    def test_dependency_order_valid(self, key):
+        get_paper_spec(key).validate_dependency_order()
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            get_paper_spec("ap").component("nonexistent")
+
+
+class TestKnowledgeBases:
+    @pytest.mark.parametrize("key", paper_keys())
+    def test_every_defect_applies_and_compiles(self, key):
+        knowledge = get_knowledge(key)
+        for name, component in knowledge.components.items():
+            for style in (PromptStyle.MODULAR_PSEUDOCODE, PromptStyle.MODULAR_TEXT):
+                chain = component.defect_chain(style)
+                for fixed in range(len(chain) + 1):
+                    source = component.source_at(style, fixed)
+                    compile(source, f"{key}:{name}", "exec")
+
+    @pytest.mark.parametrize("key", paper_keys())
+    def test_final_sources_have_no_forbidden_imports(self, key):
+        knowledge = get_knowledge(key)
+        for component in knowledge.components.values():
+            check_imports(component.final_source)
+
+    def test_defect_kind_validated(self):
+        with pytest.raises(ValueError):
+            Defect(PromptKind.GENERATE, "d", "a", "b")
+
+    def test_stale_defect_detected(self):
+        component = ComponentKnowledge(
+            component="c",
+            final_source="x = 1\n",
+            defects=(
+                Defect(PromptKind.DEBUG_ERROR, "d", "y = 2", "not-there"),
+            ),
+        )
+        with pytest.raises(ValueError):
+            component.source_at(PromptStyle.MODULAR_PSEUDOCODE, 0)
+
+
+class TestSimulatedLLM:
+    def make(self, key="ap"):
+        return SimulatedLLM({key: get_knowledge(key)})
+
+    def test_monolithic_returns_sketch(self):
+        llm = self.make()
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        response = llm.chat(session, builder.monolithic())
+        assert response.has_code
+        assert "NotImplementedError" in response.artifacts[0].source
+
+    def test_generate_first_draft_has_defects(self):
+        llm = self.make()
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        spec = get_paper_spec("ap").component("bdd_setup")
+        response = llm.chat(
+            session, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE)
+        )
+        knowledge = get_knowledge("ap").components["bdd_setup"]
+        assert response.artifacts[0].source != knowledge.final_source
+
+    def test_matching_feedback_fixes_defect(self):
+        llm = self.make()
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        spec = get_paper_spec("ap").component("bdd_setup")
+        llm.chat(session, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE))
+        response = llm.chat(
+            session, builder.debug_error("bdd_setup", "IndexError: variable 16")
+        )
+        knowledge = get_knowledge("ap").components["bdd_setup"]
+        assert response.artifacts[0].source == knowledge.final_source
+
+    def test_wrong_guideline_makes_no_progress(self):
+        llm = self.make()
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        spec = get_paper_spec("ap").component("bdd_setup")
+        first = llm.chat(
+            session, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE)
+        )
+        # bdd_setup's defect is an ERROR defect; test-case feedback misses.
+        response = llm.chat(
+            session, builder.debug_testcase("bdd_setup", "case fails")
+        )
+        assert response.artifacts[0].source == first.artifacts[0].source
+
+    def test_debug_before_generate_is_safe(self):
+        llm = self.make()
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        response = llm.chat(session, builder.debug_error("bdd_setup", "boom"))
+        assert not response.has_code
+
+    def test_unknown_paper_rejected(self):
+        llm = self.make()
+        session = ChatSession("X:unknown-paper")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        with pytest.raises(KeyError):
+            llm.chat(session, builder.system_overview())
+
+    def test_text_style_adds_interop_defect(self):
+        llm = self.make()
+        knowledge = get_knowledge("ap").components["reachability"]
+        pseudo_chain = knowledge.defect_chain(PromptStyle.MODULAR_PSEUDOCODE)
+        text_chain = knowledge.defect_chain(PromptStyle.MODULAR_TEXT)
+        assert len(text_chain) == len(pseudo_chain) + 1
+
+    def test_sessions_are_independent(self):
+        llm = self.make()
+        builder = PromptBuilder(get_paper_spec("ap"))
+        spec = get_paper_spec("ap").component("bdd_setup")
+        s1, s2 = ChatSession("X:ap"), ChatSession("Y:ap")
+        llm.chat(s1, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE))
+        llm.chat(s1, builder.debug_error("bdd_setup", "IndexError"))
+        response = llm.chat(
+            s2, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE)
+        )
+        knowledge = get_knowledge("ap").components["bdd_setup"]
+        assert response.artifacts[0].source != knowledge.final_source
+
+
+class TestChatSession:
+    def test_counters(self):
+        llm = SimulatedLLM({"ap": get_knowledge("ap")})
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        llm.chat(session, builder.system_overview())
+        llm.chat(session, builder.interfaces())
+        assert session.num_prompts == 2
+        assert session.total_words > 0
+        assert session.prompts_by_kind() == {
+            "system-overview": 1,
+            "interfaces": 1,
+        }
+
+    def test_latest_artifact(self):
+        llm = SimulatedLLM({"ap": get_knowledge("ap")})
+        session = ChatSession("X:ap")
+        builder = PromptBuilder(get_paper_spec("ap"))
+        spec = get_paper_spec("ap").component("bdd_setup")
+        llm.chat(session, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE))
+        artifact = session.latest_artifact("bdd_setup")
+        assert artifact is not None and artifact.component == "bdd_setup"
+        assert session.latest_artifact("nonexistent") is None
+
+
+class TestAssembly:
+    def test_forbidden_import_rejected(self):
+        artifact = CodeArtifact("x", "python", "from repro.ap import APVerifier\n", 0)
+        with pytest.raises(AssemblyError):
+            assemble_module([artifact])
+
+    def test_allowed_import_passes(self):
+        artifact = CodeArtifact(
+            "x", "python", "from repro.bdd.engine import JDDEngine\n", 0
+        )
+        module = assemble_module([artifact])
+        assert hasattr(module, "JDDEngine")
+
+    def test_execution_error_reported_with_component(self):
+        artifact = CodeArtifact("broken", "python", "raise ValueError('boom')\n", 0)
+        with pytest.raises(AssemblyError, match="broken"):
+            assemble_module([artifact])
+
+    def test_namespace_shared_between_artifacts(self):
+        first = CodeArtifact("a", "python", "VALUE = 41\n", 0)
+        second = CodeArtifact("b", "python", "RESULT = VALUE + 1\n", 0)
+        module = assemble_module([first, second])
+        assert module.RESULT == 42
+
+
+class TestDebugPolicy:
+    def test_runtime_error_uses_error_guideline(self):
+        policy = DebugPolicy(PromptBuilder(get_paper_spec("ap")))
+        prompt = policy.next_prompt("atomic", TypeError("bad type"))
+        assert prompt.kind is PromptKind.DEBUG_ERROR
+        assert "bad type" in prompt.text
+
+    def test_assertion_uses_testcase_then_logic(self):
+        policy = DebugPolicy(
+            PromptBuilder(get_paper_spec("ap")), {"atomic": "do it right"}
+        )
+        first = policy.next_prompt("atomic", AssertionError("wrong output"))
+        second = policy.next_prompt("atomic", AssertionError("still wrong"))
+        assert first.kind is PromptKind.DEBUG_TESTCASE
+        assert second.kind is PromptKind.DEBUG_LOGIC
+        assert "do it right" in second.text
+
+    def test_reset_restores_testcase_first(self):
+        policy = DebugPolicy(PromptBuilder(get_paper_spec("ap")))
+        policy.next_prompt("atomic", AssertionError("x"))
+        policy.reset("atomic")
+        prompt = policy.next_prompt("atomic", AssertionError("y"))
+        assert prompt.kind is PromptKind.DEBUG_TESTCASE
+
+    def test_describe_failure(self):
+        text = describe_failure(ValueError("boom"))
+        assert "ValueError" in text and "boom" in text

@@ -1,0 +1,104 @@
+"""Tests for the verification dataset builders and anomaly injection."""
+
+import pytest
+
+from repro.netmodel.datasets import (
+    build_verification_dataset,
+    inject_blackhole,
+    inject_loop,
+)
+from repro.netmodel.rules import DROP_PORT, SELF_PORT
+
+
+class TestBuild:
+    def test_every_device_has_rules(self, internet2):
+        assert set(internet2.devices) == set(internet2.topology.nodes)
+        for device in internet2.devices.values():
+            assert device.num_rules >= internet2.topology.num_nodes
+
+    def test_own_prefix_delivered_locally(self, internet2):
+        for node, prefix in internet2.prefix_of.items():
+            assert internet2.devices[node].lookup(prefix.value) == SELF_PORT
+
+    def test_routes_follow_topology(self, internet2):
+        for node, device in internet2.devices.items():
+            for rule in device.rules:
+                if rule.port in (DROP_PORT, SELF_PORT):
+                    continue
+                assert internet2.topology.has_link(node, rule.port), (
+                    f"{node} forwards to non-neighbour {rule.port}"
+                )
+
+    def test_forwarding_actually_reaches_destination(self, internet2):
+        nodes = internet2.topology.nodes
+        for src in nodes[:4]:
+            for dst in nodes[-4:]:
+                if src == dst:
+                    continue
+                address = internet2.prefix_of[dst].value
+                device = src
+                for _ in range(len(nodes) + 1):
+                    port = internet2.devices[device].lookup(address)
+                    if port == SELF_PORT:
+                        break
+                    assert port != DROP_PORT, f"{src}->{dst} dropped at {device}"
+                    device = port
+                assert device == dst
+
+    def test_stanford_has_acls(self, stanford):
+        assert any(d.has_acl for d in stanford.devices.values())
+
+    def test_internet2_has_no_acls(self, internet2):
+        assert not any(d.has_acl for d in internet2.devices.values())
+
+    def test_copy_is_deep(self, internet2):
+        from repro.netmodel.headerspace import Prefix
+        from repro.netmodel.rules import ForwardingRule
+
+        clone = internet2.copy()
+        node = clone.topology.nodes[0]
+        before = internet2.devices[node].num_rules
+        clone.devices[node].add_rule(
+            ForwardingRule(Prefix.full(), DROP_PORT, priority=99)
+        )
+        assert internet2.devices[node].num_rules == before
+
+    def test_total_rules_counts(self, internet2):
+        assert internet2.total_rules == sum(
+            d.num_rules for d in internet2.devices.values()
+        )
+
+    def test_all_rules_deterministic_order(self, internet2):
+        first = internet2.all_rules()
+        second = internet2.all_rules()
+        assert first == second
+
+
+class TestInjection:
+    def test_inject_loop_creates_cycle(self, internet2):
+        perturbed, (u, v) = inject_loop(internet2, seed=3)
+        assert perturbed.topology.has_link(v, u)
+        # The perturbed dataset has one more rule than the original.
+        assert perturbed.total_rules == internet2.total_rules + 1
+        # Original untouched.
+        assert internet2.total_rules == sum(
+            d.num_rules for d in internet2.devices.values()
+        )
+
+    def test_inject_blackhole_drops(self, internet2):
+        perturbed, device = inject_blackhole(internet2, seed=3)
+        assert perturbed.total_rules == internet2.total_rules + 1
+        # The injected rule wins for its prefix at that device.
+        injected = [
+            rule
+            for rule in perturbed.devices[device].rules
+            if rule.port == DROP_PORT and rule.priority > 0
+        ]
+        assert injected
+        address = injected[0].prefix.value
+        assert perturbed.devices[device].lookup(address) == DROP_PORT
+
+    def test_injection_deterministic(self, internet2):
+        _, where_a = inject_loop(internet2, seed=7)
+        _, where_b = inject_loop(internet2, seed=7)
+        assert where_a == where_b

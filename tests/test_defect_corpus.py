@@ -1,0 +1,104 @@
+"""Systematic validation of the whole seeded-defect corpus.
+
+For every component of every knowledge base and every defect in its
+chain: the revision where ONLY that defect is outstanding must fail the
+participant's component test, with a failure message containing the
+defect's ``error_hint``, and the failure's type must match the defect's
+debugging-guideline kind (runtime errors for DEBUG_ERROR, assertion
+failures for the two logic kinds).  This pins the simulated experiment's
+whole causal chain: defect -> observable failure -> matching guideline.
+"""
+
+import pytest
+
+from repro.core.assembly import AssemblyError, assemble_module
+from repro.core.knowledge import (
+    get_component_tests,
+    get_knowledge,
+    get_paper_spec,
+    paper_keys,
+)
+from repro.core.llm import CodeArtifact
+from repro.core.prompts import PromptKind, PromptStyle
+
+
+def _cases():
+    cases = []
+    for key in paper_keys():
+        knowledge = get_knowledge(key)
+        spec = get_paper_spec(key)
+        for component in spec.components:
+            chain = knowledge.components[component.name].defect_chain(
+                PromptStyle.MODULAR_PSEUDOCODE
+            )
+            for index in range(len(chain)):
+                cases.append((key, component.name, index))
+    return cases
+
+
+def _module_with_single_defect(key, component_name, defect_index):
+    """Assemble the system final everywhere except one outstanding defect."""
+    knowledge = get_knowledge(key)
+    spec = get_paper_spec(key)
+    artifacts = []
+    for component in spec.components:
+        entry = knowledge.components[component.name]
+        if component.name == component_name:
+            chain = entry.defect_chain(PromptStyle.MODULAR_PSEUDOCODE)
+            fixed = set(range(len(chain))) - {defect_index}
+            source = entry.source_with(PromptStyle.MODULAR_PSEUDOCODE, fixed)
+        else:
+            source = entry.final_source
+        artifacts.append(CodeArtifact(component.name, "python", source, 0))
+    return assemble_module(artifacts, f"defective_{key}_{component_name}")
+
+
+@pytest.mark.parametrize("key,component,index", _cases())
+def test_every_defect_manifests_and_matches_its_guideline(key, component, index):
+    knowledge = get_knowledge(key)
+    chain = knowledge.components[component].defect_chain(
+        PromptStyle.MODULAR_PSEUDOCODE
+    )
+    defect = chain[index]
+    tests = get_component_tests(key)
+    test = tests.get(component)
+    assert test is not None, f"{key}:{component} has defects but no test"
+
+    try:
+        module = _module_with_single_defect(key, component, index)
+    except AssemblyError as exc:
+        failure = exc.__cause__ or exc
+    else:
+        failure = None
+        try:
+            test(module)
+        except BaseException as exc:  # the participant's test catches all
+            failure = exc
+    assert failure is not None, (
+        f"{key}:{component} defect {index} ({defect.kind.value}) never "
+        "manifests -- the debugging loop could not be exercised"
+    )
+
+    # Failure type must match the guideline that fixes the defect.
+    if defect.kind is PromptKind.DEBUG_ERROR:
+        assert not isinstance(failure, AssertionError), (
+            f"{key}:{component} defect {index}: expected a runtime error, "
+            f"got assertion {failure}"
+        )
+    else:
+        assert isinstance(failure, AssertionError), (
+            f"{key}:{component} defect {index}: expected a failing test "
+            f"case, got {type(failure).__name__}: {failure}"
+        )
+
+    # The recorded hint must describe the observed failure.
+    if defect.error_hint:
+        message = f"{type(failure).__name__}: {failure}"
+        assert defect.error_hint in message, (
+            f"{key}:{component} defect {index}: hint {defect.error_hint!r} "
+            f"not in failure {message!r}"
+        )
+
+
+def test_corpus_is_nontrivial():
+    assert len(_cases()) >= 12

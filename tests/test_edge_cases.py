@@ -1,0 +1,202 @@
+"""Edge-case tests across the library: the corners the main suites skip."""
+
+import pytest
+
+from repro.apkeep.element import ACL_DENY, ACL_PERMIT, AclElement
+from repro.ap import traversal
+from repro.bdd.builder import new_engine
+from repro.bdd.engine import BDD_FALSE, BDD_TRUE
+from repro.lp import LinExpr, Model
+from repro.lp.backends import parse_lp_text, write_lp_text
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.rules import AclAction, AclRule
+from repro.netmodel.topology import Topology
+
+
+class TestLPTextEdgeCases:
+    def test_negative_rhs(self):
+        model = Model("neg")
+        x = model.add_var(name="x", lower=-10, upper=10)
+        model.add_constraint(x >= -3)
+        model.minimize(x)
+        recovered = parse_lp_text(write_lp_text(model))
+        assert recovered.solve().objective == pytest.approx(-3.0)
+
+    def test_equality_and_ge_mixed(self):
+        model = Model("mix")
+        x = model.add_var(name="x", upper=10)
+        y = model.add_var(name="y", upper=10)
+        model.add_constraint((x + y).equals(6.0))
+        model.add_constraint(x - y >= 2.0)
+        model.maximize(y)
+        original = model.solve()
+        recovered = parse_lp_text(write_lp_text(model)).solve()
+        assert recovered.objective == pytest.approx(original.objective)
+
+    def test_weird_variable_names_sanitised(self):
+        model = Model("names")
+        a = model.add_var(name="f[a->b:0]", upper=2)
+        b = model.add_var(name="f[a->b:1]", upper=2)
+        model.add_constraint(a + b <= 3)
+        model.maximize(a + b)
+        recovered = parse_lp_text(write_lp_text(model))
+        assert recovered.solve().objective == pytest.approx(3.0)
+
+    def test_duplicate_names_disambiguated(self):
+        model = Model("dups")
+        a = model.add_var(name="x", upper=1)
+        b = model.add_var(name="x", upper=2)
+        model.maximize(a + b)
+        recovered = parse_lp_text(write_lp_text(model))
+        assert recovered.num_vars == 2
+        assert recovered.solve().objective == pytest.approx(3.0)
+
+    def test_scientific_notation_coefficients(self):
+        model = Model("sci")
+        x = model.add_var(name="x", upper=1e6)
+        model.add_constraint(1e-3 * x <= 500.0)
+        model.maximize(x)
+        recovered = parse_lp_text(write_lp_text(model))
+        assert recovered.solve().objective == pytest.approx(500000.0)
+
+
+class TestAclElementRemoval:
+    def test_remove_restores_permit(self):
+        engine = new_engine("jdd")
+        acl = AclElement("acl:r", engine)
+        deny = AclRule(Prefix(0x8000, 1), AclAction.DENY, 5)
+        acl.insert(deny)
+        half = 1 << 15
+        assert engine.satcount(acl.permit_bdd()) == half
+        acl.insert(AclRule(Prefix(0xC000, 2), AclAction.PERMIT, 9))
+        allowed_with_both = engine.satcount(acl.permit_bdd())
+        assert allowed_with_both == half + (1 << 14)
+        acl.remove(deny)
+        assert engine.satcount(acl.permit_bdd()) == 1 << 16
+        assert acl.check_partition()
+
+    def test_ports_fixed(self):
+        engine = new_engine("jdd")
+        acl = AclElement("acl:r", engine)
+        assert acl.ports() == [ACL_DENY, ACL_PERMIT]
+        assert acl.num_rules == 0
+
+
+class TestTraversalDirect:
+    def build_labels(self):
+        # Two-node chain: all atoms flow a -> b, atom 1 dropped at a.
+        topo = Topology("two")
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b", 1.0)
+        port_atoms = {
+            ("a", "b"): frozenset({0}),
+            ("a", "drop"): frozenset({1}),
+            ("b", "self"): frozenset({0, 1}),
+        }
+        acl_atoms = {"a": frozenset({0, 1}), "b": frozenset({0, 1})}
+        return topo, port_atoms, acl_atoms
+
+    def test_selective_bfs(self):
+        topo, port_atoms, acl_atoms = self.build_labels()
+        got = traversal.selective_bfs(
+            topo, port_atoms, acl_atoms, "a", "b", frozenset({0, 1})
+        )
+        assert got == frozenset({0})
+
+    def test_path_enumeration_matches(self):
+        topo, port_atoms, acl_atoms = self.build_labels()
+        got, explored = traversal.path_enumeration_reach(
+            topo, port_atoms, acl_atoms, "a", "b", frozenset({0, 1})
+        )
+        assert got == frozenset({0})
+        assert explored == 1
+
+    def test_blackhole_scoping(self):
+        topo, port_atoms, acl_atoms = self.build_labels()
+        all_reports = traversal.find_blackholes(topo, port_atoms, acl_atoms)
+        assert all_reports == [("a", frozenset({1}))]
+        scoped = traversal.find_blackholes(
+            topo, port_atoms, acl_atoms, scope=frozenset({0})
+        )
+        assert scoped == []
+
+    def test_next_port_map(self):
+        _, port_atoms, _ = self.build_labels()
+        table = traversal.build_next_port(port_atoms)
+        assert table["a"][0] == "b"
+        assert table["a"][1] == "drop"
+
+    def test_rotate_cycle(self):
+        assert traversal.rotate_cycle(("c", "a", "b")) == ("a", "b", "c")
+
+
+class TestSimulatedSourceWith:
+    def test_arbitrary_subset(self):
+        from repro.core.knowledge import get_knowledge
+        from repro.core.prompts import PromptStyle
+
+        component = get_knowledge("ap").components["reachability"]
+        chain = component.defect_chain(PromptStyle.MODULAR_PSEUDOCODE)
+        assert len(chain) == 2
+        only_second = component.source_with(
+            PromptStyle.MODULAR_PSEUDOCODE, {1}
+        )
+        # Defect 0 (count off-by-one) still present, defect 1 repaired.
+        assert "- 1" in only_second.split("def count_atoms")[1][:80]
+        assert "        return frozenset(atoms)\n        arrived" not in only_second
+
+
+class TestMotivatingHarnessFailures:
+    def test_crashing_server_reported(self):
+        import types
+
+        module = types.ModuleType("bad_rps")
+
+        def run_server(host, port, max_rounds=None, ready=None):
+            raise RuntimeError("cannot bind")
+
+        module.run_server = run_server
+        module.run_client = lambda host, port, moves=None: []
+        from repro.motivating.harness import play_scripted_game
+
+        with pytest.raises(RuntimeError, match="server crashed"):
+            play_scripted_game(module, timeout=5)
+
+
+class TestStudyYearFraction:
+    def test_year_fraction_defined_everywhere(self):
+        from repro.study import build_corpus, opensource_stats
+
+        stats = opensource_stats(build_corpus())
+        for venue in ("SIGCOMM", "NSDI"):
+            for year in range(2013, 2023):
+                fraction = stats.year_fraction(venue, year)
+                assert 0.0 <= fraction <= 1.0
+
+
+class TestBddEvaluate:
+    def test_evaluate_matches_satcount_membership(self):
+        engine = new_engine("jdd")
+        from repro.bdd.builder import prefix_to_bdd
+        from repro.netmodel.headerspace import HEADER_BITS
+
+        prefix = Prefix(0x1200, 8)
+        node = prefix_to_bdd(engine, prefix)
+        for address in (0x1200, 0x12FF, 0x1300, 0x0000):
+            assignment = {
+                i: bool((address >> (HEADER_BITS - 1 - i)) & 1)
+                for i in range(HEADER_BITS)
+            }
+            assert engine.evaluate(node, assignment) == prefix.contains_address(
+                address
+            )
+
+    def test_clear_cache_keeps_semantics(self):
+        engine = new_engine("jdd")
+        a = engine.var(0)
+        b = engine.var(1)
+        before = engine.and_(a, b)
+        engine.clear_cache()
+        after = engine.and_(a, b)
+        assert before == after

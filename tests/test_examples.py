@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", [], "PASSED"),
+    ("study_stats.py", [], "Figure 2"),
+    ("verify_dataplane.py", ["Internet2"], "loop(s)"),
+    ("reproduce_te_system.py", ["Uninett2010"], "objective difference"),
+    ("full_experiment.py", [], "all succeeded: True"),
+    ("semi_automatic.py", [], "objective-gap"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", EXAMPLES)
+def test_example_runs(script, args, marker):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert marker in result.stdout, (
+        f"{script} output missing {marker!r}:\n{result.stdout[-2000:]}"
+    )
+
+
+def test_example_with_bad_argument_fails_cleanly():
+    path = os.path.join(EXAMPLES_DIR, "verify_dataplane.py")
+    result = subprocess.run(
+        [sys.executable, path, "NoSuchDataset"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "unknown dataset" in result.stderr

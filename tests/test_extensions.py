@@ -1,0 +1,242 @@
+"""Tests for the section-4 extension modules: transcripts, paper
+documents, discrepancy analysis, and the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.knowledge import get_knowledge, get_paper_spec, paper_keys
+from repro.core.llm import ChatSession
+from repro.core.paperdoc import PaperDocError, parse_paperdoc, render_paperdoc
+from repro.core.prompts import PromptBuilder, PromptStyle
+from repro.core.simulated import SimulatedLLM
+from repro.core.transcript import summarize, to_json, to_markdown
+
+
+def run_small_session():
+    llm = SimulatedLLM({"ap": get_knowledge("ap")})
+    session = ChatSession("T:ap")
+    builder = PromptBuilder(get_paper_spec("ap"))
+    llm.chat(session, builder.system_overview())
+    spec = get_paper_spec("ap").component("bdd_setup")
+    llm.chat(session, builder.component(spec, PromptStyle.MODULAR_PSEUDOCODE))
+    llm.chat(session, builder.debug_error("bdd_setup", "IndexError: boom"))
+    return session
+
+
+class TestTranscript:
+    def test_markdown_contains_exchanges(self):
+        session = run_small_session()
+        text = to_markdown(session)
+        assert "# Conversation log: T:ap" in text
+        assert text.count("## Exchange") == 3
+        assert "```python" in text
+        assert "IndexError: boom" in text
+
+    def test_json_round_trips(self):
+        session = run_small_session()
+        payload = json.loads(to_json(session))
+        assert payload["num_prompts"] == 3
+        assert len(payload["exchanges"]) == 3
+        assert payload["exchanges"][1]["artifacts"][0]["component"] == "bdd_setup"
+        assert payload["total_words"] == session.total_words
+
+    def test_summary_one_line_per_exchange(self):
+        session = run_small_session()
+        lines = summarize(session).splitlines()
+        assert len(lines) == 3
+        assert "debug-error" in lines[2]
+
+
+class TestPaperDoc:
+    @pytest.mark.parametrize("key", paper_keys())
+    def test_round_trip_every_spec(self, key):
+        spec = get_paper_spec(key)
+        recovered = parse_paperdoc(render_paperdoc(spec))
+        assert recovered.key == spec.key
+        assert recovered.title == spec.title
+        assert recovered.venue == spec.venue
+        assert recovered.year == spec.year
+        assert recovered.component_names == spec.component_names
+        for got, want in zip(recovered.components, spec.components):
+            assert got.interfaces == want.interfaces
+            assert got.depends_on == want.depends_on
+            assert (got.pseudocode is None) == (want.pseudocode is None)
+            if want.pseudocode is not None:
+                assert got.pseudocode.text.strip() == want.pseudocode.text.strip()
+
+    def test_minimal_document(self):
+        doc = (
+            "# Tiny System\n"
+            "key: tiny\nvenue: TEST\nyear: 2024\n\n"
+            "summary: does one thing.\n\n"
+            "## component: core\n"
+            "The only component.\n\n"
+            "interfaces:\n- run() -> int\n"
+        )
+        spec = parse_paperdoc(doc)
+        assert spec.key == "tiny"
+        assert spec.components[0].interfaces == ("run() -> int",)
+
+    def test_missing_title_rejected(self):
+        with pytest.raises(PaperDocError):
+            parse_paperdoc("key: x\nvenue: V\nyear: 2024\n## component: a\nd\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(PaperDocError):
+            parse_paperdoc("# T\nvenue: V\n\n## component: a\nd\n")
+
+    def test_no_components_rejected(self):
+        with pytest.raises(PaperDocError):
+            parse_paperdoc("# T\nkey: k\nvenue: V\nyear: 2024\nsummary: s\n")
+
+    def test_dependency_order_enforced(self):
+        doc = (
+            "# T\nkey: k\nvenue: V\nyear: 2024\n\nsummary: s\n\n"
+            "## component: a\ndepends: b\nfirst\n\n"
+            "## component: b\nsecond\n"
+        )
+        with pytest.raises(ValueError):
+            parse_paperdoc(doc)
+
+    def test_pseudocode_block_parsed(self):
+        doc = (
+            "# T\nkey: k\nvenue: V\nyear: 2024\n\nsummary: s\n\n"
+            "## component: a\nthe component\n\n"
+            "pseudocode Listing 1:\n"
+            "    for each x:\n"
+            "        do(x)\n"
+        )
+        spec = parse_paperdoc(doc)
+        pseudo = spec.components[0].pseudocode
+        assert pseudo is not None
+        assert pseudo.name == "Listing 1"
+        assert "for each x:" in pseudo.text
+        assert "    do(x)" in pseudo.text
+
+
+class TestDiscrepancyAnalysis:
+    def build(self, key):
+        from repro.core.assembly import assemble_module
+        from repro.core.llm import CodeArtifact
+
+        knowledge = get_knowledge(key)
+        artifacts = [
+            CodeArtifact(
+                c.name, "python", knowledge.components[c.name].final_source, 9
+            )
+            for c in get_paper_spec(key).components
+        ]
+        return assemble_module(artifacts, f"disc_{key}")
+
+    def test_arrow_finds_the_inconsistency(self):
+        from repro.core.discrepancy import analyze
+
+        report = analyze("arrow", self.build("arrow"))
+        assert not report.clean
+        assert "objective-gap" in report.kinds()
+
+    def test_ap_finds_both_latency_gaps(self):
+        from repro.core.discrepancy import analyze
+
+        report = analyze("ap", self.build("ap"))
+        assert not report.clean
+        assert report.kinds() == ["latency-gap"]
+        # Two distinct latency findings: predicates and verification.
+        assert len(report.findings) >= 2
+
+    def test_apkeep_is_clean(self):
+        from repro.core.discrepancy import analyze
+
+        report = analyze("apkeep", self.build("apkeep"))
+        assert report.clean
+
+    def test_unknown_system_rejected(self):
+        from repro.core.discrepancy import analyze
+
+        with pytest.raises(KeyError):
+            analyze("quic", None)
+
+    def test_render_mentions_findings(self):
+        from repro.core.discrepancy import analyze
+
+        report = analyze("arrow", self.build("arrow"))
+        text = report.render()
+        assert "objective-gap" in text
+        assert "arrow" in text
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_study(self):
+        code, text = self.run_cli("study")
+        assert code == 0
+        assert "SIGCOMM 32.5%" in text
+
+    def test_te_pf4(self):
+        code, text = self.run_cli("te", "B4", "--solver", "pf4",
+                                  "--commodities", "40")
+        assert code == 0
+        assert "pf4:" in text
+
+    def test_verify_with_loop(self):
+        code, text = self.run_cli("verify", "Internet2", "--inject", "loop")
+        assert code == 0
+        assert "loops=1" in text
+
+    def test_participant(self):
+        code, text = self.run_cli("participant", "D")
+        assert code == 0
+        assert "ap" in text and "ok" in text
+
+    def test_participant_monolithic_fails(self):
+        code, text = self.run_cli(
+            "participant", "D", "--style", "monolithic"
+        )
+        assert code == 1
+
+    def test_motivating(self):
+        code, text = self.run_cli("motivating")
+        assert code == 0
+        assert "4 prompts, 159 words, 93 LoC" in text
+
+    def test_paperdoc_renders(self):
+        code, text = self.run_cli("paperdoc", "apkeep")
+        assert code == 0
+        assert "## component: element_update" in text
+        assert "IdentifyChangesInsert" in text
+
+    def test_transcript_summary(self):
+        code, text = self.run_cli("transcript", "C", "--format", "summary")
+        assert code == 0
+        assert "system-overview" in text
+
+    def test_transcript_to_file(self, tmp_path):
+        target = tmp_path / "log.md"
+        code, text = self.run_cli(
+            "transcript", "D", "--out", str(target)
+        )
+        assert code == 0
+        content = target.read_text()
+        assert "# Conversation log" in content
+
+
+class TestCLIExperiment:
+    def test_experiment_command(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["experiment"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "Figure 4" in text and "Figure 5" in text
+        assert "all succeeded: True" in text

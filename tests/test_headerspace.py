@@ -1,0 +1,106 @@
+"""Tests for prefixes and the brute-force header-space reference."""
+
+import pytest
+
+from repro.netmodel.headerspace import (
+    HEADER_BITS,
+    HeaderSpace,
+    Prefix,
+    split_address_space,
+)
+
+
+class TestPrefix:
+    def test_full_prefix_matches_everything(self):
+        full = Prefix.full()
+        assert full.num_addresses() == 1 << HEADER_BITS
+        assert full.contains_address(0)
+        assert full.contains_address((1 << HEADER_BITS) - 1)
+
+    def test_host_prefix_matches_one(self):
+        host = Prefix.host(42)
+        assert host.num_addresses() == 1
+        assert host.contains_address(42)
+        assert not host.contains_address(43)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, HEADER_BITS + 1)
+
+    def test_bits_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0x0001, 4)  # low bits set but /4
+
+    def test_mask(self):
+        assert Prefix(0, 0).mask == 0
+        assert Prefix(0, HEADER_BITS).mask == (1 << HEADER_BITS) - 1
+        assert Prefix(0x8000, 1).mask == 0x8000
+
+    def test_covers(self):
+        outer = Prefix(0x1000, 4)
+        inner = Prefix(0x1200, 8)
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+    def test_overlaps_only_by_nesting(self):
+        a = Prefix(0x1000, 4)
+        b = Prefix(0x2000, 4)
+        assert not a.overlaps(b)
+        assert a.overlaps(Prefix(0x1200, 8))
+
+    def test_bdd_literals_msb_first(self):
+        prefix = Prefix(0x8000, 2)  # bits 10...
+        literals = list(prefix.bdd_literals())
+        assert literals == [(0, True), (1, False)]
+
+    def test_str(self):
+        assert str(Prefix(0x1200, 8)) == "0x1200/8"
+
+
+class TestHeaderSpace:
+    def test_from_prefix_size(self):
+        space = HeaderSpace.from_prefix(Prefix(0x1000, 4))
+        assert len(space) == 1 << (HEADER_BITS - 4)
+
+    def test_algebra(self):
+        a = HeaderSpace.from_prefix(Prefix(0x0000, 1))
+        b = HeaderSpace.from_prefix(Prefix(0x0000, 2))
+        assert b.intersect(a) == b
+        assert a.union(b) == a
+        assert len(a.minus(b)) == len(a) - len(b)
+
+    def test_complement(self):
+        a = HeaderSpace.from_prefix(Prefix(0x0000, 1))
+        assert a.union(a.complement()) == HeaderSpace.all()
+        assert a.intersect(a.complement()).is_empty
+
+    def test_empty(self):
+        assert HeaderSpace.empty().is_empty
+        assert not HeaderSpace.all().is_empty
+
+
+class TestSplitAddressSpace:
+    def test_exact_power_of_two(self):
+        prefixes = split_address_space(4)
+        assert len(prefixes) == 4
+        assert all(p.length == 2 for p in prefixes)
+        total = sum(p.num_addresses() for p in prefixes)
+        assert total == 1 << HEADER_BITS
+
+    def test_rounds_up(self):
+        prefixes = split_address_space(5)
+        assert len(prefixes) == 5
+        assert all(p.length == 3 for p in prefixes)
+
+    def test_disjoint(self):
+        prefixes = split_address_space(9)
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_address_space(0)
+        with pytest.raises(ValueError):
+            split_address_space(1 << (HEADER_BITS + 1))

@@ -1,0 +1,182 @@
+"""Tests for JSON I/O, snapshot diffing, and the CSV reporting layer."""
+
+import csv
+import io
+
+import pytest
+
+from repro.ap.diff import diff_snapshots
+from repro.netmodel.datasets import (
+    build_verification_dataset,
+    inject_blackhole,
+    inject_loop,
+)
+from repro.netmodel.io import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_json,
+    save_json,
+    topology_from_dict,
+    topology_to_dict,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+from repro.netmodel.instances import make_te_instance
+from repro.netmodel.topozoo import make_topology
+from repro.netmodel.traffic import TrafficMatrix
+
+
+class TestTopologyIO:
+    def test_round_trip(self):
+        topology = make_topology("B4")
+        recovered = topology_from_dict(topology_to_dict(topology))
+        assert recovered.nodes == topology.nodes
+        assert [
+            (l.src, l.dst, l.capacity, l.fiber_id) for l in recovered.links()
+        ] == [(l.src, l.dst, l.capacity, l.fiber_id) for l in topology.links()]
+
+    def test_file_round_trip(self, tmp_path):
+        topology = make_topology("Internet2")
+        path = str(tmp_path / "topo.json")
+        save_json(topology, path)
+        recovered = load_json(path)
+        assert recovered.num_nodes == topology.num_nodes
+        assert recovered.total_capacity() == topology.total_capacity()
+
+
+class TestTrafficIO:
+    def test_round_trip(self):
+        instance = make_te_instance("B4", max_commodities=30)
+        recovered = traffic_from_dict(traffic_to_dict(instance.traffic))
+        assert recovered.demands == instance.traffic.demands
+
+    def test_file_round_trip(self, tmp_path):
+        matrix = TrafficMatrix({("a", "b"): 5.5, ("b", "a"): 2.0})
+        path = str(tmp_path / "tm.json")
+        save_json(matrix, path)
+        assert load_json(path).demands == matrix.demands
+
+
+class TestDatasetIO:
+    def test_round_trip_preserves_semantics(self, stanford):
+        recovered = dataset_from_dict(dataset_to_dict(stanford))
+        assert recovered.total_rules == stanford.total_rules
+        # Behavioural equivalence: same lookups on sampled addresses.
+        import random
+
+        random.seed(9)
+        for _ in range(100):
+            node = random.choice(stanford.topology.nodes)
+            address = random.randrange(1 << 16)
+            assert (
+                recovered.devices[node].lookup(address)
+                == stanford.devices[node].lookup(address)
+            )
+            assert (
+                recovered.devices[node].acl_permits(address)
+                == stanford.devices[node].acl_permits(address)
+            )
+
+    def test_verifier_agrees_after_round_trip(self, internet2):
+        from repro.ap import APVerifier
+
+        recovered = dataset_from_dict(dataset_to_dict(internet2))
+        assert APVerifier(recovered).num_atoms == APVerifier(internet2).num_atoms
+
+    def test_save_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(object(), str(tmp_path / "x.json"))
+
+    def test_load_rejects_unknown_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"type": "mystery", "data": {}}')
+        with pytest.raises(ValueError):
+            load_json(str(path))
+
+
+class TestSnapshotDiff:
+    def test_identical_snapshots_unchanged(self, internet2):
+        report = diff_snapshots(internet2, internet2.copy())
+        assert report.unchanged
+        assert report.total_lost() == 0
+        assert report.total_gained() == 0
+
+    def test_blackhole_shows_as_losses(self, internet2):
+        perturbed, device = inject_blackhole(internet2, seed=3)
+        report = diff_snapshots(internet2, perturbed)
+        assert not report.unchanged
+        assert report.total_lost() > 0
+        assert report.total_gained() == 0
+
+    def test_loop_shows_as_losses(self, internet2):
+        perturbed, _ = inject_loop(internet2, seed=3)
+        report = diff_snapshots(internet2, perturbed)
+        # Packets caught in the loop no longer arrive anywhere.
+        assert report.total_lost() > 0
+
+    def test_pair_restriction(self, internet2):
+        nodes = internet2.topology.nodes
+        report = diff_snapshots(
+            internet2, internet2.copy(), pairs=[(nodes[0], nodes[1])]
+        )
+        assert report.pairs_compared == 1
+
+    def test_mismatched_nodes_rejected(self, internet2):
+        other = build_verification_dataset("Stanford")
+        with pytest.raises(ValueError):
+            diff_snapshots(internet2, other)
+
+    def test_render_mentions_counts(self, internet2):
+        perturbed, _ = inject_blackhole(internet2, seed=3)
+        text = diff_snapshots(internet2, perturbed).render(limit=2)
+        assert "pairs changed" in text
+
+
+class TestReporting:
+    def test_export_fig1(self, tmp_path):
+        from repro.reporting import export_fig1
+
+        rows = export_fig1(str(tmp_path))
+        assert rows[0] == ["venue", "year", "open_source", "total", "fraction"]
+        assert len(rows) == 21  # header + 2 venues x 10 years
+        with open(tmp_path / "fig1_opensource.csv") as handle:
+            parsed = list(csv.reader(handle))
+        assert len(parsed) == 21
+
+    def test_export_fig2(self, tmp_path):
+        from repro.reporting import export_fig2
+
+        rows = export_fig2(str(tmp_path))
+        metrics = {row[0] for row in rows[1:]}
+        assert "frac_compared_ge2" in metrics
+
+    def test_export_exp_b(self, tmp_path):
+        from repro.reporting import export_exp_b
+
+        rows = export_exp_b(str(tmp_path))
+        assert rows[0] == ["instance", "none", "paper", "ticket", "code"]
+        for record in rows[1:]:
+            assert record[1] <= record[2] <= record[4]
+
+    def test_export_exp_cd(self, tmp_path):
+        from repro.reporting import export_exp_cd
+
+        rows = export_exp_cd(str(tmp_path))
+        for record in rows[1:]:
+            assert record[2] == record[3]  # AP atoms == APKeep atoms
+
+    def test_cli_export(self, tmp_path):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["export", "--out", str(tmp_path / "res")], out=out)
+        assert code == 0
+        assert "fig5_loc.csv" in out.getvalue()
+
+    def test_cli_diff(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["diff", "Internet2", "--inject", "blackhole"], out=out)
+        assert code == 0
+        assert "pairs changed" in out.getvalue()

@@ -1,0 +1,98 @@
+"""Tests for the LP text round trip and backend personalities."""
+
+import pytest
+
+from repro.lp import FastLPBackend, Model, SlowLPBackend, get_backend
+from repro.lp.backends import parse_lp_text, write_lp_text
+
+
+def make_model():
+    model = Model("roundtrip")
+    x = model.add_var(name="x", upper=4)
+    y = model.add_var(name="y", lower=1, upper=3)
+    z = model.add_var(name="z")
+    model.add_constraint(x + y <= 5, name="cap")
+    model.add_constraint(2 * x - y >= -1, name="mix")
+    model.add_constraint((y + z).equals(3.0), name="fix")
+    model.maximize(x + 2 * y + 0.5 * z)
+    return model
+
+
+class TestLPText:
+    def test_round_trip_preserves_shape(self):
+        model = make_model()
+        parsed = parse_lp_text(write_lp_text(model))
+        assert parsed.num_vars == model.num_vars
+        assert parsed.num_constraints == model.num_constraints
+        assert parsed.is_maximize == model.is_maximize
+
+    def test_round_trip_preserves_optimum(self):
+        model = make_model()
+        parsed = parse_lp_text(write_lp_text(model))
+        original = model.solve()
+        recovered = parsed.solve()
+        assert recovered.objective == pytest.approx(original.objective)
+
+    def test_round_trip_preserves_bounds(self):
+        model = make_model()
+        parsed = parse_lp_text(write_lp_text(model))
+        assert parsed.variables[1].lower == 1.0
+        assert parsed.variables[1].upper == 3.0
+        assert parsed.variables[2].upper == float("inf")
+
+    def test_double_round_trip_stable(self):
+        model = make_model()
+        once = write_lp_text(parse_lp_text(write_lp_text(model)))
+        twice = write_lp_text(parse_lp_text(once))
+        assert once == twice
+
+    def test_minimize_round_trip(self):
+        model = Model("m")
+        x = model.add_var(name="x", lower=1, upper=9)
+        model.minimize(3 * x)
+        parsed = parse_lp_text(write_lp_text(model))
+        assert parsed.solve().objective == pytest.approx(3.0)
+
+
+class TestBackends:
+    def test_get_backend_aliases(self):
+        assert isinstance(get_backend("gurobi"), FastLPBackend)
+        assert isinstance(get_backend("pulp"), SlowLPBackend)
+        assert isinstance(get_backend("fast"), FastLPBackend)
+        assert isinstance(get_backend("slow"), SlowLPBackend)
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(KeyError):
+            get_backend("cplex")
+
+    def test_slow_backend_round_trips_validated(self):
+        with pytest.raises(ValueError):
+            SlowLPBackend(round_trips=0)
+
+    def test_slow_backend_is_slower_on_nontrivial_model(self):
+        def build():
+            model = Model("perf")
+            variables = model.add_vars(300, upper=10)
+            for i in range(0, 300, 3):
+                model.add_constraint(
+                    variables[i] + variables[i + 1] + variables[i + 2] <= 12
+                )
+            from repro.lp import LinExpr
+
+            model.maximize(LinExpr.sum_of(variables))
+            return model
+
+        fast_result = build().solve(FastLPBackend())
+        slow_result = build().solve(SlowLPBackend())
+        assert fast_result.objective == pytest.approx(slow_result.objective)
+        assert slow_result.solve_seconds > fast_result.solve_seconds
+
+    def test_backend_names_recorded(self):
+        model = Model("n")
+        x = model.add_var(upper=1)
+        model.maximize(x)
+        assert model.solve(FastLPBackend()).backend_name == "fast-highs"
+        model2 = Model("n2")
+        x2 = model2.add_var(upper=1)
+        model2.maximize(x2)
+        assert model2.solve(SlowLPBackend()).backend_name == "slow-pulp"

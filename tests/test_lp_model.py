@@ -1,0 +1,174 @@
+"""Unit tests for the LP modelling layer."""
+
+import math
+
+import pytest
+
+from repro.lp import (
+    ConstraintSense,
+    FastLPBackend,
+    InfeasibleError,
+    LinExpr,
+    Model,
+    SlowLPBackend,
+    SolveStatus,
+    Variable,
+)
+
+
+def build_toy():
+    model = Model("toy")
+    x = model.add_var(name="x", upper=4)
+    y = model.add_var(name="y", upper=3)
+    model.add_constraint(x + y <= 5, name="cap")
+    model.maximize(x + 2 * y)
+    return model, x, y
+
+
+class TestLinExpr:
+    def test_variable_addition(self):
+        model = Model()
+        x, y = model.add_vars(2)
+        expr = x + y
+        assert expr.coefs == {0: 1.0, 1: 1.0}
+        assert expr.constant == 0.0
+
+    def test_scalar_multiplication(self):
+        model = Model()
+        x = model.add_var()
+        expr = 3 * x + 1.5
+        assert expr.coefs == {0: 3.0}
+        assert expr.constant == 1.5
+
+    def test_subtraction_cancels(self):
+        model = Model()
+        x = model.add_var()
+        expr = (x + 2.0) - x
+        assert expr.coefs[0] == 0.0
+        assert expr.constant == 2.0
+
+    def test_negation(self):
+        model = Model()
+        x = model.add_var()
+        expr = -(2 * x + 1)
+        assert expr.coefs == {0: -2.0}
+        assert expr.constant == -1.0
+
+    def test_rsub(self):
+        model = Model()
+        x = model.add_var()
+        expr = 5 - x
+        assert expr.coefs == {0: -1.0}
+        assert expr.constant == 5.0
+
+    def test_sum_of_is_linear_time_and_correct(self):
+        model = Model()
+        variables = model.add_vars(100)
+        expr = LinExpr.sum_of(variables)
+        assert len(expr.coefs) == 100
+        assert all(coef == 1.0 for coef in expr.coefs.values())
+
+    def test_iadd_mutates_in_place(self):
+        model = Model()
+        x, y = model.add_vars(2)
+        expr = LinExpr()
+        alias = expr
+        expr += x
+        expr += y
+        assert alias.coefs == {0: 1.0, 1: 1.0}
+
+    def test_value_evaluation(self):
+        model = Model()
+        x, y = model.add_vars(2)
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([2.0, 1.0]) == pytest.approx(8.0)
+
+
+class TestModel:
+    def test_add_var_validates_bounds(self):
+        model = Model()
+        with pytest.raises(ValueError):
+            model.add_var(lower=2.0, upper=1.0)
+
+    def test_add_constraint_rejects_non_comparison(self):
+        model = Model()
+        x = model.add_var()
+        with pytest.raises(TypeError):
+            model.add_constraint(x + 1)  # not a comparison
+
+    def test_constraint_senses(self):
+        model = Model()
+        x = model.add_var()
+        le = model.add_constraint(x <= 1)
+        ge = model.add_constraint(x >= 0)
+        eq = model.add_constraint((x + 0).equals(0.5))
+        assert le.sense is ConstraintSense.LE
+        assert ge.sense is ConstraintSense.GE
+        assert eq.sense is ConstraintSense.EQ
+
+    def test_solve_optimal(self):
+        model, x, y = build_toy()
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(8.0)
+        assert result.value_of(x) == pytest.approx(2.0)
+        assert result.value_of(y) == pytest.approx(3.0)
+
+    def test_minimize(self):
+        model = Model()
+        x = model.add_var(lower=1.0, upper=4.0)
+        model.minimize(2 * x)
+        result = model.solve()
+        assert result.objective == pytest.approx(2.0)
+
+    def test_infeasible_status(self):
+        model = Model()
+        x = model.add_var(upper=1.0)
+        model.add_constraint(x >= 2.0)
+        model.maximize(x)
+        result = model.solve()
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_raises_when_asked(self):
+        model = Model()
+        x = model.add_var(upper=1.0)
+        model.add_constraint(x >= 2.0)
+        model.maximize(x)
+        with pytest.raises(InfeasibleError):
+            model.solve(raise_on_infeasible=True)
+
+    def test_unbounded_status(self):
+        model = Model()
+        x = model.add_var()
+        model.maximize(x)
+        result = model.solve()
+        assert result.status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+    def test_equality_constraint_solved(self):
+        model = Model()
+        x = model.add_var(upper=10)
+        y = model.add_var(upper=10)
+        model.add_constraint((x + y).equals(7.0))
+        model.maximize(x)
+        result = model.solve()
+        assert result.value_of(x) == pytest.approx(7.0)
+
+    def test_objective_constant_carried(self):
+        model = Model()
+        x = model.add_var(upper=1.0)
+        model.maximize(x + 10.0)
+        result = model.solve()
+        assert result.objective == pytest.approx(11.0)
+
+    def test_empty_model(self):
+        model = Model()
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 0.0
+
+    def test_both_backends_agree(self):
+        model1, *_ = build_toy()
+        model2, *_ = build_toy()
+        fast = model1.solve(FastLPBackend())
+        slow = model2.solve(SlowLPBackend())
+        assert fast.objective == pytest.approx(slow.objective)

@@ -1,0 +1,151 @@
+"""Tests for the smaller extensions: demand scaling, BDD DOT export,
+Waxman generator, TE solution helpers, LoC counting over packages."""
+
+import pytest
+
+from repro.bdd.builder import new_engine, prefix_to_bdd
+from repro.bdd.dot import node_count, to_dot
+from repro.bdd.engine import BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.instances import make_te_instance
+from repro.netmodel.topology import Topology
+from repro.netmodel.topozoo import waxman_topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te import (
+    max_feasible_scale,
+    scale_sweep,
+    solve_max_flow,
+)
+from repro.te.solution import TESolution
+
+
+def line_topology(cap=10.0):
+    topo = Topology("line")
+    for node in ("a", "b", "c"):
+        topo.add_node(node)
+    topo.add_bidi_link("a", "b", cap)
+    topo.add_bidi_link("b", "c", cap)
+    return topo
+
+
+class TestDemandScale:
+    def test_max_feasible_scale_on_line(self):
+        topo = line_topology(cap=10.0)
+        traffic = TrafficMatrix({("a", "c"): 5.0})
+        scale = max_feasible_scale(topo, traffic, tolerance=0.01)
+        # Bottleneck is 10 Mbps for 5 Mbps demand -> scale ~2.
+        assert scale == pytest.approx(2.0, rel=0.05)
+
+    def test_scale_beyond_bracket(self):
+        topo = line_topology(cap=1000.0)
+        traffic = TrafficMatrix({("a", "c"): 0.001})
+        scale = max_feasible_scale(topo, traffic, upper_start=2.0)
+        assert scale > 1000.0  # grows the bracket as needed
+
+    def test_empty_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            max_feasible_scale(line_topology(), TrafficMatrix())
+
+    def test_scale_sweep_monotone_demand(self):
+        topo = line_topology()
+        traffic = TrafficMatrix({("a", "c"): 4.0})
+        points = scale_sweep(
+            topo, traffic, lambda t, m: solve_max_flow(t, m), [0.5, 1.0, 4.0]
+        )
+        assert [p.scale for p in points] == [0.5, 1.0, 4.0]
+        assert points[0].satisfied_fraction == pytest.approx(1.0)
+        assert points[-1].satisfied_fraction < 1.0
+
+    def test_scale_sweep_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_sweep(
+                line_topology(),
+                TrafficMatrix({("a", "c"): 1.0}),
+                lambda t, m: solve_max_flow(t, m),
+                [0.0],
+            )
+
+
+class TestBddDot:
+    def test_terminal_only(self):
+        engine = new_engine("jdd")
+        text = to_dot(engine, BDD_TRUE)
+        assert "digraph" in text
+        assert node_count(engine, BDD_TRUE) == 0
+
+    def test_prefix_dot_structure(self):
+        engine = new_engine("jdd")
+        node = prefix_to_bdd(engine, Prefix(0xC000, 2))
+        text = to_dot(engine, node)
+        # Two variables constrained -> two internal nodes.
+        assert node_count(engine, node) == 2
+        assert text.count("shape=circle") == 2
+        assert "style=dashed" in text
+
+    def test_var_names_used(self):
+        engine = new_engine("jdd")
+        node = engine.var(0)
+        text = to_dot(engine, node, var_names={0: "dst[0]"})
+        assert "dst[0]" in text
+
+
+class TestWaxman:
+    def test_connected_and_deterministic(self):
+        a = waxman_topology(20, seed=3)
+        b = waxman_topology(20, seed=3)
+        assert a.is_connected()
+        assert [(l.src, l.dst) for l in a.links()] == [
+            (l.src, l.dst) for l in b.links()
+        ]
+
+    def test_seed_changes_graph(self):
+        a = waxman_topology(20, seed=3)
+        b = waxman_topology(20, seed=4)
+        assert [(l.src, l.dst) for l in a.links()] != [
+            (l.src, l.dst) for l in b.links()
+        ]
+
+    def test_denser_with_higher_alpha(self):
+        sparse = waxman_topology(30, alpha=0.2, seed=1)
+        dense = waxman_topology(30, alpha=0.9, seed=1)
+        assert dense.num_links > sparse.num_links
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            waxman_topology(1)
+        with pytest.raises(ValueError):
+            waxman_topology(10, alpha=0.0)
+
+    def test_usable_by_te(self):
+        from repro.netmodel.traffic import gravity_traffic_matrix
+
+        topo = waxman_topology(15, seed=2)
+        traffic = gravity_traffic_matrix(topo, seed=1, max_commodities=40)
+        solution = solve_max_flow(topo, traffic)
+        assert solution.ok
+
+
+class TestTESolutionHelpers:
+    def test_relative_gap(self):
+        reference = TESolution("ref", objective=100.0)
+        worse = TESolution("x", objective=90.0)
+        assert worse.relative_gap(reference) == pytest.approx(0.10)
+        assert worse.relative_gap(TESolution("z", objective=0.0)) == 0.0
+
+    def test_satisfied_fraction_zero_demand(self):
+        assert TESolution("x", objective=5.0).satisfied_fraction(0.0) == 0.0
+
+    def test_ok_flag(self):
+        assert TESolution("x", objective=1.0).ok
+        assert not TESolution("x", objective=0.0, status="infeasible").ok
+
+
+class TestPackageLoc:
+    def test_count_package_loc_positive_and_additive(self):
+        import repro.lp
+        import repro.lp.model
+        from repro.core.metrics import count_module_loc, count_package_loc
+
+        package_total = count_package_loc(repro.lp)
+        module_only = count_module_loc(repro.lp.model)
+        assert package_total > module_only > 0

@@ -1,0 +1,86 @@
+"""Tests for the motivating example (section 2.2): exact paper numbers
+plus a real loopback run of the generated game."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.core.assembly import assemble_module
+from repro.core.validation import validate_rps
+from repro.motivating import (
+    MOTIVATING_PROMPTS,
+    play_scripted_game,
+    run_motivating_session,
+)
+
+
+@pytest.fixture(scope="module")
+def session_result():
+    return run_motivating_session()
+
+
+@pytest.fixture(scope="module")
+def game_module(session_result):
+    return assemble_module(session_result.artifacts, "rps_for_tests")
+
+
+class TestPaperNumbers:
+    def test_four_prompts(self, session_result):
+        assert session_result.num_prompts == 4
+
+    def test_159_words(self, session_result):
+        assert session_result.total_words == 159
+
+    def test_93_loc(self, session_result):
+        assert session_result.total_loc == 93
+
+    def test_prompt_kinds(self):
+        kinds = [prompt.kind.value for prompt in MOTIVATING_PROMPTS]
+        assert kinds == [
+            "system-overview",
+            "generate",
+            "generate",
+            "debug-testcase",
+        ]
+
+
+class TestGeneratedGame:
+    def test_judge_rules(self, game_module):
+        assert game_module.judge("R", "S") == "server"
+        assert game_module.judge("S", "R") == "client"
+        assert game_module.judge("P", "P") == "tie"
+
+    def test_validation_normalises(self, game_module):
+        assert game_module.validate_input("  r ") == "R"
+
+    def test_full_game_over_loopback(self, game_module):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            outcome = play_scripted_game(game_module)
+        assert outcome.results == ["client", "server", "tie"]
+        assert outcome.consistent
+        assert outcome.rounds_played == 3
+
+    def test_lowercase_moves_survive_validation(self, game_module):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            outcome = play_scripted_game(
+                game_module, moves=["p", " r", "s ", "D"]
+            )
+        assert outcome.results == ["client", "server", "tie"]
+
+    def test_longer_game(self, game_module):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            outcome = play_scripted_game(
+                game_module, moves=["R", "R", "R", "R", "R", "R", "D"]
+            )
+        # Server cycles R,P,S against constant R: tie, server, client, ...
+        assert outcome.results == ["tie", "server", "client"] * 2
+
+    def test_validator_passes(self, game_module):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            passed, details = validate_rps(game_module)
+        assert passed, details

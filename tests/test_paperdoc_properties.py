@@ -1,0 +1,164 @@
+"""Property tests for the paper-document format, plus the spec linter
+and the reachability-tree query."""
+
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper import ComponentSpec, PaperSpec, PseudocodeBlock
+from repro.core.paperdoc import lint_spec, parse_paperdoc, render_paperdoc
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Text fragments that survive the format: single-line, no markup tokens
+# that the parser treats specially at line starts.
+_name = st.from_regex(r"[a-z][a-z0-9_]{0,12}", fullmatch=True)
+_words = st.lists(
+    st.from_regex(r"[A-Za-z0-9,.()]{1,10}", fullmatch=True),
+    min_size=8,
+    max_size=20,
+).map(" ".join)
+_interface = st.from_regex(r"[a-z_]{1,10}\([a-z, ]{0,12}\) -> [a-z]{1,8}", fullmatch=True)
+_pseudo_line = st.from_regex(r"[a-z][a-z <>=+\-]{0,24}", fullmatch=True)
+
+
+@st.composite
+def specs(draw):
+    num_components = draw(st.integers(min_value=1, max_value=4))
+    names = draw(
+        st.lists(_name, min_size=num_components, max_size=num_components, unique=True)
+    )
+    components = []
+    for index, name in enumerate(names):
+        has_pseudo = draw(st.booleans())
+        pseudocode = None
+        if has_pseudo:
+            lines = draw(st.lists(_pseudo_line, min_size=1, max_size=4))
+            pseudocode = PseudocodeBlock(
+                name=draw(st.from_regex(r"Listing [0-9]{1,2}", fullmatch=True)),
+                text="\n".join(lines) + "\n",
+            )
+        num_deps = draw(st.integers(min_value=0, max_value=index))
+        depends = tuple(names[:num_deps])
+        interfaces = tuple(
+            draw(st.lists(_interface, min_size=0, max_size=3))
+        )
+        components.append(
+            ComponentSpec(
+                name=name,
+                description=draw(_words),
+                pseudocode=pseudocode,
+                interfaces=interfaces,
+                depends_on=depends,
+            )
+        )
+    return PaperSpec(
+        key=draw(_name),
+        title=draw(_words),
+        venue=draw(st.sampled_from(["SIGCOMM", "NSDI", "ToN", "HotNets"])),
+        year=draw(st.integers(min_value=1990, max_value=2030)),
+        system_summary=draw(_words),
+        components=tuple(components),
+        data_format_notes=draw(st.one_of(st.just(""), _words)),
+    )
+
+
+class TestPaperDocRoundTripProperty:
+    @SETTINGS
+    @given(specs())
+    def test_round_trip(self, spec):
+        recovered = parse_paperdoc(render_paperdoc(spec))
+        assert recovered.key == spec.key
+        assert recovered.venue == spec.venue
+        assert recovered.year == spec.year
+        assert recovered.component_names == spec.component_names
+        assert recovered.title.split() == spec.title.split()
+        assert recovered.system_summary.split() == spec.system_summary.split()
+        for got, want in zip(recovered.components, spec.components):
+            assert got.interfaces == want.interfaces
+            assert got.depends_on == want.depends_on
+            assert got.description.split() == want.description.split()
+            assert (got.pseudocode is None) == (want.pseudocode is None)
+            if want.pseudocode is not None:
+                assert (
+                    got.pseudocode.text.strip() == want.pseudocode.text.strip()
+                )
+
+
+class TestLintSpec:
+    def test_clean_spec_minimal_warnings(self):
+        spec = PaperSpec(
+            key="k",
+            title="T",
+            venue="V",
+            year=2024,
+            system_summary="s",
+            components=(
+                ComponentSpec(
+                    name="core",
+                    description="a sufficiently long description of the component here",
+                    pseudocode=PseudocodeBlock("L", "step one\nstep two\n"),
+                    interfaces=("run() -> int",),
+                ),
+            ),
+            data_format_notes="input is a json file",
+        )
+        assert lint_spec(spec) == []
+
+    def test_missing_everything_flagged(self):
+        spec = PaperSpec(
+            key="k",
+            title="T",
+            venue="V",
+            year=2024,
+            system_summary="s",
+            components=(
+                ComponentSpec(name="core", description="too short"),
+            ),
+        )
+        warnings = lint_spec(spec)
+        joined = " ".join(warnings)
+        assert "data-format" in joined
+        assert "no interfaces" in joined
+        assert "no pseudocode" in joined
+        assert "very short" in joined
+
+    def test_real_specs_lint_clean_of_interface_warnings(self):
+        from repro.core.knowledge import get_paper_spec, paper_keys
+
+        for key in paper_keys():
+            warnings = lint_spec(get_paper_spec(key))
+            assert not any("no interfaces" in w for w in warnings), key
+
+
+class TestReachabilityTree:
+    def test_tree_matches_pairwise_queries(self, internet2_ap, internet2):
+        src = internet2.topology.nodes[0]
+        tree = internet2_ap.reachability_tree(src)
+        for dst in internet2.topology.nodes:
+            if dst == src:
+                continue
+            want = internet2_ap.reachable_atoms(src, dst).atoms
+            assert tree.get(dst, frozenset()) == want, dst
+
+    def test_tree_on_stanford_with_acls(self, stanford):
+        from repro.ap import APVerifier
+
+        verifier = APVerifier(stanford)
+        src = stanford.topology.nodes[0]
+        tree = verifier.reachability_tree(src)
+        for dst in stanford.topology.nodes[-4:]:
+            if dst == src:
+                continue
+            want = verifier.reachable_atoms(src, dst).atoms
+            assert tree.get(dst, frozenset()) == want
+
+    def test_unknown_source_rejected(self, internet2_ap):
+        with pytest.raises(KeyError):
+            internet2_ap.reachability_tree("nowhere")

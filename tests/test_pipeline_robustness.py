@@ -1,0 +1,150 @@
+"""Failure-injection tests: the pipeline against misbehaving LLMs.
+
+The pipeline must degrade gracefully -- reports that say what failed --
+whatever the model does: returning prose with no code, returning code
+that never compiles, returning code that never passes, or going silent
+on debug requests.  Also demonstrates that any LLMClient implementation
+plugs in (the seam a real API client would use).
+"""
+
+import pytest
+
+from repro.core.knowledge import (
+    get_component_tests,
+    get_knowledge,
+    get_logic_notes,
+    get_paper_spec,
+)
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient, LLMResponse
+from repro.core.pipeline import PipelineConfig, ReproductionPipeline
+from repro.core.prompts import PromptKind
+
+
+class ProseOnlyLLM(LLMClient):
+    """Never returns code."""
+
+    name = "prose-only"
+
+    def chat(self, session, prompt):
+        response = LLMResponse("Interesting question! Here is an essay.")
+        session.record(prompt, response)
+        return response
+
+
+class BrokenCodeLLM(LLMClient):
+    """Returns syntactically broken code for every component, forever."""
+
+    name = "broken-code"
+
+    def chat(self, session, prompt):
+        artifacts = []
+        if prompt.kind in (
+            PromptKind.GENERATE,
+            PromptKind.DEBUG_ERROR,
+            PromptKind.DEBUG_TESTCASE,
+            PromptKind.DEBUG_LOGIC,
+        ) and prompt.component:
+            artifacts = [
+                CodeArtifact(prompt.component, "python", "def broken(:\n", 0)
+            ]
+        response = LLMResponse("Here you go.", artifacts)
+        session.record(prompt, response)
+        return response
+
+
+class WrongOutputLLM(LLMClient):
+    """Returns runnable code whose answers are always wrong."""
+
+    name = "wrong-output"
+
+    def chat(self, session, prompt):
+        artifacts = []
+        if prompt.component:
+            source = (
+                "def make_engine():\n"
+                "    return None\n"
+                "def prefix_bdd(engine, prefix):\n"
+                "    return 0\n"
+            )
+            artifacts = [CodeArtifact(prompt.component, "python", source, 0)]
+        response = LLMResponse("Should work now.", artifacts)
+        session.record(prompt, response)
+        return response
+
+
+class CheatingLLM(LLMClient):
+    """Tries to import the reference implementation (not allowed)."""
+
+    name = "cheater"
+
+    def chat(self, session, prompt):
+        artifacts = []
+        if prompt.component:
+            source = "from repro.ap import APVerifier\n"
+            artifacts = [CodeArtifact(prompt.component, "python", source, 0)]
+        response = LLMResponse("Let me just reuse the prototype...", artifacts)
+        session.record(prompt, response)
+        return response
+
+
+def make_pipeline(llm, max_rounds=3):
+    return ReproductionPipeline(
+        llm,
+        get_paper_spec("ap"),
+        component_tests=get_component_tests("ap"),
+        logic_notes=get_logic_notes("ap"),
+        participant="R",
+        config=PipelineConfig(max_debug_rounds=max_rounds),
+    )
+
+
+class TestMisbehavingLLMs:
+    def test_prose_only_fails_cleanly(self):
+        report = make_pipeline(ProseOnlyLLM()).run()
+        assert not report.succeeded
+        assert all(not outcome.passed for outcome in report.components)
+        assert report.reproduced_loc == 0
+
+    def test_broken_code_hits_debug_limit(self):
+        report = make_pipeline(BrokenCodeLLM(), max_rounds=2).run()
+        assert not report.succeeded
+        for outcome in report.components:
+            assert outcome.debug_rounds == 2  # capped, not infinite
+
+    def test_wrong_output_recorded_as_failure(self):
+        pipeline = make_pipeline(WrongOutputLLM(), max_rounds=2)
+        report = pipeline.run()
+        assert not report.succeeded
+        assert pipeline.failures  # the root causes are recorded
+
+    def test_cheating_is_blocked_by_assembly(self):
+        pipeline = make_pipeline(CheatingLLM(), max_rounds=1)
+        report = pipeline.run()
+        assert not report.succeeded
+        # The forbidden import must be the recorded reason somewhere.
+        combined = " ".join(pipeline.failures) + str(report.validation_details)
+        assert "reference implementation" in combined
+
+    def test_session_still_counted_on_failure(self):
+        pipeline = make_pipeline(ProseOnlyLLM())
+        report = pipeline.run()
+        assert report.num_prompts == pipeline.session.num_prompts
+        assert report.num_prompts > 0
+
+
+class TestCustomClientPluggability:
+    def test_minimal_honest_client_succeeds(self):
+        """A hand-rolled client that forwards to the knowledge base is
+        enough for the pipeline -- the seam a real API wrapper fills."""
+        from repro.core.simulated import SimulatedLLM
+
+        inner = SimulatedLLM({"ap": get_knowledge("ap")})
+
+        class ForwardingClient(LLMClient):
+            name = "forwarder"
+
+            def chat(self, session, prompt):
+                return inner.chat(session, prompt)
+
+        report = make_pipeline(ForwardingClient(), max_rounds=6).run()
+        assert all(outcome.passed for outcome in report.components)

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Strategy sizes are kept modest so the suite stays fast; the invariants
+are the load-bearing ones: BDD operations agree with brute-force set
+algebra, atomic predicates always partition the space, Algorithm 1 keeps
+hits a partition under any update sequence, LP text round-trips preserve
+optima, and LinExpr behaves like a linear map.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.builder import new_engine, prefix_to_bdd
+from repro.bdd.engine import BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import HEADER_BITS, HeaderSpace, Prefix
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=HEADER_BITS))
+    if length == 0:
+        return Prefix(0, 0)
+    bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(bits << (HEADER_BITS - length), length)
+
+
+@st.composite
+def rules(draw):
+    from repro.netmodel.rules import ForwardingRule
+
+    prefix = draw(prefixes())
+    port = draw(st.sampled_from(["a", "b", "c", "drop", "self"]))
+    return ForwardingRule.lpm(prefix, port)
+
+
+class TestPrefixProperties:
+    @SETTINGS
+    @given(prefixes())
+    def test_headerspace_size_matches(self, prefix):
+        assert len(HeaderSpace.from_prefix(prefix)) == prefix.num_addresses()
+
+    @SETTINGS
+    @given(prefixes(), prefixes())
+    def test_cover_iff_subset(self, a, b):
+        space_a = HeaderSpace.from_prefix(a).addresses
+        space_b = HeaderSpace.from_prefix(b).addresses
+        assert a.covers(b) == (space_b <= space_a)
+
+    @SETTINGS
+    @given(prefixes(), prefixes())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        space_a = HeaderSpace.from_prefix(a).addresses
+        space_b = HeaderSpace.from_prefix(b).addresses
+        assert a.overlaps(b) == bool(space_a & space_b)
+
+
+class TestBDDProperties:
+    @SETTINGS
+    @given(prefixes(), prefixes(), st.sampled_from(["jdd", "javabdd"]))
+    def test_ops_match_set_algebra(self, a, b, profile):
+        engine = new_engine(profile)
+        bdd_a, bdd_b = prefix_to_bdd(engine, a), prefix_to_bdd(engine, b)
+        hs_a, hs_b = HeaderSpace.from_prefix(a), HeaderSpace.from_prefix(b)
+        assert engine.satcount(engine.and_(bdd_a, bdd_b)) == len(hs_a.intersect(hs_b))
+        assert engine.satcount(engine.or_(bdd_a, bdd_b)) == len(hs_a.union(hs_b))
+        assert engine.satcount(engine.diff(bdd_a, bdd_b)) == len(hs_a.minus(hs_b))
+        assert engine.satcount(engine.not_(bdd_a)) == len(hs_a.complement())
+
+    @SETTINGS
+    @given(st.lists(prefixes(), min_size=1, max_size=5))
+    def test_de_morgan(self, prefix_list):
+        engine = new_engine("jdd")
+        nodes = [prefix_to_bdd(engine, p) for p in prefix_list]
+        union = BDD_FALSE
+        inter_of_nots = BDD_TRUE
+        for node in nodes:
+            union = engine.or_(union, node)
+            inter_of_nots = engine.and_(inter_of_nots, engine.not_(node))
+        assert engine.not_(union) == inter_of_nots
+
+    @SETTINGS
+    @given(st.lists(prefixes(), min_size=1, max_size=6))
+    def test_atomic_predicates_partition(self, prefix_list):
+        from repro.ap import compute_atomic_predicates
+
+        engine = new_engine("jdd")
+        predicates = [prefix_to_bdd(engine, p) for p in prefix_list]
+        atomics = compute_atomic_predicates(engine, predicates)
+        # Disjoint and complete.
+        atoms = list(atomics.atoms.values())
+        total = 0
+        for i, a in enumerate(atoms):
+            total += engine.satcount(a)
+            for b in atoms[i + 1:]:
+                assert engine.and_(a, b) == BDD_FALSE
+        assert total == 1 << HEADER_BITS
+        # Every predicate is exactly its atom union.
+        for predicate in predicates:
+            rebuilt = atomics.union_bdd(atomics.atoms_of(predicate))
+            assert rebuilt == predicate
+
+
+class TestAlgorithm1Properties:
+    @SETTINGS
+    @given(st.lists(rules(), min_size=1, max_size=8))
+    def test_hits_always_partition(self, rule_list):
+        from repro.apkeep import ForwardingElement
+
+        engine = new_engine("jdd")
+        element = ForwardingElement("r", engine)
+        for rule in rule_list:
+            element.insert(rule)
+            assert element.check_partition()
+
+    @SETTINGS
+    @given(st.lists(rules(), min_size=1, max_size=6), st.data())
+    def test_hits_partition_under_removal(self, rule_list, data):
+        from repro.apkeep import ForwardingElement
+
+        engine = new_engine("jdd")
+        element = ForwardingElement("r", engine)
+        for rule in rule_list:
+            element.insert(rule)
+        victim = data.draw(st.sampled_from(rule_list))
+        element.remove(victim)
+        assert element.check_partition()
+
+    @SETTINGS
+    @given(st.lists(rules(), min_size=1, max_size=6))
+    def test_hit_of_matches_device_semantics(self, rule_list):
+        from repro.apkeep import ForwardingElement
+        from repro.netmodel.rules import Device
+
+        engine = new_engine("jdd")
+        element = ForwardingElement("r", engine)
+        device = Device("r")
+        ports = set()
+        for rule in rule_list:
+            element.insert(rule)
+            device.add_rule(rule)
+            ports.add(rule.port)
+        ports.add("drop")
+        for port in ports:
+            assert engine.satcount(element.hit_of(port)) == len(
+                device.forwarding_space(port)
+            )
+
+
+class TestPPMProperties:
+    @SETTINGS
+    @given(st.lists(rules(), min_size=1, max_size=6))
+    def test_ppm_tracks_element_exactly(self, rule_list):
+        from repro.apkeep import ForwardingElement, PPM
+
+        engine = new_engine("jdd")
+        ppm = PPM(engine)
+        ppm.add_element("r", ["drop"], "drop")
+        element = ForwardingElement("r", engine)
+        for rule in rule_list:
+            changes = element.insert(rule)
+            ppm.apply_changes("r", changes)
+            assert ppm.check_partition("r")
+        # Per port, the atom union must equal the element's hit union.
+        for port in element.ports():
+            want = engine.satcount(element.hit_of(port))
+            got = sum(
+                engine.satcount(ppm.atoms[a]) for a in ppm.atoms_of("r", port)
+            )
+            assert got == want
+
+
+class TestLinExprProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=5),
+        st.lists(st.floats(-10, 10), min_size=5, max_size=5),
+    )
+    def test_value_is_linear(self, coefs, point):
+        from repro.lp import LinExpr, Model
+
+        model = Model()
+        variables = model.add_vars(5, lower=-1000)
+        expr = LinExpr()
+        for i, coef in enumerate(coefs):
+            expr += coef * variables[i % 5]
+        direct = expr.value(point)
+        manual = sum(
+            coef * point[i % 5] for i, coef in enumerate(coefs)
+        )
+        assert direct == pytest.approx(manual, abs=1e-9)
+
+    @SETTINGS
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    def test_scaling_distributes(self, alpha, beta):
+        from repro.lp import Model
+
+        model = Model()
+        x, y = model.add_vars(2, lower=-100)
+        left = alpha * (x + y) + beta * (x - y)
+        point = [3.0, -2.0]
+        expected = alpha * (3.0 - 2.0) + beta * (3.0 + 2.0)
+        assert left.value(point) == pytest.approx(expected, abs=1e-9)
+
+
+class TestLPTextProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.5, 20),  # upper bound
+                st.floats(0.1, 5),  # objective coefficient
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(1, 50),
+    )
+    def test_round_trip_preserves_optimum(self, variables, cap):
+        from repro.lp import LinExpr, Model
+        from repro.lp.backends import parse_lp_text, write_lp_text
+
+        model = Model("prop")
+        handles = []
+        objective = LinExpr()
+        for index, (upper, coef) in enumerate(variables):
+            var = model.add_var(name=f"v{index}", upper=upper)
+            handles.append(var)
+            objective += coef * var
+        model.add_constraint(LinExpr.sum_of(handles) <= cap)
+        model.maximize(objective)
+        original = model.solve()
+        recovered = parse_lp_text(write_lp_text(model)).solve()
+        assert recovered.objective == pytest.approx(
+            original.objective, rel=1e-6, abs=1e-6
+        )

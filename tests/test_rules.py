@@ -1,0 +1,125 @@
+"""Tests for devices, FIB semantics and ACLs."""
+
+import pytest
+
+from repro.netmodel.headerspace import HEADER_BITS, HeaderSpace, Prefix
+from repro.netmodel.rules import (
+    AclAction,
+    AclRule,
+    Device,
+    DROP_PORT,
+    ForwardingRule,
+    SELF_PORT,
+)
+
+
+def lpm(value, length, port):
+    return ForwardingRule.lpm(Prefix(value, length), port)
+
+
+class TestForwardingRule:
+    def test_lpm_priority_is_length(self):
+        rule = lpm(0x1000, 4, "a")
+        assert rule.priority == 4
+
+
+class TestDeviceLookup:
+    def test_longest_prefix_wins(self):
+        device = Device("r")
+        device.add_rule(lpm(0x0000, 1, "short"))
+        device.add_rule(lpm(0x0000, 4, "long"))
+        assert device.lookup(0x0000) == "long"
+        assert device.lookup(0x4000) == "short"
+
+    def test_default_drop(self):
+        device = Device("r")
+        device.add_rule(lpm(0x0000, 1, "a"))
+        assert device.lookup(0x8000) == DROP_PORT
+
+    def test_tie_broken_by_insertion_order(self):
+        device = Device("r")
+        device.add_rule(ForwardingRule(Prefix(0x0000, 4), "first", 9))
+        device.add_rule(ForwardingRule(Prefix(0x0000, 4), "second", 9))
+        assert device.lookup(0x0000) == "first"
+
+    def test_rules_sorted_by_priority(self):
+        device = Device("r")
+        device.add_rule(lpm(0, 1, "a"))
+        device.add_rule(lpm(0, 3, "b"))
+        device.add_rule(lpm(0, 2, "c"))
+        priorities = [rule.priority for rule in device.rules]
+        assert priorities == [3, 2, 1]
+
+    def test_remove_rule(self):
+        device = Device("r")
+        rule = lpm(0, 2, "a")
+        device.add_rule(rule)
+        device.remove_rule(rule)
+        assert device.num_rules == 0
+        with pytest.raises(ValueError):
+            device.remove_rule(rule)
+
+
+class TestForwardingSpace:
+    def test_partition_over_ports(self):
+        device = Device("r")
+        device.add_rule(lpm(0x0000, 2, "a"))
+        device.add_rule(lpm(0x0000, 4, "b"))
+        device.add_rule(lpm(0x8000, 1, SELF_PORT))
+        spaces = [
+            device.forwarding_space(port)
+            for port in ("a", "b", SELF_PORT, DROP_PORT)
+        ]
+        union = HeaderSpace.empty()
+        total = 0
+        for space in spaces:
+            assert space.intersect(union).is_empty, "port spaces must be disjoint"
+            union = union.union(space)
+            total += len(space)
+        assert total == 1 << HEADER_BITS
+
+    def test_shadowing(self):
+        device = Device("r")
+        device.add_rule(lpm(0x0000, 2, "a"))
+        device.add_rule(lpm(0x0000, 4, "b"))
+        space_a = device.forwarding_space("a")
+        space_b = device.forwarding_space("b")
+        assert len(space_b) == 1 << (HEADER_BITS - 4)
+        assert len(space_a) == (1 << (HEADER_BITS - 2)) - len(space_b)
+
+    def test_matches_lookup_pointwise(self):
+        device = Device("r")
+        device.add_rule(lpm(0x0000, 1, "a"))
+        device.add_rule(lpm(0x4000, 3, "b"))
+        device.add_rule(lpm(0x0000, 3, DROP_PORT))
+        for address in range(0, 1 << HEADER_BITS, 997):
+            port = device.lookup(address)
+            assert address in device.forwarding_space(port).addresses
+
+
+class TestAcl:
+    def test_default_permit(self):
+        device = Device("r")
+        assert device.acl_permits(123)
+        assert not device.has_acl
+
+    def test_first_match_wins(self):
+        device = Device("r")
+        device.add_acl_rule(AclRule(Prefix(0x0000, 2), AclAction.DENY, 10))
+        device.add_acl_rule(AclRule(Prefix.full(), AclAction.PERMIT, 1))
+        assert not device.acl_permits(0x0000)
+        assert device.acl_permits(0x8000)
+
+    def test_permit_space_matches_pointwise(self):
+        device = Device("r")
+        device.add_acl_rule(AclRule(Prefix(0x8000, 1), AclAction.DENY, 5))
+        device.add_acl_rule(AclRule(Prefix(0xC000, 2), AclAction.PERMIT, 9))
+        space = device.acl_permit_space()
+        for address in range(0, 1 << HEADER_BITS, 991):
+            assert device.acl_permits(address) == (address in space.addresses)
+
+    def test_ports_lists_distinguished(self):
+        device = Device("r")
+        device.add_rule(lpm(0, 1, "n1"))
+        assert DROP_PORT in device.ports()
+        assert "n1" in device.ports()

@@ -1,0 +1,113 @@
+"""Tests for the SIGCOMM/NSDI study corpus and its calibration."""
+
+import pytest
+
+from repro.study import build_corpus, comparison_stats, opensource_stats
+from repro.study.corpus import (
+    VENUE_YEAR_COUNTS,
+    YEARS,
+    _apportion,
+    _stride_order,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+class TestCorpusShape:
+    def test_total_paper_count(self, corpus):
+        expected = sum(sum(counts) for counts in VENUE_YEAR_COUNTS.values())
+        assert len(corpus) == expected
+
+    def test_every_venue_year_present(self, corpus):
+        seen = {(r.venue, r.year) for r in corpus}
+        for venue, counts in VENUE_YEAR_COUNTS.items():
+            for year in YEARS:
+                assert (venue, year) in seen
+
+    def test_paper_ids_unique(self, corpus):
+        ids = [r.paper_id for r in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_compared_at_least_manual(self, corpus):
+        for record in corpus:
+            assert record.num_compared >= record.num_manual
+
+    def test_deterministic(self, corpus):
+        again = build_corpus()
+        assert corpus == again
+
+
+class TestFigure1Calibration:
+    """The rounded percentages must match the paper: 32 / 29 / 31."""
+
+    def test_sigcomm_rate(self, corpus):
+        stats = opensource_stats(corpus)
+        assert round(stats.venue_fraction("SIGCOMM") * 100) == 32
+
+    def test_nsdi_rate(self, corpus):
+        stats = opensource_stats(corpus)
+        assert round(stats.venue_fraction("NSDI") * 100) == 29
+
+    def test_combined_rate(self, corpus):
+        stats = opensource_stats(corpus)
+        assert round(stats.combined_fraction * 100) == 31
+
+    def test_open_sourcing_trends_upward(self, corpus):
+        stats = opensource_stats(corpus)
+        for venue in ("SIGCOMM", "NSDI"):
+            early = sum(
+                stats.per_venue_year[(venue, year)][0] for year in YEARS[:5]
+            )
+            late = sum(
+                stats.per_venue_year[(venue, year)][0] for year in YEARS[5:]
+            )
+            assert late > early
+
+    def test_rows_cover_everything(self, corpus):
+        stats = opensource_stats(corpus)
+        rows = stats.rows()
+        assert len(rows) == 20  # 2 venues x 10 years
+        assert sum(total for _, _, _, total, _ in rows) == len(corpus)
+
+
+class TestFigure2Calibration:
+    """Aggregates must land on the paper's numbers (within rounding)."""
+
+    def test_compared_ge2(self, corpus):
+        stats = comparison_stats(corpus)
+        assert stats.frac_compared_ge2 == pytest.approx(0.5968, abs=0.005)
+
+    def test_manual_ge1(self, corpus):
+        stats = comparison_stats(corpus)
+        assert stats.frac_manual_ge1 == pytest.approx(0.4920, abs=0.005)
+
+    def test_manual_ge2(self, corpus):
+        stats = comparison_stats(corpus)
+        assert stats.frac_manual_ge2 == pytest.approx(0.2665, abs=0.005)
+
+    def test_mean_manual_among_reproducers(self, corpus):
+        stats = comparison_stats(corpus)
+        assert stats.mean_manual_given_any == pytest.approx(2.29, abs=0.03)
+
+    def test_histograms_account_for_all_papers(self, corpus):
+        stats = comparison_stats(corpus)
+        assert sum(stats.compared_histogram.values()) == stats.num_papers
+        assert sum(stats.manual_histogram.values()) == stats.num_papers
+
+
+class TestHelpers:
+    def test_apportion_exact(self):
+        counts = _apportion(10, [0.5, 0.3, 0.2])
+        assert counts == [5, 3, 2]
+
+    def test_apportion_rounds_by_largest_remainder(self):
+        counts = _apportion(10, [0.55, 0.45])
+        assert sum(counts) == 10
+        assert counts == [6, 4] or counts == [5, 5]
+
+    def test_stride_order_is_permutation(self):
+        order = _stride_order(100)
+        assert sorted(order) == list(range(100))

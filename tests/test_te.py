@@ -1,0 +1,263 @@
+"""Tests for the TE substrate: PF4 baseline, NCFlow, ARROW."""
+
+import pytest
+
+from repro.lp import SlowLPBackend
+from repro.netmodel.instances import make_te_instance
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te import (
+    k_shortest_tunnels,
+    path_links,
+    solve_max_flow,
+    solve_max_flow_edge,
+)
+from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+from repro.te.arrow.restoration import cut_links, designated_restorable_links
+from repro.te.ncflow import (
+    NCFlowSolver,
+    label_propagation_partition,
+    modularity_partition,
+    random_partition,
+)
+from repro.te.ncflow.solver import _contract
+
+
+def line_topology(capacities=(10.0, 10.0)):
+    topo = Topology("line")
+    names = ["a", "b", "c"]
+    for name in names:
+        topo.add_node(name)
+    topo.add_bidi_link("a", "b", capacities[0])
+    topo.add_bidi_link("b", "c", capacities[1])
+    return topo
+
+
+class TestPaths:
+    def test_path_links(self):
+        assert path_links(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_k_shortest_tunnels_skips_unroutable(self):
+        topo = line_topology()
+        topo.add_node("island")
+        traffic = TrafficMatrix({("a", "c"): 5.0, ("a", "island"): 3.0})
+        tunnels = k_shortest_tunnels(topo, traffic, 2)
+        assert ("a", "c") in tunnels
+        assert ("a", "island") not in tunnels
+
+    def test_k_validated(self):
+        topo = line_topology()
+        with pytest.raises(ValueError):
+            k_shortest_tunnels(topo, TrafficMatrix(), 0)
+
+
+class TestMaxFlow:
+    def test_bottleneck_respected(self):
+        topo = line_topology(capacities=(10.0, 4.0))
+        traffic = TrafficMatrix({("a", "c"): 8.0})
+        solution = solve_max_flow(topo, traffic)
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_demand_cap_respected(self):
+        topo = line_topology()
+        traffic = TrafficMatrix({("a", "c"): 3.0})
+        solution = solve_max_flow(topo, traffic)
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.flow_per_commodity[("a", "c")] == pytest.approx(3.0)
+
+    def test_multiple_commodities_share_capacity(self):
+        topo = line_topology(capacities=(10.0, 10.0))
+        traffic = TrafficMatrix({("a", "c"): 8.0, ("b", "c"): 8.0})
+        solution = solve_max_flow(topo, traffic)
+        assert solution.objective == pytest.approx(10.0 + 0.0) or (
+            solution.objective <= 16.0
+        )
+        # b->c capacity 10 is shared; total cannot exceed it plus nothing.
+        assert solution.objective == pytest.approx(10.0)
+
+    def test_solution_metadata(self):
+        topo = line_topology()
+        traffic = TrafficMatrix({("a", "c"): 3.0})
+        solution = solve_max_flow(topo, traffic)
+        assert solution.ok
+        assert solution.lp_count == 1
+        assert solution.satisfied_fraction(traffic.total_demand) == pytest.approx(1.0)
+
+    def test_backend_passthrough(self):
+        topo = line_topology()
+        traffic = TrafficMatrix({("a", "c"): 3.0})
+        solution = solve_max_flow(topo, traffic, backend=SlowLPBackend())
+        assert solution.objective == pytest.approx(3.0)
+
+
+class TestPartitioning:
+    def test_modularity_partition_clusters_connected(self, uninett_instance):
+        topo = uninett_instance.topology
+        partition = modularity_partition(topo)
+        assert set(partition.cluster_of) == set(topo.nodes)
+        for cluster in partition.clusters():
+            sub = topo.subgraph(partition.members(cluster))
+            undirected = sub.to_networkx().to_undirected()
+            import networkx
+
+            assert networkx.is_connected(undirected), (
+                f"cluster {cluster} is disconnected"
+            )
+
+    def test_label_propagation_partition_covers_all(self, uninett_instance):
+        partition = label_propagation_partition(uninett_instance.topology)
+        assert set(partition.cluster_of) == set(uninett_instance.topology.nodes)
+
+    def test_random_partition_balanced(self, uninett_instance):
+        partition = random_partition(uninett_instance.topology, seed=1)
+        sizes = [len(partition.members(c)) for c in partition.clusters()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_ids_normalised(self, uninett_instance):
+        partition = modularity_partition(uninett_instance.topology)
+        assert partition.clusters() == list(range(partition.num_clusters))
+
+    def test_cut_links_counted(self, uninett_instance):
+        topo = uninett_instance.topology
+        partition = modularity_partition(topo)
+        cut = partition.cut_links(topo)
+        assert 0 < cut < topo.num_links
+
+
+class TestNCFlow:
+    def test_contract_aggregates(self, uninett_instance):
+        topo = uninett_instance.topology
+        partition = modularity_partition(topo)
+        contracted, border = _contract(topo, partition)
+        for (ca, cb), links in border.items():
+            assert contracted.capacity(f"C{ca}", f"C{cb}") == pytest.approx(
+                sum(capacity for _, _, capacity in links)
+            )
+
+    def test_feasible_and_at_most_optimal_under_load(self):
+        instance = make_te_instance(
+            "Colt", max_commodities=150, total_demand_fraction=0.15
+        )
+        optimal = solve_max_flow_edge(instance.topology, instance.traffic)
+        solution = NCFlowSolver().solve(instance.topology, instance.traffic)
+        assert solution.objective > 0
+        assert solution.objective <= optimal.objective * 1.001
+
+    def test_link_usage_within_capacity(self, uninett_instance):
+        solver = NCFlowSolver(num_iterations=1)
+        partition = modularity_partition(uninett_instance.topology)
+        run = solver.solve_with_partition(
+            uninett_instance.topology, uninett_instance.traffic, partition
+        )
+        for (src, dst), used in run.link_usage.items():
+            capacity = uninett_instance.topology.capacity(src, dst)
+            assert used <= capacity + 1e-6, f"{src}->{dst} over capacity"
+
+    def test_iterations_never_hurt(self):
+        instance = make_te_instance(
+            "Colt", max_commodities=100, total_demand_fraction=0.15
+        )
+        partition = modularity_partition(instance.topology)
+        single = NCFlowSolver(num_iterations=1).solve_iterated(
+            instance.topology, instance.traffic, partition
+        )
+        triple = NCFlowSolver(num_iterations=3).solve_iterated(
+            instance.topology, instance.traffic, partition
+        )
+        assert triple.objective >= single.objective - 1e-6
+
+    def test_lp_count_reported(self, uninett_instance):
+        solution = NCFlowSolver().solve(
+            uninett_instance.topology, uninett_instance.traffic
+        )
+        assert solution.lp_count >= 2  # at least R1 plus one R2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            NCFlowSolver(num_iterations=0)
+        solver = NCFlowSolver(partitioners=["nope"])
+        with pytest.raises(KeyError):
+            solver.solve(line_topology(), TrafficMatrix({("a", "c"): 1.0}))
+
+    def test_per_commodity_flows_bounded_by_demand(self, uninett_instance):
+        solution = NCFlowSolver().solve(
+            uninett_instance.topology, uninett_instance.traffic
+        )
+        for key, flow in solution.flow_per_commodity.items():
+            assert flow <= uninett_instance.traffic.demands[key] + 1e-6
+
+
+class TestArrowRestoration:
+    def test_scenarios_include_baseline(self, b4_instance):
+        scenarios = single_fiber_scenarios(b4_instance.topology)
+        assert scenarios[0].is_baseline
+        assert all(len(s.cut_fibers) == 1 for s in scenarios[1:])
+
+    def test_scenario_limit_subsamples(self, b4_instance):
+        scenarios = single_fiber_scenarios(b4_instance.topology, limit=5)
+        assert len(scenarios) == 6  # baseline + 5
+
+    def test_designated_links_deterministic_half(self, b4_instance):
+        fiber = b4_instance.topology.fibers()[0]
+        designated = designated_restorable_links(b4_instance.topology, fiber)
+        on_fiber = b4_instance.topology.links_on_fiber(fiber)
+        assert len(designated) == (len(on_fiber) + 1) // 2
+
+    def test_cut_links(self, b4_instance):
+        fiber = b4_instance.topology.fibers()[0]
+        scenarios = single_fiber_scenarios(b4_instance.topology)
+        scenario = next(s for s in scenarios if fiber in s.cut_fibers)
+        lost = cut_links(b4_instance.topology, scenario)
+        assert len(lost) == 2  # both directions of the physical link
+
+
+class TestArrowSolver:
+    def test_variant_ordering(self, b4_instance):
+        scenarios = single_fiber_scenarios(b4_instance.topology, limit=12)
+        objectives = {}
+        for variant in ("none", "paper", "code"):
+            solution = ArrowSolver(variant=variant).solve(
+                b4_instance.topology, b4_instance.traffic, scenarios
+            )
+            objectives[variant] = solution.objective
+        assert objectives["none"] <= objectives["paper"] + 1e-6
+        assert objectives["paper"] <= objectives["code"] + 1e-6
+
+    def test_no_failure_only_equals_plain_max_flow_bound(self, b4_instance):
+        from repro.te.arrow.restoration import FailureScenario
+
+        baseline_only = [FailureScenario("no-failure", frozenset())]
+        solution = ArrowSolver(variant="code").solve(
+            b4_instance.topology, b4_instance.traffic, baseline_only
+        )
+        optimal = solve_max_flow(
+            b4_instance.topology, b4_instance.traffic, num_paths=3
+        )
+        assert solution.objective == pytest.approx(optimal.objective, rel=1e-6)
+
+    def test_failures_never_help(self, b4_instance):
+        all_scenarios = single_fiber_scenarios(b4_instance.topology, limit=12)
+        fewer = all_scenarios[:4]
+        more = ArrowSolver(variant="paper").solve(
+            b4_instance.topology, b4_instance.traffic, all_scenarios
+        )
+        less = ArrowSolver(variant="paper").solve(
+            b4_instance.topology, b4_instance.traffic, fewer
+        )
+        assert more.objective <= less.objective + 1e-6
+
+    def test_invalid_params(self):
+        with pytest.raises(KeyError):
+            ArrowSolver(variant="magic")
+        with pytest.raises(ValueError):
+            ArrowSolver(restore_fraction=2.0)
+        with pytest.raises(ValueError):
+            ArrowSolver(budget_fraction=-0.1)
+
+    def test_admitted_flows_bounded_by_demand(self, b4_instance):
+        scenarios = single_fiber_scenarios(b4_instance.topology, limit=6)
+        solution = ArrowSolver(variant="code").solve(
+            b4_instance.topology, b4_instance.traffic, scenarios
+        )
+        for key, flow in solution.flow_per_commodity.items():
+            assert flow <= b4_instance.traffic.demands[key] + 1e-6

@@ -1,0 +1,191 @@
+"""Tests for the TE extensions: min-MLU, ARROW tickets, APKeep batches."""
+
+import pytest
+
+from repro.apkeep import APKeepVerifier
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.instances import make_te_instance
+from repro.netmodel.rules import ForwardingRule
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te import solve_min_mlu
+from repro.te.arrow import (
+    ArrowSolver,
+    RestorationTicket,
+    generate_tickets,
+    single_fiber_scenarios,
+)
+
+
+def line_topology(cap_ab=10.0, cap_bc=10.0):
+    topo = Topology("line")
+    for node in ("a", "b", "c"):
+        topo.add_node(node)
+    topo.add_bidi_link("a", "b", cap_ab)
+    topo.add_bidi_link("b", "c", cap_bc)
+    return topo
+
+
+class TestMinMLU:
+    def test_bottleneck_utilisation(self):
+        topo = line_topology(cap_ab=10.0, cap_bc=5.0)
+        traffic = TrafficMatrix({("a", "c"): 4.0})
+        solution = solve_min_mlu(topo, traffic)
+        assert solution.ok
+        assert solution.objective == pytest.approx(4.0 / 5.0)
+
+    def test_all_demand_routed(self):
+        topo = line_topology()
+        traffic = TrafficMatrix({("a", "c"): 3.0, ("c", "a"): 2.0})
+        solution = solve_min_mlu(topo, traffic)
+        assert solution.flow_per_commodity[("a", "c")] == pytest.approx(3.0)
+        assert solution.flow_per_commodity[("c", "a")] == pytest.approx(2.0)
+
+    def test_overload_reports_mlu_above_one(self):
+        topo = line_topology(cap_ab=2.0, cap_bc=2.0)
+        traffic = TrafficMatrix({("a", "c"): 5.0})
+        solution = solve_min_mlu(topo, traffic)
+        assert solution.ok
+        assert solution.objective == pytest.approx(2.5)
+
+    def test_splitting_lowers_mlu(self, b4_instance):
+        single = solve_min_mlu(
+            b4_instance.topology, b4_instance.traffic, num_paths=1
+        )
+        multi = solve_min_mlu(
+            b4_instance.topology, b4_instance.traffic, num_paths=4
+        )
+        assert multi.objective <= single.objective + 1e-9
+
+
+class TestRestorationTickets:
+    def test_tickets_respect_caps_and_budget(self, b4_instance):
+        topo = b4_instance.topology
+        for fiber in topo.fibers()[:5]:
+            tickets = generate_tickets(topo, fiber, budget_fraction=0.5)
+            links = {
+                (link.src, link.dst): link.capacity
+                for link in topo.links_on_fiber(fiber)
+            }
+            budget = 0.5 * sum(links.values())
+            assert len(tickets) == len(links) + 1
+            for ticket in tickets:
+                assert ticket.total_restored <= budget + 1e-9
+                for edge, amount in ticket.restored:
+                    assert amount <= links[edge] + 1e-9
+
+    def test_ticket_names_unique(self, b4_instance):
+        fiber = b4_instance.topology.fibers()[0]
+        tickets = generate_tickets(b4_instance.topology, fiber)
+        names = [ticket.name for ticket in tickets]
+        assert len(names) == len(set(names))
+
+    def test_ticket_variant_between_none_and_code(self, b4_instance):
+        scenarios = single_fiber_scenarios(b4_instance.topology, limit=10)
+        objectives = {}
+        for variant in ("none", "ticket", "code"):
+            objectives[variant] = ArrowSolver(variant=variant).solve(
+                b4_instance.topology, b4_instance.traffic, scenarios
+            ).objective
+        assert objectives["none"] <= objectives["ticket"] + 1e-6
+        assert objectives["ticket"] <= objectives["code"] + 1e-6
+
+    def test_empty_fiber_yields_no_tickets(self):
+        topo = line_topology()
+        assert generate_tickets(topo, "no-such-fiber") == []
+
+
+class TestAPKeepBatch:
+    def test_batch_update_round_trip(self, internet2):
+        verifier = APKeepVerifier(internet2)
+        node = internet2.topology.nodes[0]
+        neighbor = internet2.topology.successors(node)[0]
+        rule_a = ForwardingRule(Prefix(0xF000, 4), neighbor, priority=90)
+        rule_b = ForwardingRule(Prefix(0xF800, 5), neighbor, priority=91)
+        changes = verifier.batch_update(
+            [
+                ("insert", node, rule_a),
+                ("insert", node, rule_b),
+                ("remove", node, rule_b),
+                ("remove", node, rule_a),
+            ]
+        )
+        assert len(changes) == 4
+        assert verifier.find_loops() == []
+
+    def test_batch_rejects_unknown_operation(self, internet2):
+        verifier = APKeepVerifier(internet2)
+        node = internet2.topology.nodes[0]
+        rule = ForwardingRule(Prefix(0xF000, 4), "drop", priority=90)
+        with pytest.raises(ValueError):
+            verifier.batch_update([("upsert", node, rule)])
+
+    def test_update_latency_stats(self, internet2):
+        verifier = APKeepVerifier(internet2)
+        stats = verifier.update_latency_stats()
+        assert stats["count"] == len(verifier.updates)
+        assert stats["count"] > 0
+        assert 0.0 <= stats["p50"] <= stats["p99"] <= stats["max"]
+        assert stats["mean"] > 0.0
+
+    def test_update_latency_stats_empty(self):
+        from repro.netmodel.datasets import VerificationDataset
+        from repro.netmodel.topology import Topology
+
+        topo = Topology("empty")
+        dataset = VerificationDataset("empty", topo, {}, {})
+        verifier = APKeepVerifier(dataset)
+        stats = verifier.update_latency_stats()
+        assert stats["count"] == 0
+
+
+class TestFleischer:
+    def test_matches_exact_on_single_path(self):
+        topo = line_topology(cap_ab=10.0, cap_bc=4.0)
+        traffic = TrafficMatrix({("a", "c"): 8.0})
+        from repro.te import solve_fleischer
+
+        solution = solve_fleischer(topo, traffic, epsilon=0.05)
+        assert solution.objective == pytest.approx(4.0, rel=0.08)
+
+    def test_within_guarantee_of_exact(self, b4_instance):
+        from repro.te import solve_fleischer, solve_max_flow_edge
+
+        exact = solve_max_flow_edge(b4_instance.topology, b4_instance.traffic)
+        approx = solve_fleischer(
+            b4_instance.topology, b4_instance.traffic, epsilon=0.1
+        )
+        assert approx.objective <= exact.objective * (1 + 1e-6)
+        assert approx.objective >= exact.objective * 0.7  # classic bound
+
+    def test_demand_caps_respected(self, b4_instance):
+        from repro.te import solve_fleischer
+
+        solution = solve_fleischer(
+            b4_instance.topology, b4_instance.traffic, epsilon=0.1
+        )
+        for key, flow in solution.flow_per_commodity.items():
+            assert flow <= b4_instance.traffic.demands[key] + 1e-6
+
+    def test_epsilon_validated(self):
+        from repro.te import solve_fleischer
+
+        with pytest.raises(ValueError):
+            solve_fleischer(line_topology(), TrafficMatrix(), epsilon=0.0)
+        with pytest.raises(ValueError):
+            solve_fleischer(line_topology(), TrafficMatrix(), epsilon=0.9)
+
+    def test_empty_traffic(self):
+        from repro.te import solve_fleischer
+
+        solution = solve_fleischer(line_topology(), TrafficMatrix())
+        assert solution.objective == 0.0
+
+    def test_smaller_epsilon_at_least_as_good(self):
+        topo = line_topology(cap_ab=10.0, cap_bc=10.0)
+        traffic = TrafficMatrix({("a", "c"): 8.0, ("c", "a"): 8.0})
+        from repro.te import solve_fleischer
+
+        coarse = solve_fleischer(topo, traffic, epsilon=0.3)
+        fine = solve_fleischer(topo, traffic, epsilon=0.05)
+        assert fine.objective >= coarse.objective - 1e-6

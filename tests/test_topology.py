@@ -1,0 +1,136 @@
+"""Tests for the Topology wrapper."""
+
+import pytest
+
+from repro.netmodel.topology import Topology
+
+
+def ring(n=5, capacity=10.0):
+    topo = Topology("ring")
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        topo.add_node(name)
+    for i in range(n):
+        topo.add_bidi_link(names[i], names[(i + 1) % n], capacity)
+    return topo, names
+
+
+class TestConstruction:
+    def test_counts(self):
+        topo, _ = ring(5)
+        assert topo.num_nodes == 5
+        assert topo.num_links == 10  # bidi -> two directed
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "a", 1.0)
+
+    def test_negative_capacity_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "b", -1.0)
+
+    def test_bidi_shares_fiber(self):
+        topo = Topology()
+        for node in ("a", "b"):
+            topo.add_node(node)
+        topo.add_bidi_link("a", "b", 5.0)
+        assert topo.fiber_of("a", "b") == topo.fiber_of("b", "a")
+        assert topo.fibers() == [topo.fiber_of("a", "b")]
+
+    def test_links_on_fiber(self):
+        topo, names = ring(4)
+        fiber = topo.fiber_of(names[0], names[1])
+        links = topo.links_on_fiber(fiber)
+        assert len(links) == 2
+        assert {(l.src, l.dst) for l in links} == {
+            (names[0], names[1]),
+            (names[1], names[0]),
+        }
+
+
+class TestQueries:
+    def test_capacity_roundtrip(self):
+        topo, names = ring(4, capacity=7.5)
+        assert topo.capacity(names[0], names[1]) == 7.5
+        topo.set_capacity(names[0], names[1], 2.5)
+        assert topo.capacity(names[0], names[1]) == 2.5
+
+    def test_set_negative_capacity_rejected(self):
+        topo, names = ring(3)
+        with pytest.raises(ValueError):
+            topo.set_capacity(names[0], names[1], -1)
+
+    def test_successors_sorted(self):
+        topo, names = ring(5)
+        succ = topo.successors(names[0])
+        assert succ == sorted(succ)
+
+    def test_total_capacity(self):
+        topo, _ = ring(4, capacity=3.0)
+        assert topo.total_capacity() == pytest.approx(8 * 3.0)
+
+    def test_contains(self):
+        topo, names = ring(3)
+        assert names[0] in topo
+        assert "missing" not in topo
+
+
+class TestAlgorithms:
+    def test_shortest_path(self):
+        topo, names = ring(6)
+        path = topo.shortest_path(names[0], names[3])
+        assert path[0] == names[0] and path[-1] == names[3]
+        assert len(path) == 4  # 3 hops either way around the ring
+
+    def test_shortest_path_unreachable(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        assert topo.shortest_path("a", "b") is None
+
+    def test_k_shortest_paths(self):
+        topo, names = ring(6)
+        paths = topo.k_shortest_paths(names[0], names[3], 5)
+        assert len(paths) == 2  # both directions around the ring
+        assert all(path[0] == names[0] for path in paths)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_k_shortest_same_node(self):
+        topo, names = ring(3)
+        assert topo.k_shortest_paths(names[0], names[0], 3) == [[names[0]]]
+
+    def test_is_connected(self):
+        topo, _ = ring(4)
+        assert topo.is_connected()
+        lonely = Topology()
+        lonely.add_node("a")
+        lonely.add_node("b")
+        assert not lonely.is_connected()
+
+    def test_subgraph(self):
+        topo, names = ring(5)
+        sub = topo.subgraph(names[:3])
+        assert sub.num_nodes == 3
+        # ring edges between n0-n1 and n1-n2 survive; n2-n3 does not.
+        assert sub.has_link(names[0], names[1])
+        assert not sub.has_link(names[2], names[3])
+
+    def test_without_fibers(self):
+        topo, names = ring(4)
+        fiber = topo.fiber_of(names[0], names[1])
+        cut = topo.without_fibers([fiber])
+        assert not cut.has_link(names[0], names[1])
+        assert not cut.has_link(names[1], names[0])
+        assert cut.num_links == topo.num_links - 2
+
+    def test_copy_is_independent(self):
+        topo, names = ring(3)
+        clone = topo.copy()
+        clone.set_capacity(names[0], names[1], 99.0)
+        assert topo.capacity(names[0], names[1]) != 99.0

@@ -1,0 +1,110 @@
+"""Tests for the synthetic topology catalog and traffic matrices."""
+
+import pytest
+
+from repro.netmodel.instances import arrow_instances, make_te_instance
+from repro.netmodel.topozoo import (
+    ARROW_INSTANCE_NAMES,
+    NCFLOW_INSTANCE_NAMES,
+    VERIFICATION_DATASET_NAMES,
+    make_topology,
+    topology_catalog,
+)
+from repro.netmodel.traffic import (
+    TrafficMatrix,
+    gravity_traffic_matrix,
+    uniform_traffic_matrix,
+)
+
+
+class TestCatalog:
+    def test_instance_name_counts(self):
+        assert len(NCFLOW_INSTANCE_NAMES) == 13  # participant A's 13 instances
+        assert len(ARROW_INSTANCE_NAMES) == 2  # participant B's 2 instances
+        assert len(VERIFICATION_DATASET_NAMES) == 4  # participant C's 4 datasets
+
+    def test_all_catalog_names_buildable_and_connected(self):
+        for spec in topology_catalog():
+            topo = make_topology(spec.name)
+            assert topo.num_nodes == spec.num_nodes
+            assert topo.is_connected(), f"{spec.name} must be connected"
+
+    def test_deterministic(self):
+        a = make_topology("B4")
+        b = make_topology("B4")
+        assert [(l.src, l.dst, l.capacity) for l in a.links()] == [
+            (l.src, l.dst, l.capacity) for l in b.links()
+        ]
+
+    def test_different_names_differ(self):
+        a = make_topology("B4")
+        b = make_topology("IbmBackbone")
+        assert a.num_nodes != b.num_nodes
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_topology("NoSuchNet")
+
+    def test_all_links_have_fibers(self):
+        topo = make_topology("Internet2")
+        assert all(link.fiber_id is not None for link in topo.links())
+
+
+class TestTrafficMatrix:
+    def test_gravity_total_scaled(self):
+        topo = make_topology("B4")
+        matrix = gravity_traffic_matrix(topo, seed=1, total_demand_fraction=0.1)
+        assert matrix.total_demand == pytest.approx(topo.total_capacity() * 0.1)
+
+    def test_gravity_deterministic(self):
+        topo = make_topology("B4")
+        a = gravity_traffic_matrix(topo, seed=5)
+        b = gravity_traffic_matrix(topo, seed=5)
+        assert a.demands == b.demands
+
+    def test_gravity_seed_changes_matrix(self):
+        topo = make_topology("B4")
+        a = gravity_traffic_matrix(topo, seed=5)
+        b = gravity_traffic_matrix(topo, seed=6)
+        assert a.demands != b.demands
+
+    def test_max_commodities_cap(self):
+        topo = make_topology("Colt")
+        matrix = gravity_traffic_matrix(topo, seed=1, max_commodities=50)
+        assert matrix.num_commodities <= 50
+
+    def test_invalid_fraction(self):
+        topo = make_topology("B4")
+        with pytest.raises(ValueError):
+            gravity_traffic_matrix(topo, seed=1, total_demand_fraction=0.0)
+
+    def test_top_k(self):
+        matrix = TrafficMatrix({("a", "b"): 5.0, ("b", "c"): 1.0, ("c", "a"): 3.0})
+        top = matrix.top_k(2)
+        assert set(top.demands) == {("a", "b"), ("c", "a")}
+
+    def test_scaled(self):
+        matrix = TrafficMatrix({("a", "b"): 5.0})
+        assert matrix.scaled(2.0).demand("a", "b") == 10.0
+
+    def test_commodities_sorted_nonzero(self):
+        matrix = TrafficMatrix({("b", "c"): 0.0, ("a", "b"): 2.0})
+        assert matrix.commodities() == [("a", "b", 2.0)]
+
+    def test_uniform(self):
+        topo = make_topology("Internet2")
+        matrix = uniform_traffic_matrix(topo, 1.0)
+        n = topo.num_nodes
+        assert matrix.num_commodities == n * (n - 1)
+
+
+class TestInstances:
+    def test_make_te_instance_deterministic(self):
+        a = make_te_instance("B4")
+        b = make_te_instance("B4")
+        assert a.traffic.demands == b.traffic.demands
+
+    def test_arrow_instances(self):
+        instances = arrow_instances(max_commodities=40)
+        assert [inst.name for inst in instances] == ARROW_INSTANCE_NAMES
+        assert all(inst.num_commodities <= 40 for inst in instances)
