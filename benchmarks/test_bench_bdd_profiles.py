@@ -45,25 +45,37 @@ def _compare():
     start = time.perf_counter()
     javabdd_result = _workload(javabdd)
     javabdd_seconds = time.perf_counter() - start
-    return jdd_result, jdd_seconds, javabdd_result, javabdd_seconds
+    return (
+        jdd_result, jdd_seconds, jdd.stats(),
+        javabdd_result, javabdd_seconds, javabdd.stats(),
+    )
 
 
 def test_bench_bdd_profiles(benchmark, capsys):
-    jdd_result, jdd_seconds, javabdd_result, javabdd_seconds = benchmark.pedantic(
-        _compare, rounds=3, iterations=1
-    )
+    (
+        jdd_result, jdd_seconds, jdd_stats,
+        javabdd_result, javabdd_seconds, javabdd_stats,
+    ) = benchmark.pedantic(_compare, rounds=3, iterations=1)
 
     assert jdd_result == javabdd_result, "profiles must agree semantically"
     assert javabdd_seconds > jdd_seconds, "JavaBDD profile must be slower"
 
     ratio = javabdd_seconds / jdd_seconds
-    header = f"{'profile':<10} {'seconds':>9} {'result':>8}"
+    header = f"{'profile':<10} {'seconds':>9} {'result':>8} {'hit ratio':>10}"
     rows = [
-        f"{'jdd':<10} {jdd_seconds:>9.4f} {jdd_result:>8}",
-        f"{'javabdd':<10} {javabdd_seconds:>9.4f} {javabdd_result:>8}",
+        f"{'jdd':<10} {jdd_seconds:>9.4f} {jdd_result:>8} "
+        f"{jdd_stats['cache_hit_ratio']:>10.3f}",
+        f"{'javabdd':<10} {javabdd_seconds:>9.4f} {javabdd_result:>8} "
+        f"{javabdd_stats['cache_hit_ratio']:>10.3f}",
         "",
         f"slowdown: {ratio:.1f}x (the paper attributes up to 20x of "
         "participant D's predicate time to this library choice)",
     ]
     print_rows(capsys, "BDD operation profiles", header, rows)
     benchmark.extra_info["slowdown"] = round(ratio, 2)
+    benchmark.extra_info["jdd_hit_ratio"] = round(
+        jdd_stats["cache_hit_ratio"], 3
+    )
+    benchmark.extra_info["javabdd_hit_ratio"] = round(
+        javabdd_stats["cache_hit_ratio"], 3
+    )

@@ -9,10 +9,10 @@ reachability.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro import obs
 from repro.ap.verifier import APVerifier
 from repro.bdd.builder import new_engine
 from repro.bdd.engine import BDD_FALSE
@@ -86,38 +86,39 @@ def diff_snapshots(
     """
     if set(before.topology.nodes) != set(after.topology.nodes):
         raise ValueError("snapshots must cover the same nodes")
-    start = time.perf_counter()
-    engine = new_engine("jdd")
-    verifier_before = APVerifier(before, engine=engine)
-    verifier_after = APVerifier(after, engine=engine)
+    with obs.span("ap.diff", before=before.name, after=after.name) as sp:
+        engine = new_engine("jdd")
+        verifier_before = APVerifier(before, engine=engine)
+        verifier_after = APVerifier(after, engine=engine)
 
-    if pairs is None:
-        nodes = before.topology.nodes
-        pairs = [
-            (src, dst) for src in nodes for dst in nodes if src != dst
-        ]
+        if pairs is None:
+            nodes = before.topology.nodes
+            pairs = [
+                (src, dst) for src in nodes for dst in nodes if src != dst
+            ]
 
-    diff = SnapshotDiff(before.name, after.name)
-    for src, dst in pairs:
-        bdd_before = verifier_before.atomics.union_bdd(
-            verifier_before.reachable_atoms(src, dst).atoms
-        )
-        bdd_after = verifier_after.atomics.union_bdd(
-            verifier_after.reachable_atoms(src, dst).atoms
-        )
-        if bdd_before == bdd_after:
-            diff.deltas.append(PairDelta(src, dst, 0, 0))
-        else:
-            gained = engine.diff(bdd_after, bdd_before)
-            lost = engine.diff(bdd_before, bdd_after)
-            diff.deltas.append(
-                PairDelta(
-                    src,
-                    dst,
-                    engine.satcount(gained) if gained != BDD_FALSE else 0,
-                    engine.satcount(lost) if lost != BDD_FALSE else 0,
-                )
+        diff = SnapshotDiff(before.name, after.name)
+        for src, dst in pairs:
+            bdd_before = verifier_before.atomics.union_bdd(
+                verifier_before.reachable_atoms(src, dst).atoms
             )
-    diff.pairs_compared = len(pairs)
-    diff.seconds = time.perf_counter() - start
+            bdd_after = verifier_after.atomics.union_bdd(
+                verifier_after.reachable_atoms(src, dst).atoms
+            )
+            if bdd_before == bdd_after:
+                diff.deltas.append(PairDelta(src, dst, 0, 0))
+            else:
+                gained = engine.diff(bdd_after, bdd_before)
+                lost = engine.diff(bdd_before, bdd_after)
+                diff.deltas.append(
+                    PairDelta(
+                        src,
+                        dst,
+                        engine.satcount(gained) if gained != BDD_FALSE else 0,
+                        engine.satcount(lost) if lost != BDD_FALSE else 0,
+                    )
+                )
+        diff.pairs_compared = len(pairs)
+        sp.set(pairs=len(pairs), changed=len(diff.changed_pairs))
+    diff.seconds = sp.duration
     return diff

@@ -21,10 +21,10 @@ difference:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro import obs
 from repro.ap.atomic import AtomicPredicates, compute_atomic_predicates
 from repro.ap.predicates import PredicateTable, extract_predicates
 from repro.ap import traversal
@@ -65,6 +65,18 @@ class BlackholeReport:
     atoms: FrozenSet[int]
 
 
+def _engine_meta(engine) -> Dict[str, object]:
+    """BDD engine telemetry as span metadata keys (``bdd_*``)."""
+    stats = getattr(engine, "stats", None)
+    if stats is None:
+        return {}
+    return {
+        f"bdd_{key}": value
+        for key, value in stats().items()
+        if key != "profile"
+    }
+
+
 class APVerifier:
     """Atomic-predicates verifier over one data-plane snapshot."""
 
@@ -76,13 +88,23 @@ class APVerifier:
     ):
         self.dataset = dataset
         self.engine = engine if engine is not None else new_engine(profile)
-        start = time.perf_counter()
-        self.table: PredicateTable = extract_predicates(dataset, self.engine)
-        self.atomics: AtomicPredicates = compute_atomic_predicates(
-            self.engine, self.table.distinct_predicates()
-        )
-        self._label_ports()
-        self.predicate_seconds = time.perf_counter() - start
+        with obs.span(
+            "ap.build",
+            dataset=dataset.name,
+            profile=getattr(self.engine, "name", "custom"),
+        ) as sp:
+            with obs.span("ap.predicates"):
+                self.table: PredicateTable = extract_predicates(
+                    dataset, self.engine
+                )
+            with obs.span("ap.atoms"):
+                self.atomics: AtomicPredicates = compute_atomic_predicates(
+                    self.engine, self.table.distinct_predicates()
+                )
+            with obs.span("ap.label_ports"):
+                self._label_ports()
+            sp.set(atoms=self.atomics.num_atoms, **_engine_meta(self.engine))
+        self.predicate_seconds = sp.duration
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -118,18 +140,18 @@ class APVerifier:
         """Atoms injected at ``src`` that can arrive at ``dst`` (BFS)."""
         self._check_device(src)
         self._check_device(dst)
-        start = time.perf_counter()
-        atoms = traversal.selective_bfs(
-            self.dataset.topology,
-            self.port_atoms,
-            self.acl_atoms,
-            src,
-            dst,
-            self._initial_atoms(src),
-        )
-        return ReachabilityResult(
-            src, dst, atoms, "selective-bfs", time.perf_counter() - start
-        )
+        with obs.span(
+            "ap.query", strategy="selective-bfs", src=src, dst=dst
+        ) as sp:
+            atoms = traversal.selective_bfs(
+                self.dataset.topology,
+                self.port_atoms,
+                self.acl_atoms,
+                src,
+                dst,
+                self._initial_atoms(src),
+            )
+        return ReachabilityResult(src, dst, atoms, "selective-bfs", sp.duration)
 
     def reachable_atoms_by_path_enumeration(
         self, src: str, dst: str, max_paths: Optional[int] = None
@@ -141,19 +163,22 @@ class APVerifier:
         """
         self._check_device(src)
         self._check_device(dst)
-        start = time.perf_counter()
-        atoms, explored = traversal.path_enumeration_reach(
-            self.dataset.topology,
-            self.port_atoms,
-            self.acl_atoms,
-            src,
-            dst,
-            self._initial_atoms(src),
-            max_paths=max_paths,
-        )
+        with obs.span(
+            "ap.query", strategy="path-enumeration", src=src, dst=dst
+        ) as sp:
+            atoms, explored = traversal.path_enumeration_reach(
+                self.dataset.topology,
+                self.port_atoms,
+                self.acl_atoms,
+                src,
+                dst,
+                self._initial_atoms(src),
+                max_paths=max_paths,
+            )
+            sp.set(paths_explored=explored)
         return ReachabilityResult(
             src, dst, atoms, "path-enumeration",
-            time.perf_counter() - start, paths_explored=explored,
+            sp.duration, paths_explored=explored,
         )
 
     def reachability_tree(self, src: str) -> Dict[str, FrozenSet[int]]:

@@ -45,6 +45,11 @@ class BDDEngine:
         # Operation statistics (used by benchmarks and the GC profile).
         self.op_count = 0
         self.mk_count = 0
+        # Computed-table statistics: every cache probe is a hit or miss,
+        # so profiles that drop the cache per call (JavaBDD) show up as a
+        # collapsed hit ratio in :meth:`stats`.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Node construction
@@ -119,7 +124,9 @@ class BDDEngine:
         key = ("not", u)
         found = self._cache.get(key)
         if found is not None:
+            self.cache_hits += 1
             return found
+        self.cache_misses += 1
         node = self._mk(self._var[u], self._not_rec(self._low[u]), self._not_rec(self._high[u]))
         self._cache[key] = node
         return node
@@ -151,7 +158,9 @@ class BDDEngine:
         key = ("ite", f, g, h)
         found = self._cache.get(key)
         if found is not None:
+            self.cache_hits += 1
             return found
+        self.cache_misses += 1
         level = min(self._var[f], self._var[g], self._var[h])
 
         def branch(node: int, take_high: bool) -> int:
@@ -234,6 +243,28 @@ class BDDEngine:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    def stats(self) -> Dict[str, object]:
+        """Engine telemetry: node/cache sizes and computed-table hit rate.
+
+        The fast (JDD) and slow (JavaBDD) profiles run identical
+        semantics, so the profile comparison reduces to a diff of these
+        numbers -- most visibly ``cache_hit_ratio``, which collapses when
+        the computed table is dropped per call.
+        """
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "profile": self.name,
+            "num_vars": self.num_vars,
+            "num_nodes": self.num_nodes,
+            "cache_size": len(self._cache),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hits / lookups if lookups else 0.0,
+            "op_count": self.op_count,
+            "mk_count": self.mk_count,
+            "live_refs": self.live_refs,
+        }
+
 
 class JDDEngine(BDDEngine):
     """Specialised ops + persistent computed-table (the fast profile)."""
@@ -261,7 +292,9 @@ class JDDEngine(BDDEngine):
         key = (op, u, v)
         found = self._cache.get(key)
         if found is not None:
+            self.cache_hits += 1
             return found
+        self.cache_misses += 1
         level = min(self._var[u], self._var[v])
         u_low, u_high = self._branches(u, level)
         v_low, v_high = self._branches(v, level)
@@ -362,6 +395,11 @@ class JavaBDDEngine(BDDEngine):
     def _after_mk(self) -> None:
         if self.mk_count % self.gc_interval == 0:
             self._sweep()
+
+    def stats(self) -> Dict[str, object]:
+        data = super().stats()
+        data["gc_sweeps"] = self.gc_sweeps
+        return data
 
     def _sweep(self) -> None:
         """Walk the whole node table, as a mark phase would."""

@@ -15,7 +15,12 @@ explore the reproduction without writing code:
   conversation log;
 * ``analyze``      -- comparative discrepancy analysis of a reproduced
   system against its reference prototype;
-* ``paperdoc``     -- render a paper's structured document.
+* ``paperdoc``     -- render a paper's structured document;
+* ``trace-view``   -- render a ``--trace`` JSONL file as a span tree.
+
+Every command accepts the global flags ``--trace FILE`` (record obs
+spans; ``.json`` gets Chrome trace_event format, anything else JSON
+lines) and ``--metrics`` (print the metrics registry after the run).
 """
 
 from __future__ import annotations
@@ -25,19 +30,44 @@ import sys
 from typing import List, Optional
 
 
+def _observability_flags() -> argparse.ArgumentParser:
+    """Shared ``--trace`` / ``--metrics`` flags, valid before or after the
+    subcommand.
+
+    ``SUPPRESS`` keeps a flag given *before* the subcommand from being
+    clobbered by the subparser's default when it is absent *after* it;
+    read the values with ``getattr(args, ..., fallback)``.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="record obs spans to FILE (.json = Chrome trace, else JSONL)",
+    )
+    common.add_argument(
+        "--metrics", action="store_true", default=argparse.SUPPRESS,
+        help="print the metrics registry after the command",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = _observability_flags()
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Toward Reproducing Network Research Results "
             "Using Large Language Models' (HotNets 2023)."
         ),
+        parents=[common],
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("experiment", help="run participants A-D")
+    def add_parser(name, **kwargs):
+        return subparsers.add_parser(name, parents=[common], **kwargs)
 
-    campaign = subparsers.add_parser(
+    add_parser("experiment", help="run participants A-D")
+
+    campaign = add_parser(
         "campaign", help="batch-reproduce several papers"
     )
     campaign.add_argument(
@@ -50,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["modular-pseudocode"],
     )
 
-    participant = subparsers.add_parser("participant", help="run one participant")
+    participant = add_parser("participant", help="run one participant")
     participant.add_argument("name", choices=["A", "B", "C", "D"])
     participant.add_argument(
         "--style",
@@ -59,15 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the prompting style",
     )
 
-    subparsers.add_parser("study", help="print the Figure 1-2 statistics")
+    add_parser("study", help="print the Figure 1-2 statistics")
 
-    verify = subparsers.add_parser("verify", help="verify a data plane")
+    verify = add_parser("verify", help="verify a data plane")
     verify.add_argument("dataset", nargs="?", default="Internet2")
     verify.add_argument(
         "--inject", choices=["loop", "blackhole"], default=None
     )
 
-    te = subparsers.add_parser("te", help="solve a TE instance")
+    te = add_parser("te", help="solve a TE instance")
     te.add_argument("instance", nargs="?", default="Colt")
     te.add_argument(
         "--solver",
@@ -78,9 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--load", type=float, default=0.1,
                     help="total demand as a fraction of total capacity")
 
-    subparsers.add_parser("motivating", help="replay the motivating example")
+    add_parser("motivating", help="replay the motivating example")
 
-    transcript = subparsers.add_parser(
+    transcript = add_parser(
         "transcript", help="dump a participant's conversation log"
     )
     transcript.add_argument("name", choices=["A", "B", "C", "D"])
@@ -89,12 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["markdown", "json", "summary"], default="markdown"
     )
 
-    analyze = subparsers.add_parser(
+    analyze = add_parser(
         "analyze", help="discrepancy analysis vs the reference prototype"
     )
     analyze.add_argument("system", choices=["ncflow", "arrow", "apkeep", "ap"])
 
-    paperdoc = subparsers.add_parser(
+    paperdoc = add_parser(
         "paperdoc", help="render a paper's structured document"
     )
     paperdoc.add_argument(
@@ -105,18 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag missing details instead of rendering",
     )
 
-    export = subparsers.add_parser(
+    export = add_parser(
         "export", help="write every figure/experiment series as CSV"
     )
     export.add_argument("--out", default="results", help="output directory")
 
-    diff = subparsers.add_parser(
+    diff = add_parser(
         "diff", help="differential verification between two snapshots"
     )
     diff.add_argument("dataset", nargs="?", default="Internet2")
     diff.add_argument(
         "--inject", choices=["loop", "blackhole"], default="blackhole",
         help="perturbation applied to the second snapshot",
+    )
+
+    trace_view = add_parser(
+        "trace-view", help="render a recorded JSONL trace as a span tree"
+    )
+    trace_view.add_argument("file", help="JSONL file written by --trace")
+    trace_view.add_argument(
+        "--no-meta", action="store_true",
+        help="hide span metadata (names and times only)",
     )
     return parser
 
@@ -393,6 +432,23 @@ def cmd_diff(args, out) -> int:
     return 0
 
 
+def cmd_trace_view(args, out) -> int:
+    from repro.obs import export
+
+    try:
+        spans, metrics = export.read_jsonl(args.file)
+    except OSError as exc:
+        out.write(f"error: cannot read {args.file}: {exc.strerror}\n")
+        return 1
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    out.write(export.render_span_tree(spans, limit_meta=args.no_meta) + "\n")
+    if metrics:
+        out.write(export.render_metrics(metrics) + "\n")
+    return 0
+
+
 _COMMANDS = {
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
@@ -406,13 +462,33 @@ _COMMANDS = {
     "paperdoc": cmd_paperdoc,
     "export": cmd_export,
     "diff": cmd_diff,
+    "trace-view": cmd_trace_view,
 }
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
+    from repro import obs
+
     args = build_parser().parse_args(argv)
     stream = out if out is not None else sys.stdout
-    return _COMMANDS[args.command](args, stream)
+    trace_path = getattr(args, "trace", None)
+    show_metrics = getattr(args, "metrics", False)
+    obs.metrics.reset()
+    tracer = obs.Tracer() if trace_path else None
+    previous = obs.set_tracer(tracer) if tracer else None
+    try:
+        code = _COMMANDS[args.command](args, stream)
+    finally:
+        if tracer is not None:
+            obs.set_tracer(previous)
+    if tracer is not None:
+        count = obs.export.write_trace(
+            trace_path, tracer.finished_spans(), obs.metrics.snapshot()
+        )
+        stream.write(f"trace: wrote {count} spans to {trace_path}\n")
+    if show_metrics:
+        stream.write(obs.export.render_metrics(obs.metrics.snapshot()) + "\n")
+    return code
 
 
 if __name__ == "__main__":

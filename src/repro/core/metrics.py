@@ -13,26 +13,68 @@ from typing import Dict, List
 
 
 def count_loc(source: str) -> int:
-    """Non-blank, non-comment physical lines (the usual LoC convention)."""
+    """Non-blank, non-comment physical lines (the usual LoC convention).
+
+    Docstrings (triple-quoted strings that open with no code before them
+    on the line) do not count; triple-quoted strings that are part of an
+    expression (``x = '''...'''``) do.  Code sharing a line with a
+    docstring delimiter -- ``\"\"\"one-liner\"\"\" code`` or a closing
+    delimiter followed by a statement -- is counted.
+    """
     count = 0
-    in_docstring = False
+    in_string = False  # inside a triple-quoted string spanning lines
     delimiter = ""
+    is_docstring = False  # the open string started with no code before it
     for raw_line in source.splitlines():
         line = raw_line.strip()
-        if in_docstring:
-            if delimiter in line:
-                in_docstring = False
-            continue
-        if not line or line.startswith("#"):
-            continue
-        for quote in ('"""', "'''"):
-            if line.startswith(quote):
-                remainder = line[len(quote):]
-                if quote not in remainder:
-                    in_docstring = True
-                    delimiter = quote
+        pos = 0
+        code_seen = False
+        if in_string:
+            idx = line.find(delimiter)
+            if idx < 0:
+                # Continuation lines of an expression string are code.
+                if not is_docstring and line:
+                    count += 1
+                continue
+            code_seen = not is_docstring
+            pos = idx + len(delimiter)
+            in_string = False
+        while pos < len(line):
+            char = line[pos]
+            if char in " \t":
+                pos += 1
+                continue
+            if char == "#":
                 break
-        else:
+            triple = line[pos:pos + 3]
+            if triple in ('"""', "'''"):
+                end = line.find(triple, pos + 3)
+                if end < 0:
+                    in_string = True
+                    delimiter = triple
+                    is_docstring = not code_seen
+                    break
+                if code_seen:
+                    pass  # expression string: the line already counts
+                pos = end + 3
+                continue
+            if char in "\"'":
+                # Ordinary string literal: skip so '#' or quotes inside
+                # it are not misread.
+                code_seen = True
+                pos += 1
+                while pos < len(line):
+                    if line[pos] == "\\":
+                        pos += 2
+                        continue
+                    if line[pos] == char:
+                        pos += 1
+                        break
+                    pos += 1
+                continue
+            code_seen = True
+            pos += 1
+        if code_seen:
             count += 1
     return count
 
@@ -90,6 +132,10 @@ class ReproductionReport:
     validation_passed: bool = False
     validation_details: Dict[str, object] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Per-run telemetry (prompt counts, debug rounds, per-step seconds)
+    #: recorded by the pipeline's obs spans, so reports and benchmarks
+    #: can export measurements without re-timing anything.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:

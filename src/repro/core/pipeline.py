@@ -9,10 +9,10 @@ quantities (LoC) fall out of the final artifacts.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.assembly import AssemblyError, assemble_module
 from repro.core.debugging import DebugPolicy, describe_failure
 from repro.core.llm import ChatSession, CodeArtifact, LLMClient
@@ -64,21 +64,30 @@ class ReproductionPipeline:
         self.builder = PromptBuilder(paper)
         self.artifacts: Dict[str, CodeArtifact] = {}
         self.failures: List[str] = []
+        self.step_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def run(self) -> ReproductionReport:
-        start = time.perf_counter()
-        if self.config.style is PromptStyle.MONOLITHIC:
-            report = self._run_monolithic()
-        else:
-            report = self._run_modular()
-        report.wall_seconds = time.perf_counter() - start
+        with obs.span(
+            "pipeline.run",
+            paper=self.paper.key,
+            participant=self.participant,
+            style=self.config.style.value,
+        ) as sp:
+            if self.config.style is PromptStyle.MONOLITHIC:
+                report = self._run_monolithic()
+            else:
+                report = self._run_modular()
+        report.wall_seconds = sp.duration
+        report.metrics["seconds.total"] = sp.duration
         return report
 
     # ------------------------------------------------------------------
     def _run_monolithic(self) -> ReproductionReport:
         """The approach that fails (kept for the ablation benchmark)."""
-        response = self.llm.chat(self.session, self.builder.monolithic())
+        with obs.span("pipeline.generate", component="monolithic") as sp:
+            response = self.llm.chat(self.session, self.builder.monolithic())
+        self.step_seconds["components"] = sp.duration
         outcomes: List[ComponentOutcome] = []
         assembled = False
         validation_passed = False
@@ -109,18 +118,26 @@ class ReproductionPipeline:
     # ------------------------------------------------------------------
     def _run_modular(self) -> ReproductionReport:
         if self.config.send_overview:
-            self.llm.chat(self.session, self.builder.system_overview())
+            with obs.span("pipeline.overview") as sp:
+                self.llm.chat(self.session, self.builder.system_overview())
+            self.step_seconds["overview"] = sp.duration
         if self.config.send_interfaces:
-            self.llm.chat(self.session, self.builder.interfaces())
+            with obs.span("pipeline.interfaces") as sp:
+                self.llm.chat(self.session, self.builder.interfaces())
+            self.step_seconds["interfaces"] = sp.duration
 
         policy = DebugPolicy(self.builder, self.logic_notes)
         outcomes: List[ComponentOutcome] = []
-        for component in self.paper.components:
-            outcome = self._build_component(component.name, policy)
-            outcomes.append(outcome)
+        with obs.span("pipeline.components") as sp:
+            for component in self.paper.components:
+                outcome = self._build_component(component.name, policy)
+                outcomes.append(outcome)
+        self.step_seconds["components"] = sp.duration
 
         if self.config.send_data_format and self.paper.data_format_notes:
-            self.llm.chat(self.session, self.builder.data_format())
+            with obs.span("pipeline.data_format") as sp:
+                self.llm.chat(self.session, self.builder.data_format())
+            self.step_seconds["data_format"] = sp.duration
 
         assembled = False
         validation_passed = False
@@ -130,39 +147,52 @@ class ReproductionPipeline:
             for c in self.paper.components
             if c.name in self.artifacts
         ]
-        try:
-            module = assemble_module(ordered, f"reproduced_{self.paper.key}")
-            assembled = True
-        except AssemblyError as exc:
-            details = {"assembly_error": str(exc)}
-            module = None
-        if module is not None and self.validator is not None:
+        with obs.span("pipeline.assembly", artifacts=len(ordered)) as sp:
             try:
-                validation_passed, details = self.validator(module)
-            except Exception as exc:
-                details = {"validation_error": describe_failure(exc)}
-        elif module is not None:
-            validation_passed = all(outcome.passed for outcome in outcomes)
+                module = assemble_module(ordered, f"reproduced_{self.paper.key}")
+                assembled = True
+            except AssemblyError as exc:
+                details = {"assembly_error": str(exc)}
+                module = None
+        self.step_seconds["assembly"] = sp.duration
+        with obs.span("pipeline.validation") as sp:
+            if module is not None and self.validator is not None:
+                try:
+                    validation_passed, details = self.validator(module)
+                except Exception as exc:
+                    details = {"validation_error": describe_failure(exc)}
+            elif module is not None:
+                validation_passed = all(outcome.passed for outcome in outcomes)
+            sp.set(passed=validation_passed)
+        self.step_seconds["validation"] = sp.duration
         return self._report(outcomes, assembled, validation_passed, details)
 
     # ------------------------------------------------------------------
     def _build_component(self, name: str, policy: DebugPolicy) -> ComponentOutcome:
         spec = self.paper.component(name)
-        prompt = self.builder.component(spec, self.config.style)
-        response = self.llm.chat(self.session, prompt)
-        artifact = self._artifact_from(response, name)
-        revisions = 1
-        debug_rounds = 0
-        failure = self._test_component(name, artifact)
-        while failure is not None and debug_rounds < self.config.max_debug_rounds:
-            debug_prompt = policy.next_prompt(name, failure)
-            response = self.llm.chat(self.session, debug_prompt)
-            new_artifact = self._artifact_from(response, name)
-            if new_artifact is not None:
-                artifact = new_artifact
-                revisions += 1
-            debug_rounds += 1
-            failure = self._test_component(name, artifact)
+        with obs.span("pipeline.component", component=name) as component_span:
+            with obs.span("pipeline.generate", component=name):
+                prompt = self.builder.component(spec, self.config.style)
+                response = self.llm.chat(self.session, prompt)
+            artifact = self._artifact_from(response, name)
+            revisions = 1
+            debug_rounds = 0
+            with obs.span("pipeline.test", component=name):
+                failure = self._test_component(name, artifact)
+            while failure is not None and debug_rounds < self.config.max_debug_rounds:
+                with obs.span(
+                    "pipeline.debug", component=name, round=debug_rounds + 1
+                ):
+                    debug_prompt = policy.next_prompt(name, failure)
+                    response = self.llm.chat(self.session, debug_prompt)
+                new_artifact = self._artifact_from(response, name)
+                if new_artifact is not None:
+                    artifact = new_artifact
+                    revisions += 1
+                debug_rounds += 1
+                with obs.span("pipeline.test", component=name):
+                    failure = self._test_component(name, artifact)
+            component_span.set(debug_rounds=debug_rounds, passed=failure is None)
         if failure is not None:
             self.failures.append(f"{name}: {describe_failure(failure)}")
         if artifact is not None:
@@ -217,6 +247,25 @@ class ReproductionPipeline:
         details: Dict[str, object],
     ) -> ReproductionReport:
         reproduced_loc = sum(artifact.loc for artifact in self.artifacts.values())
+        debug_rounds = sum(outcome.debug_rounds for outcome in outcomes)
+        run_metrics: Dict[str, float] = {
+            "prompts": self.session.num_prompts,
+            "prompt_words": self.session.total_words,
+            "components": len(outcomes),
+            "components_passed": sum(1 for o in outcomes if o.passed),
+            "debug_rounds": debug_rounds,
+            "revisions": sum(outcome.revisions for outcome in outcomes),
+        }
+        for step, seconds in self.step_seconds.items():
+            run_metrics[f"seconds.{step}"] = seconds
+        obs.metrics.counter("pipeline.runs").inc()
+        obs.metrics.counter("pipeline.prompts").inc(self.session.num_prompts)
+        obs.metrics.counter("pipeline.debug_rounds").inc(debug_rounds)
+        for outcome in outcomes:
+            obs.metrics.histogram(
+                "pipeline.debug_rounds_per_component",
+                buckets=(0, 1, 2, 3, 4, 5, 6, 8, 10),
+            ).observe(outcome.debug_rounds)
         return ReproductionReport(
             paper_key=self.paper.key,
             participant=self.participant,
@@ -229,4 +278,5 @@ class ReproductionPipeline:
             assembled=assembled,
             validation_passed=validation_passed,
             validation_details=details,
+            metrics=run_metrics,
         )

@@ -8,9 +8,10 @@ scaffolding a larger study (or a replicability track) would run on.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro import obs
 
 from repro.core.knowledge import (
     get_component_tests,
@@ -89,21 +90,27 @@ def run_campaign(
     if styles is None:
         styles = [PromptStyle.MODULAR_PSEUDOCODE]
     result = CampaignResult()
-    start = time.perf_counter()
-    for paper_key in paper_keys:
-        for style in styles:
-            llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
-            pipeline = ReproductionPipeline(
-                llm,
-                get_paper_spec(paper_key),
-                component_tests=get_component_tests(paper_key),
-                logic_notes=get_logic_notes(paper_key),
-                validator=get_validator(paper_key),
-                participant="campaign",
-                config=PipelineConfig(
-                    style=style, max_debug_rounds=max_debug_rounds
-                ),
-            )
-            result.reports[CampaignResult.key(paper_key, style)] = pipeline.run()
-    result.wall_seconds = time.perf_counter() - start
+    with obs.span(
+        "campaign", papers=len(paper_keys), styles=len(styles)
+    ) as sp:
+        for paper_key in paper_keys:
+            for style in styles:
+                with obs.span(
+                    "campaign.run", paper=paper_key, style=style.value
+                ):
+                    llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
+                    pipeline = ReproductionPipeline(
+                        llm,
+                        get_paper_spec(paper_key),
+                        component_tests=get_component_tests(paper_key),
+                        logic_notes=get_logic_notes(paper_key),
+                        validator=get_validator(paper_key),
+                        participant="campaign",
+                        config=PipelineConfig(
+                            style=style, max_debug_rounds=max_debug_rounds
+                        ),
+                    )
+                    key = CampaignResult.key(paper_key, style)
+                    result.reports[key] = pipeline.run()
+    result.wall_seconds = sp.duration
     return result

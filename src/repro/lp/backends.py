@@ -17,9 +17,9 @@ the model to an ``.lp`` file, shells out to CBC, and parses the solution back.
 from __future__ import annotations
 
 import re
-import time
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.lp.model import (
     ConstraintSense,
     LinExpr,
@@ -49,7 +49,6 @@ class LPBackend:
         from scipy.optimize import linprog
 
         assembled = model.to_matrices()
-        start = time.perf_counter()
         if assembled.cost.shape[0] == 0:
             return SolveResult(
                 status=SolveStatus.OPTIMAL,
@@ -57,16 +56,28 @@ class LPBackend:
                 values=[],
                 backend_name=self.name,
             )
-        raw = linprog(
-            c=assembled.cost,
-            A_ub=assembled.a_ub,
-            b_ub=assembled.b_ub,
-            A_eq=assembled.a_eq,
-            b_eq=assembled.b_eq,
-            bounds=assembled.bounds,
+        with obs.span(
+            "lp.solve",
+            model=model.name,
+            backend=self.name,
             method=method,
-        )
-        elapsed = time.perf_counter() - start
+            vars=assembled.cost.shape[0],
+        ) as sp:
+            raw = linprog(
+                c=assembled.cost,
+                A_ub=assembled.a_ub,
+                b_ub=assembled.b_ub,
+                A_eq=assembled.a_eq,
+                b_eq=assembled.b_eq,
+                bounds=assembled.bounds,
+                method=method,
+            )
+        elapsed = sp.duration
+        iterations = int(getattr(raw, "nit", 0) or 0)
+        obs.metrics.counter("lp.solves").inc()
+        obs.metrics.histogram(
+            "lp.iterations", buckets=(1, 10, 100, 1000, 10000)
+        ).observe(iterations)
         status = _STATUS_MAP.get(raw.status, SolveStatus.ERROR)
         if status is SolveStatus.OPTIMAL:
             objective = float(raw.fun)
@@ -81,7 +92,7 @@ class LPBackend:
             status=status,
             objective=objective,
             values=values,
-            iterations=int(getattr(raw, "nit", 0) or 0),
+            iterations=iterations,
             solve_seconds=elapsed,
             backend_name=self.name,
         )
@@ -113,13 +124,15 @@ class SlowLPBackend(LPBackend):
         self.round_trips = round_trips
 
     def solve(self, model: Model) -> SolveResult:
-        start = time.perf_counter()
-        current = model
-        for _ in range(self.round_trips):
-            text = write_lp_text(current)
-            current = parse_lp_text(text)
-        result = self._run_linprog(current, method="highs-ds")
-        result.solve_seconds = time.perf_counter() - start
+        with obs.span(
+            "lp.roundtrip", model=model.name, trips=self.round_trips
+        ) as sp:
+            current = model
+            for _ in range(self.round_trips):
+                text = write_lp_text(current)
+                current = parse_lp_text(text)
+            result = self._run_linprog(current, method="highs-ds")
+        result.solve_seconds = sp.duration
         result.backend_name = self.name
         return result
 

@@ -1,0 +1,44 @@
+"""``repro.obs`` -- unified tracing, metrics, and profiling.
+
+The measurement layer everything else reports through:
+
+* :mod:`repro.obs.tracer` -- nested spans with monotonic timings
+  (``with obs.span("ncflow.solve", topology=name) as sp: ...``);
+* :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms
+  (``obs.metrics.counter("lp.solves").inc()``);
+* :mod:`repro.obs.export` -- JSON-lines traces, Chrome ``trace_event``
+  flamegraphs, and plain-text span-tree / metrics tables.
+
+Tracing is off by default (:data:`NOOP` is installed): disabled spans
+still measure wall time -- the same two ``perf_counter`` calls the
+hand-rolled timing pairs they replaced paid -- but record nothing.
+Enable collection with :func:`set_tracer`/:class:`Tracer`, the
+:func:`tracing` context manager, or the CLI ``--trace`` flag.
+"""
+
+from repro.obs import export, metrics
+from repro.obs.tracer import (
+    NOOP,
+    NoopSpan,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "NOOP",
+    "NoopSpan",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "export",
+    "get_tracer",
+    "metrics",
+    "set_tracer",
+    "span",
+    "tracing",
+]

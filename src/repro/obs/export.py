@@ -1,0 +1,230 @@
+"""Trace and metrics exporters.
+
+Three formats:
+
+* **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl`) -- one JSON
+  object per line, ``{"type": "span", ...}`` for spans and
+  ``{"type": "metric", ...}`` for metrics.  The round-trippable format
+  ``repro trace-view`` reads back.
+* **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  -- a ``{"traceEvents": [...]}`` document loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev for flamegraph viewing.
+* **Plain text** (:func:`render_span_tree` / :func:`render_metrics`) --
+  the span tree with self/total times, and a metrics summary table.
+
+:func:`write_trace` dispatches on file extension: ``.json`` means Chrome
+format, anything else means JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+def span_record(span) -> Dict[str, object]:
+    """Normalise a :class:`~repro.obs.tracer.Span` (or a dict already in
+    record form) to the JSONL record schema."""
+    if isinstance(span, dict):
+        return span
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "thread": span.thread_name,
+        "start": span.start,
+        "end": span.end,
+        "dur": span.duration,
+        "meta": span.meta,
+    }
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def write_jsonl(path: str, spans, metrics: Optional[Dict] = None) -> int:
+    """Write spans (and optionally a metrics snapshot) as JSON lines.
+
+    Returns the number of lines written.
+    """
+    lines = 0
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_record(span), sort_keys=True))
+            handle.write("\n")
+            lines += 1
+        for name, snap in sorted((metrics or {}).items()):
+            record = dict(snap)
+            # The snapshot's own "type" is the metric kind; the JSONL
+            # record "type" tags the line, so stash the kind separately.
+            record["kind"] = record.pop("type", "?")
+            record.update(type="metric", name=name)
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(path: str) -> Tuple[List[Dict], Dict[str, Dict]]:
+    """Parse a JSONL trace back into ``(span records, metrics snapshot)``."""
+    spans: List[Dict] = []
+    metrics: Dict[str, Dict] = {}
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "metric":
+                name = record.pop("name", f"metric{line_no}")
+                record.pop("type", None)
+                record["type"] = record.pop("kind", "?")
+                metrics[name] = record
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record type {kind!r}"
+                )
+    return spans, metrics
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(spans, metrics: Optional[Dict] = None) -> Dict[str, object]:
+    """Build a Chrome ``trace_event`` document (complete 'X' events).
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the flamegraph begins at zero.
+    """
+    records = [span_record(span) for span in spans]
+    origin = min((r["start"] for r in records), default=0.0)
+    thread_ids: Dict[str, int] = {}
+    events = []
+    for record in records:
+        tid = thread_ids.setdefault(record["thread"], len(thread_ids) + 1)
+        events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": round((record["start"] - origin) * 1e6, 3),
+                "dur": round(record["dur"] * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": record.get("meta") or {},
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    document: Dict[str, object] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    for name, tid in thread_ids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    if metrics:
+        document["otherData"] = {"metrics": metrics}
+    return document
+
+
+def write_chrome_trace(path: str, spans, metrics: Optional[Dict] = None) -> int:
+    """Write a Chrome trace document; returns the number of spans."""
+    spans = list(spans)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(spans, metrics), handle)
+    return len(spans)
+
+
+def write_trace(path: str, spans, metrics: Optional[Dict] = None) -> int:
+    """Dispatch by extension: ``.json`` -> Chrome trace, else JSONL.
+
+    Returns the number of spans written.
+    """
+    spans = list(spans)
+    if path.endswith(".json"):
+        write_chrome_trace(path, spans, metrics)
+    else:
+        write_jsonl(path, spans, metrics)
+    return len(spans)
+
+
+# ----------------------------------------------------------------------
+# Plain text
+# ----------------------------------------------------------------------
+def _format_meta(meta: Dict[str, object]) -> str:
+    if not meta:
+        return ""
+    parts = []
+    for key in sorted(meta):
+        value = meta[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return " " + " ".join(parts)
+
+
+def render_span_tree(spans, limit_meta: bool = False) -> str:
+    """The span tree with total and self times, one line per span.
+
+    ``total`` is the span's own wall time; ``self`` subtracts the wall
+    time of its direct children, showing where time is actually spent.
+    Accepts :class:`Span` objects or JSONL records.
+    """
+    records = [span_record(span) for span in spans]
+    by_id = {r["id"]: r for r in records}
+    children: Dict[Optional[int], List[Dict]] = {}
+    for record in records:
+        parent = record["parent"]
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (parent span never closed): treat as root
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r["start"])
+
+    lines = [f"{'total':>12} {'self':>12}  span"]
+
+    def walk(record: Dict, depth: int) -> None:
+        kids = children.get(record["id"], [])
+        self_time = record["dur"] - sum(kid["dur"] for kid in kids)
+        meta = "" if limit_meta else _format_meta(record.get("meta") or {})
+        lines.append(
+            f"{record['dur']:>11.6f}s {self_time:>11.6f}s  "
+            f"{'  ' * depth}{record['name']}{meta}"
+        )
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    lines.append(f"{len(records)} spans")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Dict[str, Dict]) -> str:
+    """Plain-text summary table of a metrics snapshot."""
+    if not snapshot:
+        return "no metrics recorded"
+    lines = [f"{'metric':<36} {'type':<10} value"]
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("type", "?")
+        if kind == "histogram":
+            count = snap.get("count", 0)
+            total = snap.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            value = f"count={count} sum={total:.6g} mean={mean:.6g}"
+        else:
+            raw = snap.get("value", 0)
+            value = f"{raw:.6g}" if isinstance(raw, float) else str(raw)
+        lines.append(f"{name:<36} {kind:<10} {value}")
+    return "\n".join(lines)

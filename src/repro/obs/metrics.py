@@ -1,0 +1,200 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named metrics; the module also exposes
+a process-global default registry through module-level ``counter`` /
+``gauge`` / ``histogram`` helpers, which is what the instrumented code
+uses::
+
+    from repro.obs import metrics
+
+    metrics.counter("lp.solves").inc()
+    metrics.histogram("lp.iterations").observe(result.iterations)
+
+All mutation is lock-protected, so metrics can be bumped from worker
+threads.  Snapshots are plain dicts suitable for JSON export.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """Monotonically increasing integer/float counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins value (e.g. current node count)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value}
+
+
+#: Default histogram bucket upper bounds; an implicit +inf bucket is
+#: always appended, so any value is representable.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts are left to readers).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    overflow bucket catches everything larger.  Observation is O(log n)
+    via bisection.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "total", "count", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 overflow
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs; the last bound is +inf."""
+        edges = self.bounds + [float("inf")]
+        return list(zip(edges, self.counts))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name, factory, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        factory = lambda: Histogram(name, buckets or DEFAULT_BUCKETS)
+        return self._get_or_create(name, factory, "histogram")
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """``{name: metric snapshot}`` for every registered metric."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(items)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-global default registry used by the instrumented code.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    return REGISTRY.histogram(name, buckets)
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

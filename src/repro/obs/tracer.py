@@ -1,0 +1,203 @@
+"""Dependency-free tracing: nested spans with monotonic timings.
+
+One process-global tracer is active at any time, defaulting to
+:data:`NOOP`.  The no-op tracer's spans still measure wall time (two
+``perf_counter`` calls, exactly what the hand-rolled timing pairs they
+replace paid), so instrumented code can keep populating
+``solve_seconds``-style fields whether or not tracing is on -- but they
+allocate nothing else and record nothing, keeping the disabled path
+effectively free.
+
+Usage::
+
+    from repro import obs
+
+    with obs.span("ncflow.solve", topology=topo.name) as sp:
+        ...
+    solution.solve_seconds = sp.duration
+
+Nesting is tracked per thread: a span opened while another span of the
+same thread is active becomes its child.  Finished spans are collected
+behind a lock, so concurrent threads can trace safely; span ids are
+process-unique.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed, possibly-nested region of execution.
+
+    Use as a context manager; ``duration`` is valid after exit.  Extra
+    metadata can be attached at open time (keyword arguments to
+    :func:`span`) or later via :meth:`set`.
+    """
+
+    __slots__ = (
+        "name", "meta", "span_id", "parent_id", "thread_name",
+        "start", "end", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, meta: Optional[Dict] = None):
+        self._tracer = tracer
+        self.name = name
+        self.meta: Dict[str, object] = dict(meta) if meta else {}
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.thread_name = ""
+        self.start = 0.0
+        self.end = 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = next(tracer._ids)
+        self.thread_name = threading.current_thread().name
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.meta.setdefault("error", exc_type.__name__)
+        self._tracer._record(self)
+        return False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set(self, **meta) -> "Span":
+        """Attach metadata; returns self for chaining."""
+        self.meta.update(meta)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, dur={self.duration:.6f})"
+
+
+class NoopSpan:
+    """Span stand-in when tracing is off: times itself, records nothing."""
+
+    __slots__ = ("start", "end")
+
+    def __enter__(self) -> "NoopSpan":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        return False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set(self, **meta) -> "NoopSpan":
+        return self
+
+
+class Tracer:
+    """Collects finished spans; thread-safe, one span stack per thread."""
+
+    enabled = True
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+        #: perf_counter at construction; exporters use it as time zero.
+        self.epoch = time.perf_counter()
+
+    def span(self, name: str, meta: Optional[Dict] = None) -> Span:
+        return Span(self, name, meta)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def finished_spans(self) -> List[Span]:
+        """Finished spans in completion order (children before parents)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+class NoopTracer:
+    """The default tracer: mints :class:`NoopSpan`, keeps nothing."""
+
+    enabled = False
+
+    def span(self, name: str, meta: Optional[Dict] = None) -> NoopSpan:
+        return NoopSpan()
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+#: The process-wide no-op tracer (also the initial active tracer).
+NOOP = NoopTracer()
+
+_active = NOOP
+_swap_lock = threading.Lock()
+
+
+def get_tracer():
+    """The currently active tracer (:data:`NOOP` unless installed)."""
+    return _active
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _active
+    with _swap_lock:
+        previous = _active
+        _active = tracer if tracer is not None else NOOP
+    return previous
+
+
+def span(name: str, **meta):
+    """Open a span on the active tracer (the main instrumentation entry)."""
+    return _active.span(name, meta or None)
+
+
+@contextlib.contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """Temporarily install ``tracer`` (a fresh :class:`Tracer` by default).
+
+    Yields the installed tracer and restores the previous one on exit::
+
+        with obs.tracing() as tracer:
+            run_workload()
+        spans = tracer.finished_spans()
+    """
+    installed = tracer if tracer is not None else Tracer()
+    previous = set_tracer(installed)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous)

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import csv
 import os
-import time
 from typing import Dict, List
+
+from repro import obs
 
 
 def _write(path: str, rows: List[List]) -> List[List]:
@@ -78,12 +79,12 @@ def export_exp_a(out_dir: str) -> List[List]:
          "reference_seconds", "reproduced_seconds"]
     ]
     for instance in ncflow_instances(max_commodities=300, total_demand_fraction=0.1):
-        start = time.perf_counter()
-        reference = NCFlowSolver().solve(instance.topology, instance.traffic)
-        reference_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        reproduced = module.solve_ncflow(instance.topology, instance.traffic)
-        reproduced_seconds = time.perf_counter() - start
+        with obs.span("export.reference", instance=instance.name) as ref_sp:
+            reference = NCFlowSolver().solve(instance.topology, instance.traffic)
+        reference_seconds = ref_sp.duration
+        with obs.span("export.reproduced", instance=instance.name) as rep_sp:
+            reproduced = module.solve_ncflow(instance.topology, instance.traffic)
+        reproduced_seconds = rep_sp.duration
         rows.append(
             [
                 instance.name,
@@ -139,13 +140,30 @@ def export_exp_cd(out_dir: str) -> List[List]:
     return _write(os.path.join(out_dir, "expCD_verifiers.csv"), rows)
 
 
+def export_run_metrics(out_dir: str) -> List[List]:
+    """Per-run pipeline telemetry (``ReproductionReport.metrics``) as CSV."""
+    from repro.experiments import run_experiment
+
+    result = run_experiment()
+    rows: List[List] = [["participant", "system", "metric", "value"]]
+    for participant in sorted(result.reports):
+        report = result.reports[participant]
+        for metric, value in sorted(report.metrics.items()):
+            rows.append(
+                [participant, report.paper_key, metric, round(value, 6)]
+            )
+    return _write(os.path.join(out_dir, "run_metrics.csv"), rows)
+
+
 def export_all(out_dir: str) -> List[str]:
     """Write every CSV; returns the file names written."""
     os.makedirs(out_dir, exist_ok=True)
-    export_fig1(out_dir)
-    export_fig2(out_dir)
-    export_fig4_fig5(out_dir)
-    export_exp_a(out_dir)
-    export_exp_b(out_dir)
-    export_exp_cd(out_dir)
+    with obs.span("export.all", out_dir=out_dir):
+        export_fig1(out_dir)
+        export_fig2(out_dir)
+        export_fig4_fig5(out_dir)
+        export_exp_a(out_dir)
+        export_exp_b(out_dir)
+        export_exp_cd(out_dir)
+        export_run_metrics(out_dir)
     return sorted(os.listdir(out_dir))

@@ -17,9 +17,9 @@ maximize ``sum_k f_k``.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
@@ -69,38 +69,43 @@ class ArrowSolver:
         traffic: TrafficMatrix,
         scenarios: Optional[List[FailureScenario]] = None,
     ) -> TESolution:
-        start = time.perf_counter()
-        if scenarios is None:
-            scenarios = single_fiber_scenarios(topology)
-        tunnels = k_shortest_tunnels(topology, traffic, self.num_tunnels)
+        with obs.span(
+            "te.arrow.solve", variant=self.variant, topology=topology.name
+        ) as sp:
+            if scenarios is None:
+                scenarios = single_fiber_scenarios(topology)
+            with obs.span("te.tunnels", k=self.num_tunnels):
+                tunnels = k_shortest_tunnels(topology, traffic, self.num_tunnels)
 
-        model = Model(f"arrow-{self.variant}:{topology.name}")
-        admitted: Dict[Tuple[str, str], object] = {}
-        for (src, dst) in sorted(tunnels):
-            admitted[(src, dst)] = model.add_var(
-                name=f"f[{src}->{dst}]", upper=traffic.demand(src, dst)
+            model = Model(f"arrow-{self.variant}:{topology.name}")
+            admitted: Dict[Tuple[str, str], object] = {}
+            for (src, dst) in sorted(tunnels):
+                admitted[(src, dst)] = model.add_var(
+                    name=f"f[{src}->{dst}]", upper=traffic.demand(src, dst)
+                )
+
+            with obs.span("te.arrow.scenarios", count=len(scenarios)):
+                for scenario_id, scenario in enumerate(scenarios):
+                    self._add_scenario(
+                        model, topology, tunnels, admitted, scenario, scenario_id
+                    )
+
+            model.maximize(LinExpr.sum_of(admitted.values()))
+            result = model.solve(backend=self.backend)
+
+            per_commodity: Dict[Tuple[str, str], float] = {}
+            if result.ok:
+                for key, var in admitted.items():
+                    per_commodity[key] = result.value_of(var)
+            solution = TESolution(
+                solver=f"arrow-{self.variant}",
+                objective=result.objective if result.ok else 0.0,
+                flow_per_commodity=per_commodity,
+                lp_count=1,
+                status=result.status.value,
             )
-
-        for scenario_id, scenario in enumerate(scenarios):
-            self._add_scenario(
-                model, topology, tunnels, admitted, scenario, scenario_id
-            )
-
-        model.maximize(LinExpr.sum_of(admitted.values()))
-        result = model.solve(backend=self.backend)
-
-        per_commodity: Dict[Tuple[str, str], float] = {}
-        if result.ok:
-            for key, var in admitted.items():
-                per_commodity[key] = result.value_of(var)
-        return TESolution(
-            solver=f"arrow-{self.variant}",
-            objective=result.objective if result.ok else 0.0,
-            flow_per_commodity=per_commodity,
-            solve_seconds=time.perf_counter() - start,
-            lp_count=1,
-            status=result.status.value,
-        )
+        solution.solve_seconds = sp.duration
+        return solution
 
     # ------------------------------------------------------------------
     # Scenario constraints

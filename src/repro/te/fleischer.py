@@ -24,10 +24,11 @@ Algorithm sketch (lengths as dual weights):
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
+
+from repro import obs
 
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
@@ -49,8 +50,20 @@ def solve_fleischer(
     """
     if not 0 < epsilon < 0.5:
         raise ValueError("epsilon must be in (0, 0.5)")
-    start = time.perf_counter()
+    with obs.span(
+        "te.fleischer.solve", topology=topology.name, epsilon=epsilon
+    ) as sp:
+        solution = _fleischer(topology, traffic, epsilon, max_rounds)
+    solution.solve_seconds = sp.duration
+    return solution
 
+
+def _fleischer(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    epsilon: float,
+    max_rounds: Optional[int],
+) -> TESolution:
     commodities = traffic.commodities()
     graph = nx.DiGraph()
     capacity: Dict[Edge, float] = {}
@@ -70,9 +83,7 @@ def solve_fleischer(
 
     num_edges = len(capacity)
     if num_edges == 0 or not sources:
-        return TESolution(
-            "fleischer", 0.0, {}, time.perf_counter() - start, 0, "optimal"
-        )
+        return TESolution("fleischer", 0.0, {}, 0.0, 0, "optimal")
 
     delta = (1 + epsilon) * ((1 + epsilon) * num_edges) ** (-1.0 / epsilon)
     length: Dict[Edge, float] = {
@@ -129,7 +140,6 @@ def solve_fleischer(
         solver="fleischer",
         objective=objective,
         flow_per_commodity=per_commodity,
-        solve_seconds=time.perf_counter() - start,
         lp_count=0,
         status="optimal",
     )

@@ -8,9 +8,9 @@ link, maximize total admitted flow.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
@@ -30,51 +30,53 @@ def solve_max_flow(
     ``tunnels`` overrides the default k-shortest-path tunnel selection
     (ARROW and tests pass pre-built tunnels).
     """
-    start = time.perf_counter()
-    if tunnels is None:
-        tunnels = k_shortest_tunnels(topology, traffic, num_paths)
+    with obs.span(f"te.pf{num_paths}.solve", topology=topology.name) as sp:
+        if tunnels is None:
+            with obs.span("te.tunnels", k=num_paths):
+                tunnels = k_shortest_tunnels(topology, traffic, num_paths)
 
-    model = Model(f"pf{num_paths}:{topology.name}")
-    flow_vars: Dict[Tuple[str, str], List] = {}
-    link_usage: Dict[Tuple[str, str], LinExpr] = {}
+        model = Model(f"pf{num_paths}:{topology.name}")
+        flow_vars: Dict[Tuple[str, str], List] = {}
+        link_usage: Dict[Tuple[str, str], LinExpr] = {}
 
-    for (src, dst), paths in sorted(tunnels.items()):
-        demand = traffic.demand(src, dst)
-        commodity_vars = []
-        for index, path in enumerate(paths):
-            var = model.add_var(name=f"f[{src}->{dst}:{index}]", upper=demand)
-            commodity_vars.append(var)
-            for link in path_links(path):
-                link_usage.setdefault(link, LinExpr())._iadd(var)
-        flow_vars[(src, dst)] = commodity_vars
-        model.add_constraint(
-            LinExpr.sum_of(commodity_vars) <= demand, name=f"dem[{src}->{dst}]"
+        for (src, dst), paths in sorted(tunnels.items()):
+            demand = traffic.demand(src, dst)
+            commodity_vars = []
+            for index, path in enumerate(paths):
+                var = model.add_var(name=f"f[{src}->{dst}:{index}]", upper=demand)
+                commodity_vars.append(var)
+                for link in path_links(path):
+                    link_usage.setdefault(link, LinExpr())._iadd(var)
+            flow_vars[(src, dst)] = commodity_vars
+            model.add_constraint(
+                LinExpr.sum_of(commodity_vars) <= demand, name=f"dem[{src}->{dst}]"
+            )
+
+        for (link_src, link_dst), usage in sorted(link_usage.items()):
+            model.add_constraint(
+                usage <= topology.capacity(link_src, link_dst),
+                name=f"cap[{link_src}->{link_dst}]",
+            )
+
+        total = LinExpr.sum_of(
+            var for commodity_vars in flow_vars.values() for var in commodity_vars
         )
+        model.maximize(total)
+        result = model.solve(backend=backend)
 
-    for (link_src, link_dst), usage in sorted(link_usage.items()):
-        model.add_constraint(
-            usage <= topology.capacity(link_src, link_dst),
-            name=f"cap[{link_src}->{link_dst}]",
+        per_commodity: Dict[Tuple[str, str], float] = {}
+        if result.ok:
+            for key, commodity_vars in flow_vars.items():
+                per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
+        solution = TESolution(
+            solver=f"pf{num_paths}",
+            objective=result.objective if result.ok else 0.0,
+            flow_per_commodity=per_commodity,
+            lp_count=1,
+            status=result.status.value,
         )
-
-    total = LinExpr.sum_of(
-        var for commodity_vars in flow_vars.values() for var in commodity_vars
-    )
-    model.maximize(total)
-    result = model.solve(backend=backend)
-
-    per_commodity: Dict[Tuple[str, str], float] = {}
-    if result.ok:
-        for key, commodity_vars in flow_vars.items():
-            per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
-    return TESolution(
-        solver=f"pf{num_paths}",
-        objective=result.objective if result.ok else 0.0,
-        flow_per_commodity=per_commodity,
-        solve_seconds=time.perf_counter() - start,
-        lp_count=1,
-        status=result.status.value,
-    )
+    solution.solve_seconds = sp.duration
+    return solution
 
 
 def solve_max_flow_edge(
@@ -90,46 +92,47 @@ def solve_max_flow_edge(
     (commodity, edge) plus per-commodity delivery variables; conservation
     at every node; shared link capacities.
     """
-    start = time.perf_counter()
-    commodities = traffic.commodities()
-    edges = [(link.src, link.dst) for link in topology.links()]
-    capacity = {(link.src, link.dst): link.capacity for link in topology.links()}
+    with obs.span("te.edge_maxflow.solve", topology=topology.name) as sp:
+        commodities = traffic.commodities()
+        edges = [(link.src, link.dst) for link in topology.links()]
+        capacity = {(link.src, link.dst): link.capacity for link in topology.links()}
 
-    model = Model(f"edge-maxflow:{topology.name}")
-    link_usage: Dict[Tuple[str, str], LinExpr] = {e: LinExpr() for e in edges}
-    delivered_vars = []
-    for index, (src, dst, demand) in enumerate(commodities):
-        delivered = model.add_var(name=f"g{index}", upper=demand)
-        delivered_vars.append(((src, dst), delivered))
-        flow_vars = {e: model.add_var(name=f"x{index}[{e[0]}->{e[1]}]") for e in edges}
-        for e, var in flow_vars.items():
-            link_usage[e]._iadd(var)
-        for node in topology.nodes:
-            balance = LinExpr()
-            for pred in topology.predecessors(node):
-                balance._iadd(flow_vars[(pred, node)])
-            for succ in topology.successors(node):
-                balance._iadd(flow_vars[(node, succ)], sign=-1.0)
-            if node == src:
-                balance._iadd(delivered)
-            elif node == dst:
-                balance._iadd(delivered, sign=-1.0)
-            model.add_constraint(balance.equals(0.0), name=f"c{index}[{node}]")
-    for e, usage in link_usage.items():
-        if usage.coefs:
-            model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
-    model.maximize(LinExpr.sum_of(var for _, var in delivered_vars))
-    result = model.solve(backend=backend)
+        model = Model(f"edge-maxflow:{topology.name}")
+        link_usage: Dict[Tuple[str, str], LinExpr] = {e: LinExpr() for e in edges}
+        delivered_vars = []
+        for index, (src, dst, demand) in enumerate(commodities):
+            delivered = model.add_var(name=f"g{index}", upper=demand)
+            delivered_vars.append(((src, dst), delivered))
+            flow_vars = {e: model.add_var(name=f"x{index}[{e[0]}->{e[1]}]") for e in edges}
+            for e, var in flow_vars.items():
+                link_usage[e]._iadd(var)
+            for node in topology.nodes:
+                balance = LinExpr()
+                for pred in topology.predecessors(node):
+                    balance._iadd(flow_vars[(pred, node)])
+                for succ in topology.successors(node):
+                    balance._iadd(flow_vars[(node, succ)], sign=-1.0)
+                if node == src:
+                    balance._iadd(delivered)
+                elif node == dst:
+                    balance._iadd(delivered, sign=-1.0)
+                model.add_constraint(balance.equals(0.0), name=f"c{index}[{node}]")
+        for e, usage in link_usage.items():
+            if usage.coefs:
+                model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
+        model.maximize(LinExpr.sum_of(var for _, var in delivered_vars))
+        result = model.solve(backend=backend)
 
-    per_commodity: Dict[Tuple[str, str], float] = {}
-    if result.ok:
-        for key, var in delivered_vars:
-            per_commodity[key] = per_commodity.get(key, 0.0) + result.value_of(var)
-    return TESolution(
-        solver="edge-maxflow",
-        objective=result.objective if result.ok else 0.0,
-        flow_per_commodity=per_commodity,
-        solve_seconds=time.perf_counter() - start,
-        lp_count=1,
-        status=result.status.value,
-    )
+        per_commodity: Dict[Tuple[str, str], float] = {}
+        if result.ok:
+            for key, var in delivered_vars:
+                per_commodity[key] = per_commodity.get(key, 0.0) + result.value_of(var)
+        solution = TESolution(
+            solver="edge-maxflow",
+            objective=result.objective if result.ok else 0.0,
+            flow_per_commodity=per_commodity,
+            lp_count=1,
+            status=result.status.value,
+        )
+    solution.solve_seconds = sp.duration
+    return solution

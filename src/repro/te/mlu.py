@@ -13,9 +13,9 @@ and reports how much the network is over capacity).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
@@ -30,8 +30,20 @@ def solve_min_mlu(
     backend: Optional[LPBackend] = None,
 ) -> TESolution:
     """Route every commodity fully, minimising max link utilisation."""
-    start = time.perf_counter()
-    tunnels = k_shortest_tunnels(topology, traffic, num_paths)
+    with obs.span("te.mlu.solve", topology=topology.name) as sp:
+        solution = _solve_min_mlu(topology, traffic, num_paths, backend)
+    solution.solve_seconds = sp.duration
+    return solution
+
+
+def _solve_min_mlu(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    num_paths: int,
+    backend: Optional[LPBackend],
+) -> TESolution:
+    with obs.span("te.tunnels", k=num_paths):
+        tunnels = k_shortest_tunnels(topology, traffic, num_paths)
 
     model = Model(f"min-mlu:{topology.name}")
     mlu = model.add_var(name="u")
@@ -68,7 +80,6 @@ def solve_min_mlu(
         solver="min-mlu",
         objective=result.objective if result.ok else float("inf"),
         flow_per_commodity=per_commodity,
-        solve_seconds=time.perf_counter() - start,
         lp_count=1,
         status=result.status.value,
     )

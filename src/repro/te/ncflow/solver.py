@@ -22,10 +22,10 @@ matching the original system's "always-feasible, near-optimal" contract.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
@@ -100,17 +100,23 @@ class NCFlowSolver:
     def solve(self, topology: Topology, traffic: TrafficMatrix) -> TESolution:
         """Best iterated solution across the configured partitions."""
         best: Optional[TESolution] = None
-        start = time.perf_counter()
         lp_count = 0
-        for name in self.partitioners:
-            partition = self._make_partition(name, topology)
-            candidate = self.solve_iterated(topology, traffic, partition)
-            lp_count += candidate.lp_count
-            if best is None or candidate.objective > best.objective:
-                best = candidate
-        if best is None:
-            raise ValueError("no candidate partitions configured")
-        best.solve_seconds = time.perf_counter() - start
+        with obs.span(
+            "te.ncflow.solve",
+            topology=topology.name,
+            commodities=len(traffic.demands),
+        ) as sp:
+            for name in self.partitioners:
+                with obs.span("te.ncflow.partition", method=name):
+                    partition = self._make_partition(name, topology)
+                candidate = self.solve_iterated(topology, traffic, partition)
+                lp_count += candidate.lp_count
+                if best is None or candidate.objective > best.objective:
+                    best = candidate
+            if best is None:
+                raise ValueError("no candidate partitions configured")
+            sp.set(objective=best.objective, lp_count=lp_count)
+        best.solve_seconds = sp.duration
         best.lp_count = lp_count
         return best
 
@@ -121,31 +127,31 @@ class NCFlowSolver:
         partition: Partition,
     ) -> TESolution:
         """Run the decomposition on residual capacity until flow dries up."""
-        start = time.perf_counter()
-        residual_topo = topology.copy()
-        remaining = TrafficMatrix(dict(traffic.demands))
-        total_objective = 0.0
-        per_commodity: Dict[Commodity, float] = {}
-        lp_count = 0
-        for _ in range(self.num_iterations):
-            run = self.solve_with_partition(residual_topo, remaining, partition)
-            lp_count += run.solution.lp_count
-            if run.solution.objective <= max(_EPS, 1e-6 * traffic.total_demand):
-                break
-            total_objective += run.solution.objective
-            for commodity, amount in run.solution.flow_per_commodity.items():
-                per_commodity[commodity] = per_commodity.get(commodity, 0.0) + amount
-                remaining.demands[commodity] = max(
-                    0.0, remaining.demands.get(commodity, 0.0) - amount
-                )
-            for (src, dst), used in run.link_usage.items():
-                left = max(0.0, residual_topo.capacity(src, dst) - used)
-                residual_topo.set_capacity(src, dst, left)
+        with obs.span("te.ncflow.iterate", clusters=partition.num_clusters) as sp:
+            residual_topo = topology.copy()
+            remaining = TrafficMatrix(dict(traffic.demands))
+            total_objective = 0.0
+            per_commodity: Dict[Commodity, float] = {}
+            lp_count = 0
+            for _ in range(self.num_iterations):
+                run = self.solve_with_partition(residual_topo, remaining, partition)
+                lp_count += run.solution.lp_count
+                if run.solution.objective <= max(_EPS, 1e-6 * traffic.total_demand):
+                    break
+                total_objective += run.solution.objective
+                for commodity, amount in run.solution.flow_per_commodity.items():
+                    per_commodity[commodity] = per_commodity.get(commodity, 0.0) + amount
+                    remaining.demands[commodity] = max(
+                        0.0, remaining.demands.get(commodity, 0.0) - amount
+                    )
+                for (src, dst), used in run.link_usage.items():
+                    left = max(0.0, residual_topo.capacity(src, dst) - used)
+                    residual_topo.set_capacity(src, dst, left)
         return TESolution(
             solver="ncflow",
             objective=total_objective,
             flow_per_commodity=per_commodity,
-            solve_seconds=time.perf_counter() - start,
+            solve_seconds=sp.duration,
             lp_count=lp_count,
         )
 
@@ -167,7 +173,17 @@ class NCFlowSolver:
         traffic: TrafficMatrix,
         partition: Partition,
     ) -> NCFlowRun:
-        start = time.perf_counter()
+        with obs.span("te.ncflow.pass", method=partition.method) as sp:
+            run = self._solve_pass(topology, traffic, partition)
+        run.solution.solve_seconds = sp.duration
+        return run
+
+    def _solve_pass(
+        self,
+        topology: Topology,
+        traffic: TrafficMatrix,
+        partition: Partition,
+    ) -> NCFlowRun:
         cluster_of = partition.cluster_of
 
         # Split commodities into inter-cluster bundles and intra lists.
@@ -186,7 +202,8 @@ class NCFlowSolver:
         contracted, border_links = _contract(topology, partition)
 
         # R1: max flow on the contracted graph.
-        r1_flows, r1_objective = self._solve_r1(contracted, bundle_demand)
+        with obs.span("te.ncflow.r1", bundles=len(bundle_demand)):
+            r1_flows, r1_objective = self._solve_r1(contracted, bundle_demand)
 
         # Build per-cluster segments from the R1 paths.
         segments: Dict[int, List[_Segment]] = {c: [] for c in partition.clusters()}
@@ -212,9 +229,15 @@ class NCFlowSolver:
             if not cluster_segments and not cluster_intra:
                 continue
             lp_count += 1
-            seg_results, delivered, intra_usage = self._solve_r2(
-                cluster_topo, cluster_segments, cluster_intra
-            )
+            with obs.span(
+                "te.ncflow.r2",
+                cluster=cluster,
+                segments=len(cluster_segments),
+                intra=len(cluster_intra),
+            ):
+                seg_results, delivered, intra_usage = self._solve_r2(
+                    cluster_topo, cluster_segments, cluster_intra
+                )
             seg_cluster_results.extend(seg_results)
             for segment, fraction, _ in seg_results:
                 key = (segment.bundle, segment.path_index)
@@ -270,7 +293,6 @@ class NCFlowSolver:
             solver="ncflow",
             objective=objective,
             flow_per_commodity=per_commodity,
-            solve_seconds=time.perf_counter() - start,
             lp_count=lp_count,
         )
         return NCFlowRun(

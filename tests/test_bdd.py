@@ -209,3 +209,54 @@ class TestBuilders:
         assert isinstance(new_engine("javabdd"), JavaBDDEngine)
         with pytest.raises(KeyError):
             new_engine("buddy")
+
+
+class TestStats:
+    def _exercise(self, engine):
+        acc = BDD_FALSE
+        for value in range(0, 256, 4):
+            node = prefix_to_bdd(engine, Prefix((value << 8) & 0xFF00, 8))
+            acc = engine.or_(acc, node)
+            acc = engine.diff(acc, engine.and_(node, engine.var(0)))
+        return acc
+
+    def test_stats_keys_and_consistency(self, engine):
+        self._exercise(engine)
+        stats = engine.stats()
+        for key in (
+            "profile", "num_vars", "num_nodes", "cache_size",
+            "cache_hits", "cache_misses", "cache_hit_ratio",
+            "op_count", "mk_count", "live_refs",
+        ):
+            assert key in stats
+        assert stats["profile"] == engine.name
+        assert stats["cache_hits"] >= 0
+        assert stats["cache_misses"] > 0
+        lookups = stats["cache_hits"] + stats["cache_misses"]
+        assert stats["cache_hit_ratio"] == pytest.approx(
+            stats["cache_hits"] / lookups
+        )
+
+    def test_fresh_engine_has_no_lookups(self, engine):
+        stats = engine.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 0
+        assert stats["cache_hit_ratio"] == 0.0
+
+    def test_slow_profile_has_lower_hit_ratio(self):
+        jdd = JDDEngine(HEADER_BITS)
+        javabdd = JavaBDDEngine(HEADER_BITS)
+        self._exercise(jdd)
+        self._exercise(javabdd)
+        fast = jdd.stats()["cache_hit_ratio"]
+        slow = javabdd.stats()["cache_hit_ratio"]
+        assert slow < fast, (
+            "dropping the computed table per call must collapse the "
+            f"hit ratio (jdd={fast:.3f}, javabdd={slow:.3f})"
+        )
+
+    def test_javabdd_stats_report_gc_sweeps(self):
+        engine = JavaBDDEngine(HEADER_BITS)
+        self._exercise(engine)
+        stats = engine.stats()
+        assert stats["gc_sweeps"] == engine.gc_sweeps

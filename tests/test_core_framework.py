@@ -34,6 +34,38 @@ class TestCountLoc:
         source = '"""One line."""\nx = 1\n'
         assert count_loc(source) == 1
 
+    def test_docstring_sharing_line_with_code(self):
+        source = '"""one-liner""" + compute()\ny = 2\n'
+        assert count_loc(source) == 2
+
+    def test_docstring_closing_line_with_trailing_code(self):
+        source = '"""doc\nbody\n""" + tail()\ny = 2\n'
+        assert count_loc(source) == 2
+
+    def test_expression_triple_quoted_string_counts(self):
+        source = 's = """first\nsecond\n"""\n'
+        assert count_loc(source) == 3
+
+    def test_hash_inside_string_is_not_a_comment(self):
+        source = "x = '# not a comment'\n"
+        assert count_loc(source) == 1
+
+    def test_comment_after_code_still_counts(self):
+        source = 'x = "a"  # trailing comment\n'
+        assert count_loc(source) == 1
+
+    def test_escaped_quote_inside_string(self):
+        source = 'x = "he said \\"hi\\""\n# comment\n'
+        assert count_loc(source) == 1
+
+    def test_other_triple_delimiter_inside_docstring(self):
+        source = "\"\"\"contains ''' inside\"\"\"\nx = 1\n"
+        assert count_loc(source) == 1
+
+    def test_docstring_with_hash_lines(self):
+        source = '"""doc\n# looks like a comment\n"""\nx = 1\n'
+        assert count_loc(source) == 1
+
 
 class TestPromptBuilder:
     @pytest.fixture
