@@ -9,7 +9,10 @@ explore the reproduction without writing code:
 * ``study``        -- print the Figure 1-2 statistics;
 * ``verify``       -- verify a data plane with AP and APKeep, optionally
   injecting an anomaly first;
-* ``te``           -- solve a TE instance with a chosen solver;
+* ``te``           -- solve a TE instance with any registry solver
+  (``--solver list`` shows them), optionally sweeping demand scales
+  in parallel (``--sweep`` / ``--workers``) with an injected LP
+  backend (``--lp-backend``);
 * ``motivating``   -- replay the rock-paper-scissors example and play it;
 * ``transcript``   -- run a participant session and dump the markdown
   conversation log;
@@ -79,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["monolithic", "modular-text", "modular-pseudocode"],
         default=["modular-pseudocode"],
     )
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for the (paper, style) runs",
+    )
 
     participant = add_parser("participant", help="run one participant")
     participant.add_argument("name", choices=["A", "B", "C", "D"])
@@ -100,13 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
     te = add_parser("te", help="solve a TE instance")
     te.add_argument("instance", nargs="?", default="Colt")
     te.add_argument(
-        "--solver",
-        choices=["ncflow", "pf4", "edge", "arrow-paper", "arrow-code", "arrow-none"],
-        default="ncflow",
+        "--solver", default="ncflow", metavar="NAME",
+        help="a repro.te.registry solver name, or 'list' to show them",
     )
     te.add_argument("--commodities", type=int, default=300)
     te.add_argument("--load", type=float, default=0.1,
                     help="total demand as a fraction of total capacity")
+    te.add_argument(
+        "--lp-backend", choices=["fast", "slow"], default=None,
+        help="inject an LP backend (default: each solver's own default)",
+    )
+    te.add_argument(
+        "--sweep", metavar="SCALES", default=None,
+        help="comma-separated demand scales; runs a scale sweep after the "
+             "base solve (e.g. --sweep 0.5,1.0,2.0)",
+    )
+    te.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for --sweep points",
+    )
 
     add_parser("motivating", help="replay the motivating example")
 
@@ -185,7 +204,9 @@ def cmd_campaign(args, out) -> int:
     from repro.experiments import run_campaign
 
     result = run_campaign(
-        args.papers, styles=[PromptStyle(style) for style in args.styles]
+        args.papers,
+        styles=[PromptStyle(style) for style in args.styles],
+        workers=args.workers,
     )
     out.write(result.render() + "\n")
     return 0 if result.num_succeeded == result.num_runs else 1
@@ -273,37 +294,53 @@ def cmd_verify(args, out) -> int:
 
 def cmd_te(args, out) -> int:
     from repro.netmodel.instances import make_te_instance
-    from repro.te import solve_max_flow, solve_max_flow_edge
-    from repro.te.arrow import ArrowSolver
-    from repro.te.ncflow import NCFlowSolver
+    from repro.te import registry
+    from repro.te.demandscale import scale_sweep
 
+    if args.solver == "list":
+        out.write(registry.render_table() + "\n")
+        return 0
+    try:
+        solver = registry.make_solver(args.solver, backend=args.lp_backend)
+    except registry.UnknownSolverError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
     instance = make_te_instance(
         args.instance,
         max_commodities=args.commodities,
         total_demand_fraction=args.load,
     )
-    if args.solver == "ncflow":
-        solution = NCFlowSolver().solve(instance.topology, instance.traffic)
-    elif args.solver == "pf4":
-        solution = solve_max_flow(instance.topology, instance.traffic)
-    elif args.solver == "edge":
-        solution = solve_max_flow_edge(instance.topology, instance.traffic)
-    else:
-        variant = args.solver.split("-", 1)[1]
-        solution = ArrowSolver(variant=variant).solve(
-            instance.topology, instance.traffic
-        )
+    solution = solver.solve(instance.topology, instance.traffic)
     out.write(
         f"{args.instance} ({instance.topology.num_nodes} nodes, "
         f"{instance.num_commodities} commodities, "
         f"{instance.traffic.total_demand:.0f} Mbps demand)\n"
     )
-    out.write(
-        f"{solution.solver}: {solution.objective:.1f} Mbps "
-        f"({solution.satisfied_fraction(instance.traffic.total_demand) * 100:.1f}% "
-        f"of demand) in {solution.solve_seconds:.2f}s "
-        f"[{solution.lp_count} LPs, status {solution.status}]\n"
-    )
+    if solver.capabilities.objective == "min-mlu":
+        out.write(
+            f"{solution.solver}: MLU {solution.objective:.3f} "
+            f"in {solution.solve_seconds:.2f}s "
+            f"[{solution.lp_count} LPs, status {solution.status}]\n"
+        )
+    else:
+        out.write(
+            f"{solution.solver}: {solution.objective:.1f} Mbps "
+            f"({solution.satisfied_fraction(instance.traffic.total_demand) * 100:.1f}% "
+            f"of demand) in {solution.solve_seconds:.2f}s "
+            f"[{solution.lp_count} LPs, status {solution.status}]\n"
+        )
+    if args.sweep:
+        scales = [float(part) for part in args.sweep.split(",") if part.strip()]
+        points = scale_sweep(
+            instance.topology, instance.traffic, solver, scales,
+            workers=args.workers,
+        )
+        for point in points:
+            out.write(
+                f"  scale {point.scale:g}: objective {point.objective:.1f} "
+                f"({point.satisfied_fraction * 100:.1f}% of "
+                f"{point.total_demand:.0f} Mbps)\n"
+            )
     return 0 if solution.ok else 1
 
 

@@ -106,15 +106,17 @@ def _latency_discrepancy(subject, ratio, explanation) -> Optional[Discrepancy]:
 # ----------------------------------------------------------------------
 def analyze_arrow(reproduced_module, instance_names: Optional[List[str]] = None) -> DiscrepancyReport:
     from repro.netmodel.instances import make_te_instance
-    from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+    from repro.te import registry
+    from repro.te.arrow import single_fiber_scenarios
 
     names = instance_names or ["IbmBackbone", "B4"]
     report = DiscrepancyReport("arrow")
     for name in names:
         instance = make_te_instance(name, max_commodities=120)
         scenarios = single_fiber_scenarios(instance.topology, limit=12)
-        reference = ArrowSolver(variant="code").solve(
-            instance.topology, instance.traffic, scenarios
+        reference = registry.solve(
+            "arrow-code", instance.topology, instance.traffic,
+            scenarios=scenarios,
         )
         reproduced = reproduced_module.solve_arrow(
             instance.topology, instance.traffic
@@ -213,7 +215,7 @@ def analyze_ap(reproduced_module, dataset_names: Optional[List[str]] = None) -> 
 # ----------------------------------------------------------------------
 def analyze_ncflow(reproduced_module, instance_names: Optional[List[str]] = None) -> DiscrepancyReport:
     from repro.netmodel.instances import make_te_instance
-    from repro.te.ncflow import NCFlowSolver
+    from repro.te import registry
 
     names = instance_names or ["Uninett2010", "Colt", "Kdl"]
     report = DiscrepancyReport("ncflow")
@@ -222,7 +224,7 @@ def analyze_ncflow(reproduced_module, instance_names: Optional[List[str]] = None
             name, max_commodities=300, total_demand_fraction=0.1
         )
         start = time.perf_counter()
-        reference = NCFlowSolver().solve(instance.topology, instance.traffic)
+        reference = registry.solve("ncflow", instance.topology, instance.traffic)
         reference_seconds = max(time.perf_counter() - start, 1e-9)
         start = time.perf_counter()
         reproduced = reproduced_module.solve_ncflow(

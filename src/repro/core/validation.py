@@ -119,14 +119,13 @@ def validate_apkeep(module) -> Tuple[bool, Dict[str, object]]:
 # ----------------------------------------------------------------------
 def validate_ncflow(module) -> Tuple[bool, Dict[str, object]]:
     from repro.netmodel.instances import make_te_instance
-    from repro.te import solve_max_flow
-    from repro.te.ncflow import NCFlowSolver
+    from repro.te import registry
 
     instance = make_te_instance(
         "Uninett2010", max_commodities=120, total_demand_fraction=0.15
     )
-    reference = NCFlowSolver().solve(instance.topology, instance.traffic)
-    optimal = solve_max_flow(instance.topology, instance.traffic)
+    reference = registry.solve("ncflow", instance.topology, instance.traffic)
+    optimal = registry.solve("pf4", instance.topology, instance.traffic)
 
     start = time.perf_counter()
     objective = module.solve_ncflow(instance.topology, instance.traffic)
@@ -159,15 +158,16 @@ def validate_ncflow(module) -> Tuple[bool, Dict[str, object]]:
 # ----------------------------------------------------------------------
 def validate_arrow(module) -> Tuple[bool, Dict[str, object]]:
     from repro.netmodel.instances import make_te_instance
-    from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+    from repro.te import registry
+    from repro.te.arrow import single_fiber_scenarios
 
     instance = make_te_instance("B4", max_commodities=120)
     scenarios = single_fiber_scenarios(instance.topology, limit=12)
-    paper_ref = ArrowSolver(variant="paper").solve(
-        instance.topology, instance.traffic, scenarios
+    paper_ref = registry.solve(
+        "arrow-paper", instance.topology, instance.traffic, scenarios=scenarios
     )
-    code_ref = ArrowSolver(variant="code").solve(
-        instance.topology, instance.traffic, scenarios
+    code_ref = registry.solve(
+        "arrow-code", instance.topology, instance.traffic, scenarios=scenarios
     )
 
     start = time.perf_counter()

@@ -4,14 +4,18 @@ The paper's long-term vision is reproducing *many* published systems,
 not four.  A :class:`Campaign` batches pipeline runs across paper keys
 and prompting styles, collects the reports, and renders a summary — the
 scaffolding a larger study (or a replicability track) would run on.
+Runs are independent, so ``run_campaign(..., workers=N)`` fans them out
+over a thread pool; results are keyed and ordered deterministically
+regardless of worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.parallel import run_ordered
 
 from repro.core.knowledge import (
     get_component_tests,
@@ -25,17 +29,28 @@ from repro.core.prompts import PromptStyle
 from repro.core.simulated import SimulatedLLM
 from repro.core.validation import get_validator
 
+#: A campaign run is identified by ``(paper_key, style value)``.  Tuple
+#: keys (not ``"paper/style"`` strings) so paper keys containing ``/``
+#: cannot be misparsed when grouping by style.
+RunKey = Tuple[str, str]
+
 
 @dataclass
 class CampaignResult:
-    """All reports of one campaign, keyed by (paper, style)."""
+    """All reports of one campaign, keyed by ``(paper_key, style)``."""
 
-    reports: Dict[str, ReproductionReport] = field(default_factory=dict)
+    reports: Dict[RunKey, ReproductionReport] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @staticmethod
-    def key(paper_key: str, style: PromptStyle) -> str:
-        return f"{paper_key}/{style.value}"
+    def key(paper_key: str, style) -> RunKey:
+        style_value = style.value if isinstance(style, PromptStyle) else str(style)
+        return (paper_key, style_value)
+
+    @staticmethod
+    def label(key: RunKey) -> str:
+        """Human-readable ``paper/style`` form of a run key."""
+        return f"{key[0]}/{key[1]}"
 
     @property
     def num_runs(self) -> int:
@@ -54,8 +69,7 @@ class CampaignResult:
     def by_style(self) -> Dict[str, Dict[str, int]]:
         """Per-style success counts: ``{style: {"ok": n, "failed": m}}``."""
         table: Dict[str, Dict[str, int]] = {}
-        for key, report in self.reports.items():
-            style = key.split("/", 1)[1]
+        for (_, style), report in self.reports.items():
             entry = table.setdefault(style, {"ok": 0, "failed": 0})
             entry["ok" if report.succeeded else "failed"] += 1
         return table
@@ -70,7 +84,7 @@ class CampaignResult:
             report = self.reports[key]
             status = "ok" if report.succeeded else "FAILED"
             lines.append(
-                f"  {key:<32} prompts={report.num_prompts:<4} "
+                f"  {self.label(key):<32} prompts={report.num_prompts:<4} "
                 f"words={report.total_prompt_words:<6} "
                 f"loc={report.reproduced_loc:<5} {status}"
             )
@@ -81,36 +95,52 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _run_one(paper_key: str, style: PromptStyle, max_debug_rounds: int) -> ReproductionReport:
+    with obs.span("campaign.run", paper=paper_key, style=style.value):
+        llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
+        pipeline = ReproductionPipeline(
+            llm,
+            get_paper_spec(paper_key),
+            component_tests=get_component_tests(paper_key),
+            logic_notes=get_logic_notes(paper_key),
+            validator=get_validator(paper_key),
+            participant="campaign",
+            config=PipelineConfig(
+                style=style, max_debug_rounds=max_debug_rounds
+            ),
+        )
+        return pipeline.run()
+
+
 def run_campaign(
     paper_keys: List[str],
     styles: Optional[List[PromptStyle]] = None,
     max_debug_rounds: int = 6,
+    workers: int = 1,
 ) -> CampaignResult:
-    """Run every (paper, style) combination through the pipeline."""
+    """Run every (paper, style) combination through the pipeline.
+
+    Each run builds its own LLM session and pipeline, so ``workers > 1``
+    executes them concurrently; report insertion order and contents
+    match the serial run exactly.
+    """
     if styles is None:
         styles = [PromptStyle.MODULAR_PSEUDOCODE]
     result = CampaignResult()
+    combos = [(paper_key, style) for paper_key in paper_keys for style in styles]
     with obs.span(
-        "campaign", papers=len(paper_keys), styles=len(styles)
+        "campaign", papers=len(paper_keys), styles=len(styles), workers=workers
     ) as sp:
-        for paper_key in paper_keys:
-            for style in styles:
-                with obs.span(
-                    "campaign.run", paper=paper_key, style=style.value
-                ):
-                    llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
-                    pipeline = ReproductionPipeline(
-                        llm,
-                        get_paper_spec(paper_key),
-                        component_tests=get_component_tests(paper_key),
-                        logic_notes=get_logic_notes(paper_key),
-                        validator=get_validator(paper_key),
-                        participant="campaign",
-                        config=PipelineConfig(
-                            style=style, max_debug_rounds=max_debug_rounds
-                        ),
-                    )
-                    key = CampaignResult.key(paper_key, style)
-                    result.reports[key] = pipeline.run()
+        reports = run_ordered(
+            [
+                lambda paper_key=paper_key, style=style: _run_one(
+                    paper_key, style, max_debug_rounds
+                )
+                for paper_key, style in combos
+            ],
+            workers=workers,
+        )
+        for (paper_key, style), report in zip(combos, reports):
+            result.reports[CampaignResult.key(paper_key, style)] = report
     result.wall_seconds = sp.duration
     return result

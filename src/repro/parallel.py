@@ -1,0 +1,39 @@
+"""Deterministic thread fan-out used by sweeps and campaigns.
+
+One helper, one contract: results come back in submission order, so a
+parallel run is indistinguishable from a serial run except in wall
+time.  Threads (not processes) are the right grain here -- the heavy
+lifting inside each task is ``scipy.optimize.linprog``, which releases
+the GIL while HiGHS runs -- and they keep the process-wide tunnel cache
+and metrics registry shared, which is what makes repeated sweep points
+cheap.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+
+def run_ordered(tasks: Sequence[Callable[[], T]], workers: int = 1) -> List[T]:
+    """Run every task, returning results in submission order.
+
+    ``workers <= 1`` (or a single task) degrades to a plain serial loop
+    with no executor overhead.  A task that raises propagates its
+    exception at its position; later tasks may or may not have run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    tasks = list(tasks)
+    if workers == 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    with obs.span("parallel.run", workers=workers, tasks=len(tasks)):
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker"
+        ) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]

@@ -66,7 +66,7 @@ def export_exp_a(out_dir: str) -> List[List]:
     from repro.core.assembly import assemble_module
     from repro.core.llm import CodeArtifact
     from repro.netmodel.instances import ncflow_instances
-    from repro.te.ncflow import NCFlowSolver
+    from repro.te import registry
 
     knowledge = get_knowledge("ncflow")
     artifacts = [
@@ -80,7 +80,9 @@ def export_exp_a(out_dir: str) -> List[List]:
     ]
     for instance in ncflow_instances(max_commodities=300, total_demand_fraction=0.1):
         with obs.span("export.reference", instance=instance.name) as ref_sp:
-            reference = NCFlowSolver().solve(instance.topology, instance.traffic)
+            reference = registry.solve(
+                "ncflow", instance.topology, instance.traffic
+            )
         reference_seconds = ref_sp.duration
         with obs.span("export.reproduced", instance=instance.name) as rep_sp:
             reproduced = module.solve_ncflow(instance.topology, instance.traffic)
@@ -99,15 +101,17 @@ def export_exp_a(out_dir: str) -> List[List]:
 
 def export_exp_b(out_dir: str) -> List[List]:
     from repro.netmodel.instances import arrow_instances
-    from repro.te.arrow import ArrowSolver, single_fiber_scenarios
+    from repro.te import registry
+    from repro.te.arrow import single_fiber_scenarios
 
     rows: List[List] = [["instance", "none", "paper", "ticket", "code"]]
     for instance in arrow_instances(max_commodities=120):
         scenarios = single_fiber_scenarios(instance.topology, limit=12)
         record = [instance.name]
         for variant in ("none", "paper", "ticket", "code"):
-            solution = ArrowSolver(variant=variant).solve(
-                instance.topology, instance.traffic, scenarios
+            solution = registry.solve(
+                f"arrow-{variant}", instance.topology, instance.traffic,
+                scenarios=scenarios,
             )
             record.append(round(solution.objective, 2))
         rows.append(record)

@@ -1,4 +1,4 @@
-"""Traffic engineering substrate: the two TE systems plus their baseline.
+"""Traffic engineering substrate: the two TE systems plus their baselines.
 
 * :mod:`repro.te.maxflow` -- PF-k: the path-formulation multi-commodity
   max-flow LP (the "PF4" optimal baseline of the NCFlow paper).
@@ -8,6 +8,11 @@
 * :mod:`repro.te.arrow` -- ARROW: restoration-aware TE under fiber cuts,
   in the two variants whose inconsistency explains participant B's 30%
   objective gap (paper-faithful vs open-source-faithful).
+* :mod:`repro.te.registry` -- the unified solver layer: every solver
+  above is resolvable by name behind the :class:`TESolver` protocol,
+  with explicit LP-backend injection.
+* :mod:`repro.te.tunnelcache` -- process-wide k-shortest-tunnel cache
+  shared by all path-formulation solvers.
 """
 
 from repro.te.solution import TESolution
@@ -16,16 +21,42 @@ from repro.te.demandscale import ScalePoint, max_feasible_scale, scale_sweep
 from repro.te.fleischer import solve_fleischer
 from repro.te.mlu import solve_min_mlu
 from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te import registry
+from repro.te.registry import (
+    SolverCapabilities,
+    SolverSpec,
+    TESolver,
+    UnknownSolverError,
+    make_solver,
+    solver_names,
+)
+from repro.te.tunnelcache import (
+    TUNNEL_CACHE,
+    TunnelCache,
+    cached_k_shortest_tunnels,
+    topology_fingerprint,
+)
 
 __all__ = [
     "ScalePoint",
+    "SolverCapabilities",
+    "SolverSpec",
     "TESolution",
+    "TESolver",
+    "TUNNEL_CACHE",
+    "TunnelCache",
+    "UnknownSolverError",
+    "cached_k_shortest_tunnels",
     "k_shortest_tunnels",
+    "make_solver",
     "max_feasible_scale",
     "path_links",
+    "registry",
     "scale_sweep",
     "solve_fleischer",
     "solve_max_flow",
     "solve_max_flow_edge",
     "solve_min_mlu",
+    "solver_names",
+    "topology_fingerprint",
 ]

@@ -28,8 +28,9 @@ from repro.te.arrow.restoration import (
     designated_restorable_links,
     single_fiber_scenarios,
 )
-from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te.paths import path_links
 from repro.te.solution import TESolution
+from repro.te.tunnelcache import cached_k_shortest_tunnels
 
 Edge = Tuple[str, str]
 
@@ -74,8 +75,7 @@ class ArrowSolver:
         ) as sp:
             if scenarios is None:
                 scenarios = single_fiber_scenarios(topology)
-            with obs.span("te.tunnels", k=self.num_tunnels):
-                tunnels = k_shortest_tunnels(topology, traffic, self.num_tunnels)
+            tunnels = cached_k_shortest_tunnels(topology, traffic, self.num_tunnels)
 
             model = Model(f"arrow-{self.variant}:{topology.name}")
             admitted: Dict[Tuple[str, str], object] = {}

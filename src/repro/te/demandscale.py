@@ -2,20 +2,50 @@
 
 The NCFlow evaluation sweeps traffic-matrix *scale factors* to probe
 solvers from underload to overload.  These helpers find the maximum
-scale at which all demand still fits (via the exact edge-formulation
-max flow) and sweep a solver across scale factors, producing the
-satisfied-fraction series the crossover plots are made of.
+scale at which all demand still fits and sweep a solver across scale
+factors, producing the satisfied-fraction series the crossover plots
+are made of.
+
+Both entry points resolve solvers through :mod:`repro.te.registry`
+(a registry name, a :class:`~repro.te.registry.TESolver`, or a bare
+``solve(topology, traffic)`` callable all work), and ``scale_sweep``
+fans sweep points out over worker threads while preserving the serial
+result order.  Scaling a matrix keeps its nonzero commodity keys, so
+every solve after the first reuses the shared tunnel cache instead of
+re-running k-shortest-paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Union
 
+from repro import obs
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
-from repro.te.maxflow import solve_max_flow_edge
+from repro.parallel import run_ordered
 from repro.te.solution import TESolution
+
+SolverLike = Union[str, Callable[[Topology, TrafficMatrix], TESolution], object]
+
+
+def _resolve_solver(solver: SolverLike, backend=None) -> Callable[
+    [Topology, TrafficMatrix], TESolution
+]:
+    """Registry name, TESolver instance, or bare callable -> solve fn."""
+    if isinstance(solver, str):
+        from repro.te import registry
+
+        return registry.make_solver(solver, backend=backend).solve
+    solve = getattr(solver, "solve", None)
+    if callable(solve):
+        return solve
+    if callable(solver):
+        return solver
+    raise TypeError(
+        f"solver must be a registry name, a TESolver, or a callable; "
+        f"got {type(solver).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -38,57 +68,83 @@ def max_feasible_scale(
     traffic: TrafficMatrix,
     tolerance: float = 0.01,
     upper_start: float = 4.0,
+    oracle: SolverLike = "edge",
+    backend=None,
 ) -> float:
     """Largest demand scale at which ALL demand can still be routed.
 
-    Binary search over the scale factor, using the exact edge-formulation
-    max flow as the oracle (all demand fits iff objective == demand).
+    Binary search over the scale factor.  ``oracle`` names the
+    feasibility solver (all demand fits iff objective == demand); the
+    default is the exact edge formulation.  A path-formulation oracle
+    (e.g. ``"pf4"``) runs k-shortest-paths at most once per
+    (topology, k): the search rescales the same commodity keys, so every
+    probe after the first hits the shared tunnel cache.
     """
     if traffic.total_demand <= 0:
         raise ValueError("traffic matrix has no demand")
+    solve = _resolve_solver(oracle, backend=backend)
 
     def fits(scale: float) -> bool:
         scaled = traffic.scaled(scale)
-        solution = solve_max_flow_edge(topology, scaled)
+        solution = solve(topology, scaled)
         return solution.objective >= scaled.total_demand * (1 - 1e-6)
 
-    low = 0.0
-    high = upper_start
-    # Grow the bracket until demand no longer fits.
-    for _ in range(20):
-        if not fits(high):
-            break
-        low = high
-        high *= 2.0
-    else:
-        return high
-    while high - low > tolerance * max(high, 1.0):
-        middle = (low + high) / 2.0
-        if fits(middle):
-            low = middle
+    with obs.span(
+        "te.max_feasible_scale", topology=topology.name, tolerance=tolerance
+    ):
+        low = 0.0
+        high = upper_start
+        # Grow the bracket until demand no longer fits.
+        for _ in range(20):
+            if not fits(high):
+                break
+            low = high
+            high *= 2.0
         else:
-            high = middle
+            return high
+        while high - low > tolerance * max(high, 1.0):
+            middle = (low + high) / 2.0
+            if fits(middle):
+                low = middle
+            else:
+                high = middle
     return low
 
 
 def scale_sweep(
     topology: Topology,
     traffic: TrafficMatrix,
-    solver: Callable[[Topology, TrafficMatrix], TESolution],
+    solver: SolverLike,
     scales: List[float],
+    workers: int = 1,
+    backend=None,
 ) -> List[ScalePoint]:
-    """Run ``solver`` at each demand scale; returns one point per scale."""
-    points: List[ScalePoint] = []
+    """Run ``solver`` at each demand scale; returns one point per scale.
+
+    ``workers > 1`` solves the points on a thread pool; the returned
+    list is always in ``scales`` order, identical to a serial run.
+    """
     for scale in scales:
         if scale <= 0:
             raise ValueError("scales must be positive")
+    solve = _resolve_solver(solver, backend=backend)
+
+    def point_at(scale: float) -> ScalePoint:
         scaled = traffic.scaled(scale)
-        solution = solver(topology, scaled)
-        points.append(
-            ScalePoint(
-                scale=scale,
-                total_demand=scaled.total_demand,
-                objective=solution.objective,
-            )
+        solution = solve(topology, scaled)
+        return ScalePoint(
+            scale=scale,
+            total_demand=scaled.total_demand,
+            objective=solution.objective,
         )
-    return points
+
+    with obs.span(
+        "te.scale_sweep",
+        topology=topology.name,
+        points=len(scales),
+        workers=workers,
+    ):
+        return run_ordered(
+            [lambda scale=scale: point_at(scale) for scale in scales],
+            workers=workers,
+        )

@@ -14,8 +14,9 @@ from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
-from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te.paths import path_links
 from repro.te.solution import TESolution
+from repro.te.tunnelcache import cached_k_shortest_tunnels
 
 
 def solve_max_flow(
@@ -32,8 +33,7 @@ def solve_max_flow(
     """
     with obs.span(f"te.pf{num_paths}.solve", topology=topology.name) as sp:
         if tunnels is None:
-            with obs.span("te.tunnels", k=num_paths):
-                tunnels = k_shortest_tunnels(topology, traffic, num_paths)
+            tunnels = cached_k_shortest_tunnels(topology, traffic, num_paths)
 
         model = Model(f"pf{num_paths}:{topology.name}")
         flow_vars: Dict[Tuple[str, str], List] = {}

@@ -19,8 +19,9 @@ from repro import obs
 from repro.lp import LinExpr, Model, LPBackend
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
-from repro.te.paths import k_shortest_tunnels, path_links
+from repro.te.paths import path_links
 from repro.te.solution import TESolution
+from repro.te.tunnelcache import cached_k_shortest_tunnels
 
 
 def solve_min_mlu(
@@ -42,8 +43,7 @@ def _solve_min_mlu(
     num_paths: int,
     backend: Optional[LPBackend],
 ) -> TESolution:
-    with obs.span("te.tunnels", k=num_paths):
-        tunnels = k_shortest_tunnels(topology, traffic, num_paths)
+    tunnels = cached_k_shortest_tunnels(topology, traffic, num_paths)
 
     model = Model(f"min-mlu:{topology.name}")
     mlu = model.add_var(name="u")

@@ -37,6 +37,7 @@ from repro.te.ncflow.partition import (
 )
 from repro.te.paths import path_links
 from repro.te.solution import TESolution
+from repro.te.tunnelcache import cached_k_shortest_tunnels
 
 Commodity = Tuple[str, str]
 Bundle = Tuple[int, int]
@@ -320,10 +321,20 @@ class NCFlowSolver:
         link_usage: Dict[Edge, LinExpr] = {}
         path_vars: Dict[Tuple[Bundle, int], Tuple[List[int], object]] = {}
         all_vars = []
+        # Tunnel selection on the contracted graph goes through the shared
+        # cache: residual re-solve passes drain capacities but keep the
+        # contracted structure, so every pass after the first is a hit.
+        bundle_traffic = TrafficMatrix({
+            (f"C{a}", f"C{b}"): demand
+            for (a, b), demand in bundle_demand.items()
+        })
+        tunnels = cached_k_shortest_tunnels(
+            contracted, bundle_traffic, self.num_paths
+        )
         for bundle in sorted(bundle_demand):
             demand = bundle_demand[bundle]
             src, dst = f"C{bundle[0]}", f"C{bundle[1]}"
-            paths = contracted.k_shortest_paths(src, dst, self.num_paths)
+            paths = tunnels.get((src, dst), [])
             if not paths:
                 continue
             commodity_vars = []

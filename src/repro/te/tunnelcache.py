@@ -1,0 +1,131 @@
+"""Process-wide tunnel cache shared by every path-formulation solver.
+
+Computing k-shortest tunnels (Yen's algorithm per commodity) dominates
+model-build time on large instances, and workloads like
+``max_feasible_scale``'s binary search or a ``scale_sweep`` call the
+solvers many times on the *same* topology with the *same* commodity
+pairs -- only the demand volumes change.  Tunnel selection is hop-count
+shortest paths, so it depends only on (a) the topology's structure and
+(b) which commodities have nonzero demand and (c) ``k``; it is
+independent of capacities and demand volumes.  The cache keys on exactly
+that triple.
+
+The cache is safe for concurrent workers (a single lock guards the
+LRU table) and instrumented: ``tunnel_cache.hit`` / ``tunnel_cache.miss``
+counters in :mod:`repro.obs.metrics`, plus the existing ``te.tunnels``
+span around each real computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro import obs
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.te.paths import k_shortest_tunnels
+
+TunnelMap = Dict[Tuple[str, str], List[List[str]]]
+
+CacheKey = Tuple[str, Tuple[Tuple[str, str], ...], int]
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Digest of the topology's *structure* (nodes and directed links).
+
+    Capacities are deliberately excluded: tunnel selection is hop-count
+    shortest paths, so two topologies with the same links but different
+    (or residual) capacities share tunnel sets.  That is what lets
+    NCFlow's residual re-solve passes hit the cache.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for node in topology.nodes:
+        hasher.update(node.encode())
+        hasher.update(b"\x00")
+    hasher.update(b"\x01")
+    for src, dst in sorted(topology.to_networkx().edges):
+        hasher.update(src.encode())
+        hasher.update(b"\x00")
+        hasher.update(dst.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class TunnelCache:
+    """Bounded LRU map from (topology, commodities, k) to tunnel sets."""
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, TunnelMap]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, topology: Topology, traffic: TrafficMatrix, k: int) -> CacheKey:
+        commodity_keys = tuple(
+            (src, dst) for src, dst, _ in traffic.commodities()
+        )
+        return (topology_fingerprint(topology), commodity_keys, k)
+
+    def lookup(self, topology: Topology, traffic: TrafficMatrix, k: int) -> TunnelMap:
+        """Cached tunnels for the instance, computing them on first use.
+
+        Returns a fresh dict each call (the path lists are shared), so a
+        caller dropping entries from its copy cannot poison the cache.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        key = self._key(topology, traffic, k)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            obs.metrics.counter("tunnel_cache.hit").inc()
+            return dict(entry)
+        obs.metrics.counter("tunnel_cache.miss").inc()
+        with obs.span("te.tunnels", k=k, commodities=len(traffic.demands)):
+            tunnels = k_shortest_tunnels(topology, traffic, k)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = tunnels
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return dict(tunnels)
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: The process-wide cache every solver routes tunnel selection through.
+TUNNEL_CACHE = TunnelCache()
+
+
+def cached_k_shortest_tunnels(
+    topology: Topology, traffic: TrafficMatrix, k: int
+) -> TunnelMap:
+    """:func:`repro.te.paths.k_shortest_tunnels` through :data:`TUNNEL_CACHE`."""
+    return TUNNEL_CACHE.lookup(topology, traffic, k)

@@ -1,0 +1,172 @@
+"""Parallel sweeps/campaigns and the demand-scale + tunnel-cache interplay.
+
+The contract under test: ``workers=N`` changes wall-clock behaviour
+only — results, ordering, and report contents are identical to the
+serial run.
+"""
+
+import types
+
+import pytest
+
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.parallel import run_ordered
+from repro.te import TUNNEL_CACHE
+from repro.te.demandscale import max_feasible_scale, scale_sweep
+
+
+def line_topology(cap_ab=10.0, cap_bc=6.0):
+    topo = Topology("line")
+    for node in ("a", "b", "c"):
+        topo.add_node(node)
+    topo.add_bidi_link("a", "b", cap_ab)
+    topo.add_bidi_link("b", "c", cap_bc)
+    return topo
+
+
+def line_traffic():
+    return TrafficMatrix({("a", "c"): 4.0, ("c", "a"): 2.0, ("a", "b"): 3.0})
+
+
+class TestRunOrdered:
+    def test_preserves_submission_order(self):
+        tasks = [lambda i=i: i * i for i in range(20)]
+        assert run_ordered(tasks, workers=4) == [i * i for i in range(20)]
+
+    def test_serial_and_parallel_agree(self):
+        tasks = [lambda i=i: i + 1 for i in range(7)]
+        assert run_ordered(tasks, workers=1) == run_ordered(tasks, workers=3)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_ordered([lambda: 1], workers=0)
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            run_ordered([lambda: 1, boom], workers=2)
+
+
+class TestParallelScaleSweep:
+    scales = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+    def test_parallel_equals_serial(self):
+        topo, traffic = line_topology(), line_traffic()
+        serial = scale_sweep(topo, traffic, "pf4", self.scales, workers=1)
+        parallel = scale_sweep(topo, traffic, "pf4", self.scales, workers=4)
+        assert parallel == serial
+        assert [point.scale for point in parallel] == self.scales
+
+    def test_solver_accepts_name_instance_and_callable(self):
+        from repro.te import make_solver, solve_max_flow
+
+        topo, traffic = line_topology(), line_traffic()
+        by_name = scale_sweep(topo, traffic, "pf4", [1.0])
+        by_instance = scale_sweep(topo, traffic, make_solver("pf4"), [1.0])
+        by_callable = scale_sweep(topo, traffic, solve_max_flow, [1.0])
+        assert by_name == by_instance == by_callable
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scale_sweep(line_topology(), line_traffic(), "pf4", [1.0, 0.0])
+
+    def test_rejects_unsolvable_solver_argument(self):
+        with pytest.raises(TypeError):
+            scale_sweep(line_topology(), line_traffic(), 42, [1.0])
+
+    def test_underload_satisfied_overload_capped(self):
+        topo, traffic = line_topology(), line_traffic()
+        points = scale_sweep(topo, traffic, "edge", self.scales)
+        assert points[0].satisfied_fraction == pytest.approx(1.0, abs=1e-6)
+        assert points[-1].satisfied_fraction < 1.0
+
+
+class TestMaxFeasibleScale:
+    def test_pf_oracle_runs_tunnel_selection_once(self):
+        topo, traffic = line_topology(), line_traffic()
+        TUNNEL_CACHE.clear()
+        scale = max_feasible_scale(topo, traffic, oracle="pf4")
+        stats = TUNNEL_CACHE.stats()
+        # The binary search rescales the same commodity keys, so Yen's
+        # algorithm ran exactly once for (topology, k=4).
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 3
+        baseline = max_feasible_scale(topo, traffic, oracle="edge")
+        assert scale == pytest.approx(baseline, rel=0.05)
+
+    def test_scale_is_the_saturation_point(self):
+        topo, traffic = line_topology(), line_traffic()
+        scale = max_feasible_scale(topo, traffic, tolerance=0.005)
+        from repro.te import registry
+
+        fits = registry.solve("edge", topo, traffic.scaled(scale * 0.99))
+        assert fits.objective == pytest.approx(
+            traffic.total_demand * scale * 0.99, rel=1e-4
+        )
+        over = registry.solve("edge", topo, traffic.scaled(scale * 1.05))
+        assert over.objective < traffic.total_demand * scale * 1.05 * (1 - 1e-6)
+
+    def test_rejects_empty_traffic(self):
+        with pytest.raises(ValueError):
+            max_feasible_scale(line_topology(), TrafficMatrix({}))
+
+
+class TestParallelCampaign:
+    def test_parallel_equals_serial(self):
+        from repro.core.prompts import PromptStyle
+        from repro.experiments import run_campaign
+
+        styles = [PromptStyle.MONOLITHIC, PromptStyle.MODULAR_PSEUDOCODE]
+        serial = run_campaign(["rps"], styles=styles, workers=1)
+        parallel = run_campaign(["rps"], styles=styles, workers=4)
+        assert list(parallel.reports) == list(serial.reports)
+        for key, report in serial.reports.items():
+            twin = parallel.reports[key]
+            assert twin.succeeded == report.succeeded
+            assert twin.num_prompts == report.num_prompts
+            assert twin.total_prompt_words == report.total_prompt_words
+            assert twin.reproduced_loc == report.reproduced_loc
+        assert parallel.by_style() == serial.by_style()
+
+
+class TestCampaignResultKeys:
+    def make_result(self):
+        from repro.experiments.campaign import CampaignResult
+
+        result = CampaignResult()
+        # Paper keys containing "/" used to be misparsed by the old
+        # "paper/style".split("/", 1) key scheme: the style became
+        # "ncflow/modular-pseudocode"-style garbage.  Tuple keys keep the
+        # two dimensions separate no matter what the key contains.
+        ok = types.SimpleNamespace(succeeded=True)
+        failed = types.SimpleNamespace(succeeded=False)
+        result.reports[CampaignResult.key("sigcomm/ncflow", "monolithic")] = ok
+        result.reports[CampaignResult.key("sigcomm/arrow", "monolithic")] = failed
+        result.reports[CampaignResult.key("sigcomm/ncflow", "modular-text")] = ok
+        return result
+
+    def test_slash_in_paper_key_groups_by_style(self):
+        table = self.make_result().by_style()
+        assert table == {
+            "monolithic": {"ok": 1, "failed": 1},
+            "modular-text": {"ok": 1, "failed": 0},
+        }
+
+    def test_key_accepts_enum_and_string(self):
+        from repro.core.prompts import PromptStyle
+        from repro.experiments.campaign import CampaignResult
+
+        assert CampaignResult.key("ap", PromptStyle.MONOLITHIC) == (
+            "ap", "monolithic"
+        )
+        assert CampaignResult.key("ap", "monolithic") == ("ap", "monolithic")
+
+    def test_label_round_trip(self):
+        from repro.experiments.campaign import CampaignResult
+
+        key = CampaignResult.key("sigcomm/ncflow", "monolithic")
+        assert CampaignResult.label(key) == "sigcomm/ncflow/monolithic"
+        assert key[0] == "sigcomm/ncflow"
