@@ -23,7 +23,12 @@ explore the reproduction without writing code:
 
 Every command accepts the global flags ``--trace FILE`` (record obs
 spans; ``.json`` gets Chrome trace_event format, anything else JSON
-lines) and ``--metrics`` (print the metrics registry after the run).
+lines) and ``--metrics`` (print the metrics registry after the run),
+plus the resilience flags ``--fault-plan SPEC`` (install a seeded
+fault-injection plan for the duration of the command, e.g.
+``--fault-plan rate=0.2,seed=7``), ``--retries N`` (max attempts for
+the LLM retry policy in fail-soft runs) and ``--on-error
+{raise,collect}`` (fan-out failure policy for sweeps and campaigns).
 """
 
 from __future__ import annotations
@@ -49,6 +54,20 @@ def _observability_flags() -> argparse.ArgumentParser:
     common.add_argument(
         "--metrics", action="store_true", default=argparse.SUPPRESS,
         help="print the metrics registry after the command",
+    )
+    common.add_argument(
+        "--fault-plan", metavar="SPEC", default=argparse.SUPPRESS,
+        help="install a fault-injection plan for this command "
+             "(e.g. 'rate=0.2,seed=7,sites=llm.chat+lp.solve')",
+    )
+    common.add_argument(
+        "--retries", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="max attempts for the LLM retry policy (campaign runs)",
+    )
+    common.add_argument(
+        "--on-error", choices=["raise", "collect"], default=argparse.SUPPRESS,
+        help="fan-out failure policy for --sweep and campaign runs "
+             "(collect = fail-soft with structured failure records)",
     )
     return common
 
@@ -114,8 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--load", type=float, default=0.1,
                     help="total demand as a fraction of total capacity")
     te.add_argument(
-        "--lp-backend", choices=["fast", "slow"], default=None,
-        help="inject an LP backend (default: each solver's own default)",
+        "--lp-backend", choices=["fast", "slow", "fallback"], default=None,
+        help="inject an LP backend; 'fallback' chains fast then slow "
+             "(default: each solver's own default)",
     )
     te.add_argument(
         "--sweep", metavar="SCALES", default=None,
@@ -202,11 +222,15 @@ def cmd_experiment(args, out) -> int:
 def cmd_campaign(args, out) -> int:
     from repro.core.prompts import PromptStyle
     from repro.experiments import run_campaign
+    from repro.resilience import RetryPolicy
 
+    retries = getattr(args, "retries", None)
     result = run_campaign(
         args.papers,
         styles=[PromptStyle(style) for style in args.styles],
         workers=args.workers,
+        on_error=getattr(args, "on_error", "collect"),
+        retry=RetryPolicy(max_attempts=retries) if retries else None,
     )
     out.write(result.render() + "\n")
     return 0 if result.num_succeeded == result.num_runs else 1
@@ -330,12 +354,20 @@ def cmd_te(args, out) -> int:
             f"[{solution.lp_count} LPs, status {solution.status}]\n"
         )
     if args.sweep:
+        from repro.parallel import TaskFailure
+
         scales = [float(part) for part in args.sweep.split(",") if part.strip()]
         points = scale_sweep(
             instance.topology, instance.traffic, solver, scales,
             workers=args.workers,
+            on_error=getattr(args, "on_error", "raise"),
         )
-        for point in points:
+        for scale, point in zip(scales, points):
+            if isinstance(point, TaskFailure):
+                out.write(
+                    f"  scale {scale:g}: FAILED {point.error}: {point.message}\n"
+                )
+                continue
             out.write(
                 f"  scale {point.scale:g}: objective {point.objective:.1f} "
                 f"({point.satisfied_fraction * 100:.1f}% of "
@@ -483,6 +515,21 @@ def cmd_trace_view(args, out) -> int:
     out.write(export.render_span_tree(spans, limit_meta=args.no_meta) + "\n")
     if metrics:
         out.write(export.render_metrics(metrics) + "\n")
+        resilience = {
+            name: snap.get("value", 0)
+            for name, snap in sorted(metrics.items())
+            if name.startswith((
+                "retries", "llm.retries", "llm.giveups", "breaker.open",
+                "faults.injected", "lp.fallback", "parallel.task_failures",
+                "pipeline.llm_failures",
+            ))
+        }
+        if resilience:
+            out.write(
+                "resilience: "
+                + " ".join(f"{k}={v:g}" for k, v in resilience.items())
+                + "\n"
+            )
     return 0
 
 
@@ -505,16 +552,28 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     from repro import obs
+    from repro.resilience import FaultPlan, chaos
 
     args = build_parser().parse_args(argv)
     stream = out if out is not None else sys.stdout
     trace_path = getattr(args, "trace", None)
     show_metrics = getattr(args, "metrics", False)
+    fault_spec = getattr(args, "fault_plan", None)
     obs.metrics.reset()
     tracer = obs.Tracer() if trace_path else None
     previous = obs.set_tracer(tracer) if tracer else None
     try:
-        code = _COMMANDS[args.command](args, stream)
+        if fault_spec:
+            try:
+                plan = FaultPlan.parse(fault_spec)
+            except ValueError as exc:
+                stream.write(f"error: bad --fault-plan: {exc}\n")
+                return 2
+            stream.write(f"fault plan: {plan.describe()}\n")
+            with chaos(plan):
+                code = _COMMANDS[args.command](args, stream)
+        else:
+            code = _COMMANDS[args.command](args, stream)
     finally:
         if tracer is not None:
             obs.set_tracer(previous)

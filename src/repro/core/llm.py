@@ -33,10 +33,17 @@ class CodeArtifact:
 
 @dataclass
 class LLMResponse:
-    """One assistant reply: prose plus zero or more code artifacts."""
+    """One assistant reply: prose plus zero or more code artifacts.
+
+    ``truncated`` marks a reply that arrived cut short (a real API can
+    set it from a stop reason; the fault injector sets it when chaos
+    truncates a response).  :class:`~repro.resilience.ResilientLLMClient`
+    degrades truncated replies into a re-prompt.
+    """
 
     text: str
     artifacts: List[CodeArtifact] = field(default_factory=list)
+    truncated: bool = False
 
     @property
     def has_code(self) -> bool:

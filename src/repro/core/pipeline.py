@@ -15,7 +15,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 from repro.core.assembly import AssemblyError, assemble_module
 from repro.core.debugging import DebugPolicy, describe_failure
-from repro.core.llm import ChatSession, CodeArtifact, LLMClient
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient, LLMResponse
+from repro.resilience.errors import RESILIENCE_ERRORS
 from repro.core.metrics import ComponentOutcome, ReproductionReport
 from repro.core.paper import PaperSpec
 from repro.core.prompts import PromptBuilder, PromptStyle
@@ -67,6 +68,24 @@ class ReproductionPipeline:
         self.step_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
+    def _chat(self, prompt) -> Optional[LLMResponse]:
+        """Chat with the LLM, degrading resilience failures to ``None``.
+
+        A chat that still fails after the retry/breaker layer gave up
+        (injected faults, exhausted retries, an open circuit) must not
+        kill the whole reproduction run: the caller treats ``None`` as
+        "the LLM returned nothing", the component burns its debug
+        budget, and the pipeline moves on -- a failed
+        :class:`ComponentOutcome`, not a crash.
+        """
+        try:
+            return self.llm.chat(self.session, prompt)
+        except RESILIENCE_ERRORS as exc:
+            self.failures.append(f"llm: {describe_failure(exc)}")
+            obs.metrics.counter("pipeline.llm_failures").inc()
+            return None
+
+    # ------------------------------------------------------------------
     def run(self) -> ReproductionReport:
         with obs.span(
             "pipeline.run",
@@ -86,13 +105,13 @@ class ReproductionPipeline:
     def _run_monolithic(self) -> ReproductionReport:
         """The approach that fails (kept for the ablation benchmark)."""
         with obs.span("pipeline.generate", component="monolithic") as sp:
-            response = self.llm.chat(self.session, self.builder.monolithic())
+            response = self._chat(self.builder.monolithic())
         self.step_seconds["components"] = sp.duration
         outcomes: List[ComponentOutcome] = []
         assembled = False
         validation_passed = False
         details: Dict[str, object] = {}
-        if response.has_code:
+        if response is not None and response.has_code:
             artifact = response.artifacts[0]
             self.artifacts[artifact.component] = artifact
             try:
@@ -119,11 +138,11 @@ class ReproductionPipeline:
     def _run_modular(self) -> ReproductionReport:
         if self.config.send_overview:
             with obs.span("pipeline.overview") as sp:
-                self.llm.chat(self.session, self.builder.system_overview())
+                self._chat(self.builder.system_overview())
             self.step_seconds["overview"] = sp.duration
         if self.config.send_interfaces:
             with obs.span("pipeline.interfaces") as sp:
-                self.llm.chat(self.session, self.builder.interfaces())
+                self._chat(self.builder.interfaces())
             self.step_seconds["interfaces"] = sp.duration
 
         policy = DebugPolicy(self.builder, self.logic_notes)
@@ -136,7 +155,7 @@ class ReproductionPipeline:
 
         if self.config.send_data_format and self.paper.data_format_notes:
             with obs.span("pipeline.data_format") as sp:
-                self.llm.chat(self.session, self.builder.data_format())
+                self._chat(self.builder.data_format())
             self.step_seconds["data_format"] = sp.duration
 
         assembled = False
@@ -173,7 +192,7 @@ class ReproductionPipeline:
         with obs.span("pipeline.component", component=name) as component_span:
             with obs.span("pipeline.generate", component=name):
                 prompt = self.builder.component(spec, self.config.style)
-                response = self.llm.chat(self.session, prompt)
+                response = self._chat(prompt)
             artifact = self._artifact_from(response, name)
             revisions = 1
             debug_rounds = 0
@@ -184,7 +203,7 @@ class ReproductionPipeline:
                     "pipeline.debug", component=name, round=debug_rounds + 1
                 ):
                     debug_prompt = policy.next_prompt(name, failure)
-                    response = self.llm.chat(self.session, debug_prompt)
+                    response = self._chat(debug_prompt)
                 new_artifact = self._artifact_from(response, name)
                 if new_artifact is not None:
                     artifact = new_artifact
@@ -206,6 +225,8 @@ class ReproductionPipeline:
         )
 
     def _artifact_from(self, response, name: str) -> Optional[CodeArtifact]:
+        if response is None:
+            return None
         for artifact in response.artifacts:
             if artifact.component == name:
                 return artifact
@@ -255,6 +276,9 @@ class ReproductionPipeline:
             "components_passed": sum(1 for o in outcomes if o.passed),
             "debug_rounds": debug_rounds,
             "revisions": sum(outcome.revisions for outcome in outcomes),
+            "llm_failures": sum(
+                1 for failure in self.failures if failure.startswith("llm: ")
+            ),
         }
         for step, seconds in self.step_seconds.items():
             run_metrics[f"seconds.{step}"] = seconds

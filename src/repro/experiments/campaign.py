@@ -7,6 +7,15 @@ scaffolding a larger study (or a replicability track) would run on.
 Runs are independent, so ``run_campaign(..., workers=N)`` fans them out
 over a thread pool; results are keyed and ordered deterministically
 regardless of worker count.
+
+Campaigns are fail-soft: every run's LLM sits behind a
+:class:`~repro.resilience.ResilientLLMClient` (retry/backoff + circuit
+breaker around the ``llm.chat`` fault-injection point), and the fan-out
+runs with ``on_error="collect"`` by default, so one poisoned run lands
+in :attr:`CampaignResult.failures` as a structured record while the
+rest of the campaign completes.  With no fault plan installed the
+wrapper is a pass-through and results are byte-identical to the
+pre-resilience behaviour.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.parallel import run_ordered
+from repro.parallel import TaskFailure, run_ordered
 
 from repro.core.knowledge import (
     get_component_tests,
@@ -28,6 +37,7 @@ from repro.core.pipeline import PipelineConfig, ReproductionPipeline
 from repro.core.prompts import PromptStyle
 from repro.core.simulated import SimulatedLLM
 from repro.core.validation import get_validator
+from repro.resilience import ResilientLLMClient, RetryPolicy
 
 #: A campaign run is identified by ``(paper_key, style value)``.  Tuple
 #: keys (not ``"paper/style"`` strings) so paper keys containing ``/``
@@ -37,9 +47,15 @@ RunKey = Tuple[str, str]
 
 @dataclass
 class CampaignResult:
-    """All reports of one campaign, keyed by ``(paper_key, style)``."""
+    """All reports of one campaign, keyed by ``(paper_key, style)``.
+
+    ``failures`` holds the runs that crashed outright (fail-soft mode):
+    structured :class:`~repro.parallel.TaskFailure` records, never
+    silently dropped slots -- a degraded campaign is visibly degraded.
+    """
 
     reports: Dict[RunKey, ReproductionReport] = field(default_factory=dict)
+    failures: Dict[RunKey, TaskFailure] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @staticmethod
@@ -54,7 +70,11 @@ class CampaignResult:
 
     @property
     def num_runs(self) -> int:
-        return len(self.reports)
+        return len(self.reports) + len(self.failures)
+
+    @property
+    def num_failed_runs(self) -> int:
+        return len(self.failures)
 
     @property
     def num_succeeded(self) -> int:
@@ -62,7 +82,7 @@ class CampaignResult:
 
     @property
     def success_rate(self) -> float:
-        if not self.reports:
+        if not self.num_runs:
             return 0.0
         return self.num_succeeded / self.num_runs
 
@@ -72,13 +92,21 @@ class CampaignResult:
         for (_, style), report in self.reports.items():
             entry = table.setdefault(style, {"ok": 0, "failed": 0})
             entry["ok" if report.succeeded else "failed"] += 1
+        for (_, style) in self.failures:
+            entry = table.setdefault(style, {"ok": 0, "failed": 0})
+            entry["failed"] += 1
         return table
 
-    def render(self) -> str:
+    def summary(self) -> str:
+        """Deterministic summary: no wall-clock, stable across reruns.
+
+        This is what the chaos determinism check compares byte-for-byte
+        between two runs with the same fault-plan seed.
+        """
         lines = [
             f"Campaign: {self.num_runs} runs, "
             f"{self.num_succeeded} succeeded "
-            f"({self.success_rate * 100:.0f}%) in {self.wall_seconds:.1f}s"
+            f"({self.success_rate * 100:.0f}%)"
         ]
         for key in sorted(self.reports):
             report = self.reports[key]
@@ -88,16 +116,40 @@ class CampaignResult:
                 f"words={report.total_prompt_words:<6} "
                 f"loc={report.reproduced_loc:<5} {status}"
             )
+        for key in sorted(self.failures):
+            failure = self.failures[key]
+            lines.append(
+                f"  {self.label(key):<32} CRASHED "
+                f"{failure.error}: {failure.message}"
+            )
         for style, counts in sorted(self.by_style().items()):
             lines.append(
                 f"  style {style}: {counts['ok']} ok / {counts['failed']} failed"
             )
+        if self.failures:
+            lines.append(
+                f"  degraded: {len(self.failures)} of {self.num_runs} runs "
+                "crashed and were collected as failure records"
+            )
         return "\n".join(lines)
 
+    def render(self) -> str:
+        header, _, rest = self.summary().partition("\n")
+        timed = f"{header} in {self.wall_seconds:.1f}s"
+        return f"{timed}\n{rest}" if rest else timed
 
-def _run_one(paper_key: str, style: PromptStyle, max_debug_rounds: int) -> ReproductionReport:
+
+def _run_one(
+    paper_key: str,
+    style: PromptStyle,
+    max_debug_rounds: int,
+    retry: Optional[RetryPolicy],
+) -> ReproductionReport:
     with obs.span("campaign.run", paper=paper_key, style=style.value):
-        llm = SimulatedLLM({paper_key: get_knowledge(paper_key)})
+        llm = ResilientLLMClient(
+            SimulatedLLM({paper_key: get_knowledge(paper_key)}),
+            policy=retry,
+        )
         pipeline = ReproductionPipeline(
             llm,
             get_paper_spec(paper_key),
@@ -117,12 +169,18 @@ def run_campaign(
     styles: Optional[List[PromptStyle]] = None,
     max_debug_rounds: int = 6,
     workers: int = 1,
+    on_error: str = "collect",
+    retry: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Run every (paper, style) combination through the pipeline.
 
     Each run builds its own LLM session and pipeline, so ``workers > 1``
     executes them concurrently; report insertion order and contents
-    match the serial run exactly.
+    match the serial run exactly.  ``on_error="collect"`` (the default)
+    turns a crashing run into a :class:`~repro.parallel.TaskFailure`
+    entry in :attr:`CampaignResult.failures`; ``"raise"`` restores
+    crash-the-campaign semantics.  ``retry`` tunes the per-run
+    :class:`~repro.resilience.RetryPolicy` (e.g. the CLI ``--retries``).
     """
     if styles is None:
         styles = [PromptStyle.MODULAR_PSEUDOCODE]
@@ -131,16 +189,21 @@ def run_campaign(
     with obs.span(
         "campaign", papers=len(paper_keys), styles=len(styles), workers=workers
     ) as sp:
-        reports = run_ordered(
+        outcomes = run_ordered(
             [
                 lambda paper_key=paper_key, style=style: _run_one(
-                    paper_key, style, max_debug_rounds
+                    paper_key, style, max_debug_rounds, retry
                 )
                 for paper_key, style in combos
             ],
             workers=workers,
+            on_error=on_error,
         )
-        for (paper_key, style), report in zip(combos, reports):
-            result.reports[CampaignResult.key(paper_key, style)] = report
+        for (paper_key, style), outcome in zip(combos, outcomes):
+            run_key = CampaignResult.key(paper_key, style)
+            if isinstance(outcome, TaskFailure):
+                result.failures[run_key] = outcome
+            else:
+                result.reports[run_key] = outcome
     result.wall_seconds = sp.duration
     return result

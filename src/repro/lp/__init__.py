@@ -22,7 +22,9 @@ from repro.lp.model import (
     ConstraintSense,
     InfeasibleError,
     LinExpr,
+    LPSolveError,
     Model,
+    RECOVERABLE_STATUSES,
     SolveResult,
     SolveStatus,
     Variable,
@@ -39,8 +41,10 @@ __all__ = [
     "FastLPBackend",
     "InfeasibleError",
     "LPBackend",
+    "LPSolveError",
     "LinExpr",
     "Model",
+    "RECOVERABLE_STATUSES",
     "SlowLPBackend",
     "SolveResult",
     "SolveStatus",

@@ -30,7 +30,7 @@ from repro.lp.model import (
 
 _STATUS_MAP = {
     0: SolveStatus.OPTIMAL,
-    1: SolveStatus.ERROR,  # iteration limit
+    1: SolveStatus.ITERATION_LIMIT,
     2: SolveStatus.INFEASIBLE,
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
@@ -48,6 +48,11 @@ class LPBackend:
     def _run_linprog(self, model: Model, method: str) -> SolveResult:
         from scipy.optimize import linprog
 
+        from repro.resilience import faults
+
+        injector = faults.active()
+        if injector is not None:
+            injector.maybe_fail("lp.solve", prefix=f"{self.name}|{model.name}")
         assembled = model.to_matrices()
         if assembled.cost.shape[0] == 0:
             return SolveResult(
@@ -138,12 +143,21 @@ class SlowLPBackend(LPBackend):
 
 
 def get_backend(name: str) -> LPBackend:
-    """Look up a backend by personality name (``"fast"`` or ``"slow"``)."""
+    """Look up a backend by personality name.
+
+    ``"fast"``/``"slow"`` are the two stock personalities;
+    ``"fallback"`` is the resilience chain ``fast -> slow``
+    (:class:`repro.resilience.FallbackLPBackend`).
+    """
     normalised = name.lower()
     if normalised in ("fast", "gurobi", "fast-highs"):
         return FastLPBackend()
     if normalised in ("slow", "pulp", "cbc", "slow-pulp"):
         return SlowLPBackend()
+    if normalised in ("fallback", "resilient"):
+        from repro.resilience.fallback import FallbackLPBackend
+
+        return FallbackLPBackend()
     raise KeyError(f"unknown LP backend {name!r}")
 
 

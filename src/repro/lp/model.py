@@ -30,11 +30,62 @@ class SolveStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
     ERROR = "error"
+
+
+#: Statuses a different backend might clear: numerical trouble and
+#: exhausted iteration budgets.  INFEASIBLE/UNBOUNDED are properties of
+#: the *model*, so retrying them elsewhere would only mask real bugs.
+RECOVERABLE_STATUSES = frozenset(
+    {SolveStatus.ERROR, SolveStatus.ITERATION_LIMIT}
+)
 
 
 class InfeasibleError(RuntimeError):
     """Raised by :meth:`Model.solve` when ``raise_on_infeasible`` is set."""
+
+
+class LPSolveError(RuntimeError):
+    """A solve ended non-OPTIMAL where the caller needs a real optimum.
+
+    Carries the model statistics a debugging session wants first:
+    status, model name, variable/constraint counts, backend, iterations.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: "SolveStatus" = None,
+        model_name: str = "",
+        backend_name: str = "",
+        num_vars: int = 0,
+        num_constraints: int = 0,
+        iterations: int = 0,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.model_name = model_name
+        self.backend_name = backend_name
+        self.num_vars = num_vars
+        self.num_constraints = num_constraints
+        self.iterations = iterations
+
+    @classmethod
+    def from_result(cls, model: "Model", result: "SolveResult") -> "LPSolveError":
+        return cls(
+            f"LP solve of {model.name!r} ended with status "
+            f"{result.status.value} "
+            f"({len(model.variables)} vars, {len(model.constraints)} "
+            f"constraints, backend {result.backend_name or 'default'}, "
+            f"{result.iterations} iterations)",
+            status=result.status,
+            model_name=model.name,
+            backend_name=result.backend_name,
+            num_vars=len(model.variables),
+            num_constraints=len(model.constraints),
+            iterations=result.iterations,
+        )
 
 
 @dataclass(frozen=True)
@@ -206,6 +257,18 @@ class SolveResult:
     @property
     def ok(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
+
+    def require_optimal(self, model: "Model") -> "SolveResult":
+        """This result, or :class:`LPSolveError` if it is not OPTIMAL.
+
+        Solver call sites chain this onto :meth:`Model.solve` so a
+        failed solve surfaces as a descriptive exception instead of the
+        NaN objective and all-zero variable values a non-OPTIMAL result
+        carries.
+        """
+        if self.status is SolveStatus.OPTIMAL:
+            return self
+        raise LPSolveError.from_result(model, self)
 
 
 class Model:

@@ -7,33 +7,146 @@ lifting inside each task is ``scipy.optimize.linprog``, which releases
 the GIL while HiGHS runs -- and they keep the process-wide tunnel cache
 and metrics registry shared, which is what makes repeated sweep points
 cheap.
+
+Failure handling is explicit (``on_error``):
+
+* ``"raise"`` (default) -- the first failing position's exception
+  propagates; its completion immediately cancels every not-yet-started
+  future, so a poisoned task cannot waste the rest of the pool.
+* ``"collect"`` -- every task runs; failing positions come back as
+  structured :class:`TaskFailure` records in place of results, which is
+  what fail-soft sweeps and campaigns build partial results from.
+
+Each task runs behind the ``parallel.task`` fault-injection point
+(keyed by task index, so an installed
+:class:`~repro.resilience.FaultPlan` injects the same schedule at any
+worker count).
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar, Union
 
 from repro import obs
 
 T = TypeVar("T")
 
+#: Marker returned by a worker that declined to start its task because
+#: an earlier task had already failed (``on_error="raise"`` only).
+_SKIPPED = object()
 
-def run_ordered(tasks: Sequence[Callable[[], T]], workers: int = 1) -> List[T]:
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed slot of a fail-soft ``run_ordered`` call."""
+
+    index: int
+    error: str    # exception class name
+    message: str
+
+    def __str__(self) -> str:
+        return f"task {self.index}: {self.error}: {self.message}"
+
+
+def _guarded(index: int, task: Callable[[], T]) -> T:
+    from repro.resilience import faults
+
+    injector = faults.active()
+    if injector is not None:
+        injector.maybe_fail("parallel.task", key=f"task{index}")
+    return task()
+
+
+def run_ordered(
+    tasks: Sequence[Callable[[], T]],
+    workers: int = 1,
+    on_error: str = "raise",
+) -> List[Union[T, TaskFailure]]:
     """Run every task, returning results in submission order.
 
     ``workers <= 1`` (or a single task) degrades to a plain serial loop
-    with no executor overhead.  A task that raises propagates its
-    exception at its position; later tasks may or may not have run.
+    with no executor overhead.  Under ``on_error="raise"`` a failing
+    task propagates its exception at its position and cancels every
+    future that has not started yet; under ``on_error="collect"`` the
+    returned list carries a :class:`TaskFailure` at each failed position
+    and real results everywhere else.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
     tasks = list(tasks)
     if workers == 1 or len(tasks) <= 1:
-        return [task() for task in tasks]
+        results: List[Union[T, TaskFailure]] = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(_guarded(index, task))
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                obs.metrics.counter("parallel.task_failures").inc()
+                results.append(
+                    TaskFailure(index, type(exc).__name__, str(exc))
+                )
+        return results
     with obs.span("parallel.run", workers=workers, tasks=len(tasks)):
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-worker"
         ) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            return [future.result() for future in futures]
+            futures = []
+            poisoned = threading.Event()
+
+            def run_or_skip(index, task):
+                # The flag is set in the failing worker thread *before*
+                # its exception propagates, so no worker can start a
+                # queued task after a failure it could have observed.
+                # Future cancellation alone races with submission.
+                if poisoned.is_set():
+                    return _SKIPPED
+                try:
+                    return _guarded(index, task)
+                except BaseException:
+                    poisoned.set()
+                    raise
+
+            def cancel_later(done_index):
+                def callback(future):
+                    if not future.cancelled() and future.exception() is not None:
+                        for later in futures[done_index + 1:]:
+                            later.cancel()
+                return callback
+
+            entry = run_or_skip if on_error == "raise" else _guarded
+            for index, task in enumerate(tasks):
+                future = pool.submit(entry, index, task)
+                if on_error == "raise":
+                    future.add_done_callback(cancel_later(index))
+                futures.append(future)
+
+            results = []
+            first_error = None
+            for index, future in enumerate(futures):
+                if future.cancelled():
+                    results.append(None)
+                    continue
+                exc = future.exception()  # waits for completion
+                if exc is None:
+                    value = future.result()
+                    results.append(None if value is _SKIPPED else value)
+                elif on_error == "raise":
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+                else:
+                    obs.metrics.counter("parallel.task_failures").inc()
+                    results.append(
+                        TaskFailure(index, type(exc).__name__, str(exc))
+                    )
+            if first_error is not None:
+                raise first_error
+            return results

@@ -1,0 +1,71 @@
+"""``repro.resilience`` -- fault injection and fault tolerance.
+
+The dependency-free chaos layer (ISSUE 3): reproduce the paper's core
+operational lesson -- an LLM-assisted workflow only works if it survives
+flaky components -- as infrastructure every layer shares:
+
+* :mod:`repro.resilience.faults` -- seed-driven :class:`FaultPlan` /
+  :class:`FaultInjector` with named injection points (``llm.chat``,
+  ``lp.solve``, ``parallel.task``, ``tunnel_cache.get``); same seed,
+  same faults.
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy` (bounded
+  attempts, exponential backoff with seeded jitter, deadline),
+  :class:`CircuitBreaker`, and :class:`ResilientLLMClient`, the
+  retrying wrapper over any :class:`~repro.core.llm.LLMClient`.
+* :mod:`repro.resilience.fallback` -- :class:`FallbackLPBackend`, an LP
+  backend chain that degrades from the fast personality to the slow one
+  without masking genuine infeasibility.
+
+``RESILIENCE_ERRORS`` is the exception tuple fail-soft layers (the
+pipeline, campaigns) catch to degrade instead of crash.
+"""
+
+from repro.resilience.errors import RESILIENCE_ERRORS
+from repro.resilience.faults import (
+    FaultError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRecord,
+    InjectedTimeout,
+    TransientFault,
+    active,
+    chaos,
+    install,
+    uninstall,
+)
+from repro.resilience.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientLLMClient,
+    RetryExhaustedError,
+    RetryPolicy,
+    corrupt_response,
+    default_retryable,
+    truncate_response,
+)
+from repro.resilience.fallback import FallbackLPBackend
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FallbackLPBackend",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "InjectedTimeout",
+    "RESILIENCE_ERRORS",
+    "ResilientLLMClient",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "TransientFault",
+    "active",
+    "chaos",
+    "corrupt_response",
+    "default_retryable",
+    "install",
+    "truncate_response",
+    "uninstall",
+]

@@ -1,0 +1,68 @@
+"""Fault kinds and the resilience exception hierarchy.
+
+A leaf module with no ``repro.core`` dependency, so fail-soft layers
+(the pipeline, campaigns) can import :data:`RESILIENCE_ERRORS` without
+pulling in :mod:`repro.resilience.retry` -- which imports the LLM types
+and would otherwise close an import cycle through ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault does at its site."""
+
+    TRANSIENT = "transient"  # raise a retryable TransientFault
+    TIMEOUT = "timeout"      # raise a retryable InjectedTimeout
+    TRUNCATE = "truncate"    # cut an LLM response short (no artifacts)
+    CORRUPT = "corrupt"      # garble a generated code artifact
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected failure."""
+
+    def __init__(self, site: str, key: str, kind: FaultKind):
+        self.site = site
+        self.key = key
+        self.kind = kind
+        super().__init__(
+            f"injected {kind.value} fault at {site} (key {key!r})"
+        )
+
+
+class TransientFault(FaultError):
+    """An injected failure that a retry is expected to clear."""
+
+    def __init__(self, site: str, key: str):
+        super().__init__(site, key, FaultKind.TRANSIENT)
+
+
+class InjectedTimeout(TransientFault):
+    """An injected timeout; transient, so also retryable."""
+
+    def __init__(self, site: str, key: str):
+        FaultError.__init__(self, site, key, FaultKind.TIMEOUT)
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt failed; ``__cause__`` is the last failure."""
+
+    def __init__(self, site: str, attempts: int, last: BaseException):
+        self.site = site
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"{site}: gave up after {attempts} attempt(s); "
+            f"last failure: {type(last).__name__}: {last}"
+        )
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+#: What a fail-soft caller catches: anything the resilience layer can
+#: throw once retries and fallbacks are exhausted.
+RESILIENCE_ERRORS = (FaultError, RetryExhaustedError, CircuitOpenError)

@@ -1,0 +1,88 @@
+"""LP backend fallback chains: try the fast path, degrade gracefully.
+
+:class:`FallbackLPBackend` wraps a primary backend plus any number of
+fallbacks.  A solve walks the chain until a backend returns a usable
+result: exceptions (including injected ``lp.solve`` faults) and
+*recoverable* statuses (:data:`~repro.lp.model.RECOVERABLE_STATUSES`:
+``ERROR``, ``ITERATION_LIMIT``) fall through to the next backend, while
+``OPTIMAL``, ``INFEASIBLE``, and ``UNBOUNDED`` return immediately --
+infeasibility is a property of the model, and retrying it on a slower
+solver would only mask a genuine modelling bug.
+
+The chain is itself an :class:`~repro.lp.backends.LPBackend`, so it
+injects anywhere a backend does: ``Model.solve(backend=...)``,
+``repro.te.registry.make_solver(name, backend="fallback")``, or the CLI
+``--lp-backend fallback``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.lp.backends import FastLPBackend, LPBackend, SlowLPBackend
+from repro.lp.model import (
+    Model,
+    RECOVERABLE_STATUSES,
+    SolveResult,
+)
+
+
+class FallbackLPBackend(LPBackend):
+    """Solve with ``primary``; fall through the ``fallbacks`` on failure.
+
+    With no arguments the chain is the two stock personalities,
+    ``FastLPBackend() -> SlowLPBackend()`` -- the "Gurobi died, shell
+    out to CBC" story.  Metrics: ``lp.fallback.used`` counts solves
+    rescued by a non-primary backend, ``lp.fallback.errors`` counts
+    backend attempts that raised, ``lp.fallback.exhausted`` counts
+    solves no backend could complete.
+    """
+
+    name = "fallback"
+
+    def __init__(self, primary: Optional[LPBackend] = None, *fallbacks: LPBackend):
+        if primary is None:
+            if fallbacks:
+                raise ValueError("fallbacks given without a primary backend")
+            chain: Sequence[LPBackend] = (FastLPBackend(), SlowLPBackend())
+        else:
+            chain = (primary, *fallbacks)
+        self.chain: List[LPBackend] = list(chain)
+        self.name = "fallback(" + ">".join(b.name for b in self.chain) + ")"
+
+    def solve(self, model: Model) -> SolveResult:
+        last_exc: Optional[BaseException] = None
+        last_result: Optional[SolveResult] = None
+        with obs.span(
+            "lp.fallback", model=model.name, chain=len(self.chain)
+        ) as sp:
+            for position, backend in enumerate(self.chain):
+                try:
+                    result = backend.solve(model)
+                except Exception as exc:
+                    last_exc = exc
+                    obs.metrics.counter("lp.fallback.errors").inc()
+                    continue
+                if result.status in RECOVERABLE_STATUSES:
+                    last_result = result
+                    continue
+                if position > 0:
+                    obs.metrics.counter("lp.fallback.used").inc()
+                    obs.metrics.counter(
+                        f"lp.fallback.used.{backend.name}"
+                    ).inc()
+                    sp.set(rescued_by=backend.name)
+                return result
+            sp.set(exhausted=True)
+        obs.metrics.counter("lp.fallback.exhausted").inc()
+        if last_result is not None:
+            # Every backend agreed the solve is broken (ERROR /
+            # ITERATION_LIMIT); hand the last result back so callers see
+            # the honest status (require_optimal turns it into a
+            # descriptive LPSolveError).
+            return last_result
+        raise RuntimeError(
+            f"all {len(self.chain)} LP backends failed for model "
+            f"{model.name!r}"
+        ) from last_exc

@@ -1,0 +1,276 @@
+"""Retry policies, circuit breaking, and the resilient LLM seam.
+
+:class:`RetryPolicy` is a reusable attempt loop: bounded attempts,
+exponential backoff with *seeded* jitter (deterministic per
+``(seed, key, attempt)``), an optional wall-clock deadline, and a
+retryable-exception predicate.  :class:`CircuitBreaker` trips after N
+consecutive failures and recovers after a fixed number of rejected
+calls -- counted in calls, not seconds, so chaos runs stay reproducible.
+
+:class:`ResilientLLMClient` wraps any :class:`~repro.core.llm.LLMClient`
+with both, plus the ``llm.chat`` fault-injection point: transient chat
+failures are retried with backoff, truncated responses degrade into a
+re-prompt, and repeated giveups open the breaker.  Everything reports
+through :mod:`repro.obs` (``llm.retries`` / ``llm.giveups`` /
+``breaker.open`` counters, ``resilience.retry`` spans).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro import obs
+from repro.core.llm import ChatSession, CodeArtifact, LLMClient, LLMResponse
+from repro.core.prompts import Prompt
+from repro.resilience.errors import (
+    CircuitOpenError,
+    FaultKind,
+    InjectedTimeout,
+    RetryExhaustedError,
+    TransientFault,
+)
+from repro.resilience.faults import active
+
+T = TypeVar("T")
+
+
+def default_retryable(exc: BaseException) -> bool:
+    """Transient by default: injected faults, timeouts, connection blips."""
+    return isinstance(
+        exc, (TransientFault, InjectedTimeout, TimeoutError, ConnectionError)
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a flaky call.
+
+    ``backoff_delay`` is ``base_delay * multiplier**(attempt-1)`` capped
+    at ``max_delay``, scaled by a jitter factor drawn deterministically
+    from ``(seed, key, attempt)`` in ``[1-jitter, 1+jitter)``.
+    ``deadline`` (seconds, optional) bounds the whole attempt loop.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+    seed: int = 0
+    retryable: Callable[[BaseException], bool] = default_retryable
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter <= 0.0 or delay <= 0.0:
+            return delay
+        digest = hashlib.blake2b(
+            f"{self.seed}|{key}|{attempt}".encode(), digest_size=8
+        ).digest()
+        unit = int.from_bytes(digest, "big") / 2**64
+        return delay * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        site: str = "retry",
+        key: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Run ``fn`` under this policy; raises :class:`RetryExhaustedError`
+        (from the last failure) when the budget runs out, or the failure
+        itself when it is not retryable."""
+        started = time.monotonic() if self.deadline is not None else 0.0
+        last: Optional[BaseException] = None
+        with obs.span("resilience.retry", site=site) as sp:
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    result = fn()
+                    sp.set(attempts=attempt)
+                    return result
+                except Exception as exc:
+                    last = exc
+                    if not self.retryable(exc):
+                        sp.set(attempts=attempt, gave_up="non-retryable")
+                        raise
+                    out_of_time = (
+                        self.deadline is not None
+                        and time.monotonic() - started >= self.deadline
+                    )
+                    if attempt >= self.max_attempts or out_of_time:
+                        break
+                    obs.metrics.counter("retries").inc()
+                    obs.metrics.counter(f"retries.{site}").inc()
+                    sleep(self.backoff_delay(attempt, key))
+            sp.set(attempts=self.max_attempts, gave_up=type(last).__name__)
+        raise RetryExhaustedError(site, self.max_attempts, last) from last
+
+
+class CircuitBreaker:
+    """Open after N consecutive failures; recover after K rejected calls.
+
+    The cooldown is counted in *rejected calls* rather than wall time so
+    breaker behaviour is a pure function of the call sequence -- the
+    property the chaos determinism tests rely on.  After ``cooldown``
+    rejections the next call runs as a half-open probe: success closes
+    the breaker, failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown: int = 3):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._open = False
+        self._rejected_since_open = 0
+
+    @property
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._open
+
+    def allow(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        with self._lock:
+            if not self._open:
+                return
+            if self._rejected_since_open >= self.cooldown:
+                # Half-open: let one probe through.
+                self._rejected_since_open = 0
+                return
+            self._rejected_since_open += 1
+        raise CircuitOpenError(
+            f"circuit breaker open after {self.failure_threshold} "
+            "consecutive failures"
+        )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._open = False
+            self._rejected_since_open = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                not self._open
+                and self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped:
+                self._open = True
+                self._rejected_since_open = 0
+        if tripped:
+            obs.metrics.counter("breaker.open").inc()
+
+
+# ----------------------------------------------------------------------
+# Response degradation (the fault kinds that need the response object)
+# ----------------------------------------------------------------------
+def truncate_response(response: LLMResponse) -> LLMResponse:
+    """An interrupted reply: half the prose, no artifacts, flagged."""
+    text = response.text[: max(1, len(response.text) // 2)]
+    return LLMResponse(text=text, artifacts=[], truncated=True)
+
+
+def corrupt_response(response: LLMResponse) -> LLMResponse:
+    """Garble every artifact the way a mangled code block would arrive."""
+    corrupted = [
+        CodeArtifact(
+            component=artifact.component,
+            language=artifact.language,
+            source=artifact.source[: len(artifact.source) // 2]
+            + "\n<<corrupted by fault injection>>\n",
+            revision=artifact.revision,
+        )
+        for artifact in response.artifacts
+    ]
+    return LLMResponse(text=response.text, artifacts=corrupted)
+
+
+class ResilientLLMClient(LLMClient):
+    """Retry/backoff/circuit-breaker wrapper over any :class:`LLMClient`.
+
+    With no fault plan installed and a healthy inner client this is a
+    pass-through: one inner call, identical response, no sleeps -- the
+    zero-fault path adds only the breaker check and one injector read.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._sleep = sleep
+        self.name = f"resilient({inner.name})"
+
+    def chat(self, session: ChatSession, prompt: Prompt) -> LLMResponse:
+        self.breaker.allow()
+        injector = active()
+        policy = self.policy
+        last: Optional[BaseException] = None
+        with obs.span(
+            "resilience.retry", site="llm.chat", session=session.name
+        ) as sp:
+            for attempt in range(1, policy.max_attempts + 1):
+                key = f"{session.name}|p{session.num_prompts}|a{attempt}"
+                try:
+                    kind = (
+                        injector.maybe_fail("llm.chat", key)
+                        if injector is not None
+                        else None
+                    )
+                    response = self.inner.chat(session, prompt)
+                except Exception as exc:
+                    last = exc
+                    if not policy.retryable(exc):
+                        sp.set(attempts=attempt, gave_up="non-retryable")
+                        self.breaker.record_failure()
+                        raise
+                    if attempt >= policy.max_attempts:
+                        break
+                    obs.metrics.counter("llm.retries").inc()
+                    self._sleep(policy.backoff_delay(attempt, key))
+                    continue
+                if kind is FaultKind.TRUNCATE:
+                    response = truncate_response(response)
+                    if attempt < policy.max_attempts:
+                        # Degrade the truncation into a re-prompt.
+                        obs.metrics.counter("llm.retries").inc()
+                        self._sleep(policy.backoff_delay(attempt, key))
+                        continue
+                    # Out of budget: hand back the truncated reply; the
+                    # pipeline records the component as failed.
+                elif kind is FaultKind.CORRUPT:
+                    response = corrupt_response(response)
+                sp.set(attempts=attempt)
+                self.breaker.record_success()
+                return response
+            sp.set(attempts=policy.max_attempts, gave_up=type(last).__name__)
+        obs.metrics.counter("llm.giveups").inc()
+        self.breaker.record_failure()
+        raise RetryExhaustedError("llm.chat", policy.max_attempts, last) from last

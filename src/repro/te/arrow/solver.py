@@ -91,15 +91,14 @@ class ArrowSolver:
                     )
 
             model.maximize(LinExpr.sum_of(admitted.values()))
-            result = model.solve(backend=self.backend)
+            result = model.solve(backend=self.backend).require_optimal(model)
 
             per_commodity: Dict[Tuple[str, str], float] = {}
-            if result.ok:
-                for key, var in admitted.items():
-                    per_commodity[key] = result.value_of(var)
+            for key, var in admitted.items():
+                per_commodity[key] = result.value_of(var)
             solution = TESolution(
                 solver=f"arrow-{self.variant}",
-                objective=result.objective if result.ok else 0.0,
+                objective=result.objective,
                 flow_per_commodity=per_commodity,
                 lp_count=1,
                 status=result.status.value,

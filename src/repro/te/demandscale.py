@@ -118,11 +118,16 @@ def scale_sweep(
     scales: List[float],
     workers: int = 1,
     backend=None,
+    on_error: str = "raise",
 ) -> List[ScalePoint]:
     """Run ``solver`` at each demand scale; returns one point per scale.
 
     ``workers > 1`` solves the points on a thread pool; the returned
     list is always in ``scales`` order, identical to a serial run.
+    ``on_error="collect"`` makes the sweep fail-soft: a raising sweep
+    point (an injected fault, an ``LPSolveError``) yields a structured
+    :class:`~repro.parallel.TaskFailure` at its position instead of
+    killing the whole sweep.
     """
     for scale in scales:
         if scale <= 0:
@@ -147,4 +152,5 @@ def scale_sweep(
         return run_ordered(
             [lambda scale=scale: point_at(scale) for scale in scales],
             workers=workers,
+            on_error=on_error,
         )

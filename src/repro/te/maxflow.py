@@ -62,15 +62,14 @@ def solve_max_flow(
             var for commodity_vars in flow_vars.values() for var in commodity_vars
         )
         model.maximize(total)
-        result = model.solve(backend=backend)
+        result = model.solve(backend=backend).require_optimal(model)
 
         per_commodity: Dict[Tuple[str, str], float] = {}
-        if result.ok:
-            for key, commodity_vars in flow_vars.items():
-                per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
+        for key, commodity_vars in flow_vars.items():
+            per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
         solution = TESolution(
             solver=f"pf{num_paths}",
-            objective=result.objective if result.ok else 0.0,
+            objective=result.objective,
             flow_per_commodity=per_commodity,
             lp_count=1,
             status=result.status.value,
@@ -121,15 +120,14 @@ def solve_max_flow_edge(
             if usage.coefs:
                 model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
         model.maximize(LinExpr.sum_of(var for _, var in delivered_vars))
-        result = model.solve(backend=backend)
+        result = model.solve(backend=backend).require_optimal(model)
 
         per_commodity: Dict[Tuple[str, str], float] = {}
-        if result.ok:
-            for key, var in delivered_vars:
-                per_commodity[key] = per_commodity.get(key, 0.0) + result.value_of(var)
+        for key, var in delivered_vars:
+            per_commodity[key] = per_commodity.get(key, 0.0) + result.value_of(var)
         solution = TESolution(
             solver="edge-maxflow",
-            objective=result.objective if result.ok else 0.0,
+            objective=result.objective,
             flow_per_commodity=per_commodity,
             lp_count=1,
             status=result.status.value,

@@ -70,15 +70,14 @@ def _solve_min_mlu(
         bound = usage - LinExpr({mlu.index: capacity})
         model.add_constraint(bound <= 0.0, name=f"util[{link_src}->{link_dst}]")
     model.minimize(LinExpr.from_term(mlu))
-    result = model.solve(backend=backend)
+    result = model.solve(backend=backend).require_optimal(model)
 
     per_commodity: Dict[Tuple[str, str], float] = {}
-    if result.ok:
-        for key, commodity_vars in flow_vars.items():
-            per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
+    for key, commodity_vars in flow_vars.items():
+        per_commodity[key] = sum(result.value_of(v) for v in commodity_vars)
     return TESolution(
         solver="min-mlu",
-        objective=result.objective if result.ok else float("inf"),
+        objective=result.objective,
         flow_per_commodity=per_commodity,
         lp_count=1,
         status=result.status.value,

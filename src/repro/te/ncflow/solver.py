@@ -358,13 +358,11 @@ class NCFlowSolver:
                 name=f"cap[{link_src}->{link_dst}]",
             )
         model.maximize(LinExpr.sum_of(all_vars))
-        result = model.solve(backend=self.backend)
+        result = model.solve(backend=self.backend).require_optimal(model)
         flows: Dict[Tuple[Bundle, int], Tuple[List[int], float]] = {}
-        objective = 0.0
-        if result.ok:
-            objective = result.objective
-            for key, (cluster_path, var) in path_vars.items():
-                flows[key] = (cluster_path, result.value_of(var))
+        objective = result.objective
+        for key, (cluster_path, var) in path_vars.items():
+            flows[key] = (cluster_path, result.value_of(var))
         return flows, objective
 
     # ------------------------------------------------------------------
@@ -498,30 +496,26 @@ class NCFlowSolver:
                 model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
 
         model.maximize(objective)
-        result = model.solve(backend=self.backend)
+        result = model.solve(backend=self.backend).require_optimal(model)
 
         seg_results: List[Tuple[_Segment, float, Dict[Edge, float]]] = []
         delivered_flow: Dict[Commodity, float] = {}
         intra_usage: Dict[Edge, float] = {}
-        if result.ok:
-            for segment, phi, flow_vars in seg_entries:
-                edge_flows = {
-                    e: result.value_of(var)
-                    for e, var in flow_vars.items()
-                    if result.value_of(var) > _EPS
-                }
-                seg_results.append((segment, result.value_of(phi), edge_flows))
-            for commodity, delivered, flow_vars in intra_entries:
-                delivered_flow[commodity] = (
-                    delivered_flow.get(commodity, 0.0) + result.value_of(delivered)
-                )
-                for e, var in flow_vars.items():
-                    value = result.value_of(var)
-                    if value > _EPS:
-                        intra_usage[e] = intra_usage.get(e, 0.0) + value
-        else:
-            for segment, _, _ in seg_entries:
-                seg_results.append((segment, 0.0, {}))
+        for segment, phi, flow_vars in seg_entries:
+            edge_flows = {
+                e: result.value_of(var)
+                for e, var in flow_vars.items()
+                if result.value_of(var) > _EPS
+            }
+            seg_results.append((segment, result.value_of(phi), edge_flows))
+        for commodity, delivered, flow_vars in intra_entries:
+            delivered_flow[commodity] = (
+                delivered_flow.get(commodity, 0.0) + result.value_of(delivered)
+            )
+            for e, var in flow_vars.items():
+                value = result.value_of(var)
+                if value > _EPS:
+                    intra_usage[e] = intra_usage.get(e, 0.0) + value
         return seg_results, delivered_flow, intra_usage
 
 

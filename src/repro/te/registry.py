@@ -151,6 +151,15 @@ def register(spec: SolverSpec, replace: bool = False) -> SolverSpec:
     return spec
 
 
+def unregister(name: str) -> SolverSpec:
+    """Remove and return a registered spec (tests registering probe
+    solvers clean up with ``try/finally: unregister(...)``)."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise UnknownSolverError(name, solver_names()) from None
+
+
 def solver_names() -> List[str]:
     """All registered solver names, sorted."""
     return sorted(_REGISTRY)

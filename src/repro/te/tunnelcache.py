@@ -80,6 +80,13 @@ class TunnelCache:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        from repro.resilience import faults
+
+        injector = faults.active()
+        if injector is not None:
+            injector.maybe_fail(
+                "tunnel_cache.get", prefix=f"{topology.name}|k{k}"
+            )
         key = self._key(topology, traffic, k)
         with self._lock:
             entry = self._entries.get(key)

@@ -49,6 +49,41 @@ class TestRunOrdered:
         with pytest.raises(RuntimeError, match="task failed"):
             run_ordered([lambda: 1, boom], workers=2)
 
+    def test_raising_task_cancels_not_yet_started_tasks(self):
+        # Regression: a raising task used to let every queued task run to
+        # completion before the exception propagated.  Now its completion
+        # cancels all later futures, so only tasks already running when
+        # the failure lands ever execute.
+        import threading
+        import time
+
+        barrier = threading.Barrier(2)
+        executed = []
+        lock = threading.Lock()
+
+        def boom():
+            barrier.wait(timeout=5)  # wait until the slow task is running
+            raise RuntimeError("poison")
+
+        def slow():
+            barrier.wait(timeout=5)
+            time.sleep(0.2)  # outlive the failure + cancellation sweep
+            with lock:
+                executed.append(1)
+            return 1
+
+        def late(index):
+            with lock:
+                executed.append(index)
+            return index
+
+        tasks = [boom, slow] + [lambda i=i: late(i) for i in range(2, 10)]
+        with pytest.raises(RuntimeError, match="poison"):
+            run_ordered(tasks, workers=2)
+        # Only the task that was already mid-flight finished; the eight
+        # queued tasks were cancelled before starting.
+        assert executed == [1]
+
 
 class TestParallelScaleSweep:
     scales = [0.25, 0.5, 1.0, 2.0, 4.0]
