@@ -4,55 +4,24 @@ APKeep's headline result is absorbing each rule update in microseconds.
 Measures the per-update latency distribution while replaying every
 dataset as an update stream, plus the incremental cost of a burst of
 inserts/removals after the build.
-"""
 
-import time
+The workload body is :func:`repro.bench.workloads.
+apkeep_update_latency_rows` -- the same update-stream replay and
+deterministic burst the ``apkeep.build`` / ``apkeep.update_burst``
+registry benchmarks time.
+"""
 
 from conftest import print_rows
 
-from repro.apkeep import APKeepVerifier
-from repro.netmodel.datasets import build_verification_dataset
-from repro.netmodel.headerspace import Prefix
-from repro.netmodel.rules import ForwardingRule
+from repro.bench.workloads import apkeep_update_latency_rows
 
 DATASETS = ["Internet2", "Stanford", "Purdue", "Airtel"]
 
 
-def _run_all():
-    rows = []
-    for name in DATASETS:
-        dataset = build_verification_dataset(name)
-        verifier = APKeepVerifier(dataset)
-        stats = verifier.update_latency_stats()
-
-        # Burst of post-build updates (insert + remove a /4 override on
-        # every device).
-        burst = []
-        for node in dataset.topology.nodes:
-            neighbors = dataset.topology.successors(node)
-            if not neighbors:
-                continue
-            rule = ForwardingRule(Prefix(0xF000, 4), neighbors[0], priority=99)
-            burst.append(("insert", node, rule))
-            burst.append(("remove", node, rule))
-        start = time.perf_counter()
-        verifier.batch_update(burst)
-        burst_seconds = time.perf_counter() - start
-        rows.append(
-            {
-                "name": name,
-                "updates": stats["count"],
-                "mean_us": stats["mean"] * 1e6,
-                "p99_us": stats["p99"] * 1e6,
-                "burst": len(burst),
-                "burst_us": burst_seconds / max(len(burst), 1) * 1e6,
-            }
-        )
-    return rows
-
-
 def test_bench_apkeep_update_latency(benchmark, capsys):
-    rows_data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows_data = benchmark.pedantic(
+        apkeep_update_latency_rows, args=(DATASETS,), rounds=1, iterations=1
+    )
 
     assert len(rows_data) == len(DATASETS)
     for row in rows_data:

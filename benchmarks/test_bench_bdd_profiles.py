@@ -5,77 +5,51 @@ slowdown: identical semantics, different constant factors between the
 JDD-style profile (specialised ops, persistent cache) and the
 JavaBDD-style profile (generic ITE, cache dropped per call, periodic
 sweeps).
-"""
 
-import time
+The workload itself lives in the ``repro.bench`` registry
+(``bdd.build_apply`` / ``bdd.javabdd_profile``); this file runs those
+registered specs through the same runner the ``repro bench`` CLI uses,
+so the paper-shape assertions here and the perf artifacts gate the
+identical code.
+"""
 
 from conftest import print_rows
 
-from repro.bdd import JDDEngine, JavaBDDEngine
-from repro.bdd.builder import prefix_to_bdd
-from repro.netmodel.headerspace import HEADER_BITS, Prefix
-
-
-def _workload(engine):
-    """A predicate-computation-shaped workload: build prefix BDDs at
-    mixed lengths and refine an accumulator through them repeatedly."""
-    prefixes = [
-        Prefix((value << 8) & 0xFF00, 8) for value in range(0, 256, 2)
-    ]
-    prefixes += [
-        Prefix((value << 6) & 0xFFC0, 10) for value in range(0, 512, 8)
-    ]
-    nodes = [prefix_to_bdd(engine, p) for p in prefixes]
-    acc = nodes[0]
-    for _ in range(3):
-        for node in nodes[1:]:
-            union = engine.or_(acc, node)
-            inter = engine.and_(acc, node)
-            acc = engine.diff(union, inter)
-    return engine.satcount(acc)
+from repro import bench
 
 
 def _compare():
-    jdd = JDDEngine(HEADER_BITS)
-    start = time.perf_counter()
-    jdd_result = _workload(jdd)
-    jdd_seconds = time.perf_counter() - start
-
-    javabdd = JavaBDDEngine(HEADER_BITS)
-    start = time.perf_counter()
-    javabdd_result = _workload(javabdd)
-    javabdd_seconds = time.perf_counter() - start
-    return (
-        jdd_result, jdd_seconds, jdd.stats(),
-        javabdd_result, javabdd_seconds, javabdd.stats(),
+    bench.discover()
+    jdd = bench.run_benchmark(bench.get_spec("bdd.build_apply"), repeat=3)
+    javabdd = bench.run_benchmark(
+        bench.get_spec("bdd.javabdd_profile"), repeat=3
     )
+    return jdd, javabdd
 
 
 def test_bench_bdd_profiles(benchmark, capsys):
-    (
-        jdd_result, jdd_seconds, jdd_stats,
-        javabdd_result, javabdd_seconds, javabdd_stats,
-    ) = benchmark.pedantic(_compare, rounds=3, iterations=1)
+    jdd, javabdd = benchmark.pedantic(_compare, rounds=1, iterations=1)
 
-    assert jdd_result == javabdd_result, "profiles must agree semantically"
-    assert javabdd_seconds > jdd_seconds, "JavaBDD profile must be slower"
+    assert jdd.meta["satcount"] == javabdd.meta["satcount"], (
+        "profiles must agree semantically"
+    )
+    assert javabdd.median_seconds > jdd.median_seconds, (
+        "JavaBDD profile must be slower"
+    )
 
-    ratio = javabdd_seconds / jdd_seconds
+    ratio = javabdd.median_seconds / jdd.median_seconds
     header = f"{'profile':<10} {'seconds':>9} {'result':>8} {'hit ratio':>10}"
     rows = [
-        f"{'jdd':<10} {jdd_seconds:>9.4f} {jdd_result:>8} "
-        f"{jdd_stats['cache_hit_ratio']:>10.3f}",
-        f"{'javabdd':<10} {javabdd_seconds:>9.4f} {javabdd_result:>8} "
-        f"{javabdd_stats['cache_hit_ratio']:>10.3f}",
+        f"{'jdd':<10} {jdd.median_seconds:>9.4f} {jdd.meta['satcount']:>8} "
+        f"{jdd.meta['cache_hit_ratio']:>10.3f}",
+        f"{'javabdd':<10} {javabdd.median_seconds:>9.4f} "
+        f"{javabdd.meta['satcount']:>8} "
+        f"{javabdd.meta['cache_hit_ratio']:>10.3f}",
         "",
         f"slowdown: {ratio:.1f}x (the paper attributes up to 20x of "
         "participant D's predicate time to this library choice)",
     ]
     print_rows(capsys, "BDD operation profiles", header, rows)
     benchmark.extra_info["slowdown"] = round(ratio, 2)
-    benchmark.extra_info["jdd_hit_ratio"] = round(
-        jdd_stats["cache_hit_ratio"], 3
-    )
-    benchmark.extra_info["javabdd_hit_ratio"] = round(
-        javabdd_stats["cache_hit_ratio"], 3
-    )
+    benchmark.extra_info["jdd_hit_ratio"] = jdd.meta["cache_hit_ratio"]
+    benchmark.extra_info["javabdd_hit_ratio"] = javabdd.meta["cache_hit_ratio"]

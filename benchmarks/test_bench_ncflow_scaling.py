@@ -5,58 +5,23 @@ system exists): the decomposition solves far fewer LP rows than the
 exact edge-formulation optimum while staying close on total flow.  Also
 ablates the partition quality (random vs structure-aware), a design
 choice DESIGN.md calls out.
-"""
 
-import time
+The workload body is :func:`repro.bench.workloads.ncflow_scaling_rows`
+-- the same solver invocations the ``te.*`` registry benchmarks time on
+their smoke instance, here scaled up to the four named instances.
+"""
 
 from conftest import print_rows
 
-from repro.netmodel.instances import make_te_instance
-from repro.te import solve_fleischer, solve_max_flow_edge
-from repro.te.ncflow import NCFlowSolver
+from repro.bench.workloads import ncflow_scaling_rows
 
 INSTANCES = ["Uninett2010", "Colt", "Cogentco", "Kdl"]
 
 
-def _run_all():
-    rows = []
-    for name in INSTANCES:
-        instance = make_te_instance(
-            name, max_commodities=300, total_demand_fraction=0.1
-        )
-        start = time.perf_counter()
-        exact = solve_max_flow_edge(instance.topology, instance.traffic)
-        exact_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        ncflow = NCFlowSolver().solve(instance.topology, instance.traffic)
-        ncflow_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        random_based = NCFlowSolver(partitioners=["random"]).solve(
-            instance.topology, instance.traffic
-        )
-        start = time.perf_counter()
-        fleischer = solve_fleischer(
-            instance.topology, instance.traffic, epsilon=0.2
-        )
-        fleischer_seconds = time.perf_counter() - start
-        rows.append(
-            {
-                "name": name,
-                "nodes": instance.topology.num_nodes,
-                "exact": exact.objective,
-                "exact_seconds": exact_seconds,
-                "ncflow": ncflow.objective,
-                "ncflow_seconds": ncflow_seconds,
-                "random": random_based.objective,
-                "fleischer": fleischer.objective,
-                "fleischer_seconds": fleischer_seconds,
-            }
-        )
-    return rows
-
-
 def test_bench_ncflow_scaling(benchmark, capsys):
-    rows_data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows_data = benchmark.pedantic(
+        ncflow_scaling_rows, args=(INSTANCES,), rounds=1, iterations=1
+    )
 
     for row in rows_data:
         assert row["ncflow"] <= row["exact"] * 1.001

@@ -6,41 +6,20 @@ solver satisfies.  PF4 (optimal within its path set) upper-bounds
 NCFlow everywhere; both sit at ~100% below the max feasible scale and
 roll off beyond it, with NCFlow's decomposition penalty appearing only
 under contention.
+
+The workload body is :func:`repro.bench.workloads.demand_scale_series`.
 """
 
 from conftest import print_rows
 
-from repro.netmodel.instances import make_te_instance
-from repro.te import max_feasible_scale, scale_sweep, solve_max_flow
-from repro.te.ncflow import NCFlowSolver
+from repro.bench.workloads import demand_scale_series
 
 SCALES = [0.25, 0.5, 1.0, 2.0, 4.0]
 
 
-def _run():
-    instance = make_te_instance(
-        "Colt", max_commodities=200, total_demand_fraction=0.05
-    )
-    feasible = max_feasible_scale(instance.topology, instance.traffic)
-    pf4_points = scale_sweep(
-        instance.topology,
-        instance.traffic,
-        lambda topo, tm: solve_max_flow(topo, tm),
-        SCALES,
-    )
-    solver = NCFlowSolver()
-    ncflow_points = scale_sweep(
-        instance.topology,
-        instance.traffic,
-        lambda topo, tm: solver.solve(topo, tm),
-        SCALES,
-    )
-    return feasible, pf4_points, ncflow_points
-
-
 def test_bench_scale_sweep(benchmark, capsys):
     feasible, pf4_points, ncflow_points = benchmark.pedantic(
-        _run, rounds=1, iterations=1
+        demand_scale_series, args=(SCALES,), rounds=1, iterations=1
     )
 
     assert feasible > 0

@@ -1,0 +1,101 @@
+"""``repro.bench`` -- the performance benchmark harness.
+
+The repo's north star is measured speed; this package is the measuring
+device.  Four dependency-free pieces:
+
+* :mod:`repro.bench.registry` -- the ``@benchmark`` workload registry
+  (:func:`discover` loads the built-in catalogue from
+  :mod:`repro.bench.workloads`: BDD build/apply, AP atoms, APKeep
+  incremental updates, every TE registry solver cold/warm, parallel
+  fan-out, simulated-LLM pipeline runs);
+* :mod:`repro.bench.runner` -- warmup + repeated timed iterations with
+  min/median/stddev and :mod:`repro.obs.metrics` counter deltas
+  attached to each :class:`BenchResult`;
+* :mod:`repro.bench.artifact` -- schema-versioned ``BENCH_<sha>.json``
+  artifacts (:func:`write_artifact` / :func:`read_artifact`);
+* :mod:`repro.bench.compare` -- the regression comparator that diffs
+  two artifacts and fails the gate on configurable thresholds.
+
+Typical use is the CLI (``python -m repro bench --save`` then later
+``python -m repro bench --baseline BENCH_<sha>.json``), but everything
+is callable::
+
+    from repro import bench
+
+    bench.discover()
+    results = bench.run_benchmarks(bench.select("bdd"), repeat=3)
+    bench.write_artifact("BENCH_dev.json", results)
+    report = bench.compare_artifacts(
+        bench.read_artifact("BENCH_base.json"),
+        bench.read_artifact("BENCH_dev.json"),
+    )
+    assert report.ok, report.render()
+"""
+
+from repro.bench.artifact import (
+    SCHEMA,
+    ArtifactError,
+    build_artifact,
+    default_artifact_path,
+    git_sha,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.compare import (
+    ComparisonReport,
+    Delta,
+    Thresholds,
+    compare_artifacts,
+)
+from repro.bench.registry import (
+    LAYERS,
+    BenchmarkSpec,
+    UnknownBenchmarkError,
+    benchmark,
+    benchmark_names,
+    discover,
+    get_spec,
+    register,
+    render_table,
+    select,
+    unregister,
+)
+from repro.bench.runner import (
+    BenchResult,
+    metric_delta,
+    render_results,
+    run_benchmark,
+    run_benchmarks,
+)
+
+__all__ = [
+    "ArtifactError",
+    "BenchResult",
+    "BenchmarkSpec",
+    "ComparisonReport",
+    "Delta",
+    "LAYERS",
+    "SCHEMA",
+    "Thresholds",
+    "UnknownBenchmarkError",
+    "benchmark",
+    "benchmark_names",
+    "build_artifact",
+    "compare_artifacts",
+    "default_artifact_path",
+    "discover",
+    "get_spec",
+    "git_sha",
+    "metric_delta",
+    "read_artifact",
+    "register",
+    "render_results",
+    "render_table",
+    "run_benchmark",
+    "run_benchmarks",
+    "select",
+    "unregister",
+    "validate_artifact",
+    "write_artifact",
+]

@@ -19,7 +19,11 @@ explore the reproduction without writing code:
 * ``analyze``      -- comparative discrepancy analysis of a reproduced
   system against its reference prototype;
 * ``paperdoc``     -- render a paper's structured document;
-* ``trace-view``   -- render a ``--trace`` JSONL file as a span tree.
+* ``trace-view``   -- render a ``--trace`` JSONL file as a span tree;
+* ``bench``        -- run the performance benchmark harness
+  (``--filter``/``--repeat``/``--save``/``--baseline``), list the
+  workload catalogue (``--list``), or diff two saved artifacts
+  (``--compare``) with regression gating.
 
 Every command accepts the global flags ``--trace FILE`` (record obs
 spans; ``.json`` gets Chrome trace_event format, anything else JSON
@@ -195,6 +199,54 @@ def build_parser() -> argparse.ArgumentParser:
     trace_view.add_argument(
         "--no-meta", action="store_true",
         help="hide span metadata (names and times only)",
+    )
+
+    bench = add_parser(
+        "bench", help="run the performance benchmark harness"
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benchmarks",
+        help="list the workload catalogue and exit",
+    )
+    bench.add_argument(
+        "--filter", metavar="EXPR", default=None,
+        help="comma-separated needles matched against benchmark "
+             "name/layer/tags (e.g. 'bdd', 'te-warm', 'pf4')",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="timed iterations per benchmark (default: each spec's own)",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="untimed warmup iterations per benchmark (default 1)",
+    )
+    bench.add_argument(
+        "--save", nargs="?", const="", default=None, metavar="PATH",
+        help="write a BENCH_<git-sha>.json artifact "
+             "(PATH omitted = default name in the current directory)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="ARTIFACT", default=None,
+        help="after running, compare against a saved artifact and exit "
+             "nonzero on regressions",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"), default=None,
+        help="compare two saved artifacts without running anything",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=1.5, metavar="RATIO",
+        help="slowdown ratio that fails the gate (default 1.5)",
+    )
+    bench.add_argument(
+        "--min-seconds", type=float, default=0.002, metavar="S",
+        help="ignore benchmarks faster than this on both sides "
+             "(default 0.002)",
+    )
+    bench.add_argument(
+        "--stat", choices=["min", "median", "mean"], default="median",
+        help="statistic the comparison ratio uses (default median)",
     )
     return parser
 
@@ -533,6 +585,62 @@ def cmd_trace_view(args, out) -> int:
     return 0
 
 
+def cmd_bench(args, out) -> int:
+    from repro import bench
+
+    thresholds = bench.Thresholds(
+        ratio=args.threshold, min_seconds=args.min_seconds, stat=args.stat
+    )
+
+    def gate(baseline, current) -> int:
+        report = bench.compare_artifacts(baseline, current, thresholds)
+        out.write(report.render() + "\n")
+        return 0 if report.ok else 1
+
+    if args.compare:
+        try:
+            baseline = bench.read_artifact(args.compare[0])
+            current = bench.read_artifact(args.compare[1])
+        except (OSError, bench.ArtifactError) as exc:
+            out.write(f"error: {exc}\n")
+            return 2
+        return gate(baseline, current)
+
+    bench.discover()
+    specs = bench.select(args.filter)
+    if args.list_benchmarks:
+        out.write(bench.render_table(specs) + "\n")
+        return 0
+    if not specs:
+        out.write(
+            f"error: no benchmarks match {args.filter!r} "
+            f"(try 'repro bench --list')\n"
+        )
+        return 2
+    results = bench.run_benchmarks(
+        specs, repeat=args.repeat, warmup=args.warmup
+    )
+    out.write(bench.render_results(results) + "\n")
+    profile = {
+        "repeat": args.repeat,
+        "warmup": args.warmup,
+        "filter": args.filter,
+    }
+    if args.save is not None:
+        path = args.save or bench.default_artifact_path()
+        written = bench.write_artifact(path, results, profile=profile)
+        out.write(f"artifact: wrote {len(results)} benchmarks to {written}\n")
+    if args.baseline:
+        try:
+            baseline = bench.read_artifact(args.baseline)
+        except (OSError, bench.ArtifactError) as exc:
+            out.write(f"error: {exc}\n")
+            return 2
+        current = bench.build_artifact(results, profile=profile)
+        return gate(baseline, current)
+    return 0
+
+
 _COMMANDS = {
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
@@ -547,6 +655,7 @@ _COMMANDS = {
     "export": cmd_export,
     "diff": cmd_diff,
     "trace-view": cmd_trace_view,
+    "bench": cmd_bench,
 }
 
 

@@ -52,6 +52,13 @@ class FallbackLPBackend(LPBackend):
         self.name = "fallback(" + ">".join(b.name for b in self.chain) + ")"
 
     def solve(self, model: Model) -> SolveResult:
+        """Walk the chain until a backend returns a usable result.
+
+        Exceptions and *recoverable* statuses fall through to the next
+        backend; OPTIMAL/INFEASIBLE/UNBOUNDED return immediately (an
+        infeasible model is a model property, never masked).  Raises
+        the last error when every backend is exhausted.
+        """
         last_exc: Optional[BaseException] = None
         last_result: Optional[SolveResult] = None
         with obs.span(

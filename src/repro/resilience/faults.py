@@ -137,6 +137,7 @@ class FaultPlan:
         return cls(seed=seed, rate=rate, sites=sites, kinds=kinds)
 
     def describe(self) -> str:
+        """The plan as its parseable spec string (``seed=...,rate=...``)."""
         parts = [f"seed={self.seed}", f"rate={self.rate:g}"]
         if self.sites:
             parts.append("sites=" + "+".join(self.sites))
@@ -145,9 +146,12 @@ class FaultPlan:
         return ",".join(parts)
 
     def covers(self, site: str) -> bool:
+        """Whether this plan injects at ``site`` (no sites = all sites)."""
         return not self.sites or site in self.sites
 
     def kinds_at(self, site: str) -> Tuple[FaultKind, ...]:
+        """Fault kinds the plan may inject at ``site``: the site's
+        supported kinds intersected with the plan's ``kinds`` filter."""
         supported = SITE_KINDS.get(site, ())
         if not self.kinds:
             return supported
@@ -242,6 +246,7 @@ class FaultInjector:
         return kind
 
     def records(self) -> List[FaultRecord]:
+        """Every injected fault so far, in injection order (a copy)."""
         with self._lock:
             return list(self._records)
 

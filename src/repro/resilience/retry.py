@@ -164,12 +164,14 @@ class CircuitBreaker:
         )
 
     def record_success(self) -> None:
+        """Reset the failure streak and close the breaker."""
         with self._lock:
             self._consecutive_failures = 0
             self._open = False
             self._rejected_since_open = 0
 
     def record_failure(self) -> None:
+        """Count one failure; trips the breaker at the threshold."""
         with self._lock:
             self._consecutive_failures += 1
             tripped = (
@@ -229,6 +231,11 @@ class ResilientLLMClient(LLMClient):
         self.name = f"resilient({inner.name})"
 
     def chat(self, session: ChatSession, prompt: Prompt) -> LLMResponse:
+        """Chat with retries: transient failures back off and re-try,
+        truncated replies become a re-prompt while attempts remain, and
+        an exhausted budget raises ``RetryExhaustedError`` toward the
+        circuit breaker.
+        """
         self.breaker.allow()
         injector = active()
         policy = self.policy

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docstring-coverage lint for the packages that document the contract.
+
+Walks the given source trees and requires a docstring on:
+
+* every module;
+* every public class and public function/method (name not starting
+  with ``_``), including public methods of public classes.
+
+``@property`` getters, ``__init__``, and anything underscore-prefixed
+are exempt -- the class docstring carries their contract.  Overridden
+methods are NOT exempt: a subclass that re-specifies behaviour should
+say how.
+
+Usage::
+
+    python tools/check_docstrings.py                 # the enforced set
+    python tools/check_docstrings.py src/repro/te    # any tree
+
+Exit status is the number of missing docstrings (0 = clean), so CI can
+gate on it directly.  The enforced default set is ``src/repro/bench``
+and ``src/repro/resilience``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Trees linted when no arguments are given (the CI-enforced set).
+DEFAULT_TREES = ("src/repro/bench", "src/repro/resilience")
+
+#: Decorator names whose presence exempts a function from the lint.
+EXEMPT_DECORATORS = {"property", "cached_property", "overload"}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Best-effort dotted-name tail of a decorator expression."""
+    while isinstance(node, ast.Call):
+        node = node.func
+    while isinstance(node, ast.Attribute):
+        node = node.attr if isinstance(node.attr, ast.expr) else node.attr
+        if isinstance(node, str):
+            return node
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+def _is_public(name: str) -> bool:
+    """Public means no leading underscore (dunders are not public)."""
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, qualified name)`` for every lint finding in a file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield 1, "<module>"
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(child.name):
+                    continue
+                decorators = {
+                    _decorator_name(d) for d in child.decorator_list
+                }
+                if decorators & EXEMPT_DECORATORS:
+                    continue
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, f"{prefix}{child.name}"
+            elif isinstance(child, ast.ClassDef):
+                if not _is_public(child.name):
+                    continue
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, f"{prefix}{child.name}"
+                yield from walk(child, f"{prefix}{child.name}.")
+
+    yield from walk(tree, "")
+
+
+def lint_trees(trees: List[str]) -> List[str]:
+    """Lint every ``.py`` file under each tree; returns finding lines."""
+    findings = []
+    for tree in trees:
+        root = Path(tree)
+        if not root.exists():
+            findings.append(f"{tree}: tree does not exist")
+            continue
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            for lineno, name in missing_docstrings(path):
+                findings.append(f"{path}:{lineno}: missing docstring: {name}")
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the number of findings."""
+    trees = argv or list(DEFAULT_TREES)
+    findings = lint_trees(trees)
+    for line in findings:
+        print(line)
+    if findings:
+        print(f"{len(findings)} missing docstring(s) in: {', '.join(trees)}")
+    else:
+        print(f"docstring coverage ok: {', '.join(trees)}")
+    return len(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

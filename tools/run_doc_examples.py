@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Execute the example commands in the documentation, as written.
+
+Documentation drifts when flags are renamed or outputs change shape;
+this tool makes the docs' examples executable artifacts instead of
+prose.  For every markdown file given (default: ``docs/*.md``):
+
+* ```` ```bash ```` blocks run under ``bash -e``, in file order, in a
+  per-file scratch directory seeded with symlinks to the repo's
+  top-level entries -- so relative paths (``benchmarks/``, ``docs/``)
+  resolve while artifacts the examples write (``run.jsonl``,
+  ``results/``, ``BENCH_*.json``) land in the scratch area, not the
+  checkout.  Blocks in one file share the scratch directory, so a later
+  block may consume an earlier block's output (e.g. ``trace-view`` on a
+  just-recorded trace).
+* ```` ```python ```` blocks are always compiled (syntax-checked).  A
+  file that opts in with a ``<!-- doc-examples: exec-python -->``
+  marker additionally has its python blocks *executed* sequentially in
+  one shared namespace, tutorial-style.  Reference docs whose snippets
+  are intentionally fragmentary stay compile-only.
+* untagged / other-language fences (rendered output, tables) are ignored.
+
+Usage::
+
+    python tools/run_doc_examples.py                  # all of docs/*.md
+    python tools/run_doc_examples.py docs/TUTORIAL.md
+    python tools/run_doc_examples.py --fast           # skip pytest blocks
+
+``--fast`` skips bash blocks that invoke ``pytest`` (the benchmark
+suites take minutes; CI smoke wants seconds).  Exit status is the
+number of failing blocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXEC_PYTHON_MARKER = "<!-- doc-examples: exec-python -->"
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+@dataclass
+class Block:
+    """One fenced code block: where it is, what language, its body."""
+
+    path: Path
+    lineno: int
+    language: str
+    body: str
+
+    @property
+    def label(self) -> str:
+        """``file:line`` anchor for reports."""
+        return f"{self.path}:{self.lineno}"
+
+
+def extract_blocks(path: Path) -> List[Block]:
+    """All fenced blocks of a markdown file, in document order."""
+    blocks: List[Block] = []
+    language = None
+    body: List[str] = []
+    start = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match and language is None:
+            language = match.group(1)
+            body = []
+            start = lineno
+        elif line.strip() == "```" and language is not None:
+            blocks.append(Block(path, start, language, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    return blocks
+
+
+def make_scratch_dir(base: Path) -> Path:
+    """A scratch cwd wired to the repo: symlink every top-level entry."""
+    scratch = Path(tempfile.mkdtemp(prefix="doc-examples-", dir=base))
+    for entry in REPO_ROOT.iterdir():
+        if entry.name.startswith(".") or entry.name.startswith("BENCH_"):
+            continue
+        (scratch / entry.name).symlink_to(entry)
+    return scratch
+
+
+def run_bash_block(block: Block, cwd: Path, timeout: float) -> str:
+    """Run one bash block; returns "" on success, the failure otherwise."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}:{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH") else str(REPO_ROOT / "src")
+    )
+    try:
+        proc = subprocess.run(
+            ["bash", "-e"], input=block.body, text=True, cwd=cwd, env=env,
+            capture_output=True, timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return f"{block.label}: bash block timed out after {timeout:g}s"
+    if proc.returncode != 0:
+        tail = "\n".join(
+            (proc.stdout + proc.stderr).splitlines()[-15:]
+        )
+        return (
+            f"{block.label}: bash block exited {proc.returncode}\n{tail}"
+        )
+    return ""
+
+
+def check_python_block(block: Block, namespace: dict, execute: bool) -> str:
+    """Compile (and optionally exec) one python block; "" on success."""
+    try:
+        code = compile(block.body, str(block.path), "exec")
+    except SyntaxError as exc:
+        return f"{block.label}: python block does not compile: {exc}"
+    if not execute:
+        return ""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(code, namespace)
+    except Exception as exc:  # noqa: BLE001 - report any example failure
+        return f"{block.label}: python block raised {type(exc).__name__}: {exc}"
+    finally:
+        sys.path.remove(str(REPO_ROOT / "src"))
+    return ""
+
+
+def check_file(path: Path, fast: bool, timeout: float) -> List[str]:
+    """Run every example block of one docs file; returns failures."""
+    text = path.read_text()
+    exec_python = EXEC_PYTHON_MARKER in text
+    blocks = extract_blocks(path)
+    failures: List[str] = []
+    namespace: dict = {"__name__": f"doc_examples_{path.stem}"}
+    with tempfile.TemporaryDirectory(prefix="doc-scratch-") as base:
+        scratch = make_scratch_dir(Path(base))
+        for block in blocks:
+            if block.language == "bash":
+                if fast and "pytest" in block.body:
+                    print(f"  skip (pytest, --fast)  {block.label}")
+                    continue
+                error = run_bash_block(block, scratch, timeout)
+            elif block.language == "python":
+                error = check_python_block(block, namespace, exec_python)
+            else:
+                continue
+            verb = {
+                "bash": "ran",
+                "python": "executed" if exec_python else "compiled",
+            }[block.language]
+            if error:
+                failures.append(error)
+                print(f"  FAIL                   {block.label}")
+            else:
+                print(f"  {verb:<22} {block.label}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the number of failing blocks."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        default=sorted((REPO_ROOT / "docs").glob("*.md")),
+        help="markdown files to check (default: docs/*.md)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip bash blocks that invoke pytest",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=900.0, metavar="S",
+        help="per-block timeout in seconds (default 900)",
+    )
+    args = parser.parse_args(argv)
+    failures: List[str] = []
+    for path in args.files:
+        print(f"{path}:")
+        failures.extend(check_file(path, args.fast, args.timeout))
+    if failures:
+        print(f"\n{len(failures)} failing example block(s):")
+        for failure in failures:
+            print(failure)
+    else:
+        print("\nall documentation examples ok")
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
