@@ -37,6 +37,7 @@ from repro.bench.artifact import (
     ArtifactError,
     build_artifact,
     default_artifact_path,
+    find_latest_artifact,
     git_sha,
     read_artifact,
     validate_artifact,
@@ -85,6 +86,7 @@ __all__ = [
     "compare_artifacts",
     "default_artifact_path",
     "discover",
+    "find_latest_artifact",
     "get_spec",
     "git_sha",
     "metric_delta",

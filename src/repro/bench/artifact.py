@@ -32,6 +32,7 @@ Layout::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -77,6 +78,34 @@ def default_artifact_path(directory: Union[str, Path] = ".") -> Path:
     return Path(directory) / f"BENCH_{git_sha()}.json"
 
 
+def find_latest_artifact(directory: Union[str, Path] = ".") -> Path:
+    """The newest ``BENCH_*.json`` in ``directory``.
+
+    "Newest" is each artifact's own ``created_unix`` stamp (what the
+    writer recorded), falling back to file mtime for artifacts that do
+    not parse.  This is what ``repro bench --baseline`` (no path) and
+    ``--compare`` (one path) resolve against; raises
+    :class:`ArtifactError` when the directory has no candidates, so the
+    caller can say "save a baseline first" instead of mis-comparing.
+    """
+    directory = Path(directory)
+    candidates = sorted(directory.glob("BENCH_*.json"))
+    if not candidates:
+        raise ArtifactError(
+            f"no BENCH_*.json artifact found in {directory.resolve()}; "
+            "save one first with 'repro bench --save'"
+        )
+
+    def freshness(path: Path) -> float:
+        try:
+            artifact = json.loads(path.read_text())
+            return float(artifact["created_unix"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return path.stat().st_mtime
+
+    return max(candidates, key=freshness)
+
+
 def build_artifact(
     results: List[BenchResult],
     profile: Optional[Dict[str, object]] = None,
@@ -113,10 +142,18 @@ def write_artifact(
     results: List[BenchResult],
     profile: Optional[Dict[str, object]] = None,
 ) -> Path:
-    """Write ``results`` as an artifact at ``path``; returns the path."""
+    """Write ``results`` as an artifact at ``path``; returns the path.
+
+    The write is atomic (same-directory temporary file published with
+    :func:`os.replace`): a bench run killed mid-write can never leave a
+    truncated ``BENCH_*.json`` where the comparator -- or
+    :func:`find_latest_artifact` -- would trip over it.
+    """
     path = Path(path)
     artifact = build_artifact(results, profile=profile)
-    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path
 
 

@@ -413,6 +413,75 @@ def demand_scale_series(
 
 
 # ----------------------------------------------------------------------
+# Store layer: the persistent tier, cold vs warm.  The pair quantifies
+# what the disk store buys: ``cold`` pays Yen's algorithm plus the
+# write-through; ``warm`` starts every iteration with an empty memory
+# cache and a populated store, so it pays only the verified disk read.
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _bench_store(variant: str):
+    """A scratch :class:`repro.store.ArtifactStore` per workload variant.
+
+    Lives under the system temp directory: bench runs must never write
+    into (or read from) a store the user actually operates.
+    """
+    import tempfile
+
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(
+        tempfile.mkdtemp(prefix=f"repro-bench-store-{variant}-")
+    )
+
+
+def _store_tunnel_lookup(variant: str) -> Dict[str, object]:
+    """One tunnel lookup through a fresh memory cache + the variant's store."""
+    from repro.te.tunnelcache import TunnelCache
+
+    instance = _te_instance()
+    cache = TunnelCache(store=_bench_store(variant))
+    tunnels = cache.lookup(instance.topology, instance.traffic, 4)
+    return {"commodities": len(tunnels)}
+
+
+@benchmark(
+    "store.tunnels.cold", layer="store",
+    description=f"tunnel lookup, empty store: Yen + write-through, {TE_INSTANCE}",
+    pre_iteration=lambda: _bench_store("cold").clear(),
+    tags=("store-cold",),
+)
+def bench_store_tunnels_cold() -> Dict[str, object]:
+    """The store's write path: compute tunnels, persist them atomically."""
+    return _store_tunnel_lookup("cold")
+
+
+@benchmark(
+    "store.tunnels.warm", layer="store",
+    description=f"tunnel lookup, populated store: verified read, {TE_INSTANCE}",
+    setup=lambda: _store_tunnel_lookup("warm"),
+    tags=("store-warm",),
+)
+def bench_store_tunnels_warm() -> Dict[str, object]:
+    """The store's read path: integrity-verified disk hit, no Yen."""
+    return _store_tunnel_lookup("warm")
+
+
+@benchmark(
+    "store.put_get", layer="store",
+    description="artifact put + verified get round-trip, 64-entry payload",
+)
+def bench_store_put_get() -> Dict[str, object]:
+    """Raw store overhead: canonical encode, digest, write, verified read."""
+    store = _bench_store("roundtrip")
+    payload = [
+        [f"n{i}", f"m{i}", [[f"n{i}", "via", f"m{i}"]]] for i in range(64)
+    ]
+    store.put("bench/roundtrip", payload)
+    got = store.get("bench/roundtrip")
+    return {"entries": len(got)}
+
+
+# ----------------------------------------------------------------------
 # Parallel layer
 # ----------------------------------------------------------------------
 _FANOUT_TASKS = 16

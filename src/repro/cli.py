@@ -23,7 +23,11 @@ explore the reproduction without writing code:
 * ``bench``        -- run the performance benchmark harness
   (``--filter``/``--repeat``/``--save``/``--baseline``), list the
   workload catalogue (``--list``), or diff two saved artifacts
-  (``--compare``) with regression gating.
+  (``--compare``) with regression gating; ``--baseline`` with no path
+  (or ``--compare`` with one) auto-discovers the newest committed
+  ``BENCH_*.json``;
+* ``store``        -- inspect and maintain a persistent artifact store
+  (``ls``/``stats``/``verify``/``gc``/``clear``).
 
 Every command accepts the global flags ``--trace FILE`` (record obs
 spans; ``.json`` gets Chrome trace_event format, anything else JSON
@@ -33,6 +37,12 @@ fault-injection plan for the duration of the command, e.g.
 ``--fault-plan rate=0.2,seed=7``), ``--retries N`` (max attempts for
 the LLM retry policy in fail-soft runs) and ``--on-error
 {raise,collect}`` (fan-out failure policy for sweeps and campaigns).
+
+``--store DIR`` (also global) installs a persistent artifact store for
+the duration of the command: tunnel-cache entries are written through
+to disk (a second process starts warm), campaign runs are checkpointed
+(``campaign --resume`` skips the completed ones), and the ``store``
+subcommand manages the same directory.
 """
 
 from __future__ import annotations
@@ -73,6 +83,11 @@ def _observability_flags() -> argparse.ArgumentParser:
         help="fan-out failure policy for --sweep and campaign runs "
              "(collect = fail-soft with structured failure records)",
     )
+    common.add_argument(
+        "--store", metavar="DIR", default=argparse.SUPPRESS,
+        help="persistent artifact store directory: tunnel-cache entries "
+             "and campaign checkpoints survive the process",
+    )
     return common
 
 
@@ -108,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1,
         help="worker threads for the (paper, style) runs",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip runs already checkpointed in the --store directory "
+             "and execute only the missing ones",
     )
 
     participant = add_parser("participant", help="run one participant")
@@ -227,13 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(PATH omitted = default name in the current directory)",
     )
     bench.add_argument(
-        "--baseline", metavar="ARTIFACT", default=None,
+        "--baseline", nargs="?", const="", metavar="ARTIFACT", default=None,
         help="after running, compare against a saved artifact and exit "
-             "nonzero on regressions",
+             "nonzero on regressions (no path: the newest BENCH_*.json "
+             "in the current directory)",
     )
     bench.add_argument(
-        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"), default=None,
-        help="compare two saved artifacts without running anything",
+        "--compare", nargs="+", metavar="ARTIFACT", default=None,
+        help="compare two saved artifacts without running anything "
+             "(one path: it is CURRENT, the baseline is the newest "
+             "BENCH_*.json in the current directory)",
     )
     bench.add_argument(
         "--threshold", type=float, default=1.5, metavar="RATIO",
@@ -247,6 +270,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--stat", choices=["min", "median", "mean"], default="median",
         help="statistic the comparison ratio uses (default median)",
+    )
+
+    store = add_parser(
+        "store", help="inspect and maintain a persistent artifact store"
+    )
+    store.add_argument(
+        "action", choices=["ls", "stats", "verify", "gc", "clear"],
+        help="ls = list entries, stats = counters and size, verify = "
+             "integrity-check every entry, gc = evict LRU entries over "
+             "the byte budget, clear = remove everything",
+    )
+    store.add_argument(
+        "path", nargs="?", default=None,
+        help="store directory (defaults to the global --store flag)",
+    )
+    store.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="byte budget for gc (default 256 MiB)",
+    )
+    store.add_argument(
+        "--repair", action="store_true",
+        help="with verify: delete the entries that fail the check",
     )
     return parser
 
@@ -272,10 +317,19 @@ def cmd_experiment(args, out) -> int:
 
 
 def cmd_campaign(args, out) -> int:
+    from repro import store as store_mod
     from repro.core.prompts import PromptStyle
     from repro.experiments import run_campaign
     from repro.resilience import RetryPolicy
 
+    default_store = store_mod.get_default()
+    if args.resume and default_store is None:
+        out.write("error: --resume needs a --store DIR to resume from\n")
+        return 2
+    checkpoint = (
+        store_mod.CampaignCheckpoint(default_store)
+        if default_store is not None else None
+    )
     retries = getattr(args, "retries", None)
     result = run_campaign(
         args.papers,
@@ -283,6 +337,8 @@ def cmd_campaign(args, out) -> int:
         workers=args.workers,
         on_error=getattr(args, "on_error", "collect"),
         retry=RetryPolicy(max_attempts=retries) if retries else None,
+        checkpoint=checkpoint,
+        resume=args.resume,
     )
     out.write(result.render() + "\n")
     return 0 if result.num_succeeded == result.num_runs else 1
@@ -598,9 +654,18 @@ def cmd_bench(args, out) -> int:
         return 0 if report.ok else 1
 
     if args.compare:
+        if len(args.compare) > 2:
+            out.write("error: --compare takes at most two artifacts\n")
+            return 2
         try:
-            baseline = bench.read_artifact(args.compare[0])
-            current = bench.read_artifact(args.compare[1])
+            if len(args.compare) == 1:
+                baseline_path = bench.find_latest_artifact()
+                out.write(f"baseline: {baseline_path}\n")
+                current_path = args.compare[0]
+            else:
+                baseline_path, current_path = args.compare
+            baseline = bench.read_artifact(baseline_path)
+            current = bench.read_artifact(current_path)
         except (OSError, bench.ArtifactError) as exc:
             out.write(f"error: {exc}\n")
             return 2
@@ -630,14 +695,78 @@ def cmd_bench(args, out) -> int:
         path = args.save or bench.default_artifact_path()
         written = bench.write_artifact(path, results, profile=profile)
         out.write(f"artifact: wrote {len(results)} benchmarks to {written}\n")
-    if args.baseline:
+    if args.baseline is not None:
         try:
-            baseline = bench.read_artifact(args.baseline)
+            baseline_path = args.baseline or bench.find_latest_artifact()
+            if not args.baseline:
+                out.write(f"baseline: {baseline_path}\n")
+            baseline = bench.read_artifact(baseline_path)
         except (OSError, bench.ArtifactError) as exc:
             out.write(f"error: {exc}\n")
             return 2
         current = bench.build_artifact(results, profile=profile)
         return gate(baseline, current)
+    return 0
+
+
+def cmd_store(args, out) -> int:
+    import datetime
+
+    from repro import store as store_mod
+
+    if args.path is not None:
+        target = store_mod.ArtifactStore(args.path)
+    else:
+        target = store_mod.get_default()
+    if target is None:
+        out.write(
+            "error: no store directory; pass one as an argument "
+            "(repro store stats .repro-store) or via --store DIR\n"
+        )
+        return 2
+    if args.action == "ls":
+        entries = target.entries()
+        if not entries:
+            out.write(f"{target.root}: empty\n")
+            return 0
+        out.write(f"{'key':<58} {'bytes':>8}  last used\n")
+        for entry in entries:
+            when = datetime.datetime.fromtimestamp(
+                entry.last_used_unix
+            ).strftime("%Y-%m-%d %H:%M:%S")
+            out.write(f"{entry.key:<58} {entry.size_bytes:>8}  {when}\n")
+        out.write(f"{len(entries)} entries, {target.total_bytes} bytes\n")
+        return 0
+    if args.action == "stats":
+        for name, value in sorted(target.stats().items()):
+            out.write(f"{name:<12} {value}\n")
+        return 0
+    if args.action == "verify":
+        bad = target.verify(repair=args.repair)
+        if not bad:
+            out.write(f"{target.root}: all entries verify\n")
+            return 0
+        for name in bad:
+            out.write(
+                f"corrupt: {name}{' (removed)' if args.repair else ''}\n"
+            )
+        out.write(
+            f"{len(bad)} corrupt entr{'y' if len(bad) == 1 else 'ies'}"
+            f"{'' if args.repair else ' (re-run with --repair to remove)'}\n"
+        )
+        return 1
+    if args.action == "gc":
+        from repro.store import DEFAULT_GC_BYTES
+
+        budget = args.max_bytes if args.max_bytes is not None else DEFAULT_GC_BYTES
+        evicted = target.gc(budget)
+        out.write(
+            f"evicted {len(evicted)} entries; "
+            f"{target.total_bytes} bytes in {budget} budget\n"
+        )
+        return 0
+    removed = target.clear()
+    out.write(f"removed {removed} entries from {target.root}\n")
     return 0
 
 
@@ -656,6 +785,7 @@ _COMMANDS = {
     "diff": cmd_diff,
     "trace-view": cmd_trace_view,
     "bench": cmd_bench,
+    "store": cmd_store,
 }
 
 
@@ -663,15 +793,27 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     from repro import obs
     from repro.resilience import FaultPlan, chaos
 
+    from repro import store as store_mod
+
     args = build_parser().parse_args(argv)
     stream = out if out is not None else sys.stdout
     trace_path = getattr(args, "trace", None)
     show_metrics = getattr(args, "metrics", False)
     fault_spec = getattr(args, "fault_plan", None)
+    store_dir = getattr(args, "store", None)
     obs.metrics.reset()
     tracer = obs.Tracer() if trace_path else None
     previous = obs.set_tracer(tracer) if tracer else None
+    installed_store = None
+    previous_store = None
+    if store_dir:
+        installed_store = store_mod.ArtifactStore(store_dir)
+        previous_store = store_mod.set_default(installed_store)
     try:
+        if installed_store is not None:
+            from repro.te.tunnelcache import TUNNEL_CACHE
+
+            TUNNEL_CACHE.attach_store(installed_store)
         if fault_spec:
             try:
                 plan = FaultPlan.parse(fault_spec)
@@ -686,6 +828,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     finally:
         if tracer is not None:
             obs.set_tracer(previous)
+        if installed_store is not None:
+            from repro.te.tunnelcache import TUNNEL_CACHE
+
+            TUNNEL_CACHE.attach_store(None)
+            store_mod.set_default(previous_store)
     if tracer is not None:
         count = obs.export.write_trace(
             trace_path, tracer.finished_spans(), obs.metrics.snapshot()

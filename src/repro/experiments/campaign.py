@@ -16,6 +16,15 @@ in :attr:`CampaignResult.failures` as a structured record while the
 rest of the campaign completes.  With no fault plan installed the
 wrapper is a pass-through and results are byte-identical to the
 pre-resilience behaviour.
+
+Campaigns are also resumable: pass a
+:class:`~repro.store.CampaignCheckpoint` and every completed run is
+persisted the moment it finishes; ``resume=True`` loads the completed
+runs back and executes only the missing ones.  Because each run is
+deterministic given its ``(paper, style, max_debug_rounds)``
+configuration, a resumed campaign's :meth:`CampaignResult.summary` is
+byte-identical to an uninterrupted one -- failures are never
+checkpointed, so a crashed run always re-executes.
 """
 
 from __future__ import annotations
@@ -171,6 +180,8 @@ def run_campaign(
     workers: int = 1,
     on_error: str = "collect",
     retry: Optional[RetryPolicy] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run every (paper, style) combination through the pipeline.
 
@@ -181,26 +192,64 @@ def run_campaign(
     entry in :attr:`CampaignResult.failures`; ``"raise"`` restores
     crash-the-campaign semantics.  ``retry`` tunes the per-run
     :class:`~repro.resilience.RetryPolicy` (e.g. the CLI ``--retries``).
+
+    ``checkpoint`` (a :class:`~repro.store.CampaignCheckpoint`) persists
+    every completed run as it finishes; with ``resume=True`` the runs
+    already checkpointed are loaded instead of re-executed, so an
+    interrupted campaign restarted with the same configuration pays
+    only for its missing runs and summarises identically.
     """
     if styles is None:
         styles = [PromptStyle.MODULAR_PSEUDOCODE]
     result = CampaignResult()
     combos = [(paper_key, style) for paper_key in paper_keys for style in styles]
+    resumed: Dict[RunKey, ReproductionReport] = {}
+    if checkpoint is not None and resume:
+        for paper_key, style in combos:
+            report = checkpoint.load(paper_key, style.value, max_debug_rounds)
+            if report is not None:
+                resumed[CampaignResult.key(paper_key, style)] = report
+    pending = [
+        (paper_key, style)
+        for paper_key, style in combos
+        if CampaignResult.key(paper_key, style) not in resumed
+    ]
     with obs.span(
-        "campaign", papers=len(paper_keys), styles=len(styles), workers=workers
+        "campaign",
+        papers=len(paper_keys),
+        styles=len(styles),
+        workers=workers,
+        resumed=len(resumed),
     ) as sp:
+
+        def run_and_checkpoint(paper_key: str, style: PromptStyle):
+            # Saving inside the task (not after the fan-out) means a
+            # hard crash later in the campaign still keeps this run.
+            report = _run_one(paper_key, style, max_debug_rounds, retry)
+            if checkpoint is not None:
+                checkpoint.save(paper_key, style.value, max_debug_rounds, report)
+            return report
+
         outcomes = run_ordered(
             [
-                lambda paper_key=paper_key, style=style: _run_one(
-                    paper_key, style, max_debug_rounds, retry
+                lambda paper_key=paper_key, style=style: run_and_checkpoint(
+                    paper_key, style
                 )
-                for paper_key, style in combos
+                for paper_key, style in pending
             ],
             workers=workers,
             on_error=on_error,
         )
-        for (paper_key, style), outcome in zip(combos, outcomes):
+        executed: Dict[RunKey, object] = {
+            CampaignResult.key(paper_key, style): outcome
+            for (paper_key, style), outcome in zip(pending, outcomes)
+        }
+        for paper_key, style in combos:
             run_key = CampaignResult.key(paper_key, style)
+            if run_key in resumed:
+                result.reports[run_key] = resumed[run_key]
+                continue
+            outcome = executed[run_key]
             if isinstance(outcome, TaskFailure):
                 result.failures[run_key] = outcome
             else:

@@ -1,0 +1,89 @@
+"""``repro.store`` -- the persistent artifact store and checkpoint layer.
+
+Everything else in this repository computes; this package *remembers*.
+Three dependency-free pieces (stdlib + :mod:`repro.obs` only):
+
+* :mod:`repro.store.cas` -- :class:`ArtifactStore`, a content-addressed
+  disk store: BLAKE2b-keyed JSON entries, atomic tmp-file +
+  ``os.replace`` writes, integrity verification on every read (corrupt
+  entries are counted, deleted, and recomputed -- never returned), and
+  size-bounded LRU garbage collection.  A process-wide default store
+  (:func:`set_default` / :func:`using`) is what the CLI's ``--store
+  DIR`` flag installs.
+* :mod:`repro.store.checkpoint` -- :class:`CampaignCheckpoint`:
+  ``run_campaign`` saves every completed (paper, style) report as it
+  finishes and ``resume=True`` re-executes only the missing runs,
+  yielding a summary byte-identical to an uninterrupted campaign.
+* :mod:`repro.store.memo` -- :func:`memoized` and the concrete
+  memoizers (:func:`memoized_solve` for LP results,
+  :func:`memoized_component` for pipeline component outcomes).
+
+Consumers wired through the store: the TE tunnel cache
+(:class:`repro.te.tunnelcache.TunnelCache` gains a disk tier so warm
+tunnel hits survive process restarts), campaigns, and the ``repro
+store`` CLI (``ls`` / ``stats`` / ``verify`` / ``gc`` / ``clear``).
+Instrumentation: ``store.hit`` / ``store.miss`` / ``store.put`` /
+``store.evict`` / ``store.corrupt`` counters in :mod:`repro.obs`.
+
+Typical use::
+
+    from repro import store
+
+    s = store.ArtifactStore(".repro-store", max_bytes=256 << 20)
+    with store.using(s):
+        run_campaign(["ncflow", "arrow"], checkpoint=store.CampaignCheckpoint(s))
+"""
+
+from repro.store.cas import (
+    DEFAULT_GC_BYTES,
+    SCHEMA,
+    ArtifactStore,
+    StoreEntry,
+    StoreError,
+    canonical_payload,
+    digest_key,
+    digest_payload,
+    get_default,
+    set_default,
+    using,
+)
+from repro.store.checkpoint import (
+    REPORT_SCHEMA,
+    CampaignCheckpoint,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.store.memo import (
+    fingerprint,
+    lp_model_key,
+    memoized,
+    memoized_component,
+    memoized_solve,
+    solve_result_from_dict,
+    solve_result_to_dict,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignCheckpoint",
+    "DEFAULT_GC_BYTES",
+    "REPORT_SCHEMA",
+    "SCHEMA",
+    "StoreEntry",
+    "StoreError",
+    "canonical_payload",
+    "digest_key",
+    "digest_payload",
+    "fingerprint",
+    "get_default",
+    "lp_model_key",
+    "memoized",
+    "memoized_component",
+    "memoized_solve",
+    "report_from_dict",
+    "report_to_dict",
+    "set_default",
+    "solve_result_from_dict",
+    "solve_result_to_dict",
+    "using",
+]

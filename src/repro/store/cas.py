@@ -1,0 +1,406 @@
+"""The content-addressed artifact store: durable, verified, bounded.
+
+Every run of this repository recomputes the same expensive artifacts --
+k-shortest tunnel sets, LP solutions, whole campaign reports -- and
+throws them away at process exit.  :class:`ArtifactStore` is the disk
+tier that makes them survive: a directory of JSON *entries*, each
+addressed by the BLAKE2b digest of its logical key and carrying the
+BLAKE2b digest of its payload, so a read can prove it is returning
+exactly the bytes a writer stored.
+
+Guarantees:
+
+* **Atomic writes** -- every entry is written to a temporary file in
+  the same directory and published with :func:`os.replace`, so a
+  crashed writer can never leave a truncated entry where a reader will
+  find it (readers see the old entry or the new one, nothing between).
+* **Verified reads** -- :meth:`ArtifactStore.get` re-hashes the payload
+  and compares it with the stored digest; an entry that fails (bit rot,
+  a partial write from a non-atomic tool, hand editing) is counted in
+  ``store.corrupt``, deleted, and reported as a miss -- corrupt data is
+  *never* returned to a caller, and the caller's recompute path takes
+  over (fail-soft, in the :mod:`repro.resilience` sense: the miss is
+  visible in metrics, not masked).
+* **Bounded size** -- :meth:`ArtifactStore.gc` evicts
+  least-recently-used entries (read hits refresh recency) until the
+  store fits a byte budget; ``max_bytes`` makes that automatic after
+  every write.
+
+Instrumentation mirrors the in-memory caches: ``store.hit`` /
+``store.miss`` / ``store.put`` / ``store.evict`` / ``store.corrupt``
+counters in :mod:`repro.obs.metrics`.
+
+A process-wide default store (mirroring ``obs.set_tracer`` and
+``faults.install``) lets the CLI flip persistence on with one
+``--store DIR`` flag: :func:`set_default` / :func:`get_default` /
+:func:`using`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro import obs
+
+#: Entry envelope schema; bump the suffix on breaking layout changes.
+SCHEMA = "repro.store/1"
+
+#: Byte budget ``repro store gc`` applies when none is given: generous
+#: for tunnel sets and campaign reports, small enough to stay polite.
+DEFAULT_GC_BYTES = 256 * 1024 * 1024
+
+
+class StoreError(ValueError):
+    """A store directory or entry cannot be used as requested."""
+
+
+def digest_key(key: str) -> str:
+    """The on-disk address of a logical key: BLAKE2b-128 of its UTF-8."""
+    return hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+
+
+def digest_payload(payload_bytes: bytes) -> str:
+    """Integrity digest of an entry's canonical payload encoding."""
+    return hashlib.blake2b(payload_bytes, digest_size=16).hexdigest()
+
+
+def canonical_payload(payload: object) -> bytes:
+    """The canonical JSON encoding integrity digests are computed over.
+
+    Sorted keys and fixed separators make the encoding a pure function
+    of the value, so writer and verifier always hash identical bytes.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored artifact (no payload)."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    created_unix: float
+    last_used_unix: float
+
+
+class ArtifactStore:
+    """A disk-backed map from logical keys to JSON payloads.
+
+    Keys are arbitrary strings (convention: ``category/version/...``
+    paths, e.g. ``tunnels/1/<topology>/<k>/<commodities>``); the file
+    holding an entry is named by the key's BLAKE2b digest and sharded
+    git-style under ``objects/<first two hex chars>/``.  Payloads are
+    anything :mod:`json` round-trips.  All operations are safe under
+    concurrent threads *and* concurrent processes: writes are atomic
+    renames, reads verify integrity, and eviction tolerates entries
+    vanishing underneath it.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError("max_bytes must be >= 0")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.corruptions = 0
+
+    # ------------------------------------------------------------------
+    # Paths and iteration
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where an entry for ``key`` lives (whether or not it exists)."""
+        name = digest_key(key)
+        return self._objects / name[:2] / f"{name}.json"
+
+    def _entry_files(self) -> Iterator[Path]:
+        if not self._objects.exists():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def put(self, key: str, payload: object) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the path.
+
+        The envelope (schema, key, payload digest, payload) is written
+        to a same-directory temporary file and published with
+        :func:`os.replace`, so concurrent readers never observe a
+        partial entry.  With ``max_bytes`` set, eviction runs after the
+        write so the store stays within budget.
+        """
+        payload_bytes = canonical_payload(payload)
+        envelope = {
+            "schema": SCHEMA,
+            "key": key,
+            "digest": digest_payload(payload_bytes),
+            "created_unix": time.time(),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp-{os.getpid()}-{threading.get_ident()}"
+        tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        with self._lock:
+            self.puts += 1
+        obs.metrics.counter("store.put").inc()
+        if self.max_bytes is not None:
+            self.gc(self.max_bytes)
+        return path
+
+    def _read_envelope(self, path: Path) -> Optional[dict]:
+        """Parse and integrity-check one entry file; ``None`` if corrupt.
+
+        Any defect -- unreadable JSON, wrong schema, missing fields, or
+        a payload whose digest does not match -- counts as corruption:
+        the entry is deleted so it cannot fail again, ``store.corrupt``
+        is bumped, and the caller falls back to its recompute path.
+        """
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            envelope = None
+        if isinstance(envelope, dict) and envelope.get("schema") == SCHEMA:
+            payload_bytes = canonical_payload(envelope.get("payload"))
+            if envelope.get("digest") == digest_payload(payload_bytes):
+                return envelope
+        with self._lock:
+            self.corruptions += 1
+        obs.metrics.counter("store.corrupt").inc()
+        with contextlib.suppress(OSError):
+            path.unlink()
+        return None
+
+    def get(self, key: str, default: object = None) -> object:
+        """The payload stored under ``key``, or ``default`` on a miss.
+
+        A hit refreshes the entry's recency (its mtime), which is what
+        :meth:`gc` orders eviction by.  A corrupt entry is a miss (see
+        :meth:`_read_envelope`); the caller recomputes.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            with self._lock:
+                self.misses += 1
+            obs.metrics.counter("store.miss").inc()
+            return default
+        envelope = self._read_envelope(path)
+        if envelope is None or envelope.get("key") != key:
+            with self._lock:
+                self.misses += 1
+            obs.metrics.counter("store.miss").inc()
+            return default
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        with self._lock:
+            self.hits += 1
+        obs.metrics.counter("store.hit").inc()
+        return envelope["payload"]
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no integrity check)."""
+        return self.path_for(key).exists()
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``'s entry if present; returns whether it was."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> List[StoreEntry]:
+        """Metadata for every readable entry, sorted by key.
+
+        Unreadable files are skipped here (not deleted); use
+        :meth:`verify` to detect and optionally repair them.
+        """
+        found = []
+        for path in self._entry_files():
+            try:
+                envelope = json.loads(path.read_text())
+                stat = path.stat()
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(envelope, dict):
+                continue
+            found.append(StoreEntry(
+                key=str(envelope.get("key", "?")),
+                path=path,
+                size_bytes=stat.st_size,
+                created_unix=float(envelope.get("created_unix", 0.0)),
+                last_used_unix=stat.st_mtime,
+            ))
+        return sorted(found, key=lambda entry: entry.key)
+
+    def keys(self) -> List[str]:
+        """Every stored logical key, sorted."""
+        return [entry.key for entry in self.entries()]
+
+    @property
+    def total_bytes(self) -> int:
+        """Current on-disk size of all entry files."""
+        total = 0
+        for path in self._entry_files():
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """Operation counts plus current entry count and byte size."""
+        with self._lock:
+            counts = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "corruptions": self.corruptions,
+            }
+        counts["entries"] = sum(1 for _ in self._entry_files())
+        counts["bytes"] = self.total_bytes
+        return counts
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def verify(self, repair: bool = False) -> List[str]:
+        """Re-hash every entry; returns the names of the bad files.
+
+        A bad file is one whose envelope does not parse, has the wrong
+        schema, or whose payload digest mismatches.  ``repair=True``
+        deletes them (each counted in ``store.corrupt``); the default
+        only reports, so an operator can look first.
+        """
+        bad = []
+        for path in self._entry_files():
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                envelope = None
+            ok = (
+                isinstance(envelope, dict)
+                and envelope.get("schema") == SCHEMA
+                and envelope.get("digest")
+                == digest_payload(canonical_payload(envelope.get("payload")))
+            )
+            if ok:
+                continue
+            bad.append(path.name)
+            if repair:
+                with self._lock:
+                    self.corruptions += 1
+                obs.metrics.counter("store.corrupt").inc()
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        return bad
+
+    def gc(self, max_bytes: Optional[int] = None) -> List[str]:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Recency is the entry file's mtime, which reads refresh; ties
+        break on path so eviction order is deterministic.  Returns the
+        evicted keys (best effort: an entry another process removed
+        first is simply skipped).  ``max_bytes=None`` uses the store's
+        configured budget and is a no-op for unbounded stores.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            return []
+        with self._lock:
+            candidates = []
+            total = 0
+            for path in self._entry_files():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                candidates.append((stat.st_mtime, str(path), path, stat.st_size))
+                total += stat.st_size
+            evicted = []
+            for _, _, path, size in sorted(candidates):
+                if total <= budget:
+                    break
+                try:
+                    envelope = json.loads(path.read_text())
+                    key = str(envelope.get("key", path.stem))
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    key = path.stem
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                total -= size
+                evicted.append(key)
+                self.evictions += 1
+                obs.metrics.counter("store.evict").inc()
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Process-wide default store (mirrors obs.set_tracer / faults.install)
+# ----------------------------------------------------------------------
+_default: Optional[ArtifactStore] = None
+_swap_lock = threading.Lock()
+
+
+def get_default() -> Optional[ArtifactStore]:
+    """The installed default store, or ``None`` when persistence is off."""
+    return _default
+
+
+def set_default(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
+    """Install ``store`` as the process default; returns the previous one."""
+    global _default
+    with _swap_lock:
+        previous = _default
+        _default = store
+    return previous
+
+
+@contextlib.contextmanager
+def using(store: Optional[ArtifactStore]):
+    """Temporarily install ``store`` as the default::
+
+        with store.using(ArtifactStore(tmp_path)) as s:
+            run_campaign(...)
+    """
+    previous = set_default(store)
+    try:
+        yield store
+    finally:
+        set_default(previous)

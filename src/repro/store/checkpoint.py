@@ -1,0 +1,145 @@
+"""Campaign checkpoints: every completed run survives the process.
+
+A campaign over N (paper, style) combinations is N independent pipeline
+runs; when run N-1 crashes the process (or a
+:class:`~repro.resilience.FaultInjector` kills a run), everything
+already computed is gone.  :class:`CampaignCheckpoint` stores each
+completed :class:`~repro.core.metrics.ReproductionReport` in an
+:class:`~repro.store.ArtifactStore` the moment it finishes, and
+``run_campaign(..., resume=True)`` loads them back -- re-executing
+*only* the missing runs and producing a summary byte-identical to an
+uninterrupted campaign.
+
+Checkpoints are keyed per run, not per campaign: the key covers the
+paper, the prompting style, and the debug-round budget (everything the
+simulated pipeline's report depends on), so partial campaigns compose
+-- a later campaign over a superset of papers reuses the runs it
+shares with an earlier one.  Failures are deliberately *not*
+checkpointed: a crashed run must re-execute on resume, never replay
+its crash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import obs
+from repro.store.cas import ArtifactStore
+from repro.store.memo import fingerprint
+
+#: Report payload schema; bump on ReproductionReport shape changes.
+REPORT_SCHEMA = "repro.report/1"
+
+
+def report_to_dict(report) -> dict:
+    """A :class:`~repro.core.metrics.ReproductionReport` as a JSON dict."""
+    from repro.store.memo import component_outcome_to_dict
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "paper_key": report.paper_key,
+        "participant": report.participant,
+        "style": report.style,
+        "num_prompts": report.num_prompts,
+        "total_prompt_words": report.total_prompt_words,
+        "components": [
+            component_outcome_to_dict(outcome) for outcome in report.components
+        ],
+        "reproduced_loc": report.reproduced_loc,
+        "reference_loc": report.reference_loc,
+        "assembled": report.assembled,
+        "validation_passed": report.validation_passed,
+        "validation_details": dict(report.validation_details),
+        "wall_seconds": report.wall_seconds,
+        "metrics": dict(report.metrics),
+    }
+
+
+def report_from_dict(payload: dict):
+    """Rebuild a :class:`~repro.core.metrics.ReproductionReport`.
+
+    Raises :class:`ValueError` on an unknown schema rather than
+    guessing at fields -- the caller treats that as "no checkpoint" and
+    recomputes.
+    """
+    from repro.core.metrics import ReproductionReport
+    from repro.store.memo import component_outcome_from_dict
+
+    if not isinstance(payload, dict) or payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"unsupported report payload schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else payload!r}"
+        )
+    return ReproductionReport(
+        paper_key=str(payload["paper_key"]),
+        participant=str(payload["participant"]),
+        style=str(payload["style"]),
+        num_prompts=int(payload["num_prompts"]),
+        total_prompt_words=int(payload["total_prompt_words"]),
+        components=[
+            component_outcome_from_dict(entry) for entry in payload["components"]
+        ],
+        reproduced_loc=int(payload["reproduced_loc"]),
+        reference_loc=int(payload["reference_loc"]),
+        assembled=bool(payload["assembled"]),
+        validation_passed=bool(payload["validation_passed"]),
+        validation_details=dict(payload["validation_details"]),
+        wall_seconds=float(payload["wall_seconds"]),
+        metrics={k: float(v) for k, v in payload["metrics"].items()},
+    )
+
+
+class CampaignCheckpoint:
+    """Save/load completed campaign runs through an artifact store."""
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+
+    @staticmethod
+    def run_key(paper_key: str, style_value: str, max_debug_rounds: int) -> str:
+        """Store key of one (paper, style, rounds) run's checkpoint."""
+        return (
+            "campaign/1/"
+            f"{fingerprint(paper_key, style_value, max_debug_rounds)}"
+        )
+
+    def save(
+        self, paper_key: str, style_value: str, max_debug_rounds: int, report
+    ) -> None:
+        """Checkpoint one completed run (overwrites a stale entry)."""
+        self.store.put(
+            self.run_key(paper_key, style_value, max_debug_rounds),
+            report_to_dict(report),
+        )
+        obs.metrics.counter("campaign.checkpoint.saved").inc()
+
+    def load(
+        self, paper_key: str, style_value: str, max_debug_rounds: int
+    ) -> Optional[object]:
+        """The checkpointed report for a run, or ``None``.
+
+        A payload that fails to decode (schema drift) is treated as
+        absent -- the run re-executes, which is always safe.
+        """
+        payload = self.store.get(
+            self.run_key(paper_key, style_value, max_debug_rounds)
+        )
+        if payload is None:
+            return None
+        try:
+            report = report_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        obs.metrics.counter("campaign.checkpoint.resumed").inc()
+        return report
+
+    def completed(
+        self, combos, max_debug_rounds: int
+    ) -> List[bool]:
+        """Which of ``(paper_key, style_value)`` combos have checkpoints."""
+        return [
+            self.store.contains(
+                self.run_key(paper_key, style_value, max_debug_rounds)
+            )
+            for paper_key, style_value in combos
+        ]

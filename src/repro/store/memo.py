@@ -1,0 +1,189 @@
+"""Memoization through the artifact store: compute once, replay forever.
+
+The generic primitive is :func:`memoized`: look a key up in a store,
+decode on a hit, compute + encode + put on a miss.  Encoders/decoders
+keep the store JSON-only while callers speak domain objects; a schema
+*version segment in the key* (``lp/1/...``) is what retires stale
+encodings -- bump the version and old entries simply stop being found
+(and age out under the LRU garbage collector).
+
+Two concrete memoizers cover the repo's expensive leaf computations:
+
+* :func:`memoized_solve` -- LP solves, keyed by backend name + the
+  BLAKE2b digest of the model's canonical LP-text serialisation (the
+  same bytes two structurally identical models produce);
+* :func:`memoized_component` -- pipeline component outcomes, keyed by
+  paper/component/style/rounds.
+
+Failed computations are never stored: only an ``OPTIMAL`` LP result or
+an actually-produced outcome is worth replaying, and a cached failure
+would mask a real (possibly transient) error -- the same no-masking
+rule the resilience layer follows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional, TypeVar
+
+from repro.store.cas import ArtifactStore, get_default
+
+T = TypeVar("T")
+
+
+def fingerprint(*parts: object) -> str:
+    """BLAKE2b-128 hex digest over the repr of each part, in order.
+
+    The stable way to build key segments from heterogeneous inputs
+    (names, ints, tuples) without inventing a serialisation per site.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(repr(part).encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def memoized(
+    key: str,
+    compute: Callable[[], T],
+    store: Optional[ArtifactStore] = None,
+    encode: Callable[[T], object] = lambda value: value,
+    decode: Callable[[object], T] = lambda payload: payload,
+    should_store: Callable[[T], bool] = lambda value: True,
+) -> T:
+    """``store[key]`` decoded, or ``compute()`` encoded and stored.
+
+    With no store given the process default is used; with neither, this
+    is a transparent call to ``compute()`` -- persistence is always
+    opt-in and never required for correctness.  ``should_store``
+    filters what is worth keeping (e.g. only optimal LP results).
+    """
+    target = store if store is not None else get_default()
+    if target is None:
+        return compute()
+    payload = target.get(key, default=_MISS)
+    if payload is not _MISS:
+        return decode(payload)
+    value = compute()
+    if should_store(value):
+        target.put(key, encode(value))
+    return value
+
+
+_MISS = object()
+
+
+# ----------------------------------------------------------------------
+# LP solve memoization
+# ----------------------------------------------------------------------
+def solve_result_to_dict(result) -> dict:
+    """A :class:`repro.lp.model.SolveResult` as a JSON-able dict."""
+    return {
+        "status": result.status.value,
+        "objective": result.objective,
+        "values": list(result.values),
+        "iterations": result.iterations,
+        "solve_seconds": result.solve_seconds,
+        "backend_name": result.backend_name,
+    }
+
+
+def solve_result_from_dict(payload: dict):
+    """Rebuild a :class:`repro.lp.model.SolveResult` stored by
+    :func:`solve_result_to_dict`."""
+    from repro.lp.model import SolveResult, SolveStatus
+
+    return SolveResult(
+        status=SolveStatus(payload["status"]),
+        objective=float(payload["objective"]),
+        values=[float(v) for v in payload["values"]],
+        iterations=int(payload["iterations"]),
+        solve_seconds=float(payload["solve_seconds"]),
+        backend_name=str(payload["backend_name"]),
+    )
+
+
+def lp_model_key(model, backend_name: str) -> str:
+    """Store key for one (model, backend) solve.
+
+    The model is fingerprinted through its canonical LP-text form
+    (:func:`repro.lp.backends.write_lp_text`), so two models built the
+    same way -- regardless of object identity -- share an entry, while
+    any change to costs, constraints, or bounds changes the key.
+    """
+    from repro.lp.backends import write_lp_text
+
+    return f"lp/1/{backend_name}/{fingerprint(write_lp_text(model))}"
+
+
+def memoized_solve(backend, model, store: Optional[ArtifactStore] = None):
+    """``backend.solve(model)`` through the store.
+
+    Only ``OPTIMAL`` results are persisted: infeasible/error outcomes
+    re-solve every time, so a transient failure (or an injected fault)
+    can never be replayed as if it were the model's true answer.
+    """
+    return memoized(
+        lp_model_key(model, backend.name),
+        lambda: backend.solve(model),
+        store=store,
+        encode=solve_result_to_dict,
+        decode=solve_result_from_dict,
+        should_store=lambda result: result.ok,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline component-outcome memoization
+# ----------------------------------------------------------------------
+def component_outcome_to_dict(outcome) -> dict:
+    """A :class:`repro.core.metrics.ComponentOutcome` as a dict."""
+    return {
+        "name": outcome.name,
+        "revisions": outcome.revisions,
+        "debug_rounds": outcome.debug_rounds,
+        "final_loc": outcome.final_loc,
+        "passed": outcome.passed,
+    }
+
+
+def component_outcome_from_dict(payload: dict):
+    """Rebuild a :class:`repro.core.metrics.ComponentOutcome`."""
+    from repro.core.metrics import ComponentOutcome
+
+    return ComponentOutcome(
+        name=str(payload["name"]),
+        revisions=int(payload["revisions"]),
+        debug_rounds=int(payload["debug_rounds"]),
+        final_loc=int(payload["final_loc"]),
+        passed=bool(payload["passed"]),
+    )
+
+
+def memoized_component(
+    paper_key: str,
+    component: str,
+    style: str,
+    max_debug_rounds: int,
+    compute: Callable[[], object],
+    store: Optional[ArtifactStore] = None,
+):
+    """One pipeline component outcome through the store.
+
+    The key covers everything the simulated pipeline's outcome depends
+    on (paper, component, prompting style, debug-round budget); only
+    *passing* outcomes persist, so a failed generation is retried on
+    the next run instead of being replayed.
+    """
+    key = (
+        f"component/1/{fingerprint(paper_key, component, style, max_debug_rounds)}"
+    )
+    return memoized(
+        key,
+        compute,
+        store=store,
+        encode=component_outcome_to_dict,
+        decode=component_outcome_from_dict,
+        should_store=lambda outcome: outcome.passed,
+    )

@@ -14,6 +14,14 @@ The cache is safe for concurrent workers (a single lock guards the
 LRU table) and instrumented: ``tunnel_cache.hit`` / ``tunnel_cache.miss``
 counters in :mod:`repro.obs.metrics`, plus the existing ``te.tunnels``
 span around each real computation.
+
+An optional second tier persists across processes: attach an
+:class:`repro.store.ArtifactStore` (:meth:`TunnelCache.attach_store`,
+or the CLI's ``--store DIR`` flag) and every in-memory miss consults
+the disk store before paying for Yen's algorithm -- a second process
+over the same topology set starts warm (``store.hit`` in the metrics
+proves it).  Store entries are integrity-verified on read; a corrupt
+entry is counted, discarded, and recomputed, never returned.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.netmodel.topology import Topology
@@ -54,17 +62,83 @@ def topology_fingerprint(topology: Topology) -> str:
     return hasher.hexdigest()
 
 
-class TunnelCache:
-    """Bounded LRU map from (topology, commodities, k) to tunnel sets."""
+def encode_tunnels(tunnels: TunnelMap) -> List[List[object]]:
+    """A :data:`TunnelMap` as a JSON-able, deterministically ordered list.
 
-    def __init__(self, max_entries: int = 128):
+    Tuple keys do not survive JSON, so entries become sorted
+    ``[src, dst, paths]`` triples; :func:`decode_tunnels` inverts this.
+    """
+    return [
+        [src, dst, [list(path) for path in paths]]
+        for (src, dst), paths in sorted(tunnels.items())
+    ]
+
+
+def decode_tunnels(payload: object) -> TunnelMap:
+    """Rebuild a :data:`TunnelMap` stored by :func:`encode_tunnels`.
+
+    Strict about shape: anything that is not a list of
+    ``[src, dst, paths]`` triples raises :class:`ValueError`, so a
+    stale or foreign store entry triggers a recompute instead of
+    sneaking a malformed tunnel map into a solver.
+    """
+    if not isinstance(payload, list):
+        raise ValueError(f"tunnel payload must be a list, got {type(payload)}")
+    tunnels: TunnelMap = {}
+    for triple in payload:
+        if not isinstance(triple, list) or len(triple) != 3:
+            raise ValueError(f"expected [src, dst, paths] triple, got {triple!r}")
+        src, dst, paths = triple
+        if not isinstance(paths, list) or not all(
+            isinstance(path, list) for path in paths
+        ):
+            raise ValueError(f"malformed path list for {src!r}->{dst!r}")
+        tunnels[(str(src), str(dst))] = [
+            [str(node) for node in path] for path in paths
+        ]
+    return tunnels
+
+
+class TunnelCache:
+    """Bounded LRU map from (topology, commodities, k) to tunnel sets.
+
+    With a store attached (:meth:`attach_store`), the in-memory table
+    becomes the first tier of a two-tier cache: memory miss -> disk
+    lookup -> compute, with computed tunnel sets written through to
+    disk so the *next process* over the same instances starts warm.
+    """
+
+    def __init__(self, max_entries: int = 128, store=None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[CacheKey, TunnelMap]" = OrderedDict()
         self._lock = threading.Lock()
+        self._store = store
         self.hits = 0
         self.misses = 0
+
+    def attach_store(self, store) -> None:
+        """Use ``store`` (an :class:`repro.store.ArtifactStore`) as the
+        persistent second tier; ``None`` detaches it."""
+        self._store = store
+
+    @property
+    def store(self):
+        """The attached persistent store, or ``None``."""
+        return self._store
+
+    @staticmethod
+    def store_key(key: CacheKey) -> str:
+        """The artifact-store key for one in-memory cache key."""
+        topo_fp, commodity_keys, k = key
+        commodities = hashlib.blake2b(digest_size=16)
+        for src, dst in commodity_keys:
+            commodities.update(src.encode())
+            commodities.update(b"\x00")
+            commodities.update(dst.encode())
+            commodities.update(b"\x00")
+        return f"tunnels/1/{topo_fp}/{k}/{commodities.hexdigest()}"
 
     def _key(self, topology: Topology, traffic: TrafficMatrix, k: int) -> CacheKey:
         commodity_keys = tuple(
@@ -97,14 +171,26 @@ class TunnelCache:
             obs.metrics.counter("tunnel_cache.hit").inc()
             return dict(entry)
         obs.metrics.counter("tunnel_cache.miss").inc()
-        with obs.span("te.tunnels", k=k, commodities=len(traffic.demands)):
-            tunnels = k_shortest_tunnels(topology, traffic, k)
+        tunnels: Optional[TunnelMap] = None
+        if self._store is not None:
+            payload = self._store.get(self.store_key(key))
+            if payload is not None:
+                try:
+                    tunnels = decode_tunnels(payload)
+                except (TypeError, ValueError):
+                    tunnels = None  # stale encoding: recompute below
+        computed = tunnels is None
+        if computed:
+            with obs.span("te.tunnels", k=k, commodities=len(traffic.demands)):
+                tunnels = k_shortest_tunnels(topology, traffic, k)
         with self._lock:
             self.misses += 1
             self._entries[key] = tunnels
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+        if computed and self._store is not None:
+            self._store.put(self.store_key(key), encode_tunnels(tunnels))
         return dict(tunnels)
 
     @property

@@ -18,6 +18,7 @@ from repro.bench import (
     build_artifact,
     compare_artifacts,
     default_artifact_path,
+    find_latest_artifact,
     git_sha,
     read_artifact,
     run_benchmark,
@@ -189,6 +190,34 @@ class TestArtifact:
         assert git_sha(cwd=str(tmp_path)) == sha
         assert default_artifact_path(str(tmp_path)).name == f"BENCH_{sha}.json"
 
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        for _ in range(3):
+            write_artifact(path, self.run_two())
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_x.json"]
+        read_artifact(path)  # validates
+
+    def test_find_latest_artifact_by_created_stamp(self, tmp_path):
+        old = tmp_path / "BENCH_old.json"
+        new = tmp_path / "BENCH_new.json"
+        write_artifact(old, self.run_two())
+        write_artifact(new, self.run_two())
+        stale = json.loads(old.read_text())
+        fresh = json.loads(new.read_text())
+        stale["created_unix"] = 1000.0
+        fresh["created_unix"] = 2000.0
+        old.write_text(json.dumps(stale))
+        new.write_text(json.dumps(fresh))
+        assert find_latest_artifact(tmp_path) == new
+        # The stamp wins over mtime (old was rewritten last above --
+        # rewrite new's bytes to make mtime order the *opposite*).
+        assert find_latest_artifact(tmp_path).name == "BENCH_new.json"
+
+    def test_find_latest_artifact_ignores_non_bench_files(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{}")
+        with pytest.raises(ArtifactError, match="save one first"):
+            find_latest_artifact(tmp_path)
+
 
 def artifact_with(stats_by_name):
     benchmarks = {
@@ -347,6 +376,53 @@ class TestBenchCLI:
         code, text = self.run_cli(["bench", "--compare", str(bad), str(bad)])
         assert code == 2
         assert "error" in text
+
+    def test_baseline_without_path_discovers_latest(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        self.run_cli([
+            "bench", "--filter", "apkeep.build", "--repeat", "1",
+            "--save", "BENCH_abc.json",
+        ])
+        code, text = self.run_cli([
+            "bench", "--filter", "apkeep.build", "--repeat", "1", "--baseline",
+        ])
+        assert code == 0
+        assert "baseline: BENCH_abc.json" in text
+
+    def test_baseline_without_path_errors_when_no_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code, text = self.run_cli([
+            "bench", "--filter", "apkeep.build", "--repeat", "1", "--baseline",
+        ])
+        assert code == 2
+        assert "save one first" in text
+
+    def test_compare_with_one_path_uses_latest_as_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        self.run_cli([
+            "bench", "--filter", "apkeep.build", "--repeat", "1",
+            "--save", "BENCH_abc.json",
+        ])
+        code, text = self.run_cli(["bench", "--compare", "BENCH_abc.json"])
+        assert code == 0
+        assert "baseline: BENCH_abc.json" in text
+
+    def test_compare_with_three_paths_is_a_usage_error(self, tmp_path):
+        code, text = self.run_cli(["bench", "--compare", "a", "b", "c"])
+        assert code == 2
+        assert "error" in text
+
+    def test_store_benchmarks_are_registered(self):
+        code, text = self.run_cli(["bench", "--list"])
+        assert code == 0
+        for name in (
+            "store.put_get", "store.tunnels.cold", "store.tunnels.warm",
+        ):
+            assert name in text
 
 
 class TestRepoLints:

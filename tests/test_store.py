@@ -1,0 +1,620 @@
+"""The persistent artifact store and everything wired through it.
+
+Contracts under test:
+
+* **Integrity** -- every read re-hashes the payload; a corrupt entry is
+  counted, deleted, and reported as a miss, never returned.
+* **Atomicity** -- writes publish via ``os.replace``; no temporary
+  files survive a put, and a reader racing a writer sees old or new.
+* **Transparency** -- with no store configured, ``memoized`` and the
+  tunnel cache behave exactly as before (persistence is opt-in).
+* **Resume determinism** -- an interrupted campaign resumed from its
+  checkpoints renders a summary byte-identical to an uninterrupted one,
+  and failures are never checkpointed.
+* **No masking** -- non-OPTIMAL LP results and failed runs are not
+  persisted, so a transient error can never replay as a real answer.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.experiments import run_campaign
+from repro.lp.backends import FastLPBackend
+from repro.lp.model import Model, SolveResult, SolveStatus
+from repro.netmodel.instances import make_te_instance
+from repro.parallel import run_ordered
+from repro.resilience import FaultPlan, chaos
+from repro.store import (
+    ArtifactStore,
+    CampaignCheckpoint,
+    DEFAULT_GC_BYTES,
+    SCHEMA,
+    StoreError,
+    canonical_payload,
+    digest_key,
+    digest_payload,
+    fingerprint,
+    get_default,
+    lp_model_key,
+    memoized,
+    memoized_solve,
+    report_from_dict,
+    report_to_dict,
+    set_default,
+    using,
+)
+from repro.te.tunnelcache import TunnelCache, decode_tunnels, encode_tunnels
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Every test reads its own counter deltas."""
+    obs.metrics.reset()
+    yield
+
+
+@pytest.fixture(autouse=True)
+def no_default_store():
+    """No test leaks a process-wide default store."""
+    yield
+    set_default(None)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def counter(name):
+    return obs.metrics.snapshot().get(name, {}).get("value", 0)
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, store):
+        payload = {"tunnels": [[1, 2], [3]], "k": 4, "name": "B4"}
+        store.put("t/1/a", payload)
+        assert store.get("t/1/a") == payload
+        assert store.contains("t/1/a")
+        assert counter("store.put") == 1
+        assert counter("store.hit") == 1
+
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get("absent") is None
+        assert store.get("absent", default=42) == 42
+        assert counter("store.miss") == 2
+
+    def test_no_temporary_files_survive_a_put(self, store):
+        for i in range(20):
+            store.put(f"k/{i}", {"i": i})
+        leftovers = [
+            p for p in store.root.rglob("*") if p.is_file()
+            and not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_keys_and_entries_are_sorted(self, store):
+        for key in ("b", "a", "c"):
+            store.put(key, key)
+        assert store.keys() == ["a", "b", "c"]
+        assert [e.key for e in store.entries()] == ["a", "b", "c"]
+
+    def test_delete(self, store):
+        store.put("k", 1)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.get("k") is None
+
+    def test_addressing_is_content_independent(self, store):
+        # Same key, different payload -> same file, overwritten.
+        p1 = store.put("k", {"v": 1})
+        p2 = store.put("k", {"v": 2})
+        assert p1 == p2
+        assert store.get("k") == {"v": 2}
+        assert p2.name == f"{digest_key('k')}.json"
+
+    def test_stats_shape(self, store):
+        store.put("k", 1)
+        store.get("k")
+        store.get("gone")
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
+    def test_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ArtifactStore(tmp_path / "s", max_bytes=-1)
+
+
+class TestCorruption:
+    def corrupt(self, store, key, mutate):
+        path = store.path_for(key)
+        mutate(path)
+        return path
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, store):
+        store.put("k", {"v": 1})
+        path = self.corrupt(
+            store, "k", lambda p: p.write_text(p.read_text()[:10])
+        )
+        assert store.get("k") is None
+        assert not path.exists()
+        assert counter("store.corrupt") == 1
+        assert counter("store.hit") == 0
+
+    def test_bit_flip_in_payload_is_detected(self, store):
+        store.put("k", {"value": 1000})
+        path = store.path_for("k")
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 1001  # digest now stale
+        path.write_text(json.dumps(envelope))
+        assert store.get("k") is None
+        assert counter("store.corrupt") == 1
+
+    def test_wrong_schema_is_corruption(self, store):
+        store.put("k", 1)
+        path = store.path_for("k")
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = "someone.elses/9"
+        path.write_text(json.dumps(envelope))
+        assert store.get("k") is None
+        assert counter("store.corrupt") == 1
+
+    def test_corrupt_entry_triggers_recompute_not_error(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 7}
+
+        memoized("m", compute, store=store)
+        self.corrupt(store, "m", lambda p: p.write_text("garbage"))
+        assert memoized("m", compute, store=store) == {"v": 7}
+        assert len(calls) == 2
+        # The recompute re-stored a good entry.
+        assert store.get("m") == {"v": 7}
+
+    def test_verify_reports_without_repair(self, store):
+        store.put("good", 1)
+        store.put("bad", 2)
+        path = store.path_for("bad")
+        path.write_text("{nope")
+        bad = store.verify()
+        assert bad == [path.name]
+        assert path.exists(), "verify without repair must not delete"
+        assert store.verify(repair=True) == [path.name]
+        assert not path.exists()
+        assert store.verify() == []
+        assert counter("store.corrupt") == 1  # only the repair counted
+
+
+class TestGC:
+    def test_lru_eviction_order(self, store, tmp_path):
+        for i in range(4):
+            path = store.put(f"k/{i}", {"pad": "x" * 100, "i": i})
+            os.utime(path, (1000 + i, 1000 + i))
+        # Reading k/0 refreshes its recency: k/1 is now the LRU entry.
+        store.get("k/0")
+        size = store.total_bytes
+        evicted = store.gc(max_bytes=size - 1)
+        assert evicted == ["k/1"]
+        assert counter("store.evict") == 1
+
+    def test_gc_to_zero_clears_everything(self, store):
+        for i in range(3):
+            store.put(f"k/{i}", i)
+        assert len(store.gc(max_bytes=0)) == 3
+        assert store.total_bytes == 0
+
+    def test_unbounded_store_gc_is_noop(self, store):
+        store.put("k", 1)
+        assert store.gc() == []
+
+    def test_max_bytes_bounds_the_store_automatically(self, tmp_path):
+        store = ArtifactStore(tmp_path / "bounded", max_bytes=600)
+        for i in range(10):
+            store.put(f"k/{i}", {"pad": "y" * 64, "i": i})
+        assert store.total_bytes <= 600
+        assert counter("store.evict") > 0
+
+    def test_clear(self, store):
+        for i in range(3):
+            store.put(f"k/{i}", i)
+        assert store.clear() == 3
+        assert store.keys() == []
+
+    def test_default_gc_budget_is_sane(self):
+        assert DEFAULT_GC_BYTES >= 64 * 1024 * 1024
+
+
+class TestDefaultStore:
+    def test_no_default_initially(self):
+        assert get_default() is None
+
+    def test_using_scopes_and_restores(self, store):
+        with using(store):
+            assert get_default() is store
+            with using(None):
+                assert get_default() is None
+            assert get_default() is store
+        assert get_default() is None
+
+    def test_set_default_returns_previous(self, store):
+        assert set_default(store) is None
+        assert set_default(None) is store
+
+
+class TestMemoized:
+    def test_transparent_without_store(self):
+        calls = []
+        assert memoized("k", lambda: calls.append(1) or 41 + 1) == 42
+        assert memoized("k", lambda: calls.append(1) or 41 + 1) == 42
+        assert len(calls) == 2, "no store -> no caching"
+
+    def test_memoized_uses_default_store(self, store):
+        calls = []
+        with using(store):
+            assert memoized("k", lambda: calls.append(1) or {"a": 1}) == {"a": 1}
+            assert memoized("k", lambda: calls.append(1) or {"a": 1}) == {"a": 1}
+        assert len(calls) == 1
+
+    def test_should_store_filters_failures(self, store):
+        outcomes = iter(["bad", "good", "good"])
+        compute = lambda: next(outcomes)
+        keep = lambda value: value == "good"
+        assert memoized("k", compute, store=store, should_store=keep) == "bad"
+        assert memoized("k", compute, store=store, should_store=keep) == "good"
+        assert memoized("k", compute, store=store, should_store=keep) == "good"
+        assert store.get("k") == "good"
+
+    def test_fingerprint_is_order_sensitive_and_stable(self):
+        assert fingerprint("a", 1) == fingerprint("a", 1)
+        assert fingerprint("a", 1) != fingerprint(1, "a")
+        assert fingerprint("ab") != fingerprint("a", "b")
+
+
+def small_model():
+    model = Model("memo-smoke")
+    x = model.add_var(name="x", upper=4)
+    y = model.add_var(name="y", upper=3)
+    model.add_constraint(x + y <= 5, name="cap")
+    model.maximize(x + 2 * y)
+    return model
+
+
+class TestMemoizedSolve:
+    def test_replay_matches_fresh_solve(self, store):
+        backend = FastLPBackend()
+        first = memoized_solve(backend, small_model(), store)
+        replay = memoized_solve(backend, small_model(), store)
+        assert first.ok and replay.ok
+        assert replay.objective == first.objective
+        assert replay.values == first.values
+        assert replay.status is SolveStatus.OPTIMAL
+        assert counter("store.hit") == 1
+
+    def test_key_covers_backend_and_model(self, store):
+        model = small_model()
+        key_fast = lp_model_key(model, "fast-highs")
+        key_slow = lp_model_key(model, "slow-pulp")
+        assert key_fast != key_slow
+        other = small_model()
+        other.add_constraint(other.variables[0] <= 1, name="tighter")
+        assert lp_model_key(other, "fast-highs") != key_fast
+
+    def test_non_optimal_results_are_not_stored(self, store):
+        class Infeasible:
+            name = "always-infeasible"
+
+            def solve(self, model):
+                return SolveResult(
+                    status=SolveStatus.INFEASIBLE,
+                    objective=float("nan"),
+                    values=[0.0, 0.0],
+                )
+
+        backend = Infeasible()
+        memoized_solve(backend, small_model(), store)
+        assert store.keys() == [], "failures must never be persisted"
+
+
+class TestTunnelCacheStoreTier:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return make_te_instance("B4", max_commodities=12)
+
+    def test_encode_decode_round_trip(self, instance):
+        from repro.te.paths import k_shortest_tunnels
+
+        tunnels = k_shortest_tunnels(instance.topology, instance.traffic, 3)
+        assert decode_tunnels(encode_tunnels(tunnels)) == tunnels
+
+    def test_warm_tunnels_survive_a_fresh_cache(self, store, instance):
+        first = TunnelCache(max_entries=8, store=store)
+        tunnels = first.lookup(instance.topology, instance.traffic, k=3)
+        assert counter("store.put") == 1
+        # A fresh cache (fresh process, conceptually) hits the store.
+        second = TunnelCache(max_entries=8, store=store)
+        replay = second.lookup(instance.topology, instance.traffic, k=3)
+        assert replay == tunnels
+        assert counter("store.hit") == 1
+        assert second.misses == 1, "memory tier still records its miss"
+
+    def test_corrupt_store_entry_recomputes(self, store, instance):
+        first = TunnelCache(store=store)
+        tunnels = first.lookup(instance.topology, instance.traffic, k=3)
+        key = TunnelCache.store_key(
+            first._key(instance.topology, instance.traffic, 3)
+        )
+        store.path_for(key).write_text("{broken")
+        second = TunnelCache(store=store)
+        assert second.lookup(instance.topology, instance.traffic, k=3) == tunnels
+        assert counter("store.corrupt") == 1
+
+    def test_stale_encoding_recomputes(self, store, instance):
+        cache = TunnelCache(store=store)
+        key = TunnelCache.store_key(
+            cache._key(instance.topology, instance.traffic, 3)
+        )
+        store.put(key, {"not": "a tunnel list"})
+        tunnels = cache.lookup(instance.topology, instance.traffic, k=3)
+        assert len(tunnels) == len(list(instance.traffic.commodities()))
+
+    def test_attach_and_detach(self, store, instance):
+        cache = TunnelCache()
+        assert cache.store is None
+        cache.lookup(instance.topology, instance.traffic, k=3)
+        assert counter("store.put") == 0, "no store -> no persistence"
+        cache.attach_store(store)
+        assert cache.store is store
+        cache.attach_store(None)
+        assert cache.store is None
+
+    def test_concurrent_lookups_stay_consistent(self, store, instance):
+        """Satellite: hammer one cache from many workers.
+
+        Hits + misses must equal lookups, every result must be equal,
+        and the memory tier must respect its entry bound.
+        """
+        cache = TunnelCache(max_entries=4, store=store)
+        ks = [1, 2, 3, 4, 5, 6]
+
+        def task(k):
+            return lambda: cache.lookup(instance.topology, instance.traffic, k)
+
+        results = run_ordered(
+            [task(ks[i % len(ks)]) for i in range(24)], workers=8
+        )
+        for i, result in enumerate(results):
+            assert result == results[i % len(ks)]
+        assert cache.hits + cache.misses == 24
+        assert len(cache._entries) <= 4
+        # Evicted entries are still replayable from the store tier.
+        assert counter("store.put") >= len(ks) - 4
+
+
+class TestCheckpoint:
+    def run_report(self):
+        result = run_campaign(["ncflow"])
+        return next(iter(result.reports.values()))
+
+    def test_report_round_trip(self):
+        report = self.run_report()
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt == report
+
+    def test_unknown_schema_rejected(self):
+        payload = report_to_dict(self.run_report())
+        payload["schema"] = "repro.report/999"
+        with pytest.raises(ValueError):
+            report_from_dict(payload)
+
+    def test_save_load(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        report = self.run_report()
+        checkpoint.save("ncflow", "detailed-prose", 6, report)
+        assert checkpoint.load("ncflow", "detailed-prose", 6) == report
+        assert checkpoint.load("ncflow", "detailed-prose", 7) is None
+        assert checkpoint.load("arrow", "detailed-prose", 6) is None
+        assert counter("campaign.checkpoint.saved") == 1
+        assert counter("campaign.checkpoint.resumed") == 1
+
+    def test_completed_mask(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        checkpoint.save("ncflow", "s", 6, self.run_report())
+        assert checkpoint.completed(
+            [("ncflow", "s"), ("arrow", "s")], 6
+        ) == [True, False]
+
+    def test_undecodable_checkpoint_is_absent(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        store.put(CampaignCheckpoint.run_key("p", "s", 6), {"schema": "zzz"})
+        assert checkpoint.load("p", "s", 6) is None
+
+
+PAPERS = ["ncflow", "arrow", "rps"]
+#: rate=0.2 at sites=parallel.task kills exactly run index 1 of the
+#: three-task fan-out (verified constant of the fault hash for seed 1).
+KILL_ONE = "rate=0.2,seed=1,sites=parallel.task"
+
+
+class TestCampaignResume:
+    def test_interrupted_then_resumed_is_byte_identical(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        clean = run_campaign(PAPERS)
+        with chaos(FaultPlan.parse(KILL_ONE)):
+            interrupted = run_campaign(PAPERS, checkpoint=checkpoint)
+        assert len(interrupted.failures) == 1
+        assert len(interrupted.reports) == 2
+        # The crash was not checkpointed; the completed runs were.
+        assert sorted(store.keys()) == sorted(
+            CampaignCheckpoint.run_key(paper, style, 6)
+            for (paper, style) in interrupted.reports
+        )
+        obs.metrics.reset()
+        resumed = run_campaign(PAPERS, checkpoint=checkpoint, resume=True)
+        assert resumed.summary() == clean.summary()
+        assert not resumed.failures
+        assert counter("campaign.checkpoint.resumed") == 2
+        assert counter("campaign.checkpoint.saved") == 1
+
+    def test_resume_skips_completed_runs(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        run_campaign(PAPERS, checkpoint=checkpoint)
+        obs.metrics.reset()
+        again = run_campaign(PAPERS, checkpoint=checkpoint, resume=True)
+        assert counter("campaign.checkpoint.resumed") == 3
+        assert counter("campaign.checkpoint.saved") == 0
+        assert again.num_succeeded == 3
+
+    def test_without_resume_checkpoints_are_ignored(self, store):
+        checkpoint = CampaignCheckpoint(store)
+        run_campaign(PAPERS, checkpoint=checkpoint)
+        obs.metrics.reset()
+        rerun = run_campaign(PAPERS, checkpoint=checkpoint)
+        assert counter("campaign.checkpoint.resumed") == 0
+        assert counter("campaign.checkpoint.saved") == 3
+
+    def test_resume_works_across_store_instances(self, tmp_path):
+        """The disk round trip: a second store object sees the runs."""
+        first = CampaignCheckpoint(ArtifactStore(tmp_path / "cp"))
+        clean = run_campaign(PAPERS)
+        with chaos(FaultPlan.parse(KILL_ONE)):
+            run_campaign(PAPERS, checkpoint=first)
+        second = CampaignCheckpoint(ArtifactStore(tmp_path / "cp"))
+        resumed = run_campaign(PAPERS, checkpoint=second, resume=True)
+        assert resumed.summary() == clean.summary()
+
+
+class TestAtomicity:
+    def test_concurrent_writers_one_reader(self, store):
+        """Readers racing writers see a full old or new value, never
+        a torn one (the os.replace contract)."""
+        stop = threading.Event()
+        seen_bad = []
+
+        def reader():
+            while not stop.is_set():
+                value = store.get("contended")
+                if value is not None and value.get("a") != value.get("b"):
+                    seen_bad.append(value)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(50):
+                store.put("contended", {"a": i, "b": i})
+        finally:
+            stop.set()
+            thread.join()
+        assert seen_bad == []
+        assert counter("store.corrupt") == 0
+
+    def test_envelope_digest_matches_canonical_encoding(self, store):
+        payload = {"z": 1, "a": [1, 2, {"k": "v"}]}
+        store.put("k", payload)
+        envelope = json.loads(store.path_for("k").read_text())
+        assert envelope["schema"] == SCHEMA
+        assert envelope["digest"] == digest_payload(canonical_payload(payload))
+
+
+class TestStoreCLI:
+    def run_cli(self, argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_store_flag_persists_tunnels_across_processes(self, tmp_path):
+        """Conceptually two processes: two CLI invocations, one store.
+
+        The global tunnel cache is cleared between the invocations so
+        the second one starts memory-cold, the way a new process would.
+        """
+        from repro.te.tunnelcache import TUNNEL_CACHE
+
+        store_dir = str(tmp_path / "s")
+        TUNNEL_CACHE.clear()
+        code, text = self.run_cli([
+            "--store", store_dir, "te", "B4", "--metrics",
+        ])
+        assert code == 0
+        assert "store.put" in text and "store.hit" not in text
+        TUNNEL_CACHE.clear()
+        code, text = self.run_cli([
+            "--store", store_dir, "te", "B4", "--metrics",
+        ])
+        assert code == 0
+        assert "store.hit" in text
+
+    def test_store_flag_detaches_after_the_command(self, tmp_path):
+        from repro.te.tunnelcache import TUNNEL_CACHE
+
+        self.run_cli(["--store", str(tmp_path / "s"), "te", "B4"])
+        assert TUNNEL_CACHE.store is None
+        assert get_default() is None
+
+    def test_resume_requires_a_store(self):
+        code, text = self.run_cli(["campaign", "--resume", "ncflow"])
+        assert code == 2
+        assert "--store" in text
+
+    def test_campaign_interrupt_resume_via_cli(self, tmp_path):
+        store_dir = str(tmp_path / "s")
+        code, _ = self.run_cli([
+            "--store", store_dir, "--fault-plan", KILL_ONE,
+            "campaign", *PAPERS,
+        ])
+        assert code == 1, "interrupted campaign reports failure"
+        code, text = self.run_cli([
+            "--store", store_dir, "campaign", "--resume", *PAPERS,
+        ])
+        assert code == 0
+        assert "3 runs, 3 succeeded" in text
+
+    def test_store_subcommand_lifecycle(self, tmp_path):
+        store_dir = str(tmp_path / "s")
+        store = ArtifactStore(store_dir)
+        store.put("a", {"x": 1})
+        store.put("b", {"y": 2})
+
+        code, text = self.run_cli(["store", "ls", store_dir])
+        assert code == 0
+        assert "a" in text and "2 entries" in text
+
+        code, text = self.run_cli(["store", "stats", store_dir])
+        assert code == 0
+        assert "entries" in text
+
+        code, text = self.run_cli(["store", "verify", store_dir])
+        assert code == 0
+
+        store.path_for("a").write_text("{broken")
+        code, text = self.run_cli(["store", "verify", store_dir])
+        assert code == 1
+        code, text = self.run_cli(["store", "verify", store_dir, "--repair"])
+        assert code == 1
+        code, text = self.run_cli(["store", "verify", store_dir])
+        assert code == 0
+
+        code, text = self.run_cli([
+            "store", "gc", store_dir, "--max-bytes", "0",
+        ])
+        assert code == 0
+        code, text = self.run_cli(["store", "clear", store_dir])
+        assert code == 0
+        assert ArtifactStore(store_dir).keys() == []
+
+    def test_store_action_without_path_or_default_errors(self):
+        code, text = self.run_cli(["store", "ls"])
+        assert code == 2
+        assert "--store" in text or "store" in text

@@ -18,8 +18,8 @@ Usage::
     python tools/check_docstrings.py src/repro/te    # any tree
 
 Exit status is the number of missing docstrings (0 = clean), so CI can
-gate on it directly.  The enforced default set is ``src/repro/bench``
-and ``src/repro/resilience``.
+gate on it directly.  The enforced default set is ``src/repro/bench``,
+``src/repro/resilience``, and ``src/repro/store``.
 """
 
 from __future__ import annotations
@@ -30,7 +30,9 @@ from pathlib import Path
 from typing import Iterator, List, Tuple
 
 #: Trees linted when no arguments are given (the CI-enforced set).
-DEFAULT_TREES = ("src/repro/bench", "src/repro/resilience")
+DEFAULT_TREES = (
+    "src/repro/bench", "src/repro/resilience", "src/repro/store",
+)
 
 #: Decorator names whose presence exempts a function from the lint.
 EXEMPT_DECORATORS = {"property", "cached_property", "overload"}
