@@ -17,7 +17,9 @@ Layers covered:
   cleared before each iteration) and ``.warm`` (cache primed) variants
   where the solver uses tunnels;
 * ``parallel`` -- ``run_ordered`` fan-out overhead, serial vs threads;
-* ``pipeline`` -- simulated-LLM reproduction runs end to end.
+* ``pipeline`` -- simulated-LLM reproduction runs end to end;
+* ``obs``      -- telemetry-tier overhead: labeled metric hot path and
+  disabled-span cost (what un-instrumented runs pay).
 
 The module-level helpers (:func:`bdd_profile_workload`,
 :func:`apkeep_update_latency_rows`, :func:`ncflow_scaling_rows`,
@@ -551,3 +553,60 @@ def bench_pipeline_motivating() -> Dict[str, object]:
         "prompts": result.num_prompts,
         "total_loc": result.total_loc,
     }
+
+
+# ----------------------------------------------------------------------
+# Obs layer (telemetry overhead guards)
+# ----------------------------------------------------------------------
+_OBS_OPS = 20_000
+
+
+@benchmark(
+    "obs.metrics_labeled", layer="obs",
+    description=f"{_OBS_OPS} labeled counter incs + histogram observes "
+                "on a private registry",
+)
+def bench_obs_metrics_labeled() -> Dict[str, object]:
+    """Hot-path cost of the labeled metrics tier.
+
+    A private registry (not the process-global one) so iterations do
+    not accumulate state, exercising the decorated-name lookup, the
+    family-total propagation, and the reservoir write.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    backends = ("fast-highs", "slow-pulp")
+    for index in range(_OBS_OPS):
+        backend = backends[index & 1]
+        registry.counter("lp.solves", backend=backend).inc()
+        registry.histogram("lp.solve_seconds", backend=backend).observe(
+            (index % 97) / 1000.0
+        )
+    snap = registry.snapshot()
+    return {
+        "ops": _OBS_OPS * 2,
+        "series": len(snap),
+        "checksum": int(snap["lp.solves"]["value"]),
+    }
+
+
+@benchmark(
+    "obs.span_disabled", layer="obs",
+    description=f"{_OBS_OPS} spans with the NOOP tracer installed "
+                "(disabled-telemetry overhead)",
+)
+def bench_obs_span_disabled() -> Dict[str, object]:
+    """Overhead of instrumentation when nothing is collecting.
+
+    This is the cost every un-instrumented run pays; the CI bench guard
+    holds it to the regression gate so the telemetry tier stays free
+    when off.
+    """
+    from repro import obs
+
+    total = 0
+    for index in range(_OBS_OPS):
+        with obs.span("bench.noop", index=index):
+            total += index
+    return {"ops": _OBS_OPS, "checksum": total % 1_000_003}

@@ -27,11 +27,19 @@ explore the reproduction without writing code:
   (or ``--compare`` with one) auto-discovers the newest committed
   ``BENCH_*.json``;
 * ``store``        -- inspect and maintain a persistent artifact store
-  (``ls``/``stats``/``verify``/``gc``/``clear``).
+  (``ls``/``stats``/``verify``/``gc``/``clear``);
+* ``obs``          -- live telemetry utilities (``obs serve`` runs the
+  ``/metrics`` exposition endpoint standalone);
+* ``profile-view`` -- top-N rollup of a ``--profile`` collapsed-stacks
+  file.
 
 Every command accepts the global flags ``--trace FILE`` (record obs
 spans; ``.json`` gets Chrome trace_event format, anything else JSON
-lines) and ``--metrics`` (print the metrics registry after the run),
+lines), ``--metrics`` (print the metrics registry after the run),
+``--serve-metrics PORT`` (serve live Prometheus ``/metrics`` + JSON
+``/snapshot`` with campaign progress and ETA for the duration of the
+command), and ``--profile OUT`` (sample thread stacks and write
+flamegraph collapsed stacks to OUT),
 plus the resilience flags ``--fault-plan SPEC`` (install a seeded
 fault-injection plan for the duration of the command, e.g.
 ``--fault-plan rate=0.2,seed=7``), ``--retries N`` (max attempts for
@@ -87,6 +95,18 @@ def _observability_flags() -> argparse.ArgumentParser:
         "--store", metavar="DIR", default=argparse.SUPPRESS,
         help="persistent artifact store directory: tunnel-cache entries "
              "and campaign checkpoints survive the process",
+    )
+    common.add_argument(
+        "--serve-metrics", type=int, metavar="PORT", default=argparse.SUPPRESS,
+        help="serve live telemetry on PORT for the duration of the "
+             "command (/metrics Prometheus text, /snapshot JSON with "
+             "progress+ETA, /health); 0 picks a free port",
+    )
+    common.add_argument(
+        "--profile", metavar="OUT", default=argparse.SUPPRESS,
+        help="sample thread stacks during the command and write "
+             "flamegraph collapsed stacks to OUT "
+             "(view with 'repro profile-view OUT')",
     )
     return common
 
@@ -219,6 +239,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace_view.add_argument(
         "--no-meta", action="store_true",
         help="hide span metadata (names and times only)",
+    )
+    trace_view.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="instead of the tree, show the N slowest span names "
+             "(count / total / self / %% of wall time)",
+    )
+
+    obs_cmd = add_parser(
+        "obs", help="live telemetry utilities"
+    )
+    obs_cmd.add_argument(
+        "action", choices=["serve"],
+        help="serve = run the /metrics exposition endpoint until "
+             "--duration elapses (or Ctrl-C)",
+    )
+    obs_cmd.add_argument(
+        "--port", type=int, default=9109, metavar="PORT",
+        help="port to bind (default 9109; 0 picks a free port)",
+    )
+    obs_cmd.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after SECONDS (default: serve until interrupted)",
+    )
+
+    profile_view = add_parser(
+        "profile-view", help="summarise a collapsed-stacks profile"
+    )
+    profile_view.add_argument(
+        "file", help="collapsed-stacks file written by --profile",
+    )
+    profile_view.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="number of frames to show (default 10)",
     )
 
     bench = add_parser(
@@ -613,14 +666,19 @@ def cmd_trace_view(args, out) -> int:
     from repro.obs import export
 
     try:
-        spans, metrics = export.read_jsonl(args.file)
+        spans, metrics, events = export.read_trace(args.file)
     except OSError as exc:
         out.write(f"error: cannot read {args.file}: {exc.strerror}\n")
         return 1
     except ValueError as exc:
         out.write(f"error: {exc}\n")
         return 1
-    out.write(export.render_span_tree(spans, limit_meta=args.no_meta) + "\n")
+    if args.top is not None:
+        out.write(export.render_top_spans(spans, top=args.top) + "\n")
+    else:
+        out.write(export.render_span_tree(spans, limit_meta=args.no_meta) + "\n")
+    if events:
+        out.write(export.render_events(events) + "\n")
     if metrics:
         out.write(export.render_metrics(metrics) + "\n")
         resilience = {
@@ -709,6 +767,56 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_obs(args, out) -> int:
+    import time
+
+    from repro import obs
+
+    try:
+        server = obs.MetricsServer(port=args.port).start()
+    except OSError as exc:
+        out.write(f"error: cannot bind port {args.port}: {exc}\n")
+        return 2
+    # The server's own port, as self-telemetry: makes a bare registry
+    # scrape nonempty so 'curl /metrics | grep obs_server' has a line.
+    obs.metrics.gauge("obs.server.port").set(server.port)
+    out.write(
+        f"serving {server.url}/metrics "
+        f"(also /snapshot, /health); "
+        + (f"stopping after {args.duration:g}s\n" if args.duration is not None
+           else "Ctrl-C to stop\n")
+    )
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    out.write("stopped\n")
+    return 0
+
+
+def cmd_profile_view(args, out) -> int:
+    from repro.obs import profile
+
+    try:
+        counts = profile.read_collapsed(args.file)
+    except OSError as exc:
+        out.write(f"error: cannot read {args.file}: {exc.strerror}\n")
+        return 1
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    out.write(profile.render_top(counts, top=args.top) + "\n")
+    return 0
+
+
 def cmd_store(args, out) -> int:
     import datetime
 
@@ -785,6 +893,8 @@ _COMMANDS = {
     "diff": cmd_diff,
     "trace-view": cmd_trace_view,
     "bench": cmd_bench,
+    "obs": cmd_obs,
+    "profile-view": cmd_profile_view,
     "store": cmd_store,
 }
 
@@ -801,7 +911,23 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     show_metrics = getattr(args, "metrics", False)
     fault_spec = getattr(args, "fault_plan", None)
     store_dir = getattr(args, "store", None)
+    serve_port = getattr(args, "serve_metrics", None)
+    profile_path = getattr(args, "profile", None)
     obs.metrics.reset()
+    obs.PROGRESS.reset()
+    server = None
+    if serve_port is not None:
+        try:
+            server = obs.MetricsServer(port=serve_port).start()
+        except OSError as exc:
+            stream.write(
+                f"error: cannot bind metrics port {serve_port}: {exc}\n"
+            )
+            return 2
+        stream.write(f"metrics: serving at {server.url}/metrics\n")
+        if hasattr(stream, "flush"):
+            stream.flush()
+    profiler = obs.SamplingProfiler().start() if profile_path else None
     tracer = obs.Tracer() if trace_path else None
     previous = obs.set_tracer(tracer) if tracer else None
     installed_store = None
@@ -833,9 +959,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
 
             TUNNEL_CACHE.attach_store(None)
             store_mod.set_default(previous_store)
+        if profiler is not None:
+            profiler.stop()
+        if server is not None:
+            server.stop()
+    if profiler is not None:
+        stacks = profiler.write(profile_path)
+        stream.write(
+            f"profile: wrote {stacks} stacks "
+            f"({profiler.samples} samples) to {profile_path}\n"
+        )
     if tracer is not None:
         count = obs.export.write_trace(
-            trace_path, tracer.finished_spans(), obs.metrics.snapshot()
+            trace_path,
+            tracer.finished_spans(),
+            obs.metrics.snapshot(),
+            obs.PROGRESS.events(),
         )
         stream.write(f"trace: wrote {count} spans to {trace_path}\n")
     if show_metrics:

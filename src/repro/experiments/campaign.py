@@ -154,7 +154,8 @@ def _run_one(
     max_debug_rounds: int,
     retry: Optional[RetryPolicy],
 ) -> ReproductionReport:
-    with obs.span("campaign.run", paper=paper_key, style=style.value):
+    obs.metrics.counter("campaign.runs", paper=paper_key, style=style.value).inc()
+    with obs.span("campaign.run", paper=paper_key, style=style.value) as sp:
         llm = ResilientLLMClient(
             SimulatedLLM({paper_key: get_knowledge(paper_key)}),
             policy=retry,
@@ -170,7 +171,9 @@ def _run_one(
                 style=style, max_debug_rounds=max_debug_rounds
             ),
         )
-        return pipeline.run()
+        report = pipeline.run()
+    obs.metrics.histogram("campaign.run_seconds").observe(sp.duration)
+    return report
 
 
 def run_campaign(
@@ -221,25 +224,38 @@ def run_campaign(
         workers=workers,
         resumed=len(resumed),
     ) as sp:
+        phase = obs.PROGRESS.phase(
+            "campaign", total=len(pending), resumed=len(resumed)
+        )
 
         def run_and_checkpoint(paper_key: str, style: PromptStyle):
             # Saving inside the task (not after the fan-out) means a
             # hard crash later in the campaign still keeps this run.
-            report = _run_one(paper_key, style, max_debug_rounds, retry)
+            label = f"{paper_key}/{style.value}"
+            phase.task_start(label)
+            try:
+                report = _run_one(paper_key, style, max_debug_rounds, retry)
+            except BaseException as exc:
+                phase.task_finish(label, ok=False, error=type(exc).__name__)
+                raise
             if checkpoint is not None:
                 checkpoint.save(paper_key, style.value, max_debug_rounds, report)
+            phase.task_finish(label, succeeded=report.succeeded)
             return report
 
-        outcomes = run_ordered(
-            [
-                lambda paper_key=paper_key, style=style: run_and_checkpoint(
-                    paper_key, style
-                )
-                for paper_key, style in pending
-            ],
-            workers=workers,
-            on_error=on_error,
-        )
+        try:
+            outcomes = run_ordered(
+                [
+                    lambda paper_key=paper_key, style=style: run_and_checkpoint(
+                        paper_key, style
+                    )
+                    for paper_key, style in pending
+                ],
+                workers=workers,
+                on_error=on_error,
+            )
+        finally:
+            phase.finish()
         executed: Dict[RunKey, object] = {
             CampaignResult.key(paper_key, style): outcome
             for (paper_key, style), outcome in zip(pending, outcomes)

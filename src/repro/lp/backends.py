@@ -79,10 +79,14 @@ class LPBackend:
             )
         elapsed = sp.duration
         iterations = int(getattr(raw, "nit", 0) or 0)
-        obs.metrics.counter("lp.solves").inc()
+        obs.metrics.counter("lp.solves", backend=self.name, method=method).inc()
         obs.metrics.histogram(
-            "lp.iterations", buckets=(1, 10, 100, 1000, 10000)
+            "lp.iterations", buckets=(1, 10, 100, 1000, 10000),
+            backend=self.name,
         ).observe(iterations)
+        obs.metrics.histogram(
+            "lp.solve_seconds", backend=self.name
+        ).observe(elapsed)
         status = _STATUS_MAP.get(raw.status, SolveStatus.ERROR)
         if status is SolveStatus.OPTIMAL:
             objective = float(raw.fun)

@@ -1,22 +1,37 @@
-"""``repro.obs`` -- unified tracing, metrics, and profiling.
+"""``repro.obs`` -- unified tracing, metrics, profiling, live telemetry.
 
 The measurement layer everything else reports through:
 
 * :mod:`repro.obs.tracer` -- nested spans with monotonic timings
   (``with obs.span("ncflow.solve", topology=name) as sp: ...``);
-* :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms
-  (``obs.metrics.counter("lp.solves").inc()``);
-* :mod:`repro.obs.export` -- JSON-lines traces, Chrome ``trace_event``
-  flamegraphs, and plain-text span-tree / metrics tables.
+* :mod:`repro.obs.metrics` -- labeled counters, gauges, and histograms
+  with reservoir percentiles
+  (``obs.metrics.counter("lp.solves", backend="fast-highs").inc()``);
+* :mod:`repro.obs.progress` -- structured progress events (per-task
+  start/finish/fail, completed-vs-total, ETA) from campaign fan-outs;
+* :mod:`repro.obs.http` -- live exposition endpoint: Prometheus
+  ``/metrics``, JSON ``/snapshot``, ``/health``;
+* :mod:`repro.obs.profile` -- sampling thread-stack profiler emitting
+  flamegraph collapsed stacks;
+* :mod:`repro.obs.export` -- JSON-lines traces (spans + metrics +
+  progress events), Chrome ``trace_event`` flamegraphs, and plain-text
+  span-tree / metrics tables.
 
 Tracing is off by default (:data:`NOOP` is installed): disabled spans
 still measure wall time -- the same two ``perf_counter`` calls the
 hand-rolled timing pairs they replaced paid -- but record nothing.
 Enable collection with :func:`set_tracer`/:class:`Tracer`, the
-:func:`tracing` context manager, or the CLI ``--trace`` flag.
+:func:`tracing` context manager, or the CLI ``--trace`` flag.  The live
+tier is likewise opt-in: nothing binds a port or starts a sampler
+thread unless ``--serve-metrics`` / ``--profile`` (or the underlying
+classes) are used explicitly.
 """
 
-from repro.obs import export, metrics
+from repro.obs import export, metrics, profile, progress
+from repro.obs import http as http  # noqa: PLC0414 (re-export)
+from repro.obs.http import MetricsServer, prometheus_text
+from repro.obs.profile import SamplingProfiler
+from repro.obs.progress import PROGRESS, ProgressTracker
 from repro.obs.tracer import (
     NOOP,
     NoopSpan,
@@ -33,11 +48,19 @@ __all__ = [
     "NOOP",
     "NoopSpan",
     "NoopTracer",
+    "PROGRESS",
+    "MetricsServer",
+    "ProgressTracker",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "export",
     "get_tracer",
+    "http",
     "metrics",
+    "profile",
+    "progress",
+    "prometheus_text",
     "set_tracer",
     "span",
     "tracing",

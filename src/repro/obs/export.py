@@ -2,15 +2,19 @@
 
 Three formats:
 
-* **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl`) -- one JSON
-  object per line, ``{"type": "span", ...}`` for spans and
-  ``{"type": "metric", ...}`` for metrics.  The round-trippable format
+* **JSON lines** (:func:`write_jsonl` / :func:`read_jsonl` /
+  :func:`read_trace`) -- one JSON object per line:
+  ``{"type": "span", ...}`` for spans, ``{"type": "metric", ...}`` for
+  metrics, and ``{"type": "event", ...}`` for progress events
+  (:mod:`repro.obs.progress`).  The round-trippable format
   ``repro trace-view`` reads back.
 * **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`)
   -- a ``{"traceEvents": [...]}`` document loadable in ``chrome://tracing``
   or https://ui.perfetto.dev for flamegraph viewing.
-* **Plain text** (:func:`render_span_tree` / :func:`render_metrics`) --
-  the span tree with self/total times, and a metrics summary table.
+* **Plain text** (:func:`render_span_tree` / :func:`render_top_spans` /
+  :func:`render_metrics` / :func:`render_events`) -- the span tree with
+  self/total times, a slowest-spans rollup, a metrics summary table,
+  and a progress-phase summary.
 
 :func:`write_trace` dispatches on file extension: ``.json`` means Chrome
 format, anything else means JSON lines.
@@ -43,8 +47,14 @@ def span_record(span) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # JSON lines
 # ----------------------------------------------------------------------
-def write_jsonl(path: str, spans, metrics: Optional[Dict] = None) -> int:
-    """Write spans (and optionally a metrics snapshot) as JSON lines.
+def write_jsonl(
+    path: str,
+    spans,
+    metrics: Optional[Dict] = None,
+    events: Optional[List[Dict]] = None,
+) -> int:
+    """Write spans (plus optional metrics snapshot and progress-event
+    records) as JSON lines.
 
     Returns the number of lines written.
     """
@@ -63,13 +73,20 @@ def write_jsonl(path: str, spans, metrics: Optional[Dict] = None) -> int:
             handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
             lines += 1
+        for event in events or []:
+            record = dict(event)
+            record["type"] = "event"
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            lines += 1
     return lines
 
 
-def read_jsonl(path: str) -> Tuple[List[Dict], Dict[str, Dict]]:
-    """Parse a JSONL trace back into ``(span records, metrics snapshot)``."""
+def read_trace(path: str) -> Tuple[List[Dict], Dict[str, Dict], List[Dict]]:
+    """Parse a JSONL trace into ``(spans, metrics, progress events)``."""
     spans: List[Dict] = []
     metrics: Dict[str, Dict] = {}
+    events: List[Dict] = []
     with open(path) as handle:
         for line_no, line in enumerate(handle, 1):
             line = line.strip()
@@ -87,10 +104,22 @@ def read_jsonl(path: str) -> Tuple[List[Dict], Dict[str, Dict]]:
                 record.pop("type", None)
                 record["type"] = record.pop("kind", "?")
                 metrics[name] = record
+            elif kind == "event":
+                events.append(record)
             else:
                 raise ValueError(
                     f"{path}:{line_no}: unknown record type {kind!r}"
                 )
+    return spans, metrics, events
+
+
+def read_jsonl(path: str) -> Tuple[List[Dict], Dict[str, Dict]]:
+    """Parse a JSONL trace back into ``(span records, metrics snapshot)``.
+
+    Kept for callers predating progress events; :func:`read_trace` also
+    returns the event records.
+    """
+    spans, metrics, _ = read_trace(path)
     return spans, metrics
 
 
@@ -145,16 +174,23 @@ def write_chrome_trace(path: str, spans, metrics: Optional[Dict] = None) -> int:
     return len(spans)
 
 
-def write_trace(path: str, spans, metrics: Optional[Dict] = None) -> int:
+def write_trace(
+    path: str,
+    spans,
+    metrics: Optional[Dict] = None,
+    events: Optional[List[Dict]] = None,
+) -> int:
     """Dispatch by extension: ``.json`` -> Chrome trace, else JSONL.
 
-    Returns the number of spans written.
+    Progress ``events`` are written in the JSONL format only (the
+    Chrome ``trace_event`` schema has no place for them).  Returns the
+    number of spans written.
     """
     spans = list(spans)
     if path.endswith(".json"):
         write_chrome_trace(path, spans, metrics)
     else:
-        write_jsonl(path, spans, metrics)
+        write_jsonl(path, spans, metrics, events)
     return len(spans)
 
 
@@ -210,6 +246,87 @@ def render_span_tree(spans, limit_meta: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_top_spans(spans, top: int = 10) -> str:
+    """The slowest span *names* as a rollup table (``trace-view --top``).
+
+    Aggregates by span name: call count, summed total time, summed self
+    time (total minus direct children), and total as a percentage of
+    the root spans' wall time.  Zero-duration traces render with a 0%
+    column rather than dividing by zero.
+    """
+    records = [span_record(span) for span in spans]
+    if not records:
+        return "no spans recorded"
+    by_id = {r["id"]: r for r in records}
+    child_time: Dict[object, float] = {}
+    root_total = 0.0
+    for record in records:
+        parent = record["parent"]
+        if parent is not None and parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + record["dur"]
+        else:
+            root_total += record["dur"]
+
+    stats: Dict[str, List[float]] = {}  # name -> [count, total, self]
+    for record in records:
+        self_time = max(0.0, record["dur"] - child_time.get(record["id"], 0.0))
+        entry = stats.setdefault(record["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record["dur"]
+        entry[2] += self_time
+
+    ranked = sorted(stats, key=lambda name: (-stats[name][1], name))
+    ranked = ranked[: max(0, top)]
+    lines = [f"{'count':>6} {'total':>12} {'self':>12} {'total%':>7}  span"]
+    for name in ranked:
+        count, total, self_time = stats[name]
+        share = 100.0 * total / root_total if root_total > 0 else 0.0
+        lines.append(
+            f"{count:>6} {total:>11.6f}s {self_time:>11.6f}s "
+            f"{share:>6.1f}%  {name}"
+        )
+    lines.append(
+        f"{len(records)} spans, {len(stats)} distinct names, "
+        f"root wall time {root_total:.6f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_events(events: List[Dict]) -> str:
+    """Plain-text progress summary from event records (one line per
+    phase plus the failed tasks, if any)."""
+    if not events:
+        return "no progress events recorded"
+    phases: Dict[str, Dict[str, object]] = {}
+    failures: List[str] = []
+    for event in events:
+        phase = phases.setdefault(
+            str(event.get("phase", "?")),
+            {"total": 0, "completed": 0, "failed": 0},
+        )
+        kind = event.get("kind")
+        if kind == "phase_start":
+            phase["total"] = (event.get("meta") or {}).get("total", 0)
+        elif kind == "task_finish":
+            if event.get("ok", True):
+                phase["completed"] += 1
+            else:
+                phase["failed"] += 1
+                failures.append(
+                    f"{event.get('phase')}: {event.get('label', '?')}"
+                )
+    lines = [f"{len(events)} progress events"]
+    for name in sorted(phases):
+        phase = phases[name]
+        lines.append(
+            f"  phase {name}: {phase['completed']}/{phase['total']} completed, "
+            f"{phase['failed']} failed"
+        )
+    for failure in failures:
+        lines.append(f"  failed task {failure}")
+    return "\n".join(lines)
+
+
 def render_metrics(snapshot: Dict[str, Dict]) -> str:
     """Plain-text summary table of a metrics snapshot."""
     if not snapshot:
@@ -221,8 +338,17 @@ def render_metrics(snapshot: Dict[str, Dict]) -> str:
         if kind == "histogram":
             count = snap.get("count", 0)
             total = snap.get("sum", 0.0)
-            mean = total / count if count else 0.0
-            value = f"count={count} sum={total:.6g} mean={mean:.6g}"
+            # Empty histograms have no meaningful centre: render the
+            # snapshot's nulls as "-" instead of a fabricated 0.
+            mean = snap.get("mean")
+            if mean is None and count:
+                mean = total / count
+            parts = [f"count={count}", f"sum={total:.6g}"]
+            parts.append(f"mean={mean:.6g}" if mean is not None else "mean=-")
+            for pct in ("p50", "p95", "p99"):
+                if snap.get(pct) is not None:
+                    parts.append(f"{pct}={snap[pct]:.6g}")
+            value = " ".join(parts)
         else:
             raw = snap.get("value", 0)
             value = f"{raw:.6g}" if isinstance(raw, float) else str(raw)

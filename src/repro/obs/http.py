@@ -1,0 +1,228 @@
+"""Live exposition endpoint: ``/metrics``, ``/snapshot``, ``/health``.
+
+The trace and metrics snapshot land on disk only after a run exits;
+this module makes the same state scrapeable *while* a campaign runs,
+which is what the ROADMAP's ``repro serve`` item and any external
+Prometheus/alerting setup need.  Stdlib only: a
+:class:`http.server.ThreadingHTTPServer` on a daemon thread.
+
+Routes:
+
+* ``GET /metrics`` -- Prometheus text exposition (version 0.0.4) of the
+  metrics registry: one ``# TYPE`` header per family, labeled series as
+  ``name{key="value"}``, histograms as cumulative ``_bucket`` series
+  plus ``_sum`` / ``_count``.
+* ``GET /snapshot`` -- the full JSON snapshot: raw metrics, live
+  progress phases with completed/total counts and ETA
+  (:data:`repro.obs.progress.PROGRESS`), and server uptime.
+* ``GET /health`` -- ``200 {"status": "ok"}`` liveness probe.
+
+Usage::
+
+    server = MetricsServer(port=0)   # port 0: pick a free port
+    server.start()
+    ... work ...
+    server.stop()
+
+or from the CLI: ``repro obs serve --port 9109``, or ``--serve-metrics
+PORT`` on ``campaign`` / ``te`` / ``bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric family name as a legal Prometheus identifier
+    (``tunnel_cache.hit`` -> ``tunnel_cache_hit``)."""
+    return _NAME_BAD.sub("_", name)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    """Render a label dict as ``{k="v",...}`` with value escaping."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", r"\\").replace('"', r"\"")
+        parts.append(f'{_prom_name(key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _split_series(series: str) -> str:
+    """The family part of a snapshot key (``name{...}`` -> ``name``)."""
+    return series.split("{", 1)[0]
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """A metrics snapshot in Prometheus text exposition format.
+
+    Series are grouped by family (one ``# TYPE`` line each); histogram
+    bucket counts are emitted cumulatively with an explicit ``+Inf``
+    bucket, per the exposition spec.
+    """
+    families: Dict[str, Tuple[str, list]] = {}
+    for series in sorted(snapshot):
+        snap = snapshot[series]
+        family = _split_series(series)
+        kind = str(snap.get("type", "untyped"))
+        families.setdefault(family, (kind, []))[1].append(snap)
+
+    lines = []
+    for family in sorted(families):
+        kind, snaps = families[family]
+        name = _prom_name(family)
+        lines.append(f"# TYPE {name} {kind}")
+        for snap in snaps:
+            labels = {str(k): str(v) for k, v in (snap.get("labels") or {}).items()}
+            if kind == "histogram":
+                bounds = list(snap.get("bounds") or [])
+                counts = list(snap.get("counts") or [])
+                cumulative = 0
+                for bound, count in zip(bounds + [float("inf")], counts):
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") else format(bound, "g")
+                    bucket_labels = _prom_labels({**labels, "le": le})
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{format(float(snap.get('sum', 0.0)), 'g')}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {int(snap.get('count', 0))}"
+                )
+            else:
+                value = snap.get("value", 0)
+                lines.append(f"{name}{_prom_labels(labels)} {format(value, 'g')}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`MetricsServer` via the
+    server object (``self.server.telemetry``)."""
+
+    server_version = "repro-obs/1"
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        owner: "MetricsServer" = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(owner.registry.snapshot()),
+            )
+        elif path == "/snapshot":
+            self._send(200, "application/json", json.dumps(owner.snapshot()))
+        elif path == "/health":
+            self._send(200, "application/json", '{"status": "ok"}')
+        else:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging; scrapes are periodic."""
+
+
+class MetricsServer:
+    """Background HTTP server exposing live telemetry.
+
+    ``port=0`` binds an OS-assigned free port (read it back from
+    :attr:`port` after :meth:`start`); a busy explicit port raises
+    :class:`OSError` from ``start()`` rather than dying silently on the
+    serving thread.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        progress: Optional[_progress.ProgressTracker] = None,
+    ):
+        self.host = host
+        self.registry = registry if registry is not None else _metrics.REGISTRY
+        self.progress = progress if progress is not None else _progress.PROGRESS
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running (or configured) endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/snapshot`` document as a plain dict."""
+        return {
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+            "metrics": self.registry.snapshot(),
+            "progress": self.progress.snapshot(),
+        }
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns ``self``.
+
+        Binding happens on the caller's thread so a port-in-use
+        ``OSError`` surfaces here, synchronously.
+        """
+        if self._httpd is not None:
+            raise RuntimeError("MetricsServer is already running")
+        httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,59 +1,137 @@
-"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+"""Metrics registry: labeled counters, gauges, and histograms.
 
-A :class:`MetricsRegistry` holds named metrics; the module also exposes
-a process-global default registry through module-level ``counter`` /
-``gauge`` / ``histogram`` helpers, which is what the instrumented code
-uses::
+A :class:`MetricsRegistry` holds named metric *series*; the module also
+exposes a process-global default registry through module-level
+``counter`` / ``gauge`` / ``histogram`` helpers, which is what the
+instrumented code uses::
 
     from repro.obs import metrics
 
-    metrics.counter("lp.solves").inc()
-    metrics.histogram("lp.iterations").observe(result.iterations)
+    metrics.counter("lp.solves", backend="fast-highs").inc()
+    metrics.histogram("lp.solve_seconds", backend="fast-highs").observe(dt)
+
+**Labels.**  Every helper accepts keyword labels.  ``name`` plus a
+label set identifies one series; the same name with different labels is
+a different series of the same *family*.  Incrementing a labeled
+counter (or observing into a labeled histogram) also updates the
+family's unlabeled base series, so ``lp.solves`` stays the process-wide
+total while ``lp.solves{backend="fast-highs"}`` carries the breakdown.
+Gauges do not aggregate (a "total" of last-write-wins values has no
+meaning); each gauge series stands alone.
+
+**Percentiles.**  Histograms keep a bounded reservoir of raw
+observations alongside the fixed buckets: percentiles are *exact*
+until the reservoir fills (:data:`RESERVOIR_SIZE` observations) and a
+deterministic rolling sample afterwards.  Snapshots report ``p50`` /
+``p95`` / ``p99`` next to ``mean``; all four are ``null`` when the
+histogram is empty, never a misleading 0.
+
+**Bucket presets.**  Histogram families default their bucket bounds by
+domain -- the leading dotted segment of the name -- via
+:data:`BUCKET_PRESETS` (sub-millisecond bounds for ``bdd.*``,
+seconds-scale for ``lp.*``, ...), so a BDD op histogram and an LP solve
+histogram both land observations in meaningful buckets without every
+call site hand-picking bounds.
 
 All mutation is lock-protected, so metrics can be bumped from worker
-threads.  Snapshots are plain dicts suitable for JSON export.
+threads, and every snapshot (per-metric and registry-wide) is taken
+under the relevant lock so concurrent registration or observation can
+never tear it.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Maximum raw observations a histogram retains for exact percentiles.
+#: Below this count percentiles are exact; beyond it, a deterministic
+#: rolling replacement keeps a representative bounded sample.
+RESERVOIR_SIZE = 512
+
+#: Knuth's multiplicative-hash constant; scatters sequential overflow
+#: observation indices across reservoir slots deterministically.
+_RESERVOIR_STRIDE = 2654435761
+
+
+def _series_name(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """The registry key of a series: ``name`` or ``name{k="v",...}``.
+
+    Label keys are sorted so ``counter("c", a=1, b=2)`` and
+    ``counter("c", b=2, a=1)`` resolve to the same series.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _normalise_labels(labels: Mapping[str, object]) -> Dict[str, str]:
+    """Label values as strings (what exposition formats emit)."""
+    return {key: str(value) for key, value in labels.items()}
 
 
 class Counter:
-    """Monotonically increasing integer/float counter."""
+    """Monotonically increasing integer/float counter.
+
+    A labeled counter holds a reference to its family's unlabeled base
+    series and forwards every increment, keeping the family total live.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "family", "labels", "_value", "_lock", "_parent")
 
-    def __init__(self, name: str):
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        parent: Optional["Counter"] = None,
+    ):
         self.name = name
+        self.family = name.split("{", 1)[0]
+        self.labels = labels or {}
         self._value = 0
         self._lock = threading.Lock()
+        self._parent = parent
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
         with self._lock:
             self._value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
 
     @property
     def value(self):
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self._value}
+        with self._lock:
+            snap: Dict[str, object] = {"type": self.kind, "value": self._value}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class Gauge:
-    """Last-write-wins value (e.g. current node count)."""
+    """Last-write-wins value (e.g. current node count).
+
+    Gauges never propagate to a family base series: summing or
+    last-writing across label sets would fabricate a value nobody set.
+    """
 
     kind = "gauge"
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "family", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
+        self.family = name.split("{", 1)[0]
+        self.labels = labels or {}
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -67,10 +145,15 @@ class Gauge:
 
     @property
     def value(self):
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self._value}
+        with self._lock:
+            snap: Dict[str, object] = {"type": self.kind, "value": self._value}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 #: Default histogram bucket upper bounds; an implicit +inf bucket is
@@ -79,28 +162,68 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
 )
 
+#: Per-domain bucket presets keyed by a metric name's leading dotted
+#: segment.  One bucket layout cannot serve both microsecond BDD ops
+#: and minute-scale campaign runs; a family whose domain appears here
+#: gets these bounds unless the call site passes ``buckets`` explicitly.
+BUCKET_PRESETS: Dict[str, Tuple[float, ...]] = {
+    # BDD node/apply operations: sub-millisecond up to a slow 10ms op.
+    "bdd": (1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2),
+    # LP solves: a millisecond floor up to a minute-long solve.
+    "lp": (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0),
+    # Artifact-store disk IO: tens of microseconds to a slow half second.
+    "store": (1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.05, 0.5),
+    # Whole campaign/pipeline runs: tenths of seconds to minutes.
+    "campaign": (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+}
+
+
+def buckets_for(name: str) -> Tuple[float, ...]:
+    """The bucket preset for a metric family, by its domain prefix.
+
+    The domain is the text before the first ``.`` (``lp.solve_seconds``
+    -> ``lp``); unknown domains fall back to :data:`DEFAULT_BUCKETS`.
+    """
+    domain = name.split(".", 1)[0]
+    return BUCKET_PRESETS.get(domain, DEFAULT_BUCKETS)
+
 
 class Histogram:
-    """Fixed-bucket histogram (cumulative counts are left to readers).
+    """Fixed-bucket histogram plus a bounded exact-percentile reservoir.
 
     ``bounds`` are the inclusive upper edges of the finite buckets; an
     overflow bucket catches everything larger.  Observation is O(log n)
-    via bisection.
+    via bisection plus one reservoir slot write.  A labeled histogram
+    forwards every observation to its family's base series, which is
+    created with the same bounds.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "bounds", "counts", "total", "count", "_lock")
+    __slots__ = (
+        "name", "family", "labels", "bounds", "counts", "total", "count",
+        "_reservoir", "_lock", "_parent",
+    )
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+        parent: Optional["Histogram"] = None,
+    ):
         bounds = sorted(set(float(b) for b in buckets))
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.name = name
+        self.family = name.split("{", 1)[0]
+        self.labels = labels or {}
         self.bounds: List[float] = bounds
         self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 overflow
         self.total = 0.0
         self.count = 0
+        self._reservoir: List[float] = []
         self._lock = threading.Lock()
+        self._parent = parent
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.bounds, value)
@@ -108,93 +231,231 @@ class Histogram:
             self.counts[index] += 1
             self.total += value
             self.count += 1
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                # Deterministic rolling replacement: the multiplicative
+                # stride scatters sequential observation numbers across
+                # slots, so the sample keeps drifting toward recency
+                # without any RNG state to make reruns diverge.
+                slot = (self.count * _RESERVOIR_STRIDE) % RESERVOIR_SIZE
+                self._reservoir[slot] = value
+        if self._parent is not None:
+            self._parent.observe(value)
 
     @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> Optional[float]:
+        """Mean of all observations; ``None`` when empty."""
+        with self._lock:
+            return self.total / self.count if self.count else None
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """The ``pct`` percentile (0-100) from the reservoir.
+
+        Exact while the histogram has seen at most
+        :data:`RESERVOIR_SIZE` observations; a deterministic sample
+        estimate beyond that.  ``None`` when the histogram is empty.
+        """
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            sample = sorted(self._reservoir)
+        if not sample:
+            return None
+        rank = max(0, -(-len(sample) * pct // 100) - 1)  # ceil - 1
+        return sample[int(min(rank, len(sample) - 1))]
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """``(upper_bound, count)`` pairs; the last bound is +inf."""
+        with self._lock:
+            counts = list(self.counts)
         edges = self.bounds + [float("inf")]
-        return list(zip(edges, self.counts))
+        return list(zip(edges, counts))
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        with self._lock:
+            count = self.count
+            total = self.total
+            counts = list(self.counts)
+            sample = sorted(self._reservoir)
+
+        def pick(pct: float) -> Optional[float]:
+            if not sample:
+                return None
+            rank = max(0, -(-len(sample) * pct // 100) - 1)
+            return sample[int(min(rank, len(sample) - 1))]
+
+        snap: Dict[str, object] = {
             "type": self.kind,
             "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "sum": self.total,
-            "count": self.count,
+            "counts": counts,
+            "sum": total,
+            "count": count,
+            "mean": (total / count) if count else None,
+            "p50": pick(50),
+            "p95": pick(95),
+            "p99": pick(99),
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create semantics."""
+    """Named metric series with get-or-create semantics.
+
+    Series are keyed by ``name`` plus a sorted label rendering; a
+    *family* (every series sharing a name) must keep one kind, labeled
+    or not.  Labeled counters and histograms are created with a link to
+    their family's base series so family totals stay live without a
+    second lookup on the hot path.
+    """
 
     def __init__(self):
         self._metrics: Dict[str, object] = {}
+        self._kinds: Dict[str, str] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, name, factory, kind):
+    def _get_or_create(self, name, labels, factory, kind):
+        series = _series_name(name, labels)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(series)
             if metric is None:
-                metric = self._metrics[name] = factory()
+                known = self._kinds.get(name)
+                if known is not None and known != kind:
+                    raise TypeError(
+                        f"metric {name!r} already registered as {known}"
+                    )
+                metric = self._metrics[series] = factory()
+                self._kinds[name] = kind
             elif metric.kind != kind:
                 raise TypeError(
                     f"metric {name!r} already registered as {metric.kind}"
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, lambda: Counter(name), "counter")
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter series for ``name`` (+ labels), creating it on
+        first use.  Labeled series forward increments to the family
+        total ``name``."""
+        if not labels:
+            return self._get_or_create(
+                name, None, lambda: Counter(name), "counter"
+            )
+        base = self.counter(name)
+        rendered = _normalise_labels(labels)
+        series = _series_name(name, rendered)
+        return self._get_or_create(
+            name, rendered,
+            lambda: Counter(series, labels=rendered, parent=base),
+            "counter",
+        )
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge series for ``name`` (+ labels); gauges never
+        aggregate into a family total."""
+        rendered = _normalise_labels(labels) if labels else None
+        series = _series_name(name, rendered)
+        return self._get_or_create(
+            name, rendered, lambda: Gauge(series, labels=rendered), "gauge"
+        )
 
     def histogram(
-        self, name: str, buckets: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels,
     ) -> Histogram:
-        factory = lambda: Histogram(name, buckets or DEFAULT_BUCKETS)
-        return self._get_or_create(name, factory, "histogram")
+        """The histogram series for ``name`` (+ labels).
 
-    def get(self, name: str):
-        return self._metrics.get(name)
+        ``buckets=None`` picks the family's domain preset
+        (:func:`buckets_for`).  Labeled series share bounds with -- and
+        forward observations to -- the family total.
+        """
+        bounds = tuple(buckets) if buckets is not None else buckets_for(name)
+        if not labels:
+            return self._get_or_create(
+                name, None, lambda: Histogram(name, bounds), "histogram"
+            )
+        base = self.histogram(name, buckets=bounds)
+        rendered = _normalise_labels(labels)
+        series = _series_name(name, rendered)
+        return self._get_or_create(
+            name, rendered,
+            lambda: Histogram(series, bounds, labels=rendered, parent=base),
+            "histogram",
+        )
+
+    def get(self, name: str, **labels):
+        """The series registered under ``name`` (+ labels), or ``None``."""
+        rendered = _normalise_labels(labels) if labels else None
+        with self._lock:
+            return self._metrics.get(_series_name(name, rendered))
 
     def names(self) -> List[str]:
+        """Every registered series name, sorted (copied under the lock)."""
         with self._lock:
             return sorted(self._metrics)
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """``{name: metric snapshot}`` for every registered metric."""
+    def metrics(self) -> List[object]:
+        """Every registered metric object, sorted by series name.
+
+        The list is a lock-protected copy, so callers (exposition
+        formats, exporters) can iterate while workers register new
+        series.
+        """
         with self._lock:
-            items = list(self._metrics.items())
-        return {name: metric.snapshot() for name, metric in sorted(items)}
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """``{series name: snapshot}`` for every registered metric.
+
+        The metric map is copied under the registry lock (so concurrent
+        registration cannot race the iteration) and each per-metric
+        snapshot is taken under that metric's own lock (so concurrent
+        observation cannot tear multi-field histogram state).
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in items}
 
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()
+            self._kinds.clear()
+
+
+def _forward_labels(labels: Dict[str, object]) -> Dict[str, object]:
+    """Hook point kept trivial: labels pass through unchanged."""
+    return labels
 
 
 #: The process-global default registry used by the instrumented code.
 REGISTRY = MetricsRegistry()
 
 
-def counter(name: str) -> Counter:
-    return REGISTRY.counter(name)
+def counter(name: str, **labels) -> Counter:
+    """:meth:`MetricsRegistry.counter` on the global registry."""
+    return REGISTRY.counter(name, **labels)
 
 
-def gauge(name: str) -> Gauge:
-    return REGISTRY.gauge(name)
+def gauge(name: str, **labels) -> Gauge:
+    """:meth:`MetricsRegistry.gauge` on the global registry."""
+    return REGISTRY.gauge(name, **labels)
 
 
-def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
-    return REGISTRY.histogram(name, buckets)
+def histogram(
+    name: str, buckets: Optional[Sequence[float]] = None, **labels
+) -> Histogram:
+    """:meth:`MetricsRegistry.histogram` on the global registry."""
+    return REGISTRY.histogram(name, buckets, **labels)
 
 
 def snapshot() -> Dict[str, Dict[str, object]]:
+    """:meth:`MetricsRegistry.snapshot` of the global registry."""
     return REGISTRY.snapshot()
 
 
 def reset() -> None:
+    """Clear the global registry (tests and CLI entry points)."""
     REGISTRY.reset()

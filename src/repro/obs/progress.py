@@ -1,0 +1,205 @@
+"""Structured progress events: live heartbeat for long-running fan-outs.
+
+Campaigns and sweeps run for minutes behind a thread pool; the trace
+tells you what happened only after exit.  This module gives the running
+process a pulse: a phase declares its total task count up front, each
+task reports start/finish/fail, and anything holding the tracker -- the
+``/snapshot`` endpoint, ``trace-view``, a checkpoint hook -- can read
+completed-vs-total counts and an ETA while work is still in flight.
+
+Usage::
+
+    phase = PROGRESS.phase("campaign", total=len(pending))
+    for combo in pending:          # really a run_ordered fan-out
+        phase.task_start(label)
+        try:
+            ...
+        except Exception:
+            phase.task_finish(label, ok=False)
+            raise
+        phase.task_finish(label)
+    phase.finish()
+
+Every transition appends a JSON-able event record (``{"type": "event",
+"kind": "task_finish", ...}``) to a bounded in-memory log;
+:func:`repro.obs.export.write_jsonl` persists them next to spans and
+metrics, and :func:`~repro.obs.export.read_trace` reads them back.
+Counts are mirrored into ``progress.*`` gauges so a plain ``/metrics``
+scrape shows them too.
+
+Everything is lock-protected; the tracker is shared by worker threads
+by design.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+#: Cap on retained event records; a campaign emits 2 events per task
+#: plus 2 per phase, so this covers thousands of tasks before rolling.
+MAX_EVENTS = 10_000
+
+
+class Phase:
+    """One tracked unit of fan-out work (a campaign, a sweep).
+
+    Handed out by :meth:`ProgressTracker.phase`; all mutation goes
+    through the owning tracker's lock.
+    """
+
+    __slots__ = (
+        "name", "total", "completed", "failed", "running",
+        "started_at", "finished_at", "_tracker",
+    )
+
+    def __init__(self, name: str, total: int, tracker: "ProgressTracker"):
+        self.name = name
+        self.total = total
+        self.completed = 0
+        self.failed = 0
+        self.running = 0
+        self.started_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._tracker = tracker
+
+    def task_start(self, label: str) -> None:
+        """Record that the task called ``label`` began executing."""
+        self._tracker._task_start(self, label)
+
+    def task_finish(self, label: str, ok: bool = True, **meta) -> None:
+        """Record that ``label`` finished; ``ok=False`` counts a failure."""
+        self._tracker._task_finish(self, label, ok, meta)
+
+    def finish(self) -> None:
+        """Close the phase (all tasks done or the fan-out aborted)."""
+        self._tracker._phase_finish(self)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Live counts plus an ETA estimate (requires the tracker lock;
+        callers use :meth:`ProgressTracker.snapshot`)."""
+        now = time.time()
+        elapsed = (self.finished_at or now) - self.started_at
+        eta = None
+        done = self.completed + self.failed
+        if self.finished_at is None and done and self.total > done:
+            eta = elapsed / done * (self.total - done)
+        return {
+            "phase": self.name,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "running": self.running,
+            "done": self.finished_at is not None,
+            "elapsed_seconds": elapsed,
+            "eta_seconds": eta,
+        }
+
+
+class ProgressTracker:
+    """Process-wide registry of phases and their event log."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._phases: List[Phase] = []
+        self._events: List[Dict[str, object]] = []
+        self._seq = 0
+        self._dropped = 0
+
+    # -- event plumbing -------------------------------------------------
+    def _emit(self, kind: str, phase: Phase, label: Optional[str] = None,
+              ok: Optional[bool] = None, meta: Optional[Dict] = None) -> None:
+        record: Dict[str, object] = {
+            "type": "event",
+            "seq": self._seq,
+            "time_unix": time.time(),
+            "kind": kind,
+            "phase": phase.name,
+        }
+        self._seq += 1
+        if label is not None:
+            record["label"] = label
+        if ok is not None:
+            record["ok"] = ok
+        if meta:
+            record["meta"] = dict(meta)
+        self._events.append(record)
+        if len(self._events) > MAX_EVENTS:
+            del self._events[0]
+            self._dropped += 1
+
+    def _mirror_gauges(self, phase: Phase) -> None:
+        # Mirror counts into labeled gauges so a bare /metrics scrape
+        # (no /snapshot) still shows campaign progress.
+        _metrics.gauge("progress.total", phase=phase.name).set(phase.total)
+        _metrics.gauge("progress.completed", phase=phase.name).set(phase.completed)
+        _metrics.gauge("progress.failed", phase=phase.name).set(phase.failed)
+        _metrics.gauge("progress.running", phase=phase.name).set(phase.running)
+
+    # -- phase lifecycle ------------------------------------------------
+    def phase(self, name: str, total: int, **meta) -> Phase:
+        """Open a new phase expecting ``total`` tasks."""
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        phase = Phase(name, total, self)
+        with self._lock:
+            self._phases.append(phase)
+            self._emit("phase_start", phase, meta={"total": total, **meta})
+            self._mirror_gauges(phase)
+        return phase
+
+    def _task_start(self, phase: Phase, label: str) -> None:
+        with self._lock:
+            phase.running += 1
+            self._emit("task_start", phase, label=label)
+            self._mirror_gauges(phase)
+
+    def _task_finish(self, phase: Phase, label: str, ok: bool, meta: Dict) -> None:
+        with self._lock:
+            phase.running = max(0, phase.running - 1)
+            if ok:
+                phase.completed += 1
+            else:
+                phase.failed += 1
+            self._emit("task_finish", phase, label=label, ok=ok, meta=meta)
+            self._mirror_gauges(phase)
+
+    def _phase_finish(self, phase: Phase) -> None:
+        with self._lock:
+            if phase.finished_at is None:
+                phase.finished_at = time.time()
+                self._emit(
+                    "phase_finish", phase,
+                    meta={"completed": phase.completed, "failed": phase.failed},
+                )
+                self._mirror_gauges(phase)
+
+    # -- readers --------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Live view: every phase's counts, ETA, and event-log stats."""
+        with self._lock:
+            return {
+                "phases": [phase.snapshot() for phase in self._phases],
+                "events": len(self._events),
+                "events_dropped": self._dropped,
+            }
+
+    def events(self) -> List[Dict[str, object]]:
+        """A copy of the retained event records, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._events]
+
+    def reset(self) -> None:
+        """Drop all phases and events (tests, CLI entry points)."""
+        with self._lock:
+            self._phases.clear()
+            self._events.clear()
+            self._seq = 0
+            self._dropped = 0
+
+
+#: The process-global tracker, mirroring :data:`repro.obs.metrics.REGISTRY`.
+PROGRESS = ProgressTracker()

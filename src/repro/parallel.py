@@ -89,7 +89,9 @@ def run_ordered(
             except Exception as exc:
                 if on_error == "raise":
                     raise
-                obs.metrics.counter("parallel.task_failures").inc()
+                obs.metrics.counter(
+                    "parallel.task_failures", error=type(exc).__name__
+                ).inc()
                 results.append(
                     TaskFailure(index, type(exc).__name__, str(exc))
                 )
@@ -143,7 +145,9 @@ def run_ordered(
                         first_error = exc
                     results.append(None)
                 else:
-                    obs.metrics.counter("parallel.task_failures").inc()
+                    obs.metrics.counter(
+                        "parallel.task_failures", error=type(exc).__name__
+                    ).inc()
                     results.append(
                         TaskFailure(index, type(exc).__name__, str(exc))
                     )

@@ -114,8 +114,7 @@ class RetryPolicy:
                     )
                     if attempt >= self.max_attempts or out_of_time:
                         break
-                    obs.metrics.counter("retries").inc()
-                    obs.metrics.counter(f"retries.{site}").inc()
+                    obs.metrics.counter("retries", site=site).inc()
                     sleep(self.backoff_delay(attempt, key))
             sp.set(attempts=self.max_attempts, gave_up=type(last).__name__)
         raise RetryExhaustedError(site, self.max_attempts, last) from last
@@ -260,14 +259,14 @@ class ResilientLLMClient(LLMClient):
                         raise
                     if attempt >= policy.max_attempts:
                         break
-                    obs.metrics.counter("llm.retries").inc()
+                    obs.metrics.counter("llm.retries", reason="transient").inc()
                     self._sleep(policy.backoff_delay(attempt, key))
                     continue
                 if kind is FaultKind.TRUNCATE:
                     response = truncate_response(response)
                     if attempt < policy.max_attempts:
                         # Degrade the truncation into a re-prompt.
-                        obs.metrics.counter("llm.retries").inc()
+                        obs.metrics.counter("llm.retries", reason="truncated").inc()
                         self._sleep(policy.backoff_delay(attempt, key))
                         continue
                     # Out of budget: hand back the truncated reply; the

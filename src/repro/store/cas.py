@@ -27,8 +27,11 @@ Guarantees:
   every write.
 
 Instrumentation mirrors the in-memory caches: ``store.hit`` /
-``store.miss`` / ``store.put`` / ``store.evict`` / ``store.corrupt``
-counters in :mod:`repro.obs.metrics`.
+``store.miss`` / ``store.put`` / ``store.evict`` counters in
+:mod:`repro.obs.metrics`, labeled with the key's leading
+``category/`` segment (the unlabeled family series carries the
+totals); ``store.corrupt`` stays unlabeled because a corrupt entry's
+key may itself be unreadable.
 
 A process-wide default store (mirroring ``obs.set_tracer`` and
 ``faults.install``) lets the CLI flip persistence on with one
@@ -65,6 +68,12 @@ class StoreError(ValueError):
 def digest_key(key: str) -> str:
     """The on-disk address of a logical key: BLAKE2b-128 of its UTF-8."""
     return hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+
+
+def _category(key: str) -> str:
+    """The metric label for a key: its leading ``category/`` segment
+    (keys follow the ``category/version/...`` convention)."""
+    return key.split("/", 1)[0] if "/" in key else "?"
 
 
 def digest_payload(payload_bytes: bytes) -> str:
@@ -168,7 +177,7 @@ class ArtifactStore:
         os.replace(tmp, path)
         with self._lock:
             self.puts += 1
-        obs.metrics.counter("store.put").inc()
+        obs.metrics.counter("store.put", category=_category(key)).inc()
         if self.max_bytes is not None:
             self.gc(self.max_bytes)
         return path
@@ -207,19 +216,19 @@ class ArtifactStore:
         if not path.exists():
             with self._lock:
                 self.misses += 1
-            obs.metrics.counter("store.miss").inc()
+            obs.metrics.counter("store.miss", category=_category(key)).inc()
             return default
         envelope = self._read_envelope(path)
         if envelope is None or envelope.get("key") != key:
             with self._lock:
                 self.misses += 1
-            obs.metrics.counter("store.miss").inc()
+            obs.metrics.counter("store.miss", category=_category(key)).inc()
             return default
         with contextlib.suppress(OSError):
             os.utime(path)
         with self._lock:
             self.hits += 1
-        obs.metrics.counter("store.hit").inc()
+        obs.metrics.counter("store.hit", category=_category(key)).inc()
         return envelope["payload"]
 
     def contains(self, key: str) -> bool:
@@ -358,7 +367,7 @@ class ArtifactStore:
                 total -= size
                 evicted.append(key)
                 self.evictions += 1
-                obs.metrics.counter("store.evict").inc()
+                obs.metrics.counter("store.evict", category=_category(key)).inc()
         return evicted
 
     def clear(self) -> int:

@@ -134,9 +134,20 @@ def scale_sweep(
             raise ValueError("scales must be positive")
     solve = _resolve_solver(solver, backend=backend)
 
+    phase = obs.PROGRESS.phase(
+        "scale_sweep", total=len(scales), topology=topology.name
+    )
+
     def point_at(scale: float) -> ScalePoint:
-        scaled = traffic.scaled(scale)
-        solution = solve(topology, scaled)
+        label = f"scale={scale:g}"
+        phase.task_start(label)
+        try:
+            scaled = traffic.scaled(scale)
+            solution = solve(topology, scaled)
+        except BaseException as exc:
+            phase.task_finish(label, ok=False, error=type(exc).__name__)
+            raise
+        phase.task_finish(label)
         return ScalePoint(
             scale=scale,
             total_demand=scaled.total_demand,
@@ -149,8 +160,11 @@ def scale_sweep(
         points=len(scales),
         workers=workers,
     ):
-        return run_ordered(
-            [lambda scale=scale: point_at(scale) for scale in scales],
-            workers=workers,
-            on_error=on_error,
-        )
+        try:
+            return run_ordered(
+                [lambda scale=scale: point_at(scale) for scale in scales],
+                workers=workers,
+                on_error=on_error,
+            )
+        finally:
+            phase.finish()

@@ -15,9 +15,11 @@ of them behind a single surface:
   :func:`repro.lp.get_backend`).
 
 Every solver resolved through the registry is instrumented uniformly: a
-``te.registry.solve`` span plus ``solver.solve_calls`` /
-``solver.solve_calls.<name>`` counters.  Unknown names raise
-:class:`UnknownSolverError` carrying close-match suggestions.
+``te.registry.solve`` span plus a ``solver.solve_calls`` counter and a
+``solver.solve_seconds`` histogram, both labeled ``solver=<name>`` (the
+unlabeled family series carries the cross-solver totals).  Unknown
+names raise :class:`UnknownSolverError` carrying close-match
+suggestions.
 """
 
 from __future__ import annotations
@@ -104,13 +106,15 @@ class _RegisteredSolver:
         self._solve_fn = solve_fn
 
     def solve(self, topology: Topology, traffic: TrafficMatrix) -> TESolution:
-        obs.metrics.counter("solver.solve_calls").inc()
-        obs.metrics.counter(f"solver.solve_calls.{self.name}").inc()
+        obs.metrics.counter("solver.solve_calls", solver=self.name).inc()
         with obs.span(
             "te.registry.solve", solver=self.name, topology=topology.name
         ) as sp:
             solution = self._solve_fn(topology, traffic)
             sp.set(objective=solution.objective, status=solution.status)
+        obs.metrics.histogram(
+            "solver.solve_seconds", solver=self.name
+        ).observe(sp.duration)
         return solution
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

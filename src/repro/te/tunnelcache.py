@@ -12,7 +12,8 @@ that triple.
 
 The cache is safe for concurrent workers (a single lock guards the
 LRU table) and instrumented: ``tunnel_cache.hit`` / ``tunnel_cache.miss``
-counters in :mod:`repro.obs.metrics`, plus the existing ``te.tunnels``
+counters in :mod:`repro.obs.metrics` (labeled ``k=<k>``; the unlabeled
+family series carries the totals), plus the existing ``te.tunnels``
 span around each real computation.
 
 An optional second tier persists across processes: attach an
@@ -168,9 +169,9 @@ class TunnelCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
         if entry is not None:
-            obs.metrics.counter("tunnel_cache.hit").inc()
+            obs.metrics.counter("tunnel_cache.hit", k=k).inc()
             return dict(entry)
-        obs.metrics.counter("tunnel_cache.miss").inc()
+        obs.metrics.counter("tunnel_cache.miss", k=k).inc()
         tunnels: Optional[TunnelMap] = None
         if self._store is not None:
             payload = self._store.get(self.store_key(key))

@@ -1,0 +1,540 @@
+"""Tests for the live telemetry tier: labeled metrics, exposition
+endpoint, sampling profiler, and progress events."""
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import export
+from repro.obs.http import MetricsServer, prometheus_text
+from repro.obs.metrics import (
+    BUCKET_PRESETS,
+    DEFAULT_BUCKETS,
+    RESERVOIR_SIZE,
+    Histogram,
+    MetricsRegistry,
+    buckets_for,
+)
+from repro.obs.profile import SamplingProfiler, read_collapsed, render_top
+from repro.obs.progress import ProgressTracker
+from repro.parallel import run_ordered
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.set_tracer(obs.NOOP)
+    obs.metrics.reset()
+    obs.PROGRESS.reset()
+    yield
+    obs.set_tracer(obs.NOOP)
+    obs.metrics.reset()
+    obs.PROGRESS.reset()
+
+
+class TestLabeledMetrics:
+    def test_labels_identify_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", solver="pf4").inc()
+        registry.counter("c", solver="edge").inc(2)
+        assert registry.counter("c", solver="pf4").value == 1
+        assert registry.counter("c", solver="edge").value == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", x=1, y=2)
+        b = registry.counter("c", y=2, x=1)
+        assert a is b
+
+    def test_labeled_counter_updates_family_total(self):
+        registry = MetricsRegistry()
+        registry.counter("c", solver="pf4").inc(3)
+        registry.counter("c", solver="edge").inc(2)
+        assert registry.counter("c").value == 5
+
+    def test_labeled_histogram_updates_family_total(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,), backend="a").observe(0.5)
+        registry.histogram("h", buckets=(1.0,), backend="b").observe(2.0)
+        base = registry.histogram("h", buckets=(1.0,))
+        assert base.count == 2
+        assert base.total == 2.5
+
+    def test_gauges_do_not_aggregate(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", phase="a").set(5)
+        assert registry.gauge("g").value == 0.0
+
+    def test_kind_conflict_rejected_across_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("m", solver="pf4")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m", other="x")
+
+    def test_snapshot_carries_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c", solver="pf4").inc()
+        snap = registry.snapshot()
+        assert snap['c{solver="pf4"}']["labels"] == {"solver": "pf4"}
+        assert "labels" not in snap["c"]
+
+    def test_module_helpers_accept_labels(self):
+        obs.metrics.counter("runs", paper="ncflow").inc()
+        obs.metrics.histogram("h", phase="x").observe(1.0)
+        snap = obs.metrics.snapshot()
+        assert snap['runs{paper="ncflow"}']["value"] == 1
+        assert snap["runs"]["value"] == 1
+        assert snap['h{phase="x"}']["count"] == 1
+
+
+class TestPercentiles:
+    def test_exact_percentiles_under_reservoir_size(self):
+        hist = Histogram("h", buckets=(1000.0,))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(99) == 99.0
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_snapshot_includes_percentiles(self):
+        hist = Histogram("h", buckets=(1000.0,))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+
+    def test_reservoir_bounded_and_deterministic(self):
+        first = Histogram("h", buckets=(1e9,))
+        second = Histogram("h", buckets=(1e9,))
+        for value in range(RESERVOIR_SIZE * 3):
+            first.observe(float(value))
+            second.observe(float(value))
+        assert len(first._reservoir) == RESERVOIR_SIZE
+        assert first._reservoir == second._reservoir
+        assert first.percentile(50) == second.percentile(50)
+
+    def test_percentile_range_validated(self):
+        hist = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_histogram_reports_nulls(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["mean"] is None
+        assert snap["p50"] is None
+        assert snap["p95"] is None
+        assert snap["p99"] is None
+        assert snap["count"] == 0
+        # and the rendering shows a dash, not a fabricated zero
+        assert "mean=-" in export.render_metrics({"h": snap})
+
+    def test_empty_histogram_snapshot_is_json_safe(self):
+        snap = json.loads(json.dumps(Histogram("h", buckets=(1.0,)).snapshot()))
+        assert snap["mean"] is None
+
+
+class TestBucketPresets:
+    def test_domains_have_distinct_scales(self):
+        assert buckets_for("bdd.apply_seconds") == BUCKET_PRESETS["bdd"]
+        assert buckets_for("lp.solve_seconds") == BUCKET_PRESETS["lp"]
+        assert max(BUCKET_PRESETS["bdd"]) < 1.0  # sub-second ceiling
+        assert max(BUCKET_PRESETS["lp"]) >= 60.0  # minute-scale solves
+
+    def test_unknown_domain_falls_back_to_default(self):
+        assert buckets_for("mystery.metric") == DEFAULT_BUCKETS
+
+    def test_registry_applies_preset_when_buckets_omitted(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lp.solve_seconds")
+        assert tuple(hist.bounds) == tuple(sorted(BUCKET_PRESETS["lp"]))
+        explicit = registry.histogram("lp.iterations", buckets=(1, 10))
+        assert explicit.bounds == [1.0, 10.0]
+
+
+class TestConcurrency:
+    def test_labeled_hammer_under_run_ordered_workers(self):
+        registry = MetricsRegistry()
+
+        def hammer(worker: int):
+            for index in range(200):
+                registry.counter("hits", worker=worker).inc()
+                registry.histogram("lat", worker=worker).observe(index / 1000)
+            return worker
+
+        results = run_ordered(
+            [lambda w=w: hammer(w) for w in range(8)], workers=8
+        )
+        assert results == list(range(8))
+        assert registry.counter("hits").value == 8 * 200
+        assert registry.histogram("lat").count == 8 * 200
+        for worker in range(8):
+            assert registry.counter("hits", worker=worker).value == 200
+
+    def test_snapshot_races_concurrent_registration(self):
+        registry = MetricsRegistry()
+        snapshots = []
+
+        def register_many(worker: int):
+            for index in range(100):
+                registry.counter(f"c{worker}", i=index).inc()
+            return worker
+
+        def snapshot_loop(_: int):
+            for _ in range(50):
+                snapshots.append(registry.snapshot())
+            return -1
+
+        tasks = [lambda w=w: register_many(w) for w in range(6)]
+        tasks += [lambda w=w: snapshot_loop(w) for w in range(2)]
+        run_ordered(tasks, workers=8)
+        final = registry.snapshot()
+        # 6 workers x 100 labeled series + 6 family bases
+        assert len(final) == 6 * 100 + 6
+        assert all(isinstance(s, dict) for s in snapshots)
+
+    def test_names_returns_consistent_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        names = registry.names()
+        registry.counter("b").inc()
+        assert names == ["a"]
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_families(self):
+        obs.metrics.counter("solver.solve_calls", solver="pf4").inc(2)
+        obs.metrics.gauge("progress.total", phase="campaign").set(4)
+        obs.metrics.histogram("lp.solve_seconds", backend="fast").observe(0.02)
+        text = prometheus_text(obs.metrics.snapshot())
+        assert "# TYPE solver_solve_calls counter" in text
+        assert 'solver_solve_calls{solver="pf4"} 2' in text
+        assert "solver_solve_calls 2" in text  # family total
+        assert 'progress_total{phase="campaign"} 4' in text
+        assert 'lp_solve_seconds_bucket{backend="fast",le="+Inf"} 1' in text
+        assert 'lp_solve_seconds_count{backend="fast"} 1' in text
+
+    def test_bucket_counts_are_cumulative(self):
+        obs.metrics.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        obs.metrics.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        text = prometheus_text(obs.metrics.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+
+    def test_label_values_escaped(self):
+        obs.metrics.counter("c", path='a"b').inc()
+        text = prometheus_text(obs.metrics.snapshot())
+        assert 'c{path="a\\"b"} 1' in text
+
+
+class TestEndpoint:
+    def test_lifecycle_scrape_and_stop(self):
+        obs.metrics.counter("solver.solve_calls", solver="pf4").inc()
+        server = MetricsServer(port=0).start()
+        try:
+            assert server.port > 0
+            body = urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=5
+            ).read().decode()
+            assert 'solver_solve_calls{solver="pf4"} 1' in body
+            health = urllib.request.urlopen(f"{server.url}/health", timeout=5)
+            assert health.status == 200
+            snap = json.loads(
+                urllib.request.urlopen(
+                    f"{server.url}/snapshot", timeout=5
+                ).read()
+            )
+            assert "metrics" in snap and "progress" in snap
+            assert snap["uptime_seconds"] >= 0.0
+        finally:
+            server.stop()
+        # stop is idempotent
+        server.stop()
+
+    def test_snapshot_exposes_live_progress_with_eta(self):
+        phase = obs.PROGRESS.phase("campaign", total=4)
+        phase.task_start("a")
+        phase.task_finish("a")
+        phase.task_start("b")
+        server = MetricsServer(port=0).start()
+        try:
+            snap = json.loads(
+                urllib.request.urlopen(
+                    f"{server.url}/snapshot", timeout=5
+                ).read()
+            )
+        finally:
+            server.stop()
+        (entry,) = snap["progress"]["phases"]
+        assert entry["total"] == 4
+        assert entry["completed"] == 1
+        assert entry["running"] == 1
+        assert entry["eta_seconds"] is not None
+
+    def test_unknown_route_is_404(self):
+        server = MetricsServer(port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=5)
+            assert info.value.code == 404
+        finally:
+            server.stop()
+
+    def test_port_in_use_raises_synchronously(self):
+        server = MetricsServer(port=0).start()
+        try:
+            with pytest.raises(OSError):
+                MetricsServer(port=server.port).start()
+        finally:
+            server.stop()
+
+    def test_double_start_rejected(self):
+        server = MetricsServer(port=0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+
+class TestProfiler:
+    def test_profiler_sees_a_busy_function(self, tmp_path):
+        import threading
+
+        stop = threading.Event()
+
+        def busy_wait_loop():
+            while not stop.is_set():
+                sum(range(500))
+
+        worker = threading.Thread(target=busy_wait_loop, daemon=True)
+        profiler = SamplingProfiler(interval=0.001)
+        worker.start()
+        with profiler:
+            time.sleep(0.15)
+        stop.set()
+        worker.join(timeout=5)
+        assert profiler.samples > 10
+        lines = profiler.collapsed()
+        assert lines, "no stacks captured"
+        assert any("busy_wait_loop" in line for line in lines)
+        path = str(tmp_path / "out.collapsed")
+        assert profiler.write(path) == len(lines)
+        counts = read_collapsed(path)
+        assert sum(counts.values()) == sum(
+            int(line.rsplit(" ", 1)[1]) for line in lines
+        )
+        rendered = render_top(counts, top=5)
+        assert "frame" in rendered and "samples" in rendered
+
+    def test_collapsed_lines_are_sorted_and_parseable(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            time.sleep(0.03)
+        lines = profiler.collapsed()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and count.isdigit()
+
+    def test_read_collapsed_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.collapsed"
+        path.write_text("this is not a profile\n")
+        with pytest.raises(ValueError):
+            read_collapsed(str(path))
+
+    def test_render_top_empty_and_zero_guards(self):
+        assert render_top({}) == "no samples recorded"
+        text = render_top({"a;b": 2, "a;c": 1}, top=10)
+        assert "a" in text and "100.0%" in text
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+
+class TestProgressEvents:
+    def test_phase_counts_and_eta(self):
+        tracker = ProgressTracker()
+        phase = tracker.phase("sweep", total=3)
+        phase.task_start("s1")
+        phase.task_finish("s1")
+        snap = tracker.snapshot()["phases"][0]
+        assert snap["completed"] == 1
+        assert snap["failed"] == 0
+        assert snap["eta_seconds"] is not None
+        phase.task_start("s2")
+        phase.task_finish("s2", ok=False)
+        phase.finish()
+        snap = tracker.snapshot()["phases"][0]
+        assert snap["failed"] == 1
+        assert snap["done"] is True
+        assert snap["eta_seconds"] is None
+
+    def test_event_schema_roundtrip_through_jsonl(self, tmp_path):
+        tracker = ProgressTracker()
+        phase = tracker.phase("campaign", total=1)
+        phase.task_start("ncflow/modular-pseudocode")
+        phase.task_finish("ncflow/modular-pseudocode", succeeded=True)
+        phase.finish()
+        events = tracker.events()
+        kinds = [event["kind"] for event in events]
+        assert kinds == [
+            "phase_start", "task_start", "task_finish", "phase_finish",
+        ]
+        for event in events:
+            assert event["type"] == "event"
+            assert isinstance(event["seq"], int)
+            assert isinstance(event["time_unix"], float)
+            assert event["phase"] == "campaign"
+        path = str(tmp_path / "trace.jsonl")
+        lines = export.write_jsonl(path, [], {}, events)
+        assert lines == len(events)
+        spans, metrics, back = export.read_trace(path)
+        assert spans == [] and metrics == {}
+        assert [event["kind"] for event in back] == kinds
+        assert back[2]["ok"] is True
+        assert back[2]["meta"] == {"succeeded": True}
+        # legacy reader tolerates (and hides) event records
+        assert export.read_jsonl(path) == ([], {})
+
+    def test_event_log_is_bounded(self):
+        from repro.obs import progress as progress_mod
+
+        tracker = ProgressTracker()
+        phase = tracker.phase("big", total=progress_mod.MAX_EVENTS)
+        for index in range(progress_mod.MAX_EVENTS // 2 + 10):
+            phase.task_start(str(index))
+            phase.task_finish(str(index))
+        snap = tracker.snapshot()
+        assert snap["events"] <= progress_mod.MAX_EVENTS
+        assert snap["events_dropped"] > 0
+
+    def test_campaign_emits_progress(self):
+        from repro.experiments import run_campaign
+
+        result = run_campaign(["rps"], workers=2)
+        assert result.num_runs == 1
+        snap = obs.PROGRESS.snapshot()["phases"][0]
+        assert snap["phase"] == "campaign"
+        assert snap["completed"] == 1
+        assert snap["done"] is True
+        labels = [
+            event.get("label") for event in obs.PROGRESS.events()
+            if event["kind"] == "task_finish"
+        ]
+        assert labels == ["rps/modular-pseudocode"]
+
+    def test_scale_sweep_emits_progress(self):
+        from repro.netmodel.instances import make_te_instance
+        from repro.te.demandscale import scale_sweep
+
+        instance = make_te_instance("B4", max_commodities=10)
+        scale_sweep(
+            instance.topology, instance.traffic, "pf4", [0.5, 1.0], workers=2
+        )
+        snap = obs.PROGRESS.snapshot()["phases"][0]
+        assert snap["phase"] == "scale_sweep"
+        assert snap["completed"] == 2
+        assert snap["done"] is True
+
+
+class TestTraceViewTop:
+    def _write_trace(self, tmp_path, durations):
+        spans = []
+        for index, duration in enumerate(durations):
+            spans.append({
+                "type": "span", "id": index + 1, "parent": None,
+                "name": f"span{index}", "thread": "MainThread",
+                "start": 0.0, "end": duration, "dur": duration, "meta": {},
+            })
+        path = str(tmp_path / "t.jsonl")
+        export.write_jsonl(path, spans)
+        return path
+
+    def test_top_ranks_slowest_names(self, tmp_path):
+        path = self._write_trace(tmp_path, [0.1, 0.5, 0.3])
+        buffer = io.StringIO()
+        assert main(["trace-view", path, "--top", "2"], out=buffer) == 0
+        lines = buffer.getvalue().splitlines()
+        assert "span1" in lines[1]
+        assert "span2" in lines[2]
+        assert "span0" not in buffer.getvalue()
+
+    def test_zero_duration_spans_do_not_divide_by_zero(self, tmp_path):
+        path = self._write_trace(tmp_path, [0.0, 0.0])
+        buffer = io.StringIO()
+        assert main(["trace-view", path, "--top", "5"], out=buffer) == 0
+        assert "0.0%" in buffer.getvalue()
+
+    def test_render_top_spans_empty(self):
+        assert export.render_top_spans([]) == "no spans recorded"
+
+
+class TestCLILiveFlags:
+    def test_serve_metrics_flag_binds_and_reports_port(self):
+        buffer = io.StringIO()
+        code = main(
+            ["te", "--commodities", "5", "--serve-metrics", "0"], out=buffer
+        )
+        assert code == 0
+        assert "metrics: serving at http://127.0.0.1:" in buffer.getvalue()
+
+    def test_profile_flag_writes_collapsed_stacks(self, tmp_path):
+        path = str(tmp_path / "prof.collapsed")
+        buffer = io.StringIO()
+        code = main(
+            ["te", "--commodities", "40", "--profile", path], out=buffer
+        )
+        assert code == 0
+        assert "profile: wrote" in buffer.getvalue()
+        counts = read_collapsed(path)
+        view = io.StringIO()
+        assert main(["profile-view", path, "--top", "5"], out=view) == 0
+        assert "frame" in view.getvalue()
+        assert counts or "0 samples" not in view.getvalue()
+
+    def test_profile_view_missing_file_is_clean_error(self, tmp_path):
+        buffer = io.StringIO()
+        code = main(
+            ["profile-view", str(tmp_path / "nope.collapsed")], out=buffer
+        )
+        assert code == 1
+        assert buffer.getvalue().startswith("error: cannot read")
+
+    def test_obs_serve_duration_runs_and_stops(self):
+        buffer = io.StringIO()
+        code = main(
+            ["obs", "serve", "--port", "0", "--duration", "0.1"], out=buffer
+        )
+        assert code == 0
+        text = buffer.getvalue()
+        assert "serving http://127.0.0.1:" in text
+        assert "stopped" in text
+
+    def test_trace_records_progress_events(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        code = main(
+            [
+                "--trace", path, "te", "--commodities", "10",
+                "--sweep", "0.5,1.0", "--solver", "pf4",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        _, _, events = export.read_trace(path)
+        assert any(event["kind"] == "phase_finish" for event in events)
+        view = io.StringIO()
+        assert main(["trace-view", path], out=view) == 0
+        assert "phase scale_sweep: 2/2 completed" in view.getvalue()

@@ -244,7 +244,7 @@ class TestRetryPolicy:
         RetryPolicy(max_attempts=2).call(flaky, site="lp.solve", sleep=no_sleep)
         snap = obs.metrics.snapshot()
         assert snap["retries"]["value"] == 1
-        assert snap["retries.lp.solve"]["value"] == 1
+        assert snap['retries{site="lp.solve"}']["value"] == 1
 
     def test_backoff_is_deterministic_and_bounded(self):
         policy = RetryPolicy(

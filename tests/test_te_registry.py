@@ -91,7 +91,7 @@ class TestRegistryBasics:
         obs.metrics.reset()
         registry.solve("pf4", two_cluster_topology(), cross_traffic())
         assert obs.metrics.counter("solver.solve_calls").value == 1
-        assert obs.metrics.counter("solver.solve_calls.pf4").value == 1
+        assert obs.metrics.counter("solver.solve_calls", solver="pf4").value == 1
 
 
 class TestRegistryEquivalence:
