@@ -32,7 +32,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 #: Layers a benchmark can belong to, in the order tables render them.
-LAYERS = ("bdd", "ap", "apkeep", "te", "store", "parallel", "pipeline", "obs")
+LAYERS = (
+    "bdd", "ap", "apkeep", "te", "lp", "store", "parallel", "pipeline", "obs"
+)
 
 
 class UnknownBenchmarkError(KeyError):

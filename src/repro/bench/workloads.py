@@ -16,6 +16,9 @@ Layers covered:
 * ``te``       -- every registry solver, as ``.cold`` (tunnel cache
   cleared before each iteration) and ``.warm`` (cache primed) variants
   where the solver uses tunnels;
+* ``lp``       -- the solve-session tier: a scale sweep solved cold vs
+  carried on one warm LP session, and a single solve on the exact fast
+  backend vs the decomposed (reduced-support) backend;
 * ``parallel`` -- ``run_ordered`` fan-out overhead, serial vs threads;
 * ``pipeline`` -- simulated-LLM reproduction runs end to end;
 * ``obs``      -- telemetry-tier overhead: labeled metric hot path and
@@ -323,6 +326,126 @@ def _register_te_benchmarks() -> None:
 
 
 _register_te_benchmarks()
+
+
+# ----------------------------------------------------------------------
+# LP layer: the solve-session tier.  Two explicit pairs: a scale sweep
+# solved cold vs carried on one warm session (``--filter lp.warm``
+# selects exactly the pair), and one solve on the exact fast backend vs
+# the decomposed reduced-support backend (``--filter lp.decomposed``).
+# ----------------------------------------------------------------------
+#: Instance for the warm-vs-cold sweep pair.  Deliberately bigger than
+#: the ``te`` layer default: support reduction only pays once the LP is
+#: large enough that a reduced solve is much cheaper than a full one.
+LP_SWEEP_INSTANCE = "Kdl"
+LP_SWEEP_COMMODITIES = 200
+
+#: Scale factors for the warm-vs-cold sweep pair: enough near-identical
+#: points that session reuse amortises the one cold solve per chain.
+LP_SWEEP_SCALES = tuple(round(0.5 + 0.1 * i, 1) for i in range(12))
+
+
+@lru_cache(maxsize=None)
+def _lp_sweep_instance():
+    from repro.netmodel.instances import make_te_instance
+
+    return make_te_instance(
+        LP_SWEEP_INSTANCE,
+        max_commodities=LP_SWEEP_COMMODITIES,
+        total_demand_fraction=TE_LOAD,
+    )
+
+
+def _lp_sweep(warm: bool) -> Dict[str, object]:
+    """One pf4 scale sweep over :data:`LP_SWEEP_SCALES`; cold or warm."""
+    from repro.te.demandscale import scale_sweep
+
+    instance = _lp_sweep_instance()
+    points = scale_sweep(
+        instance.topology,
+        instance.traffic,
+        "pf4",
+        scales=list(LP_SWEEP_SCALES),
+        warm_start=warm,
+    )
+    return {
+        "points": len(points),
+        "objectives": [round(point.objective, 4) for point in points],
+    }
+
+
+def _prime_lp_sweep() -> None:
+    """Untimed: build the instance and fill the tunnel cache, so both
+    pair members time LP solves rather than k-shortest-paths."""
+    _lp_sweep(warm=False)
+
+
+@benchmark(
+    "lp.warm_vs_cold.cold",
+    layer="lp",
+    description="pf4 scale sweep, every point solved cold",
+    setup=_prime_lp_sweep,
+    tags=("lp-session", "sweep"),
+)
+def bench_lp_sweep_cold() -> Dict[str, object]:
+    """Cold half of the warm-vs-cold sweep pair."""
+    return _lp_sweep(warm=False)
+
+
+@benchmark(
+    "lp.warm_vs_cold.warm",
+    layer="lp",
+    description="pf4 scale sweep, one warm LP session across all points",
+    setup=_prime_lp_sweep,
+    tags=("lp-session", "sweep"),
+)
+def bench_lp_sweep_warm() -> Dict[str, object]:
+    """Warm half of the warm-vs-cold sweep pair."""
+    return _lp_sweep(warm=True)
+
+
+def _lp_solve_once(backend_name: str) -> Dict[str, object]:
+    """One pf4 solve on a named LP backend (exact-vs-decomposed pair)."""
+    from repro.lp import get_backend
+    from repro.te.maxflow import solve_max_flow
+
+    instance = _te_instance()
+    solution = solve_max_flow(
+        instance.topology, instance.traffic, backend=get_backend(backend_name)
+    )
+    return {
+        "objective": round(solution.objective, 4),
+        "status": solution.status,
+    }
+
+
+def _prime_lp_solve() -> None:
+    _te_instance()
+    _lp_solve_once("fast")   # fills the tunnel cache, untimed
+
+
+@benchmark(
+    "lp.decomposed_vs_exact.exact",
+    layer="lp",
+    description="pf4 solve on the exact fast backend (decomposed baseline)",
+    setup=_prime_lp_solve,
+    tags=("lp-decomposed", "solver"),
+)
+def bench_lp_exact() -> Dict[str, object]:
+    """Exact half of the decomposed-vs-exact pair."""
+    return _lp_solve_once("fast")
+
+
+@benchmark(
+    "lp.decomposed_vs_exact.decomposed",
+    layer="lp",
+    description="pf4 solve on the decomposed reduced-support backend",
+    setup=_prime_lp_solve,
+    tags=("lp-decomposed", "solver"),
+)
+def bench_lp_decomposed() -> Dict[str, object]:
+    """Decomposed half of the decomposed-vs-exact pair."""
+    return _lp_solve_once("decomposed")
 
 
 def ncflow_scaling_rows(

@@ -12,7 +12,8 @@ explore the reproduction without writing code:
 * ``te``           -- solve a TE instance with any registry solver
   (``--solver list`` shows them), optionally sweeping demand scales
   in parallel (``--sweep`` / ``--workers``) with an injected LP
-  backend (``--lp-backend``);
+  backend (``--lp-backend``, including the reduced-core ``decomposed``
+  tier) and warm-started sweep points (``--warm-start``);
 * ``motivating``   -- replay the rock-paper-scissors example and play it;
 * ``transcript``   -- run a participant session and dump the markdown
   conversation log;
@@ -177,9 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--load", type=float, default=0.1,
                     help="total demand as a fraction of total capacity")
     te.add_argument(
-        "--lp-backend", choices=["fast", "slow", "fallback"], default=None,
-        help="inject an LP backend; 'fallback' chains fast then slow "
-             "(default: each solver's own default)",
+        "--lp-backend",
+        choices=["fast", "slow", "fallback", "decomposed"], default=None,
+        help="inject an LP backend; 'fallback' chains fast then slow, "
+             "'decomposed' solves a reduced core model and prices it to "
+             "the full optimum (default: each solver's own default)",
     )
     te.add_argument(
         "--sweep", metavar="SCALES", default=None,
@@ -189,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument(
         "--workers", type=int, default=1,
         help="worker threads for --sweep points",
+    )
+    te.add_argument(
+        "--warm-start", action="store_true",
+        help="carry an LP solve session along each worker's chunk of "
+             "--sweep points (warm-capable solvers only; see "
+             "'--solver list' for the 'warm' capability tag)",
     )
 
     add_parser("motivating", help="replay the motivating example")
@@ -518,10 +527,15 @@ def cmd_te(args, out) -> int:
         from repro.parallel import TaskFailure
 
         scales = [float(part) for part in args.sweep.split(",") if part.strip()]
+        # Warm sweeps re-resolve the solver by name per worker chunk
+        # so each chunk carries its own LP session.
+        sweep_solver = args.solver if args.warm_start else solver
         points = scale_sweep(
-            instance.topology, instance.traffic, solver, scales,
+            instance.topology, instance.traffic, sweep_solver, scales,
             workers=args.workers,
+            backend=args.lp_backend if args.warm_start else None,
             on_error=getattr(args, "on_error", "raise"),
+            warm_start=args.warm_start,
         )
         for scale, point in zip(scales, points):
             if isinstance(point, TaskFailure):

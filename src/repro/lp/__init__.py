@@ -16,6 +16,15 @@ asymmetry:
   PuLP/CBC).
 
 Both backends return identical optima; only the constant factors differ.
+
+On top of the one-shot backends sits the *session tier*
+(:mod:`repro.lp.session`): ``backend.session()`` returns a
+:class:`SolveSession` whose solves may warm-start from the previous
+solution's support (:class:`WarmStartSession`), and
+:class:`DecomposedLPBackend` runs the same reduced-model + dual-pricing
+machinery cold from a top-coefficient core.  Sweeps and bisections
+thread one session across their near-identical solves instead of
+solving each point from scratch.
 """
 
 from repro.lp.model import (
@@ -35,9 +44,17 @@ from repro.lp.backends import (
     SlowLPBackend,
     get_backend,
 )
+from repro.lp.session import (
+    DecomposedLPBackend,
+    SessionStats,
+    SolveSession,
+    WarmStartSession,
+    lp_discrepancy_gate,
+)
 
 __all__ = [
     "ConstraintSense",
+    "DecomposedLPBackend",
     "FastLPBackend",
     "InfeasibleError",
     "LPBackend",
@@ -45,9 +62,13 @@ __all__ = [
     "LinExpr",
     "Model",
     "RECOVERABLE_STATUSES",
+    "SessionStats",
     "SlowLPBackend",
     "SolveResult",
+    "SolveSession",
     "SolveStatus",
     "Variable",
+    "WarmStartSession",
     "get_backend",
+    "lp_discrepancy_gate",
 ]

@@ -41,11 +41,30 @@ class LPBackend:
     """Interface all LP backends implement."""
 
     name = "abstract"
+    #: Whether :meth:`session` returns a genuinely warm-starting session
+    #: (:class:`~repro.lp.session.WarmStartSession`) instead of the base
+    #: cold-per-call session.
+    supports_warm_start = False
 
     def solve(self, model: Model) -> SolveResult:
+        """Solve ``model`` once, cold; subclasses implement this."""
         raise NotImplementedError
 
-    def _run_linprog(self, model: Model, method: str) -> SolveResult:
+    def session(self):
+        """A :class:`~repro.lp.session.SolveSession` over this backend.
+
+        The base implementation hands out a cold session (every solve
+        is a plain :meth:`solve`), so callers can thread sessions
+        unconditionally; backends that can exploit a previous solution
+        override this and advertise ``supports_warm_start``.
+        """
+        from repro.lp.session import SolveSession
+
+        return SolveSession(self)
+
+    def _run_linprog(
+        self, model: Model, method: str, observe_seconds: bool = True
+    ) -> SolveResult:
         from scipy.optimize import linprog
 
         from repro.resilience import faults
@@ -84,9 +103,10 @@ class LPBackend:
             "lp.iterations", buckets=(1, 10, 100, 1000, 10000),
             backend=self.name,
         ).observe(iterations)
-        obs.metrics.histogram(
-            "lp.solve_seconds", backend=self.name
-        ).observe(elapsed)
+        if observe_seconds:
+            obs.metrics.histogram(
+                "lp.solve_seconds", backend=self.name
+            ).observe(elapsed)
         status = _STATUS_MAP.get(raw.status, SolveStatus.ERROR)
         if status is SolveStatus.OPTIMAL:
             objective = float(raw.fun)
@@ -111,9 +131,17 @@ class FastLPBackend(LPBackend):
     """In-process solve, standing in for Gurobi."""
 
     name = "fast-highs"
+    supports_warm_start = True
 
     def solve(self, model: Model) -> SolveResult:
+        """Solve the assembled matrices directly with HiGHS."""
         return self._run_linprog(model, method="highs")
+
+    def session(self):
+        """A warm session: support reduction + exact dual pricing."""
+        from repro.lp.session import WarmStartSession
+
+        return WarmStartSession(self)
 
 
 class SlowLPBackend(LPBackend):
@@ -133,6 +161,14 @@ class SlowLPBackend(LPBackend):
         self.round_trips = round_trips
 
     def solve(self, model: Model) -> SolveResult:
+        """Round-trip through LP text, then solve with dual simplex.
+
+        The ``lp.solve_seconds{backend="slow-pulp"}`` histogram observes
+        the *round-trip* duration (serialise + parse + solve), matching
+        ``result.solve_seconds`` -- the serialisation cost is the whole
+        point of this personality, so hiding it from /metrics would
+        undercount exactly the latency the paper attributes to PuLP.
+        """
         with obs.span(
             "lp.roundtrip", model=model.name, trips=self.round_trips
         ) as sp:
@@ -140,9 +176,14 @@ class SlowLPBackend(LPBackend):
             for _ in range(self.round_trips):
                 text = write_lp_text(current)
                 current = parse_lp_text(text)
-            result = self._run_linprog(current, method="highs-ds")
+            result = self._run_linprog(
+                current, method="highs-ds", observe_seconds=False
+            )
         result.solve_seconds = sp.duration
         result.backend_name = self.name
+        obs.metrics.histogram(
+            "lp.solve_seconds", backend=self.name
+        ).observe(sp.duration)
         return result
 
 
@@ -151,7 +192,9 @@ def get_backend(name: str) -> LPBackend:
 
     ``"fast"``/``"slow"`` are the two stock personalities;
     ``"fallback"`` is the resilience chain ``fast -> slow``
-    (:class:`repro.resilience.FallbackLPBackend`).
+    (:class:`repro.resilience.FallbackLPBackend`); ``"decomposed"`` is
+    the reduced-core iterative solver
+    (:class:`~repro.lp.session.DecomposedLPBackend`).
     """
     normalised = name.lower()
     if normalised in ("fast", "gurobi", "fast-highs"):
@@ -162,6 +205,10 @@ def get_backend(name: str) -> LPBackend:
         from repro.resilience.fallback import FallbackLPBackend
 
         return FallbackLPBackend()
+    if normalised in ("decomposed", "gasplan", "reduced"):
+        from repro.lp.session import DecomposedLPBackend
+
+        return DecomposedLPBackend()
     raise KeyError(f"unknown LP backend {name!r}")
 
 
@@ -169,7 +216,9 @@ def get_backend(name: str) -> LPBackend:
 # CPLEX LP text format (the subset PuLP emits)
 # ----------------------------------------------------------------------
 
-def _format_expr(expr: LinExpr, var_names: List[str]) -> str:
+def _format_expr(
+    expr: LinExpr, var_names: List[str], include_constant: bool = False
+) -> str:
     parts: List[str] = []
     for idx in sorted(expr.coefs):
         coef = expr.coefs[idx]
@@ -177,6 +226,11 @@ def _format_expr(expr: LinExpr, var_names: List[str]) -> str:
             continue
         sign = "+" if coef >= 0 else "-"
         parts.append(f"{sign} {abs(coef):.12g} {var_names[idx]}")
+    if include_constant and expr.constant != 0.0:
+        # Only the objective row keeps its constant in LP text;
+        # constraint rows fold it into the right-hand side.
+        sign = "+" if expr.constant >= 0 else "-"
+        parts.append(f"{sign} {abs(expr.constant):.12g}")
     if not parts:
         return "0"
     text = " ".join(parts)
@@ -203,7 +257,10 @@ def write_lp_text(model: Model) -> str:
     names = _sanitize_names(model)
     lines = [f"\\* {model.name} *\\"]
     lines.append("Maximize" if model.is_maximize else "Minimize")
-    lines.append(" obj: " + _format_expr(model.objective_expr, names))
+    lines.append(
+        " obj: "
+        + _format_expr(model.objective_expr, names, include_constant=True)
+    )
     lines.append("Subject To")
     sense_token = {
         ConstraintSense.LE: "<=",
@@ -225,17 +282,39 @@ def write_lp_text(model: Model) -> str:
     return "\n".join(lines)
 
 
-_TERM_RE = re.compile(r"([+-]?)\s*(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)?\s*([A-Za-z_][\w.\[\],]*)")
+_TOKEN_RE = re.compile(
+    r"(?P<sign>[+-])"
+    r"|(?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][\w.\[\],]*)"
+)
 
 
 def _parse_expr(text: str, var_index: Dict[str, int]) -> LinExpr:
+    """Parse a sum of ``[+-] [coef] [var]`` terms, including bare
+    constants (a number followed by no variable name, as the objective
+    row emits for a constant offset)."""
     expr = LinExpr()
-    for sign, coef_text, name in _TERM_RE.findall(text):
-        coef = float(coef_text) if coef_text else 1.0
-        if sign == "-":
-            coef = -coef
-        idx = var_index[name]
-        expr.coefs[idx] = expr.coefs.get(idx, 0.0) + coef
+    sign = 1.0
+    pending: Optional[float] = None
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "sign":
+            if pending is not None:
+                expr.constant += sign * pending
+                pending = None
+            sign = -1.0 if match.group() == "-" else 1.0
+        elif kind == "number":
+            if pending is not None:
+                expr.constant += sign * pending
+            pending = float(match.group())
+        else:
+            coef = sign * (pending if pending is not None else 1.0)
+            idx = var_index[match.group()]
+            expr.coefs[idx] = expr.coefs.get(idx, 0.0) + coef
+            pending = None
+            sign = 1.0
+    if pending is not None:
+        expr.constant += sign * pending
     return expr
 
 

@@ -73,6 +73,7 @@ class LPSolveError(RuntimeError):
 
     @classmethod
     def from_result(cls, model: "Model", result: "SolveResult") -> "LPSolveError":
+        """Build a descriptive error from a failed solve's result."""
         return cls(
             f"LP solve of {model.name!r} ended with status "
             f"{result.status.value} "
@@ -140,6 +141,7 @@ class LinExpr:
 
     @staticmethod
     def from_term(var: Variable, coef: float = 1.0) -> "LinExpr":
+        """A single-term expression: ``coef * var``."""
         return LinExpr({var.index: float(coef)})
 
     @staticmethod
@@ -151,6 +153,7 @@ class LinExpr:
         return out
 
     def copy(self) -> "LinExpr":
+        """An independent copy (mutating it leaves ``self`` unchanged)."""
         return LinExpr(self.coefs, self.constant)
 
     def _iadd(self, other: Union[Variable, "LinExpr", Number], sign: float = 1.0) -> None:
@@ -252,6 +255,7 @@ class SolveResult:
     backend_name: str = ""
 
     def value_of(self, var: Variable) -> float:
+        """The solved value of ``var``."""
         return self.values[var.index]
 
     @property
@@ -327,10 +331,12 @@ class Model:
         return constraint
 
     def maximize(self, expr: Union[Variable, LinExpr]) -> None:
+        """Set the objective to maximise ``expr``."""
         self._objective = LinExpr.from_term(expr) if isinstance(expr, Variable) else expr.copy()
         self._maximize = True
 
     def minimize(self, expr: Union[Variable, LinExpr]) -> None:
+        """Set the objective to minimise ``expr``."""
         self._objective = LinExpr.from_term(expr) if isinstance(expr, Variable) else expr.copy()
         self._maximize = False
 

@@ -1,0 +1,511 @@
+"""Incremental LP solve sessions: warm starts and reduced-model solves.
+
+``scale_sweep``, ``max_feasible_scale``, and NCFlow's residual passes
+re-solve near-identical LPs: same tunnel structure, same constraint
+rows, only demands and capacities move.  The one-shot
+``LPBackend.solve`` path re-solves each of those cold.  This module
+adds the session tier that exploits the similarity:
+
+* :class:`SolveSession` -- the base session every backend can hand out
+  (``backend.session()``); it just solves cold, so callers can thread a
+  session unconditionally.
+* :class:`WarmStartSession` -- warm-starts each solve from the previous
+  solution's *support*: columns the last optimum left at their lower
+  bound are dropped, the reduced LP (all rows kept) is solved, and a
+  dual-pricing loop re-admits any dropped column with a negative
+  reduced cost until the reduced optimum is provably optimal for the
+  full model.  ``scipy``'s HiGHS wrapper has no basis/``x0`` warm
+  start, so this support-reduction scheme is how a "warm" solve gets
+  cheaper here -- and because pricing runs to exactness, the result is
+  the true optimum, not an approximation.
+* :class:`DecomposedLPBackend` -- the same machinery run cold: extract
+  a reduced *core* model from the top-|coefficient| variables (the
+  GASPLAN recipe), solve it, then iterate against the full model.  With
+  ``convergence_tolerance > 0`` it may stop early and is approximate;
+  the default prices to exactness.
+* :func:`lp_discrepancy_gate` -- the accuracy gate: solves instances
+  with a candidate and a reference backend and reports objective gaps
+  and status mismatches through the discrepancy machinery, so the
+  approximate tier can only land while it agrees with the exact one.
+
+Correctness rules baked into the pricing loop:
+
+* all constraint rows are always kept, so a reduced solution extended
+  with zeros is feasible for the full model;
+* a reduced-model INFEASIBLE / ERROR / ITERATION_LIMIT is **not** a
+  property of the full model (dropping columns can starve an equality
+  row) -- those fall back to a full cold solve, never masking or
+  inventing infeasibility;
+* a reduced-model UNBOUNDED ray extends with zeros to a full-model
+  ray, so UNBOUNDED is reported honestly.
+
+Metrics: reduced solves count under ``lp.reduced_solves`` /
+``lp.warm_starts`` / ``lp.reduced_vars`` (labelled ``backend=``) and
+deliberately do **not** touch ``lp.solves``, which keeps counting full
+cold solves only -- that is what makes "the warm sweep does strictly
+fewer ``lp.solves``" a meaningful CI assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.lp.backends import LPBackend, _STATUS_MAP
+from repro.lp.model import Model, SolveResult, SolveStatus
+
+#: Buckets for the ``lp.reduced_vars`` histogram (kept-column counts).
+_REDUCED_VAR_BUCKETS = (8, 32, 128, 512, 2048, 8192)
+
+
+@dataclass
+class SessionStats:
+    """Counters a session keeps about its own solve history."""
+
+    cold_solves: int = 0
+    warm_solves: int = 0
+    fallbacks: int = 0
+    pricing_rounds: int = 0
+    last_reduced_vars: int = 0
+
+
+class SolveSession:
+    """A sequence of related solves against one backend.
+
+    The base session carries no warm-start state: every
+    :meth:`solve` is a plain cold ``backend.solve``.  It exists so
+    call sites can thread a session unconditionally --
+    ``backend.session()`` returns a :class:`WarmStartSession` only when
+    the backend advertises ``supports_warm_start``.
+    """
+
+    def __init__(self, backend: LPBackend):
+        self.backend = backend
+        self.last: Optional[SolveResult] = None
+        self.stats = SessionStats()
+
+    def solve(
+        self, model: Model, warm_start: Optional[SolveResult] = None
+    ) -> SolveResult:
+        """Solve ``model``; ``warm_start`` is accepted and ignored."""
+        result = self.backend.solve(model)
+        self.stats.cold_solves += 1
+        if result.status is SolveStatus.OPTIMAL:
+            self.last = result
+        return result
+
+
+class WarmStartSession(SolveSession):
+    """Support-reduction warm starts with an exact dual-pricing loop.
+
+    Each solve after the first drops the columns the previous optimum
+    left at a zero lower bound (``keep_threshold`` separates support
+    from numerical dust), solves the reduced LP over all original
+    rows, then re-admits every dropped column whose reduced cost
+    ``c_j - A_ub^T λ_ub - A_eq^T λ_eq`` is below ``-pricing_tolerance``
+    and re-solves, until no column prices out -- at which point the
+    zero-extended reduced optimum is optimal for the full model.
+
+    ``warm_start`` overrides the remembered previous result;
+    ``convergence_tolerance > 0`` allows stopping once successive
+    reduced objectives agree to that relative tolerance (approximate
+    mode, used by :class:`DecomposedLPBackend` sessions).  Any reduced
+    status other than OPTIMAL/UNBOUNDED, an exhausted round budget, or
+    a degenerate reduction falls back to a full cold solve.
+
+    The session also *accumulates* support down a chain: every column
+    pricing ever re-admitted stays in the kept set for later solves.
+    Nearby instances keep dragging the same columns back in, so the
+    union makes later solves price out in one round instead of
+    re-running the same admission rounds per solve; the
+    ``max_keep_fraction`` guard still demotes a chain whose union
+    creeps toward the full model to plain cold solves.
+    """
+
+    def __init__(
+        self,
+        backend: LPBackend,
+        method: str = "highs",
+        keep_threshold: float = 1e-9,
+        max_keep_fraction: float = 0.95,
+        max_pricing_rounds: int = 8,
+        pricing_tolerance: float = 1e-7,
+        convergence_tolerance: float = 0.0,
+    ):
+        super().__init__(backend)
+        self.method = method
+        self.keep_threshold = keep_threshold
+        self.max_keep_fraction = max_keep_fraction
+        self.max_pricing_rounds = max_pricing_rounds
+        self.pricing_tolerance = pricing_tolerance
+        self.convergence_tolerance = convergence_tolerance
+        # Union of every column pricing re-admitted this chain; reset
+        # whenever the session solves cold (a new chain starts small).
+        self._accumulated = None
+
+    def solve(
+        self, model: Model, warm_start: Optional[SolveResult] = None
+    ) -> SolveResult:
+        """Warm solve from the previous support; cold when impossible."""
+        import numpy as np
+
+        previous = warm_start if warm_start is not None else self.last
+        if (
+            previous is None
+            or previous.status is not SolveStatus.OPTIMAL
+            or len(previous.values) != model.num_vars
+            or model.num_vars == 0
+        ):
+            return self._cold(model)
+
+        assembled = model.to_matrices()
+        n = assembled.cost.shape[0]
+        lowers = np.array([bound[0] for bound in assembled.bounds])
+        keep = (np.asarray(previous.values) > self.keep_threshold) | (
+            lowers != 0.0
+        )
+        if self._accumulated is not None and len(self._accumulated) == n:
+            keep |= self._accumulated
+        kept = int(keep.sum())
+        if kept == 0 or kept >= self.max_keep_fraction * n:
+            return self._cold(model)
+
+        backend_name = self.backend.name
+        obs.metrics.counter("lp.warm_starts", backend=backend_name).inc()
+        self.stats.warm_solves += 1
+        result = _pricing_solve(
+            model,
+            assembled,
+            keep,
+            backend_name=backend_name,
+            method=self.method,
+            max_rounds=self.max_pricing_rounds,
+            pricing_tolerance=self.pricing_tolerance,
+            convergence_tolerance=self.convergence_tolerance,
+            stats=self.stats,
+        )
+        if result is None:
+            obs.metrics.counter("lp.warm_fallbacks", backend=backend_name).inc()
+            self.stats.fallbacks += 1
+            return self._cold(model)
+        # _pricing_solve mutated ``keep`` as columns were re-admitted;
+        # remember the union so the next solve starts from it.
+        self._accumulated = keep
+        if result.status is SolveStatus.OPTIMAL:
+            self.last = result
+        return result
+
+    def _cold(self, model: Model) -> SolveResult:
+        """Full solve through the backend; refreshes the session state."""
+        result = self.backend.solve(model)
+        self.stats.cold_solves += 1
+        self._accumulated = None
+        if result.status is SolveStatus.OPTIMAL:
+            self.last = result
+        return result
+
+
+class DecomposedLPBackend(LPBackend):
+    """Reduced-core decomposition solver (the GASPLAN recipe).
+
+    A solve extracts the ``core_fraction`` of variables with the
+    largest objective |coefficient| (plus every variable whose lower
+    bound is nonzero), solves that reduced core over all constraint
+    rows, then iterates the same dual-pricing loop as
+    :class:`WarmStartSession` against the full model.  With the default
+    ``convergence_tolerance=0.0`` the iteration runs until provable
+    optimality; a positive tolerance allows stopping once successive
+    core objectives agree to that relative gap, trading exactness for
+    speed (the :func:`lp_discrepancy_gate` bounds the damage).
+
+    Any reduced status other than OPTIMAL/UNBOUNDED falls back to a
+    full solve on ``base`` (default :class:`~repro.lp.FastLPBackend`),
+    so INFEASIBLE/UNBOUNDED are never masked and never invented.
+    """
+
+    name = "decomposed"
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        base: Optional[LPBackend] = None,
+        core_fraction: float = 0.1,
+        min_core: int = 32,
+        max_pricing_rounds: int = 8,
+        pricing_tolerance: float = 1e-7,
+        convergence_tolerance: float = 0.0,
+    ):
+        if not 0.0 < core_fraction <= 1.0:
+            raise ValueError("core_fraction must be in (0, 1]")
+        from repro.lp.backends import FastLPBackend
+
+        self.base = base if base is not None else FastLPBackend()
+        self.core_fraction = core_fraction
+        self.min_core = min_core
+        self.max_pricing_rounds = max_pricing_rounds
+        self.pricing_tolerance = pricing_tolerance
+        self.convergence_tolerance = convergence_tolerance
+        self.stats = SessionStats()
+
+    @property
+    def approximate(self) -> bool:
+        """True when early stopping may return a sub-optimal objective."""
+        return self.convergence_tolerance > 0.0
+
+    def session(self) -> "WarmStartSession":
+        """A warm session that inherits this backend's pricing knobs."""
+        return WarmStartSession(
+            self,
+            max_pricing_rounds=self.max_pricing_rounds,
+            pricing_tolerance=self.pricing_tolerance,
+            convergence_tolerance=self.convergence_tolerance,
+        )
+
+    def solve(self, model: Model) -> SolveResult:
+        """Solve via core extraction + pricing; full solve when tiny."""
+        import numpy as np
+
+        assembled = model.to_matrices()
+        n = assembled.cost.shape[0]
+        core_size = max(self.min_core, int(np.ceil(self.core_fraction * n)))
+        if n == 0 or core_size >= n:
+            return self._full(model)
+        order = np.argsort(-np.abs(assembled.cost), kind="stable")
+        keep = np.zeros(n, dtype=bool)
+        keep[order[:core_size]] = True
+        keep |= np.array([bound[0] != 0.0 for bound in assembled.bounds])
+        result = _pricing_solve(
+            model,
+            assembled,
+            keep,
+            backend_name=self.name,
+            method="highs",
+            max_rounds=self.max_pricing_rounds,
+            pricing_tolerance=self.pricing_tolerance,
+            convergence_tolerance=self.convergence_tolerance,
+            stats=self.stats,
+        )
+        if result is None:
+            obs.metrics.counter("lp.decomposed.fallbacks").inc()
+            self.stats.fallbacks += 1
+            return self._full(model)
+        return result
+
+    def _full(self, model: Model) -> SolveResult:
+        """Cold solve on the base backend, reported under this name."""
+        result = self.base.solve(model)
+        self.stats.cold_solves += 1
+        result.backend_name = self.name
+        return result
+
+
+def _pricing_solve(
+    model: Model,
+    assembled,
+    keep_mask,
+    backend_name: str,
+    method: str,
+    max_rounds: int,
+    pricing_tolerance: float,
+    convergence_tolerance: float,
+    stats: Optional[SessionStats] = None,
+) -> Optional[SolveResult]:
+    """Solve the kept columns, price the dropped ones, repeat.
+
+    Returns an OPTIMAL or UNBOUNDED :class:`SolveResult` for the *full*
+    model, or ``None`` when the caller must fall back to a full cold
+    solve (reduced infeasibility / numerical trouble / missing duals /
+    round budget exhausted).  ``keep_mask`` is mutated as columns are
+    re-admitted.
+    """
+    import numpy as np
+    from scipy.optimize import linprog
+
+    from repro.resilience import faults
+
+    injector = faults.active()
+    if injector is not None:
+        injector.maybe_fail("lp.solve", prefix=f"{backend_name}|{model.name}")
+
+    n = assembled.cost.shape[0]
+    a_ub = assembled.a_ub.tocsc() if assembled.a_ub is not None else None
+    a_eq = assembled.a_eq.tocsc() if assembled.a_eq is not None else None
+    iterations = 0
+    previous_objective: Optional[float] = None
+    outcome: Optional[SolveResult] = None
+    with obs.span(
+        "lp.session.solve",
+        model=model.name,
+        backend=backend_name,
+        vars=n,
+        kept=int(keep_mask.sum()),
+    ) as sp:
+        for round_index in range(max_rounds):
+            idx = np.flatnonzero(keep_mask)
+            if stats is not None:
+                stats.pricing_rounds += 1
+                stats.last_reduced_vars = len(idx)
+            obs.metrics.counter("lp.reduced_solves", backend=backend_name).inc()
+            obs.metrics.histogram(
+                "lp.reduced_vars", buckets=_REDUCED_VAR_BUCKETS,
+                backend=backend_name,
+            ).observe(len(idx))
+            raw = linprog(
+                c=assembled.cost[idx],
+                A_ub=a_ub[:, idx] if a_ub is not None else None,
+                b_ub=assembled.b_ub,
+                A_eq=a_eq[:, idx] if a_eq is not None else None,
+                b_eq=assembled.b_eq,
+                bounds=[assembled.bounds[j] for j in idx],
+                method=method,
+            )
+            iterations += int(getattr(raw, "nit", 0) or 0)
+            status = _STATUS_MAP.get(raw.status, SolveStatus.ERROR)
+            if status is SolveStatus.UNBOUNDED:
+                # A reduced ray zero-extends to a full-model ray:
+                # UNBOUNDED is honest, report it.
+                outcome = SolveResult(
+                    status=SolveStatus.UNBOUNDED,
+                    objective=float("nan"),
+                    values=[0.0] * n,
+                    iterations=iterations,
+                    backend_name=backend_name,
+                )
+                break
+            if status is not SolveStatus.OPTIMAL:
+                # Column dropping can starve a row: a reduced
+                # INFEASIBLE/ERROR says nothing about the full model.
+                break
+            duals_ok, reduced_costs = _reduced_costs(assembled, a_ub, a_eq, raw)
+            if not duals_ok:
+                break
+            violating = (~keep_mask) & (reduced_costs < -pricing_tolerance)
+            objective = float(raw.fun)
+            settled = (
+                convergence_tolerance > 0.0
+                and previous_objective is not None
+                and abs(objective - previous_objective)
+                <= convergence_tolerance * max(1.0, abs(objective))
+            )
+            if not violating.any() or settled:
+                values = np.zeros(n)
+                values[idx] = raw.x
+                full_objective = -objective if assembled.maximize else objective
+                full_objective += assembled.objective_constant
+                outcome = SolveResult(
+                    status=SolveStatus.OPTIMAL,
+                    objective=full_objective,
+                    values=[float(v) for v in values],
+                    iterations=iterations,
+                    backend_name=backend_name,
+                )
+                sp.set(rounds=round_index + 1, exact=not bool(violating.any()))
+                break
+            previous_objective = objective
+            keep_mask |= violating
+    if outcome is not None:
+        outcome.solve_seconds = sp.duration
+    return outcome
+
+
+def _reduced_costs(assembled, a_ub, a_eq, raw):
+    """``(duals available, c - A_ub^T λ_ub - A_eq^T λ_eq)`` for a solve."""
+    import numpy as np
+
+    reduced = assembled.cost.astype(float).copy()
+    for matrix, duals in ((a_ub, getattr(raw, "ineqlin", None)),
+                          (a_eq, getattr(raw, "eqlin", None))):
+        if matrix is None:
+            continue
+        marginals = getattr(duals, "marginals", None)
+        if marginals is None:
+            return False, reduced
+        reduced -= matrix.T @ np.asarray(marginals)
+    return True, reduced
+
+
+@dataclass
+class GateCase:
+    """One instance's candidate-vs-reference comparison."""
+
+    model_name: str
+    reference_status: SolveStatus
+    candidate_status: SolveStatus
+    reference_objective: float
+    candidate_objective: float
+    relative_gap: float
+
+
+def lp_discrepancy_gate(
+    models: Sequence[Model],
+    candidate: LPBackend,
+    reference: Optional[LPBackend] = None,
+    tolerance: float = 0.01,
+):
+    """Accuracy gate for an approximate LP backend.
+
+    Solves every model with ``candidate`` and ``reference`` (default
+    :class:`~repro.lp.FastLPBackend`) and returns a
+    :class:`~repro.core.discrepancy.DiscrepancyReport`:
+
+    * a status mismatch (e.g. the candidate reporting OPTIMAL where the
+      reference is INFEASIBLE, or vice versa) is a finding -- masking
+      or inventing infeasibility is disqualifying regardless of
+      objectives;
+    * an OPTIMAL/OPTIMAL pair whose relative objective gap exceeds
+      ``tolerance`` is a finding.
+
+    ``report.clean`` is the gate verdict; the per-instance
+    :class:`GateCase` list is attached as ``report.cases``.
+    """
+    from repro.core.discrepancy import Discrepancy, DiscrepancyReport, Severity
+    from repro.lp.backends import FastLPBackend
+
+    reference = reference if reference is not None else FastLPBackend()
+    report = DiscrepancyReport(paper_key=f"lp:{candidate.name}")
+    cases: List[GateCase] = []
+    for model in models:
+        ref = reference.solve(model)
+        cand = candidate.solve(model)
+        gap = 0.0
+        if ref.status is SolveStatus.OPTIMAL and cand.status is SolveStatus.OPTIMAL:
+            gap = abs(cand.objective - ref.objective) / max(
+                1.0, abs(ref.objective)
+            )
+        cases.append(GateCase(
+            model_name=model.name,
+            reference_status=ref.status,
+            candidate_status=cand.status,
+            reference_objective=ref.objective,
+            candidate_objective=cand.objective,
+            relative_gap=gap,
+        ))
+        report.instances_analyzed += 1
+        if cand.status is not ref.status:
+            report.discrepancies.append(Discrepancy(
+                kind="result-mismatch",
+                subject=model.name,
+                measured=1.0,
+                threshold=0.0,
+                severity=Severity.FINDING,
+                explanation=(
+                    f"{candidate.name} reported {cand.status.value} where "
+                    f"{reference.name} reported {ref.status.value}"
+                ),
+            ))
+        elif gap > tolerance:
+            report.discrepancies.append(Discrepancy(
+                kind="objective-gap",
+                subject=model.name,
+                measured=gap,
+                threshold=tolerance,
+                severity=Severity.FINDING,
+                explanation=(
+                    f"{candidate.name} objective {cand.objective:.6g} vs "
+                    f"{reference.name} {ref.objective:.6g} "
+                    f"(relative gap {gap:.3%})"
+                ),
+            ))
+    report.cases = cases
+    return report

@@ -26,6 +26,43 @@ from repro.lp.model import (
     RECOVERABLE_STATUSES,
     SolveResult,
 )
+from repro.lp.session import SolveSession
+
+
+class _FallbackSession(SolveSession):
+    """Warm session over a fallback chain's primary backend.
+
+    Solves go through the primary backend's own (possibly warm)
+    session; anything the chain would have rescued -- an exception or a
+    *recoverable* status -- retries as a full cold solve of the whole
+    chain, so session mode keeps exactly the fallback semantics
+    (INFEASIBLE/UNBOUNDED still return immediately, never masked).
+    """
+
+    def __init__(self, chain_backend: "FallbackLPBackend"):
+        super().__init__(chain_backend)
+        primary = chain_backend.chain[0]
+        session_of = getattr(primary, "session", None)
+        self._primary = (
+            session_of() if callable(session_of) else SolveSession(primary)
+        )
+
+    def solve(
+        self, model: Model, warm_start: Optional[SolveResult] = None
+    ) -> SolveResult:
+        """Warm-solve on the primary; degrade to the cold chain."""
+        try:
+            result = self._primary.solve(model, warm_start=warm_start)
+        except Exception:
+            obs.metrics.counter("lp.fallback.errors").inc()
+            result = None
+        if result is None or result.status in RECOVERABLE_STATUSES:
+            result = self.backend.solve(model)
+            self.stats.fallbacks += 1
+        else:
+            self.stats.warm_solves += 1
+        self.last = result if result.ok else self.last
+        return result
 
 
 class FallbackLPBackend(LPBackend):
@@ -50,6 +87,18 @@ class FallbackLPBackend(LPBackend):
             chain = (primary, *fallbacks)
         self.chain: List[LPBackend] = list(chain)
         self.name = "fallback(" + ">".join(b.name for b in self.chain) + ")"
+        # The chain warm-starts whenever its primary can: session solves
+        # run on the primary's warm session and degrade to the cold
+        # chain on anything the chain would have rescued.
+        # getattr: duck-typed primaries (tests, stubs) need not carry
+        # the LPBackend class attributes.
+        self.supports_warm_start = bool(
+            getattr(self.chain[0], "supports_warm_start", False)
+        )
+
+    def session(self) -> _FallbackSession:
+        """A session that warms on the primary, degrades to the chain."""
+        return _FallbackSession(self)
 
     def solve(self, model: Model) -> SolveResult:
         """Walk the chain until a backend returns a usable result.

@@ -13,17 +13,32 @@ fans sweep points out over worker threads while preserving the serial
 result order.  Scaling a matrix keeps its nonzero commodity keys, so
 every solve after the first reuses the shared tunnel cache instead of
 re-running k-shortest-paths.
+
+Sweep points are near-identical LPs, so both entry points can carry an
+LP solve session (:mod:`repro.lp.session`) across their solves instead
+of solving each point cold:
+
+* ``max_feasible_scale`` threads one warm session through the whole
+  bisection by default (a single deterministic chain of probes);
+* ``scale_sweep(warm_start=True)`` splits the scales into one
+  *contiguous chunk per worker* and carries a session down each chunk.
+  Chunking is a pure function of ``(len(scales), workers)``, so a
+  warm parallel sweep always produces the same chains as a warm serial
+  run partitioned the same way -- never a scheduler-dependent
+  assignment.  The default stays cold, which keeps the historical
+  bit-for-bit ``parallel == serial`` guarantee; warm results agree
+  with cold to LP-solver tolerance rather than to the last bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro import obs
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
-from repro.parallel import run_ordered
+from repro.parallel import TaskFailure, run_ordered
 from repro.te.solution import TESolution
 
 SolverLike = Union[str, Callable[[Topology, TrafficMatrix], TESolution], object]
@@ -48,6 +63,25 @@ def _resolve_solver(solver: SolverLike, backend=None) -> Callable[
     )
 
 
+def _warm_solver_factory(solver: SolverLike, backend=None):
+    """Zero-arg maker of fresh warm solve fns, or ``None``.
+
+    Only registry names can be warmed here: the registry knows (via
+    ``SolverCapabilities.supports_warm_start``) whether the factory
+    accepts ``warm=True``, and each call builds a *new* solver carrying
+    its own session, which is what gives every worker chunk an
+    independent deterministic warm chain.
+    """
+    if not isinstance(solver, str):
+        return None
+    from repro.te import registry
+
+    spec = registry.get_spec(solver)
+    if not spec.capabilities.supports_warm_start:
+        return None
+    return lambda: registry.make_solver(solver, backend=backend, warm=True).solve
+
+
 @dataclass(frozen=True)
 class ScalePoint:
     """One point of a scale sweep."""
@@ -58,6 +92,7 @@ class ScalePoint:
 
     @property
     def satisfied_fraction(self) -> float:
+        """Delivered flow as a fraction of total (scaled) demand."""
         if self.total_demand <= 0:
             return 0.0
         return self.objective / self.total_demand
@@ -70,6 +105,7 @@ def max_feasible_scale(
     upper_start: float = 4.0,
     oracle: SolverLike = "edge",
     backend=None,
+    warm_start: bool = True,
 ) -> float:
     """Largest demand scale at which ALL demand can still be routed.
 
@@ -79,10 +115,21 @@ def max_feasible_scale(
     (e.g. ``"pf4"``) runs k-shortest-paths at most once per
     (topology, k): the search rescales the same commodity keys, so every
     probe after the first hits the shared tunnel cache.
+
+    The probes are one deterministic chain of near-identical LPs, so a
+    warm-capable registry oracle carries one LP solve session across
+    the whole bisection by default: each probe warm-starts from the
+    previous probe's optimum and is priced to exactness, so the result
+    matches a cold search to LP-solver tolerance (far below the
+    ``fits`` threshold).  ``warm_start=False`` restores cold probes.
     """
     if traffic.total_demand <= 0:
         raise ValueError("traffic matrix has no demand")
-    solve = _resolve_solver(oracle, backend=backend)
+    factory = _warm_solver_factory(oracle, backend=backend) if warm_start else None
+    if factory is not None:
+        solve = factory()
+    else:
+        solve = _resolve_solver(oracle, backend=backend)
 
     def fits(scale: float) -> bool:
         scaled = traffic.scaled(scale)
@@ -111,6 +158,26 @@ def max_feasible_scale(
     return low
 
 
+def _chunk_indices(count: int, workers: int) -> List[range]:
+    """Contiguous, balanced index chunks -- one warm chain each.
+
+    Purely determined by ``(count, workers)``: earlier chunks take the
+    remainder, order is preserved.  This is what keeps warm parallel
+    sweeps deterministic -- chains never depend on thread scheduling.
+    """
+    workers = max(1, min(workers, count))
+    base, extra = divmod(count, workers)
+    chunks: List[range] = []
+    start = 0
+    for position in range(workers):
+        size = base + (1 if position < extra else 0)
+        if size == 0:
+            continue
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
 def scale_sweep(
     topology: Topology,
     traffic: TrafficMatrix,
@@ -119,7 +186,8 @@ def scale_sweep(
     workers: int = 1,
     backend=None,
     on_error: str = "raise",
-) -> List[ScalePoint]:
+    warm_start: bool = False,
+) -> List[Union[ScalePoint, TaskFailure]]:
     """Run ``solver`` at each demand scale; returns one point per scale.
 
     ``workers > 1`` solves the points on a thread pool; the returned
@@ -128,22 +196,46 @@ def scale_sweep(
     point (an injected fault, an ``LPSolveError``) yields a structured
     :class:`~repro.parallel.TaskFailure` at its position instead of
     killing the whole sweep.
+
+    ``warm_start=True`` carries an LP solve session along each worker's
+    contiguous chunk of scales (see the module docstring), so every
+    point after a chunk's first warm-starts from its predecessor.  Warm
+    sweeps keep the ordering, progress events, and fail-soft semantics
+    of cold sweeps (a failed point leaves its chain's last good state
+    in place); they require a warm-capable registry solver name --
+    anything else silently solves cold.  The default stays cold, which
+    is bit-for-bit identical across ``workers`` settings; warm
+    objectives agree with cold to LP-solver tolerance.
     """
     for scale in scales:
         if scale <= 0:
             raise ValueError("scales must be positive")
-    solve = _resolve_solver(solver, backend=backend)
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
+    factory = _warm_solver_factory(solver, backend=backend) if warm_start else None
 
     phase = obs.PROGRESS.phase(
         "scale_sweep", total=len(scales), topology=topology.name
     )
 
-    def point_at(scale: float) -> ScalePoint:
+    def solve_point(solve, index: int, collect: bool):
+        """Solve one scale; ScalePoint, TaskFailure (``collect``), or raise."""
+        scale = scales[index]
         label = f"scale={scale:g}"
         phase.task_start(label)
         try:
             scaled = traffic.scaled(scale)
             solution = solve(topology, scaled)
+        except Exception as exc:
+            phase.task_finish(label, ok=False, error=type(exc).__name__)
+            if not collect:
+                raise
+            obs.metrics.counter(
+                "parallel.task_failures", error=type(exc).__name__
+            ).inc()
+            return TaskFailure(index, type(exc).__name__, str(exc))
         except BaseException as exc:
             phase.task_finish(label, ok=False, error=type(exc).__name__)
             raise
@@ -154,17 +246,57 @@ def scale_sweep(
             objective=solution.objective,
         )
 
+    def run_cold() -> List[Union[ScalePoint, TaskFailure]]:
+        # One task per point, exceptions propagate into run_ordered so
+        # its on_error machinery (fault injection at the parallel.task
+        # site included) behaves exactly as it always has.
+        solve = _resolve_solver(solver, backend=backend)
+        return run_ordered(
+            [lambda index=index: solve_point(solve, index, collect=False)
+             for index in range(len(scales))],
+            workers=workers,
+            on_error=on_error,
+        )
+
+    def run_warm() -> List[Union[ScalePoint, TaskFailure]]:
+        # One task per contiguous chunk, a fresh warm chain per chunk.
+        # Per-point failures are collected *inside* the chunk so one
+        # bad point leaves the rest of its chain running; a failure of
+        # the chunk task itself (e.g. an injected parallel.task fault,
+        # which now keys by chunk) expands to one TaskFailure per point
+        # so the returned list always lines up with ``scales``.
+        collect = on_error == "collect"
+
+        def run_chunk(indices: range) -> List[Union[ScalePoint, TaskFailure]]:
+            solve = factory()
+            obs.metrics.counter("sweep.warm_chains").inc()
+            return [solve_point(solve, index, collect) for index in indices]
+
+        chunks = _chunk_indices(len(scales), workers)
+        nested = run_ordered(
+            [lambda indices=indices: run_chunk(indices) for indices in chunks],
+            workers=workers,
+            on_error=on_error,
+        )
+        flat: List[Union[ScalePoint, TaskFailure]] = []
+        for indices, outcome in zip(chunks, nested):
+            if isinstance(outcome, TaskFailure):
+                flat.extend(
+                    TaskFailure(index, outcome.error, outcome.message)
+                    for index in indices
+                )
+            else:
+                flat.extend(outcome)
+        return flat
+
     with obs.span(
         "te.scale_sweep",
         topology=topology.name,
         points=len(scales),
         workers=workers,
+        warm=factory is not None,
     ):
         try:
-            return run_ordered(
-                [lambda scale=scale: point_at(scale) for scale in scales],
-                workers=workers,
-                on_error=on_error,
-            )
+            return run_warm() if factory is not None else run_cold()
         finally:
             phase.finish()

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.lp import LinExpr, Model, LPBackend
+from repro.lp import LinExpr, Model, LPBackend, SolveSession
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
 from repro.te.paths import path_links
@@ -25,11 +25,16 @@ def solve_max_flow(
     num_paths: int = 4,
     backend: Optional[LPBackend] = None,
     tunnels: Optional[Dict[Tuple[str, str], List[List[str]]]] = None,
+    session: Optional[SolveSession] = None,
 ) -> TESolution:
     """Solve PF-``num_paths`` max flow; returns a :class:`TESolution`.
 
     ``tunnels`` overrides the default k-shortest-path tunnel selection
-    (ARROW and tests pass pre-built tunnels).
+    (ARROW and tests pass pre-built tunnels).  ``session`` routes the
+    LP through a :class:`~repro.lp.SolveSession` so repeated solves
+    over the same tunnel structure (sweeps, bisections) warm-start from
+    the previous optimum; when given, it takes precedence over
+    ``backend``.
     """
     with obs.span(f"te.pf{num_paths}.solve", topology=topology.name) as sp:
         if tunnels is None:
@@ -62,7 +67,7 @@ def solve_max_flow(
             var for commodity_vars in flow_vars.values() for var in commodity_vars
         )
         model.maximize(total)
-        result = model.solve(backend=backend).require_optimal(model)
+        result = _solve(model, backend, session)
 
         per_commodity: Dict[Tuple[str, str], float] = {}
         for key, commodity_vars in flow_vars.items():
@@ -78,10 +83,18 @@ def solve_max_flow(
     return solution
 
 
+def _solve(model: Model, backend, session):
+    """One LP solve, through the session when one is threaded in."""
+    if session is not None:
+        return session.solve(model).require_optimal(model)
+    return model.solve(backend=backend).require_optimal(model)
+
+
 def solve_max_flow_edge(
     topology: Topology,
     traffic: TrafficMatrix,
     backend: Optional[LPBackend] = None,
+    session: Optional[SolveSession] = None,
 ) -> TESolution:
     """Edge-formulation multi-commodity max flow: the exact optimum.
 
@@ -120,7 +133,7 @@ def solve_max_flow_edge(
             if usage.coefs:
                 model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
         model.maximize(LinExpr.sum_of(var for _, var in delivered_vars))
-        result = model.solve(backend=backend).require_optimal(model)
+        result = _solve(model, backend, session)
 
         per_commodity: Dict[Tuple[str, str], float] = {}
         for key, var in delivered_vars:

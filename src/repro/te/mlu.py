@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.lp import LinExpr, Model, LPBackend
+from repro.lp import LinExpr, Model, LPBackend, SolveSession
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
 from repro.te.paths import path_links
@@ -29,10 +29,16 @@ def solve_min_mlu(
     traffic: TrafficMatrix,
     num_paths: int = 4,
     backend: Optional[LPBackend] = None,
+    session: Optional[SolveSession] = None,
 ) -> TESolution:
-    """Route every commodity fully, minimising max link utilisation."""
+    """Route every commodity fully, minimising max link utilisation.
+
+    ``session`` threads the LP through a :class:`~repro.lp.SolveSession`
+    (sweeps warm-start repeated solves); it takes precedence over
+    ``backend``.
+    """
     with obs.span("te.mlu.solve", topology=topology.name) as sp:
-        solution = _solve_min_mlu(topology, traffic, num_paths, backend)
+        solution = _solve_min_mlu(topology, traffic, num_paths, backend, session)
     solution.solve_seconds = sp.duration
     return solution
 
@@ -42,6 +48,7 @@ def _solve_min_mlu(
     traffic: TrafficMatrix,
     num_paths: int,
     backend: Optional[LPBackend],
+    session: Optional[SolveSession] = None,
 ) -> TESolution:
     tunnels = cached_k_shortest_tunnels(topology, traffic, num_paths)
 
@@ -70,7 +77,10 @@ def _solve_min_mlu(
         bound = usage - LinExpr({mlu.index: capacity})
         model.add_constraint(bound <= 0.0, name=f"util[{link_src}->{link_dst}]")
     model.minimize(LinExpr.from_term(mlu))
-    result = model.solve(backend=backend).require_optimal(model)
+    if session is not None:
+        result = session.solve(model).require_optimal(model)
+    else:
+        result = model.solve(backend=backend).require_optimal(model)
 
     per_commodity: Dict[Tuple[str, str], float] = {}
     for key, commodity_vars in flow_vars.items():

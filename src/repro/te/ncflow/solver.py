@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.lp import LinExpr, Model, LPBackend
+from repro.lp import FastLPBackend, LinExpr, Model, LPBackend, SolveSession
 from repro.netmodel.topology import Topology
 from repro.netmodel.traffic import TrafficMatrix
 from repro.te.ncflow.partition import (
@@ -75,6 +75,11 @@ class NCFlowSolver:
     ``partitioners`` names the candidate partitioning methods; the best
     objective wins, like the original system's partition search.
     ``num_iterations`` controls the residual re-solve passes.
+    ``warm_start`` keeps one LP solve session per decomposition slot
+    (R1, plus one per (partition, cluster) R2) so residual passes over
+    the same contracted structure warm-start from the previous pass's
+    optimum; passes whose variable count changed (a bundle path dried
+    up, an intra demand hit zero) transparently solve cold.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class NCFlowSolver:
         partitioners: Optional[List[str]] = None,
         num_iterations: int = 3,
         seed: int = 7,
+        warm_start: bool = False,
     ):
         if num_iterations < 1:
             raise ValueError("num_iterations must be >= 1")
@@ -94,6 +100,26 @@ class NCFlowSolver:
         self.partitioners = partitioners or ["modularity", "label-propagation"]
         self.num_iterations = num_iterations
         self.seed = seed
+        self.warm_start = warm_start
+        self._sessions: Dict[str, SolveSession] = {}
+
+    def _session(self, key: str) -> Optional[SolveSession]:
+        """The per-slot warm session, or ``None`` when warm is off."""
+        if not self.warm_start:
+            return None
+        session = self._sessions.get(key)
+        if session is None:
+            backend = self.backend if self.backend is not None else FastLPBackend()
+            session = backend.session()
+            self._sessions[key] = session
+        return session
+
+    def _solve_model(self, model: Model, session_key: str):
+        """Solve one decomposition LP, through its session when warm."""
+        session = self._session(session_key)
+        if session is not None:
+            return session.solve(model).require_optimal(model)
+        return model.solve(backend=self.backend).require_optimal(model)
 
     # ------------------------------------------------------------------
     # Public API
@@ -204,7 +230,10 @@ class NCFlowSolver:
 
         # R1: max flow on the contracted graph.
         with obs.span("te.ncflow.r1", bundles=len(bundle_demand)):
-            r1_flows, r1_objective = self._solve_r1(contracted, bundle_demand)
+            r1_flows, r1_objective = self._solve_r1(
+                contracted, bundle_demand,
+                session_key=f"r1:{partition.method}",
+            )
 
         # Build per-cluster segments from the R1 paths.
         segments: Dict[int, List[_Segment]] = {c: [] for c in partition.clusters()}
@@ -237,7 +266,8 @@ class NCFlowSolver:
                 intra=len(cluster_intra),
             ):
                 seg_results, delivered, intra_usage = self._solve_r2(
-                    cluster_topo, cluster_segments, cluster_intra
+                    cluster_topo, cluster_segments, cluster_intra,
+                    session_key=f"r2:{partition.method}:{cluster}",
                 )
             seg_cluster_results.extend(seg_results)
             for segment, fraction, _ in seg_results:
@@ -311,6 +341,7 @@ class NCFlowSolver:
         self,
         contracted: Topology,
         bundle_demand: Dict[Bundle, float],
+        session_key: str = "r1",
     ) -> Tuple[Dict[Tuple[Bundle, int], Tuple[List[int], float]], float]:
         """Max flow on the contracted graph; keeps per-path flows.
 
@@ -358,7 +389,7 @@ class NCFlowSolver:
                 name=f"cap[{link_src}->{link_dst}]",
             )
         model.maximize(LinExpr.sum_of(all_vars))
-        result = model.solve(backend=self.backend).require_optimal(model)
+        result = self._solve_model(model, session_key)
         flows: Dict[Tuple[Bundle, int], Tuple[List[int], float]] = {}
         objective = result.objective
         for key, (cluster_path, var) in path_vars.items():
@@ -424,6 +455,7 @@ class NCFlowSolver:
         cluster_topo: Topology,
         cluster_segments: List[_Segment],
         cluster_intra: List[Tuple[Commodity, float]],
+        session_key: str = "r2",
     ) -> Tuple[
         List[Tuple[_Segment, float, Dict[Edge, float]]],
         Dict[Commodity, float],
@@ -496,7 +528,7 @@ class NCFlowSolver:
                 model.add_constraint(usage <= capacity[e], name=f"cap[{e[0]}->{e[1]}]")
 
         model.maximize(objective)
-        result = model.solve(backend=self.backend).require_optimal(model)
+        result = self._solve_model(model, session_key)
 
         seg_results: List[Tuple[_Segment, float, Dict[Edge, float]]] = []
         delivered_flow: Dict[Commodity, float] = {}

@@ -46,7 +46,12 @@ class SolverCapabilities:
     ``"min-mlu"`` (objective = max link utilisation).  ``exact`` marks
     solvers that find the true optimum of the unrestricted edge
     formulation.  ``uses_tunnels`` marks solvers whose model building
-    goes through the shared tunnel cache.
+    goes through the shared tunnel cache.  ``supports_warm_start``
+    marks solvers whose factory accepts ``warm=True`` / ``session=`` to
+    thread an LP :class:`~repro.lp.SolveSession` across repeated solves
+    (sweeps and bisections exploit this).  ``approximate`` marks
+    solvers whose objective may fall short of the LP optimum by design
+    (FPTAS rounds, early-stopping decompositions).
     """
 
     objective: str = "max-flow"
@@ -54,6 +59,8 @@ class SolverCapabilities:
     uses_tunnels: bool = True
     exact: bool = False
     failure_aware: bool = False
+    supports_warm_start: bool = False
+    approximate: bool = False
 
     def summary(self) -> str:
         tags = [self.objective]
@@ -64,6 +71,10 @@ class SolverCapabilities:
             tags.append("exact")
         if self.failure_aware:
             tags.append("failure-aware")
+        if self.supports_warm_start:
+            tags.append("warm")
+        if self.approximate:
+            tags.append("approx")
         return ",".join(tags)
 
 
@@ -207,31 +218,75 @@ def render_table() -> str:
 # ----------------------------------------------------------------------
 # Built-in solvers
 # ----------------------------------------------------------------------
-def _pf_factory(backend: Optional[LPBackend] = None, num_paths: int = 4) -> SolveFn:
+def _warm_session(backend: Optional[LPBackend], warm: bool, session):
+    """Resolve the session a warm-capable factory threads through.
+
+    An explicit ``session`` wins; otherwise ``warm=True`` opens a fresh
+    session on ``backend`` (default the fast personality).  The session
+    is created once per factory call, so every solve of the returned
+    solver shares it -- that is what makes a sweep warm.
+    """
+    if session is not None:
+        return session
+    if not warm:
+        return None
+    from repro.lp import FastLPBackend
+
+    resolved = backend if backend is not None else FastLPBackend()
+    return resolved.session()
+
+
+def _pf_factory(
+    backend: Optional[LPBackend] = None,
+    num_paths: int = 4,
+    warm: bool = False,
+    session=None,
+) -> SolveFn:
     from repro.te.maxflow import solve_max_flow
+
+    lp_session = _warm_session(backend, warm, session)
 
     def run(topology: Topology, traffic: TrafficMatrix) -> TESolution:
         return solve_max_flow(
-            topology, traffic, num_paths=num_paths, backend=backend
+            topology, traffic, num_paths=num_paths, backend=backend,
+            session=lp_session,
         )
 
     return run
 
 
-def _edge_factory(backend: Optional[LPBackend] = None) -> SolveFn:
+def _edge_factory(
+    backend: Optional[LPBackend] = None,
+    warm: bool = False,
+    session=None,
+) -> SolveFn:
     from repro.te.maxflow import solve_max_flow_edge
 
+    lp_session = _warm_session(backend, warm, session)
+
     def run(topology: Topology, traffic: TrafficMatrix) -> TESolution:
-        return solve_max_flow_edge(topology, traffic, backend=backend)
+        return solve_max_flow_edge(
+            topology, traffic, backend=backend, session=lp_session
+        )
 
     return run
 
 
-def _mlu_factory(backend: Optional[LPBackend] = None, num_paths: int = 4) -> SolveFn:
+def _mlu_factory(
+    backend: Optional[LPBackend] = None,
+    num_paths: int = 4,
+    warm: bool = False,
+    session=None,
+) -> SolveFn:
     from repro.te.mlu import solve_min_mlu
 
+    lp_session = _warm_session(backend, warm, session)
+
     def run(topology: Topology, traffic: TrafficMatrix) -> TESolution:
-        return solve_min_mlu(topology, traffic, num_paths=num_paths, backend=backend)
+        return solve_min_mlu(
+            topology, traffic, num_paths=num_paths, backend=backend,
+            session=lp_session,
+        )
 
     return run
 
@@ -251,10 +306,12 @@ def _fleischer_factory(
     return run
 
 
-def _ncflow_factory(backend: Optional[LPBackend] = None, **options) -> SolveFn:
+def _ncflow_factory(
+    backend: Optional[LPBackend] = None, warm: bool = False, **options
+) -> SolveFn:
     from repro.te.ncflow import NCFlowSolver
 
-    return NCFlowSolver(backend=backend, **options).solve
+    return NCFlowSolver(backend=backend, warm_start=warm, **options).solve
 
 
 def _arrow_factory(variant: str):
@@ -275,27 +332,35 @@ def _arrow_factory(variant: str):
 
 register(SolverSpec(
     "pf4", _pf_factory,
-    SolverCapabilities(objective="max-flow"),
+    SolverCapabilities(objective="max-flow", supports_warm_start=True),
     "PF-k path-formulation max-flow LP (k=4, the NCFlow baseline)",
 ))
 register(SolverSpec(
     "edge", _edge_factory,
-    SolverCapabilities(objective="max-flow", uses_tunnels=False, exact=True),
+    SolverCapabilities(
+        objective="max-flow", uses_tunnels=False, exact=True,
+        supports_warm_start=True,
+    ),
     "edge-formulation max flow: the exact optimum / feasibility oracle",
 ))
 register(SolverSpec(
     "mlu", _mlu_factory,
-    SolverCapabilities(objective="min-mlu"),
+    SolverCapabilities(objective="min-mlu", supports_warm_start=True),
     "route all demand, minimise max link utilisation",
 ))
 register(SolverSpec(
     "fleischer", _fleischer_factory,
-    SolverCapabilities(objective="max-flow", uses_lp=False, uses_tunnels=False),
+    SolverCapabilities(
+        objective="max-flow", uses_lp=False, uses_tunnels=False,
+        approximate=True,
+    ),
     "Fleischer's (1-eps)-approximate max multicommodity flow (no LP)",
 ))
 register(SolverSpec(
     "ncflow", _ncflow_factory,
-    SolverCapabilities(objective="max-flow"),
+    SolverCapabilities(
+        objective="max-flow", supports_warm_start=True, approximate=True,
+    ),
     "contract-and-decompose solver with partition search + residual passes",
 ))
 for _variant, _blurb in (

@@ -96,3 +96,72 @@ class TestBackends:
         x2 = model2.add_var(upper=1)
         model2.maximize(x2)
         assert model2.solve(SlowLPBackend()).backend_name == "slow-pulp"
+
+
+class TestObjectiveConstantRoundTrip:
+    """Regression: the LP text writer used to drop the objective's
+    constant term, so the slow (round-tripping) backend reported
+    offset-objective optima shifted by the constant."""
+
+    def make_offset_model(self):
+        model = Model("offset")
+        x = model.add_var(name="x", upper=4)
+        y = model.add_var(name="y", upper=3)
+        model.add_constraint(x + y <= 5, name="cap")
+        model.maximize(x + 2 * y + 5.0)
+        return model
+
+    def test_writer_emits_objective_constant(self):
+        text = write_lp_text(self.make_offset_model())
+        parsed = parse_lp_text(text)
+        assert parsed.objective_expr.constant == pytest.approx(5.0)
+
+    def test_round_trip_preserves_offset_optimum(self):
+        model = self.make_offset_model()
+        original = model.solve(FastLPBackend())
+        recovered = parse_lp_text(write_lp_text(model)).solve(FastLPBackend())
+        # x=2, y=3 maximises x + 2y under x+y<=5 -> 8, plus the offset.
+        assert original.objective == pytest.approx(8.0 + 5.0)
+        assert recovered.objective == pytest.approx(original.objective)
+
+    def test_slow_backend_agrees_on_offset_objective(self):
+        fast = self.make_offset_model().solve(FastLPBackend())
+        slow = self.make_offset_model().solve(SlowLPBackend())
+        assert slow.objective == pytest.approx(fast.objective)
+
+    def test_negative_constant_round_trips(self):
+        model = Model("neg")
+        x = model.add_var(name="x", upper=2)
+        model.minimize(3 * x - 7.5)
+        parsed = parse_lp_text(write_lp_text(model))
+        assert parsed.solve().objective == pytest.approx(-7.5)
+
+
+class TestSlowBackendTiming:
+    """Regression: ``lp.solve_seconds{backend="slow-pulp"}`` used to
+    observe only the final linprog call, not the simulated file
+    round trips that dominate the slow personality's latency."""
+
+    def test_solve_seconds_histogram_observes_round_trip_time(self):
+        from repro import obs
+
+        obs.metrics.reset()
+        model = Model("timing")
+        variables = model.add_vars(60, upper=5)
+        for i in range(0, 60, 3):
+            model.add_constraint(
+                variables[i] + variables[i + 1] + variables[i + 2] <= 9
+            )
+        from repro.lp import LinExpr
+
+        model.maximize(LinExpr.sum_of(variables))
+        result = model.solve(SlowLPBackend())
+        histogram = obs.metrics.snapshot()[
+            'lp.solve_seconds{backend="slow-pulp"}'
+        ]
+        assert histogram["count"] == 1
+        # The observed sample is the full round-trip duration: it must
+        # essentially match the result's own wall-clock accounting.
+        assert histogram["sum"] == pytest.approx(
+            result.solve_seconds, rel=0.2
+        )

@@ -1,0 +1,401 @@
+"""Tests for the incremental LP solve-session tier.
+
+Covers the warm-start correctness contract (a warm session solve is
+*exactly* as optimal as a cold one, to LP tolerance), the decomposed
+backend's agreement with the exact fast path, the never-mask rules for
+INFEASIBLE/UNBOUNDED, the accuracy gate, and the warm sweep plumbing
+(fewer full solves, deterministic parallel chunking, fail-soft
+collection).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.lp import (
+    DecomposedLPBackend,
+    FastLPBackend,
+    LinExpr,
+    Model,
+    SolveSession,
+    WarmStartSession,
+    get_backend,
+    lp_discrepancy_gate,
+)
+from repro.lp.model import SolveResult, SolveStatus
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficMatrix
+from repro.parallel import TaskFailure
+from repro.resilience import FaultPlan, chaos
+from repro.te import registry
+from repro.te.demandscale import _chunk_indices, max_feasible_scale, scale_sweep
+
+FUZZ_SETTINGS = dict(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def knapsack_model(name="knap", rhs=12.0, num_vars=40):
+    """A small packing LP with a known-nontrivial support."""
+    model = Model(name)
+    variables = model.add_vars(num_vars, upper=5.0)
+    for start in range(0, num_vars, 4):
+        model.add_constraint(
+            LinExpr.sum_of(variables[start:start + 4]) <= rhs
+        )
+    model.maximize(LinExpr.sum_of(
+        (1.0 + 0.01 * i) * v for i, v in enumerate(variables)
+    ))
+    return model
+
+
+def infeasible_model():
+    model = Model("infeasible")
+    x = model.add_var(name="x", upper=1.0)
+    model.add_constraint(x >= 2.0)
+    model.maximize(x)
+    return model
+
+
+def unbounded_model():
+    model = Model("unbounded")
+    x = model.add_var(name="x")
+    model.maximize(x)
+    return model
+
+
+@st.composite
+def random_instance(draw):
+    """Small connected topology (ring + chords) with integer demands."""
+    n = draw(st.integers(min_value=4, max_value=6))
+    nodes = [f"n{i}" for i in range(n)]
+    topo = Topology("random")
+    for node in nodes:
+        topo.add_node(node)
+    for i in range(n):
+        cap = draw(st.integers(min_value=1, max_value=20))
+        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n], float(cap))
+    chords = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=3,
+    ))
+    for a, b in chords:
+        if a != b and not topo.has_link(nodes[a], nodes[b]):
+            cap = draw(st.integers(min_value=1, max_value=20))
+            topo.add_bidi_link(nodes[a], nodes[b], float(cap))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=1, max_size=5,
+    ))
+    demands = {}
+    for a, b in pairs:
+        if a != b:
+            demands[(nodes[a], nodes[b])] = float(
+                draw(st.integers(min_value=1, max_value=15))
+            )
+    return topo, TrafficMatrix(demands)
+
+
+class TestBaseSession:
+    def test_base_session_solves_cold(self):
+        session = FastLPBackend().session()
+        # FastLPBackend advertises warm starts, so .session() is warm.
+        assert isinstance(session, WarmStartSession)
+
+    def test_plain_session_counts_cold_solves(self):
+        session = SolveSession(FastLPBackend())
+        first = session.solve(knapsack_model())
+        second = session.solve(knapsack_model(rhs=10.0))
+        assert first.status is SolveStatus.OPTIMAL
+        assert second.status is SolveStatus.OPTIMAL
+        assert session.stats.cold_solves == 2
+        assert session.stats.warm_solves == 0
+        assert session.last is second
+
+    def test_every_backend_hands_out_a_session(self):
+        for name in ("fast", "slow", "fallback", "decomposed"):
+            session = get_backend(name).session()
+            result = session.solve(knapsack_model())
+            assert result.status is SolveStatus.OPTIMAL
+
+
+class TestWarmStartSession:
+    def test_warm_chain_matches_cold(self):
+        cold = FastLPBackend()
+        session = WarmStartSession(FastLPBackend())
+        for rhs in (12.0, 11.0, 10.0, 9.5, 13.0):
+            model = knapsack_model(rhs=rhs)
+            warm = session.solve(model)
+            reference = cold.solve(knapsack_model(rhs=rhs))
+            assert warm.status is SolveStatus.OPTIMAL
+            assert warm.objective == pytest.approx(
+                reference.objective, rel=1e-7, abs=1e-7
+            )
+        assert session.stats.cold_solves == 1
+        assert session.stats.warm_solves == 4
+        assert session.stats.fallbacks == 0
+
+    def test_explicit_warm_start_argument_wins(self):
+        session = WarmStartSession(FastLPBackend())
+        seed = FastLPBackend().solve(knapsack_model())
+        result = session.solve(knapsack_model(rhs=11.0), warm_start=seed)
+        assert result.status is SolveStatus.OPTIMAL
+        assert session.stats.warm_solves == 1
+
+    def test_shape_change_falls_back_to_cold(self):
+        session = WarmStartSession(FastLPBackend())
+        session.solve(knapsack_model(num_vars=40))
+        session.solve(knapsack_model(num_vars=44))
+        assert session.stats.cold_solves == 2
+        assert session.stats.warm_solves == 0
+
+    def test_warm_infeasible_is_reported_not_masked(self):
+        session = WarmStartSession(FastLPBackend())
+        session.solve(knapsack_model(num_vars=1))
+        model = Model("infeasible")
+        x = model.add_var(name="x", upper=1.0)
+        model.add_constraint(x >= 2.0)
+        model.maximize(x)
+        result = session.solve(model)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_warm_unbounded_is_reported(self):
+        session = WarmStartSession(FastLPBackend())
+        model = Model("seed")
+        x = model.add_var(name="x", upper=3.0)
+        model.maximize(x)
+        session.solve(model)
+        result = session.solve(unbounded_model())
+        assert result.status is SolveStatus.UNBOUNDED
+
+    def test_warm_metrics_never_touch_lp_solves(self):
+        obs.metrics.reset()
+        session = WarmStartSession(FastLPBackend())
+        session.solve(knapsack_model())
+        for rhs in (11.0, 10.0):
+            session.solve(knapsack_model(rhs=rhs))
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["lp.solves"]["value"] == 1
+        assert snapshot["lp.warm_starts"]["value"] == 2
+        assert snapshot["lp.reduced_solves"]["value"] >= 2
+
+    def test_accumulated_support_resets_on_cold(self):
+        session = WarmStartSession(FastLPBackend())
+        session.solve(knapsack_model())
+        session.solve(knapsack_model(rhs=11.0))
+        assert session._accumulated is not None
+        session.solve(knapsack_model(num_vars=48))  # shape change -> cold
+        assert session._accumulated is None
+
+
+class TestDecomposedBackend:
+    def test_matches_exact_backend(self):
+        fast = FastLPBackend()
+        decomposed = DecomposedLPBackend()
+        for rhs in (12.0, 9.0, 15.0):
+            model = knapsack_model(rhs=rhs)
+            exact = fast.solve(knapsack_model(rhs=rhs))
+            reduced = decomposed.solve(model)
+            assert reduced.status is SolveStatus.OPTIMAL
+            assert reduced.objective == pytest.approx(
+                exact.objective, rel=1e-7, abs=1e-7
+            )
+            assert reduced.backend_name == "decomposed"
+
+    def test_infeasible_never_invented_or_masked(self):
+        result = DecomposedLPBackend().solve(infeasible_model())
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_reported(self):
+        model = Model("unbounded-wide")
+        variables = model.add_vars(64, upper=1.0)
+        free = model.add_var(name="free")
+        model.maximize(LinExpr.sum_of(variables) + free)
+        result = DecomposedLPBackend().solve(model)
+        assert result.status is SolveStatus.UNBOUNDED
+
+    def test_core_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DecomposedLPBackend(core_fraction=0.0)
+        with pytest.raises(ValueError):
+            DecomposedLPBackend(core_fraction=1.5)
+
+    def test_approximate_flag_follows_tolerance(self):
+        assert not DecomposedLPBackend().approximate
+        assert DecomposedLPBackend(convergence_tolerance=1e-3).approximate
+
+    def test_registered_with_get_backend(self):
+        for alias in ("decomposed", "gasplan", "reduced"):
+            assert isinstance(get_backend(alias), DecomposedLPBackend)
+
+    def test_tiny_model_falls_through_to_full_solve(self):
+        # core covers everything -> plain base solve, still correct.
+        model = Model("tiny")
+        x = model.add_var(name="x", upper=2.0)
+        model.maximize(x)
+        result = DecomposedLPBackend(min_core=32).solve(model)
+        assert result.objective == pytest.approx(2.0)
+
+
+class TestDiscrepancyGate:
+    def test_clean_on_honest_backend(self):
+        models = [knapsack_model(rhs=rhs) for rhs in (12.0, 9.0)]
+        report = lp_discrepancy_gate(models, DecomposedLPBackend())
+        assert report.clean
+        assert report.instances_analyzed == 2
+        assert len(report.cases) == 2
+
+    def test_flags_objective_gap(self):
+        class Liar(FastLPBackend):
+            name = "liar"
+
+            def solve(self, model):
+                result = super().solve(model)
+                result.objective *= 0.5
+                return result
+
+        report = lp_discrepancy_gate([knapsack_model()], Liar())
+        assert not report.clean
+        assert report.discrepancies[0].kind == "objective-gap"
+
+    def test_flags_status_mismatch(self):
+        class Masker(FastLPBackend):
+            name = "masker"
+
+            def solve(self, model):
+                return SolveResult(
+                    status=SolveStatus.OPTIMAL,
+                    objective=0.0,
+                    values=[0.0] * model.num_vars,
+                    backend_name=self.name,
+                )
+
+        report = lp_discrepancy_gate([infeasible_model()], Masker())
+        assert not report.clean
+        assert report.discrepancies[0].kind == "result-mismatch"
+
+
+class TestWarmSolversProperty:
+    """Satellite: every warm-capable registry solver, fuzzed.
+
+    A warm chain over scaled copies of a random instance must report
+    the same status and an objective within 1e-6 of the cold solver at
+    every point.
+    """
+
+    @settings(**FUZZ_SETTINGS)
+    @given(random_instance())
+    def test_warm_solve_matches_cold_for_every_warm_solver(self, instance):
+        topo, traffic = instance
+        warm_names = [
+            name for name in registry.solver_names()
+            if registry.get_spec(name).capabilities.supports_warm_start
+        ]
+        assert warm_names  # the registry must advertise warm solvers
+        for name in warm_names:
+            warm_solver = registry.make_solver(name, warm=True)
+            cold_solver = registry.make_solver(name)
+            for scale in (0.5, 1.0, 1.7):
+                scaled = traffic.scaled(scale)
+                warm = warm_solver.solve(topo, scaled)
+                cold = cold_solver.solve(topo, scaled)
+                assert warm.status == cold.status, name
+                assert warm.objective == pytest.approx(
+                    cold.objective, rel=1e-6, abs=1e-6
+                ), f"{name} diverged at scale {scale}"
+
+
+class TestChunking:
+    def test_chunks_cover_range_in_order(self):
+        for count in (1, 5, 8, 13):
+            for workers in (1, 2, 3, 8, 20):
+                chunks = _chunk_indices(count, workers)
+                flattened = [i for chunk in chunks for i in chunk]
+                assert flattened == list(range(count))
+                assert len(chunks) == min(max(1, workers), count)
+                sizes = [len(chunk) for chunk in chunks]
+                assert max(sizes) - min(sizes) <= 1
+
+
+class TestWarmSweep:
+    def setup_method(self):
+        self.topo = Topology("sweep")
+        for node in ("a", "b", "c", "d"):
+            self.topo.add_node(node)
+        self.topo.add_bidi_link("a", "b", 10.0)
+        self.topo.add_bidi_link("b", "c", 8.0)
+        self.topo.add_bidi_link("c", "d", 10.0)
+        self.topo.add_bidi_link("a", "d", 5.0)
+        self.traffic = TrafficMatrix({
+            ("a", "c"): 6.0, ("b", "d"): 4.0, ("a", "d"): 3.0,
+        })
+        self.scales = [0.5, 0.75, 1.0, 1.25, 1.5, 2.0]
+
+    def test_warm_sweep_matches_cold_with_fewer_full_solves(self):
+        obs.metrics.reset()
+        cold = scale_sweep(
+            self.topo, self.traffic, "pf4", scales=self.scales
+        )
+        cold_solves = obs.metrics.snapshot()["lp.solves"]["value"]
+        obs.metrics.reset()
+        warm = scale_sweep(
+            self.topo, self.traffic, "pf4", scales=self.scales,
+            warm_start=True,
+        )
+        snapshot = obs.metrics.snapshot()
+        warm_solves = snapshot["lp.solves"]["value"]
+        assert warm_solves < cold_solves
+        assert snapshot["sweep.warm_chains"]["value"] == 1
+        for c, w in zip(cold, warm):
+            assert w.objective == pytest.approx(c.objective, abs=1e-6)
+            assert w.scale == c.scale
+
+    def test_warm_parallel_deterministic_and_ordered(self):
+        runs = [
+            scale_sweep(
+                self.topo, self.traffic, "pf4", scales=self.scales,
+                workers=3, warm_start=True,
+            )
+            for _ in range(2)
+        ]
+        assert [p.objective for p in runs[0]] == [
+            p.objective for p in runs[1]
+        ]
+        assert [p.scale for p in runs[0]] == self.scales
+
+    def test_warm_sweep_collects_failures_per_point(self):
+        plan = FaultPlan.parse("rate=0.4,seed=11,sites=lp.solve")
+        with chaos(plan):
+            results = scale_sweep(
+                self.topo, self.traffic, "pf4", scales=self.scales,
+                warm_start=True, on_error="collect",
+            )
+        assert len(results) == len(self.scales)
+        failures = [r for r in results if isinstance(r, TaskFailure)]
+        assert failures  # rate=0.4 over 6+ solves must hit something
+        for failure in failures:
+            assert results[failure.index] is failure
+
+    def test_non_warm_capable_solver_silently_cold(self):
+        # fleischer has no warm support; warm_start=True must not break.
+        results = scale_sweep(
+            self.topo, self.traffic, "fleischer", scales=[0.5, 1.0],
+            warm_start=True,
+        )
+        assert len(results) == 2
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            scale_sweep(
+                self.topo, self.traffic, "pf4", scales=[1.0],
+                on_error="bogus",
+            )
+
+    def test_max_feasible_scale_warm_matches_cold(self):
+        warm = max_feasible_scale(self.topo, self.traffic, oracle="edge")
+        cold = max_feasible_scale(
+            self.topo, self.traffic, oracle="edge", warm_start=False
+        )
+        assert warm == pytest.approx(cold, rel=1e-6)

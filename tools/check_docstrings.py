@@ -31,7 +31,8 @@ from typing import Iterator, List, Tuple
 
 #: Trees linted when no arguments are given (the CI-enforced set).
 DEFAULT_TREES = (
-    "src/repro/bench", "src/repro/resilience", "src/repro/store",
+    "src/repro/bench", "src/repro/lp", "src/repro/resilience",
+    "src/repro/store",
 )
 
 #: Decorator names whose presence exempts a function from the lint.
