@@ -22,7 +22,9 @@ Layers covered:
 * ``parallel`` -- ``run_ordered`` fan-out overhead, serial vs threads;
 * ``pipeline`` -- simulated-LLM reproduction runs end to end;
 * ``obs``      -- telemetry-tier overhead: labeled metric hot path and
-  disabled-span cost (what un-instrumented runs pay).
+  disabled-span cost (what un-instrumented runs pay);
+* ``fuzz``     -- differential-gate throughput: a fixed case window
+  through a fast oracle subset, timed end to end.
 
 The module-level helpers (:func:`bdd_profile_workload`,
 :func:`apkeep_update_latency_rows`, :func:`ncflow_scaling_rows`,
@@ -733,3 +735,42 @@ def bench_obs_span_disabled() -> Dict[str, object]:
         with obs.span("bench.noop", index=index):
             total += index
     return {"ops": _OBS_OPS, "checksum": total % 1_000_003}
+
+
+# ----------------------------------------------------------------------
+# fuzz: differential-gate throughput
+# ----------------------------------------------------------------------
+_FUZZ_CASES = 4
+
+
+@benchmark(
+    "fuzz.cases_per_second", layer="fuzz",
+    description=f"{_FUZZ_CASES}-case sweep through the fast dataplane "
+                "and TE-bounds oracles",
+)
+def bench_fuzz_cases_per_second() -> Dict[str, object]:
+    """Throughput of the standing differential gate's hot loop.
+
+    A fixed seed window through the cheap oracle subset (no
+    minimization, no store) times exactly what a CI fuzz-smoke second
+    buys; the oracle-run count is the checksum, so a silently skipped
+    oracle fails the artifact comparison.
+    """
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=7,
+        cases=_FUZZ_CASES,
+        oracle_filter=[
+            "ap.vs-apkeep", "apkeep.incremental-vs-batch", "te.bounds",
+        ],
+        minimize=False,
+    )
+    if not report.ok:
+        raise AssertionError("fuzz bench sweep found failures:\n"
+                             + report.render())
+    return {
+        "cases": report.cases_run,
+        "oracle_runs": report.oracle_runs,
+        "checksum": report.oracle_runs,
+    }

@@ -29,6 +29,12 @@ explore the reproduction without writing code:
   ``BENCH_*.json``;
 * ``store``        -- inspect and maintain a persistent artifact store
   (``ls``/``stats``/``verify``/``gc``/``clear``);
+* ``fuzz``         -- the standing differential-correctness gate:
+  ``fuzz run`` sweeps seeded cases through the oracle registry
+  (``--oracle list`` shows it) with per-case watchdog time-boxing and
+  failure minimization, ``fuzz ls`` lists stored failure artifacts,
+  and ``fuzz repro <key>`` (or ``--seed/--case/--oracle``) replays a
+  failure live;
 * ``obs``          -- live telemetry utilities (``obs serve`` runs the
   ``/metrics`` exposition endpoint standalone);
 * ``profile-view`` -- top-N rollup of a ``--profile`` collapsed-stacks
@@ -354,6 +360,62 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument(
         "--repair", action="store_true",
         help="with verify: delete the entries that fail the check",
+    )
+
+    fuzz = add_parser(
+        "fuzz", help="differential fuzzing: the standing correctness gate"
+    )
+    fuzz.add_argument(
+        "action", choices=["run", "ls", "repro"],
+        help="run = time-boxed oracle sweep, ls = list stored failure "
+             "artifacts, repro = replay one failure (by stored key, or "
+             "by --seed/--case/--oracle without a store)",
+    )
+    fuzz.add_argument(
+        "key", nargs="?", default=None,
+        help="artifact key for 'repro' (as printed by 'fuzz ls')",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="schedule seed: every case replays from (seed, index) "
+             "(default 0)",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="fixed case window (default: 20 unless --budget-seconds "
+             "bounds the sweep)",
+    )
+    fuzz.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="time-box the sweep: stop scheduling new batches after S "
+             "seconds",
+    )
+    fuzz.add_argument(
+        "--oracle", default=None, metavar="NAMES",
+        help="comma-separated oracle names to run, or 'list' to show "
+             "the registry (default: every registered oracle)",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for the (oracle, case) fan-out",
+    )
+    fuzz.add_argument(
+        "--case-timeout", type=float, default=None, metavar="S",
+        help="per-case watchdog timeout in seconds (default 30; "
+             "0 disables)",
+    )
+    fuzz.add_argument(
+        "--case", type=int, default=None, dest="case_index", metavar="I",
+        help="with 'repro' and no key: the case index to regenerate",
+    )
+    fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip failure minimization after the sweep",
+    )
+    fuzz.add_argument(
+        "--plant-defect", action="store_true",
+        help="register the planted lying-warm-backend oracle before the "
+             "sweep (self-test: the gate must catch it)",
     )
     return parser
 
@@ -892,6 +954,97 @@ def cmd_store(args, out) -> int:
     return 0
 
 
+def cmd_fuzz(args, out) -> int:
+    from repro import fuzz
+    from repro import store as store_mod
+
+    target = store_mod.get_default()
+    if args.action == "ls":
+        if target is None:
+            out.write("error: 'fuzz ls' needs a --store DIR to list\n")
+            return 2
+        entries = fuzz.list_failures(target)
+        if not entries:
+            out.write(f"{target.root}: no fuzz artifacts\n")
+            return 0
+        for key, payload in entries:
+            out.write(
+                f"{key}  [{payload['failure']}] {payload['error']}: "
+                f"{payload['message']}\n"
+            )
+        out.write(f"{len(entries)} fuzz artifacts\n")
+        return 0
+
+    if args.action == "repro":
+        timeout = (
+            args.case_timeout if args.case_timeout is not None
+            else fuzz.runner.DEFAULT_CASE_TIMEOUT
+        )
+        try:
+            if args.key is not None:
+                if target is None:
+                    out.write(
+                        "error: replaying a stored key needs --store DIR\n"
+                    )
+                    return 2
+                outcome = fuzz.reproduce(target, args.key,
+                                         case_timeout=timeout)
+            elif args.case_index is not None and args.oracle:
+                outcome = fuzz.reproduce_live(
+                    args.seed, args.case_index, args.oracle,
+                    case_timeout=timeout,
+                )
+            else:
+                out.write(
+                    "error: 'fuzz repro' needs a stored key, or "
+                    "--seed/--case/--oracle for a live replay\n"
+                )
+                return 2
+        except KeyError as exc:
+            out.write(f"error: {exc.args[0]}\n")
+            return 2
+        except fuzz.UnknownOracleError as exc:
+            out.write(f"error: {exc.args[0]}\n")
+            return 2
+        out.write(
+            f"{'reproduced' if outcome.reproduced else 'NOT reproduced'} "
+            f"[{outcome.failure}] {outcome.message}\n"
+        )
+        return 0 if outcome.reproduced else 1
+
+    # action == "run"
+    if args.oracle == "list":
+        out.write(fuzz.render_table() + "\n")
+        return 0
+    if args.plant_defect:
+        fuzz.register_planted_defect(replace=True)
+    oracle_filter = None
+    if args.oracle:
+        names = [part.strip() for part in args.oracle.split(",")
+                 if part.strip()]
+        try:
+            oracle_filter = [fuzz.get_spec(name) for name in names]
+        except fuzz.UnknownOracleError as exc:
+            out.write(f"error: {exc.args[0]}\n")
+            return 2
+    timeout = (
+        args.case_timeout if args.case_timeout is not None
+        else fuzz.runner.DEFAULT_CASE_TIMEOUT
+    )
+    report = fuzz.run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        budget_seconds=args.budget_seconds,
+        oracle_filter=oracle_filter,
+        workers=args.workers,
+        case_timeout=timeout if timeout > 0 else None,
+        minimize=not args.no_minimize,
+        store=target,
+    )
+    out.write(report.render() + "\n")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
@@ -910,6 +1063,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "profile-view": cmd_profile_view,
     "store": cmd_store,
+    "fuzz": cmd_fuzz,
 }
 
 

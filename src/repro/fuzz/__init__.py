@@ -1,0 +1,95 @@
+"""Differential fuzzing: the standing correctness gate (``repro fuzz``).
+
+The package ties four pieces together -- see each module for depth:
+
+* :mod:`repro.fuzz.generators` -- seeded case generation with a
+  deterministic schedule: any case replays from ``(seed, index, kind)``;
+* :mod:`repro.fuzz.oracles`    -- the named differential-oracle
+  registry (exact vs approximate, warm vs cold, batch vs incremental);
+* :mod:`repro.fuzz.runner`     -- time-boxed, crash-isolated sweeps
+  over :func:`repro.parallel.run_ordered` workers, artifact storage,
+  and stored-failure replay;
+* :mod:`repro.fuzz.minimize`   -- greedy deterministic shrinking of
+  failing cases;
+* :mod:`repro.fuzz.watchdog`   -- the per-case timeout primitive.
+
+Quick use::
+
+    from repro.fuzz import run_fuzz
+    report = run_fuzz(seed=7, cases=10)
+    assert report.ok, report.render()
+"""
+
+from repro.fuzz.generators import (
+    FuzzCase,
+    KINDS,
+    SCHEMA,
+    case_seed,
+    case_sizes,
+    generate_case,
+    materialize_dataplane,
+    materialize_te,
+)
+from repro.fuzz.minimize import classify_failure, minimize_case
+from repro.fuzz.oracles import (
+    LyingWarmBackend,
+    OracleFailure,
+    OracleSpec,
+    PLANTED_ORACLE,
+    UnknownOracleError,
+    get_spec,
+    oracle_names,
+    register,
+    register_planted_defect,
+    render_table,
+    run_oracle,
+    specs_for_kind,
+    unregister,
+)
+from repro.fuzz.runner import (
+    DEFAULT_CASES,
+    FuzzFailure,
+    FuzzReport,
+    ReproOutcome,
+    list_failures,
+    reproduce,
+    reproduce_live,
+    run_fuzz,
+)
+from repro.fuzz.watchdog import CaseTimeout, call_with_timeout
+
+__all__ = [
+    "CaseTimeout",
+    "DEFAULT_CASES",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "KINDS",
+    "LyingWarmBackend",
+    "OracleFailure",
+    "OracleSpec",
+    "PLANTED_ORACLE",
+    "ReproOutcome",
+    "SCHEMA",
+    "UnknownOracleError",
+    "call_with_timeout",
+    "case_seed",
+    "case_sizes",
+    "classify_failure",
+    "generate_case",
+    "get_spec",
+    "list_failures",
+    "materialize_dataplane",
+    "materialize_te",
+    "minimize_case",
+    "oracle_names",
+    "register",
+    "register_planted_defect",
+    "render_table",
+    "reproduce",
+    "reproduce_live",
+    "run_fuzz",
+    "run_oracle",
+    "specs_for_kind",
+    "unregister",
+]

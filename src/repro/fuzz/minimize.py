@@ -1,0 +1,236 @@
+"""Greedy deterministic failure shrinking.
+
+Once an oracle fails on a generated case, the raw instance is rarely
+the story: a 6-node topology with 6 commodities usually fails for the
+same reason a 2-node, 1-commodity one does.  :func:`minimize_case`
+shrinks the case's ``data`` dict by repeatedly deleting one element --
+a demand, a node (with its incident links/rules/demands), a link, a
+rule, an update, a scale point -- and keeping the deletion only when
+the *same* failure still reproduces.
+
+Determinism is the contract: passes run in a fixed order, each pass
+iterates its elements in a fixed (reverse-index) order, and the
+failure-equality predicate is pure, so the same seed always shrinks to
+the byte-identical minimized artifact.  "Same failure" means the same
+classification -- any :class:`~repro.fuzz.oracles.OracleFailure` for a
+divergence, the same exception type for a crash -- not the same
+message, so shrinking is allowed to simplify the numbers in the
+message while preserving the bug.
+
+Every candidate runs under the same watchdog timeout as the sweep, so
+a shrink that sends the oracle into a pathological slow path cannot
+hang minimization; it is simply rejected.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import OracleFailure, OracleSpec, run_oracle
+from repro.fuzz.watchdog import CaseTimeout, call_with_timeout
+
+#: Hard ceiling on reproduction attempts per minimization, a backstop
+#: against quadratic blowup on large cases.
+MAX_ATTEMPTS = 400
+
+
+def classify_failure(exc: BaseException) -> Tuple[str, str]:
+    """``(failure kind, exception type name)`` for an oracle exception."""
+    if isinstance(exc, OracleFailure):
+        return "divergence", type(exc).__name__
+    if isinstance(exc, CaseTimeout):
+        return "timeout", type(exc).__name__
+    return "crash", type(exc).__name__
+
+
+def _observe(spec: OracleSpec, case: FuzzCase,
+             timeout: Optional[float]) -> Optional[Tuple[str, str]]:
+    """Run the oracle; return the failure classification or ``None``."""
+    try:
+        call_with_timeout(lambda: run_oracle(spec, case), timeout)
+    except BaseException as exc:  # crash isolation: classify everything
+        return classify_failure(exc)
+    return None
+
+
+def minimize_case(
+    case: FuzzCase,
+    spec: OracleSpec,
+    expected: Tuple[str, str],
+    case_timeout: Optional[float] = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> Tuple[FuzzCase, int]:
+    """Shrink ``case`` while ``spec`` keeps failing like ``expected``.
+
+    Returns ``(minimized case, attempts used)``.  ``expected`` is the
+    ``(kind, error type)`` classification of the original failure (see
+    :func:`classify_failure`).  The input case is not mutated.
+    """
+    data = copy.deepcopy(case.data)
+    attempts = 0
+
+    def reproduces(candidate_data: Dict) -> bool:
+        nonlocal attempts
+        attempts += 1
+        candidate = FuzzCase(case.seed, case.index, case.kind, candidate_data)
+        got = _observe(spec, candidate, case_timeout)
+        if got is None:
+            return False
+        if expected[0] == "divergence":
+            return got[0] == "divergence"
+        return got == expected
+
+    passes = _TE_PASSES if case.kind == "te" else _DATAPLANE_PASSES
+    with obs.span("fuzz.minimize", oracle=spec.name, kind=case.kind) as sp:
+        progressed = True
+        while progressed and attempts < max_attempts:
+            progressed = False
+            for shrink_pass in passes:
+                if attempts >= max_attempts:
+                    break
+                if shrink_pass(data, reproduces, max_attempts - attempts):
+                    progressed = True
+        sp.set(attempts=attempts)
+    obs.metrics.counter("fuzz.shrink_attempts").inc(attempts)
+    return FuzzCase(case.seed, case.index, case.kind, data), attempts
+
+
+# ----------------------------------------------------------------------
+# Shrink passes.  Each takes (data, reproduces, budget) and returns
+# True when it removed at least one element.  All passes mutate
+# ``data`` in place only through accepted deletions.
+# ----------------------------------------------------------------------
+def _drop_list_items(data: Dict, key: str, reproduces, budget: int) -> bool:
+    """Try deleting each element of ``data[key]``, last-first."""
+    removed = False
+    items = data.get(key)
+    if not items:
+        return False
+    index = len(items) - 1
+    while index >= 0 and budget > 0:
+        candidate = copy.deepcopy(data)
+        del candidate[key][index]
+        budget -= 1
+        if reproduces(candidate):
+            data[key] = candidate[key]
+            removed = True
+        index -= 1
+    return removed
+
+
+def _drop_te_demands(data, reproduces, budget):
+    return _drop_list_items(data, "demands", reproduces, budget)
+
+
+def _drop_te_links(data, reproduces, budget):
+    return _drop_list_items(data, "links", reproduces, budget)
+
+
+def _drop_te_scales(data, reproduces, budget):
+    return _drop_list_items(data, "scales", reproduces, budget)
+
+
+def _without_te_node(data: Dict, node: str) -> Dict:
+    candidate = copy.deepcopy(data)
+    candidate["nodes"] = [n for n in candidate["nodes"] if n != node]
+    candidate["links"] = [
+        link for link in candidate["links"] if node not in link[:2]
+    ]
+    candidate["demands"] = [
+        d for d in candidate["demands"] if node not in d[:2]
+    ]
+    return candidate
+
+
+def _drop_te_nodes(data, reproduces, budget):
+    removed = False
+    for node in list(reversed(data.get("nodes", []))):
+        if budget <= 0 or len(data["nodes"]) <= 2:
+            break
+        candidate = _without_te_node(data, node)
+        budget -= 1
+        if reproduces(candidate):
+            data.update(candidate)
+            removed = True
+    return removed
+
+
+_TE_PASSES = (_drop_te_demands, _drop_te_nodes, _drop_te_links,
+              _drop_te_scales)
+
+
+def _drop_dp_updates(data, reproduces, budget):
+    return _drop_list_items(data, "updates", reproduces, budget)
+
+
+def _drop_dp_rules(data, reproduces, budget):
+    removed = False
+    for node in sorted(data.get("rules", {}), reverse=True):
+        rules = data["rules"][node]
+        index = len(rules) - 1
+        while index >= 0 and budget > 0:
+            candidate = copy.deepcopy(data)
+            del candidate["rules"][node][index]
+            budget -= 1
+            if reproduces(candidate):
+                data["rules"][node] = candidate["rules"][node]
+                removed = True
+            index -= 1
+    return removed
+
+
+def _drop_dp_acls(data, reproduces, budget):
+    removed = False
+    for node in sorted(data.get("acls", {}), reverse=True):
+        acls = data["acls"].get(node, [])
+        index = len(acls) - 1
+        while index >= 0 and budget > 0:
+            candidate = copy.deepcopy(data)
+            del candidate["acls"][node][index]
+            if not candidate["acls"][node]:
+                del candidate["acls"][node]
+            budget -= 1
+            if reproduces(candidate):
+                data["acls"] = candidate["acls"]
+                removed = True
+                acls = data["acls"].get(node, [])
+            index -= 1
+    return removed
+
+
+def _without_dp_node(data: Dict, node: str) -> Dict:
+    candidate = copy.deepcopy(data)
+    candidate["nodes"] = [n for n in candidate["nodes"] if n != node]
+    candidate["links"] = [
+        link for link in candidate["links"] if node not in link[:2]
+    ]
+    candidate["rules"].pop(node, None)
+    candidate.get("acls", {}).pop(node, None)
+    candidate.get("prefixes", {}).pop(node, None)
+    # Rules on surviving devices that forwarded to the removed node now
+    # point at a non-device; the brute-force walk and the verifiers
+    # both treat that as a drop, so they stay comparable.
+    candidate["updates"] = [
+        u for u in candidate.get("updates", []) if u[0] != node
+    ]
+    return candidate
+
+
+def _drop_dp_nodes(data, reproduces, budget):
+    removed = False
+    for node in list(reversed(data.get("nodes", []))):
+        if budget <= 0 or len(data["nodes"]) <= 2:
+            break
+        candidate = _without_dp_node(data, node)
+        budget -= 1
+        if reproduces(candidate):
+            data.update(candidate)
+            removed = True
+    return removed
+
+
+_DATAPLANE_PASSES = (_drop_dp_updates, _drop_dp_rules, _drop_dp_acls,
+                     _drop_dp_nodes)

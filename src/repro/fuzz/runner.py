@@ -1,0 +1,389 @@
+"""The robust fuzz runner: time-boxed sweeps, crash isolation, artifacts.
+
+:func:`run_fuzz` walks the deterministic case schedule (see
+:mod:`repro.fuzz.generators`), runs every selected oracle against every
+case through :func:`repro.parallel.run_ordered` workers, and survives
+anything an oracle does:
+
+* an :class:`~repro.fuzz.oracles.OracleFailure` becomes a
+  ``"divergence"`` :class:`FuzzFailure`;
+* any other exception becomes a ``"crash"`` record (including faults
+  injected by an active ``--fault-plan`` -- chaos surfaces as
+  structured records, never as an aborted sweep);
+* a case that outruns ``case_timeout`` is abandoned by the watchdog
+  and becomes a ``"timeout"`` record.
+
+Sweeps stop at ``cases`` (a fixed window) and/or ``budget_seconds``
+(checked between batches -- a time-boxed sweep still finishes the
+batch in flight).  Divergences and crashes are then shrunk by
+:func:`repro.fuzz.minimize.minimize_case` and written to the artifact
+store under ``fuzz/1/<seed>/<case>/<oracle>`` with the exact repro
+command; :func:`reproduce` round-trips a stored artifact back to a
+live oracle execution.
+
+Failure payloads deliberately exclude wall-clock durations, so the
+same seed window produces byte-identical artifacts run after run --
+that is what lets CI diff them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.fuzz import generators, minimize as minimize_mod, oracles
+from repro.fuzz.generators import SCHEMA, FuzzCase
+from repro.fuzz.oracles import OracleSpec
+from repro.fuzz.watchdog import call_with_timeout
+
+#: Default case window when neither ``cases`` nor ``budget_seconds``
+#: bounds the sweep.
+DEFAULT_CASES = 20
+
+#: Default per-case watchdog timeout (seconds).
+DEFAULT_CASE_TIMEOUT = 30.0
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle failure, shrunk and ready to replay.
+
+    ``failure`` is ``"divergence"`` / ``"crash"`` / ``"timeout"``;
+    ``case`` is the (possibly minimized) case data dict.  ``payload``
+    renders the deterministic artifact body stored in the CAS.
+    """
+
+    oracle: str
+    kind: str
+    seed: int
+    case_index: int
+    failure: str
+    error: str
+    message: str
+    case: Dict
+    sizes_before: Dict[str, int] = field(default_factory=dict)
+    sizes_after: Dict[str, int] = field(default_factory=dict)
+    shrink_attempts: int = 0
+    store_key: str = ""
+    repro_command: str = ""
+    #: Display-only variant of ``repro_command`` including ``--store``;
+    #: never stored (a host path would break artifact byte-identity).
+    display_command: str = ""
+
+    @property
+    def key(self) -> str:
+        """Canonical store key for this failure."""
+        return f"fuzz/1/{self.seed}/{self.case_index}/{self.oracle}"
+
+    def payload(self) -> Dict:
+        """Deterministic artifact body (no wall-clock, no host state)."""
+        return {
+            "schema": SCHEMA,
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "seed": self.seed,
+            "case_index": self.case_index,
+            "failure": self.failure,
+            "error": self.error,
+            "message": self.message,
+            "case": self.case,
+            "sizes_before": self.sizes_before,
+            "sizes_after": self.sizes_after,
+            "shrink_attempts": self.shrink_attempts,
+            "repro_command": self.repro_command,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "FuzzFailure":
+        """Rebuild a failure record from a stored artifact body."""
+        return cls(
+            oracle=payload["oracle"],
+            kind=payload["kind"],
+            seed=payload["seed"],
+            case_index=payload["case_index"],
+            failure=payload["failure"],
+            error=payload["error"],
+            message=payload["message"],
+            case=payload["case"],
+            sizes_before=payload.get("sizes_before", {}),
+            sizes_after=payload.get("sizes_after", {}),
+            shrink_attempts=payload.get("shrink_attempts", 0),
+            repro_command=payload.get("repro_command", ""),
+        )
+
+    def describe(self) -> str:
+        """One human line: where it failed and how it shrank."""
+        shrink = ""
+        if self.sizes_before and self.sizes_after != self.sizes_before:
+            before = sum(self.sizes_before.values())
+            after = sum(self.sizes_after.values())
+            shrink = f" (shrunk {before}->{after} elements)"
+        return (
+            f"{self.oracle} case {self.case_index} [{self.failure}] "
+            f"{self.error}: {self.message}{shrink}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one ``run_fuzz`` sweep."""
+
+    seed: int
+    oracle_names: List[str]
+    cases_run: int = 0
+    oracle_runs: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    budget_seconds: Optional[float] = None
+    stopped_on_budget: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True iff the sweep observed no failures of any kind."""
+        return not self.failures
+
+    def render(self) -> str:
+        """Human summary: schedule, throughput, every failure line."""
+        rate = (
+            self.oracle_runs / self.elapsed_seconds
+            if self.elapsed_seconds > 0 else 0.0
+        )
+        lines = [
+            f"fuzz seed {self.seed}: {self.cases_run} cases, "
+            f"{self.oracle_runs} oracle runs over "
+            f"{len(self.oracle_names)} oracles in "
+            f"{self.elapsed_seconds:.2f}s ({rate:.1f} runs/s)"
+            + (" [budget reached]" if self.stopped_on_budget else "")
+        ]
+        if not self.failures:
+            lines.append("no failures")
+        for failure in self.failures:
+            lines.append("FAIL " + failure.describe())
+            command = failure.display_command or failure.repro_command
+            if command:
+                lines.append(f"     repro: {command}")
+        return "\n".join(lines)
+
+
+def _resolve_specs(oracle_filter) -> List[OracleSpec]:
+    if oracle_filter is None:
+        return [oracles.get_spec(name) for name in oracles.oracle_names()]
+    return [
+        spec if isinstance(spec, OracleSpec) else oracles.get_spec(spec)
+        for spec in oracle_filter
+    ]
+
+
+def _run_one(spec: OracleSpec, case: FuzzCase,
+             case_timeout: Optional[float]) -> Optional[FuzzFailure]:
+    """One (oracle, case) execution with full crash isolation."""
+    try:
+        call_with_timeout(lambda: oracles.run_oracle(spec, case),
+                          case_timeout)
+    except Exception as exc:
+        failure_kind, error = minimize_mod.classify_failure(exc)
+        obs.metrics.counter("fuzz.failures", oracle=spec.name,
+                            failure=failure_kind).inc()
+        return FuzzFailure(
+            oracle=spec.name,
+            kind=case.kind,
+            seed=case.seed,
+            case_index=case.index,
+            failure=failure_kind,
+            error=error,
+            message=str(exc),
+            case=case.data,
+            sizes_before=generators.case_sizes(case.data),
+            sizes_after=generators.case_sizes(case.data),
+        )
+    return None
+
+
+def run_fuzz(
+    seed: int = 0,
+    cases: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    oracle_filter: Optional[Sequence] = None,
+    workers: int = 1,
+    case_timeout: Optional[float] = DEFAULT_CASE_TIMEOUT,
+    minimize: bool = True,
+    store=None,
+) -> FuzzReport:
+    """Run a differential fuzz sweep; returns the :class:`FuzzReport`.
+
+    ``oracle_filter`` is a sequence of oracle names (or specs); ``None``
+    runs the whole registry.  ``cases`` fixes the schedule window,
+    ``budget_seconds`` time-boxes the sweep (checked between batches);
+    with neither, :data:`DEFAULT_CASES` applies.  Failures (except
+    timeouts) are shrunk when ``minimize`` is set, and written to
+    ``store`` (a :class:`repro.store.ArtifactStore`) when one is given.
+
+    Determinism: the case at ``(seed, index)`` and its failure artifact
+    are independent of ``workers``, ``budget_seconds`` and wall time --
+    a budget only decides how far into the schedule the sweep gets.
+    """
+    specs = _resolve_specs(oracle_filter)
+    if cases is None and budget_seconds is None:
+        cases = DEFAULT_CASES
+    kinds = sorted({spec.kind for spec in specs})
+    by_kind = {kind: [s for s in specs if s.kind == kind] for kind in kinds}
+    report = FuzzReport(seed=seed, oracle_names=[s.name for s in specs],
+                        budget_seconds=budget_seconds)
+    start = time.monotonic()
+    batch = max(workers, 1) * 2
+    index = 0
+    with obs.span("fuzz.run", seed=seed, oracles=len(specs)) as sp:
+        while True:
+            if cases is not None and index >= cases:
+                break
+            if budget_seconds is not None and (
+                time.monotonic() - start >= budget_seconds
+            ):
+                report.stopped_on_budget = True
+                break
+            window = range(
+                index,
+                index + batch if cases is None else min(index + batch, cases),
+            )
+            tasks = []
+            labels: List[Tuple[OracleSpec, FuzzCase]] = []
+            for case_index in window:
+                for kind in kinds:
+                    case = generators.generate_case(seed, case_index, kind)
+                    for spec in by_kind[kind]:
+                        labels.append((spec, case))
+                        tasks.append(
+                            lambda spec=spec, case=case: _run_one(
+                                spec, case, case_timeout
+                            )
+                        )
+            from repro.parallel import TaskFailure, run_ordered
+
+            results = run_ordered(tasks, workers=workers, on_error="collect")
+            for (spec, case), result in zip(labels, results):
+                report.oracle_runs += 1
+                if isinstance(result, TaskFailure):
+                    # An injected parallel.task fault (or executor-level
+                    # surprise): isolate it as a structured crash record.
+                    result = FuzzFailure(
+                        oracle=spec.name, kind=case.kind, seed=seed,
+                        case_index=case.index, failure="crash",
+                        error=result.error, message=result.message,
+                        case=case.data,
+                        sizes_before=generators.case_sizes(case.data),
+                        sizes_after=generators.case_sizes(case.data),
+                    )
+                if result is not None:
+                    report.failures.append(result)
+            report.cases_run += len(window)
+            obs.metrics.counter("fuzz.cases").inc(len(window))
+            index = window.stop
+        sp.set(cases=report.cases_run, failures=len(report.failures))
+
+    for failure in report.failures:
+        if minimize and failure.failure != "timeout":
+            spec = oracles.get_spec(failure.oracle)
+            original = FuzzCase(failure.seed, failure.case_index,
+                                failure.kind, failure.case)
+            shrunk, attempts = minimize_mod.minimize_case(
+                original, spec, (failure.failure, failure.error),
+                case_timeout=case_timeout,
+            )
+            failure.case = shrunk.data
+            failure.sizes_after = generators.case_sizes(shrunk.data)
+            failure.shrink_attempts = attempts
+        if store is not None:
+            failure.store_key = failure.key
+            failure.repro_command = f"repro fuzz repro {failure.store_key}"
+            failure.display_command = (
+                f"{failure.repro_command} --store {store.root}"
+            )
+            store.put(failure.store_key, failure.payload())
+        else:
+            failure.repro_command = (
+                f"repro fuzz repro --seed {failure.seed} "
+                f"--case {failure.case_index} --oracle {failure.oracle}"
+            )
+            failure.display_command = failure.repro_command
+
+    report.elapsed_seconds = time.monotonic() - start
+    return report
+
+
+@dataclass(frozen=True)
+class ReproOutcome:
+    """Result of replaying a failure: did it fail the same way again?"""
+
+    reproduced: bool
+    failure: str
+    message: str
+
+
+def _replay(spec: OracleSpec, case: FuzzCase, expected: Optional[str],
+            case_timeout: Optional[float]) -> ReproOutcome:
+    result = _run_one(spec, case, case_timeout)
+    if result is None:
+        return ReproOutcome(False, "none", "oracle passed; no failure")
+    reproduced = expected is None or result.failure == expected
+    return ReproOutcome(reproduced, result.failure, result.message)
+
+
+def _ensure_oracle(name: str) -> OracleSpec:
+    """Resolve an oracle name, materialising the planted one on demand.
+
+    A stored planted-defect artifact must replay in a fresh process
+    where :func:`repro.fuzz.oracles.register_planted_defect` has not
+    run; any other unknown name is a real error.
+    """
+    try:
+        return oracles.get_spec(name)
+    except oracles.UnknownOracleError:
+        if name == oracles.PLANTED_ORACLE:
+            return oracles.register_planted_defect(replace=True)
+        raise
+
+
+def reproduce(
+    store,
+    key: str,
+    case_timeout: Optional[float] = DEFAULT_CASE_TIMEOUT,
+) -> ReproOutcome:
+    """Replay a stored failure artifact as a live oracle execution."""
+    payload = store.get(key)
+    if payload is None:
+        raise KeyError(f"no fuzz artifact under key {key!r}")
+    failure = FuzzFailure.from_payload(payload)
+    spec = _ensure_oracle(failure.oracle)
+    case = FuzzCase(failure.seed, failure.case_index, failure.kind,
+                    failure.case)
+    return _replay(spec, case, failure.failure, case_timeout)
+
+
+def reproduce_live(
+    seed: int,
+    case_index: int,
+    oracle: str,
+    case_timeout: Optional[float] = DEFAULT_CASE_TIMEOUT,
+) -> ReproOutcome:
+    """Regenerate ``(seed, case_index)`` and re-run one oracle on it.
+
+    The store-free replay path: any failure the sweep reported is
+    reproducible from its schedule triple alone.
+    """
+    spec = _ensure_oracle(oracle)
+    case = generators.generate_case(seed, case_index, spec.kind)
+    return _replay(spec, case, None, case_timeout)
+
+
+def list_failures(store) -> List[Tuple[str, Dict]]:
+    """``(key, payload)`` for every fuzz artifact in ``store``."""
+    out = []
+    for key in store.keys():
+        if not key.startswith("fuzz/"):
+            continue
+        payload = store.get(key)
+        if payload is not None:
+            out.append((key, payload))
+    return sorted(out)

@@ -1,0 +1,61 @@
+"""Per-case watchdog time-boxing for oracle execution.
+
+Oracles run arbitrary solver and verifier code; a pathological case
+can send an LP or a BDD build into a multi-minute stall, and a
+standing fuzz gate cannot afford one case hanging the sweep.
+:func:`call_with_timeout` runs the callable on a daemon worker thread
+and joins with a timeout: if the deadline passes, the caller gets a
+:class:`CaseTimeout` and moves on, while the stalled thread is
+*abandoned* (daemonized, so it cannot block interpreter exit).
+
+Abandonment is the honest trade-off of in-process time-boxing without
+signals or subprocesses: the stalled computation still burns its CPU
+until it finishes, but the sweep's control flow is never blocked on
+it.  Fuzz cases are sized small precisely so abandoned stragglers are
+cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class CaseTimeout(Exception):
+    """A watchdogged call exceeded its deadline and was abandoned."""
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+        super().__init__(f"case exceeded the {seconds:g}s watchdog timeout")
+
+
+def call_with_timeout(fn: Callable[[], T],
+                      timeout: Optional[float]) -> T:
+    """Run ``fn()`` with a watchdog; raise :class:`CaseTimeout` on stall.
+
+    ``timeout`` of ``None`` (or <= 0) runs ``fn`` inline with no
+    thread.  Exceptions from ``fn`` propagate unchanged, so callers
+    can classify them exactly as if they had called ``fn`` directly.
+    """
+    if timeout is None or timeout <= 0:
+        return fn()
+
+    box = {}
+
+    def target():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # propagated to the caller below
+            box["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True,
+                              name="fuzz-watchdog")
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise CaseTimeout(timeout)
+    if "error" in box:
+        raise box["error"]
+    return box.get("value")

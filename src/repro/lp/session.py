@@ -326,6 +326,18 @@ def _pricing_solve(
 
     injector = faults.active()
     if injector is not None:
+        try:
+            injector.maybe_fail(
+                "lp.session.warm", prefix=f"{backend_name}|{model.name}"
+            )
+        except faults.FaultError:
+            # A fault in the reduced-solve path must degrade, never
+            # lie: returning None routes every caller to its full
+            # cold-solve fallback, so results stay exact under chaos.
+            obs.metrics.counter(
+                "lp.session.faults", backend=backend_name
+            ).inc()
+            return None
         injector.maybe_fail("lp.solve", prefix=f"{backend_name}|{model.name}")
 
     n = assembled.cost.shape[0]

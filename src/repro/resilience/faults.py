@@ -7,6 +7,9 @@ process-wide injector (:func:`active`) whether to fail at a named site:
 
 * ``llm.chat``         -- the LLM seam (:class:`~repro.resilience.retry.ResilientLLMClient`);
 * ``lp.solve``         -- every scipy/HiGHS solve (:meth:`LPBackend._run_linprog`);
+* ``lp.session.warm``  -- the reduced-model (warm/decomposed) solve path;
+  an injected fault there makes the session fall back to a full cold
+  solve, so chaos degrades warm starts without ever corrupting results;
 * ``parallel.task``    -- each task of a :func:`repro.parallel.run_ordered` fan-out;
 * ``tunnel_cache.get`` -- tunnel-cache lookups feeding model builds.
 
@@ -65,6 +68,7 @@ SITE_KINDS: Dict[str, Tuple[FaultKind, ...]] = {
         FaultKind.CORRUPT,
     ),
     "lp.solve": (FaultKind.TRANSIENT, FaultKind.TIMEOUT),
+    "lp.session.warm": (FaultKind.TRANSIENT, FaultKind.TIMEOUT),
     "parallel.task": (FaultKind.TRANSIENT,),
     "tunnel_cache.get": (FaultKind.TRANSIENT,),
 }

@@ -1,146 +1,52 @@
-"""Fuzzed cross-system equivalence: AP vs APKeep vs brute force.
+"""Fuzzed cross-system equivalence, as thin wrappers over the oracles.
 
-The strongest correctness evidence in the suite: on *random* data planes
-(arbitrary overlapping rules, random priorities and tie-breaks, random
-ACLs), the batch verifier (AP), the incremental verifier (APKeep) and a
-per-address brute-force forwarding walk must agree exactly.
+The strongest correctness evidence in the suite: on *random* instances
+the batch verifier (AP), the incremental verifier (APKeep), a
+per-address brute-force forwarding walk, both BDD engines, and every
+registry TE solver must agree exactly.  The checks themselves live in
+:mod:`repro.fuzz.oracles` -- one implementation shared by these tests
+and the standing ``repro fuzz`` gate -- so each test here just walks a
+slice of the deterministic case schedule through one named oracle.
 """
 
-import random
-
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
-from repro.ap import APVerifier
-from repro.apkeep import APKeepVerifier
-from repro.bdd.builder import new_engine
-from repro.bdd.engine import BDD_FALSE
+from repro.fuzz import generators, oracles
 from repro.netmodel.datasets import random_dataset
-from repro.netmodel.headerspace import HEADER_BITS
-from repro.netmodel.rules import DROP_PORT, SELF_PORT
 
-FUZZ_SETTINGS = settings(
-    max_examples=15,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+#: The schedule seed these wrappers pin; any failure replays with
+#: ``repro fuzz repro --seed 1729 --case <index> --oracle <name>``.
+SEED = 1729
+
+DATAPLANE_ORACLES = sorted(
+    spec.name for spec in oracles.specs_for_kind("dataplane")
 )
+TE_ORACLES = sorted(spec.name for spec in oracles.specs_for_kind("te"))
 
-
-def brute_force_reaches(dataset, src, dst, address):
-    """Follow the forwarding tables one address at a time."""
-    device = src
-    visited = set()
-    if not dataset.devices[src].acl_permits(address):
-        return False
-    while True:
-        if device == dst:
-            return True
-        if device in visited:
-            return False
-        visited.add(device)
-        port = dataset.devices[device].lookup(address)
-        if port in (DROP_PORT, SELF_PORT):
-            return False
-        if port not in dataset.devices:
-            return False
-        if not dataset.devices[port].acl_permits(address):
-            return False
-        device = port
+#: TE oracles solve a handful of LPs per case; keep their slice of the
+#: schedule narrower than the cheap dataplane oracles'.
+DATAPLANE_INDICES = range(6)
+TE_INDICES = range(2)
 
 
 class TestFuzzedEquivalence:
-    @FUZZ_SETTINGS
-    @given(
-        seed=st.integers(min_value=0, max_value=10_000),
-        num_nodes=st.integers(min_value=2, max_value=5),
-        rules=st.integers(min_value=1, max_value=10),
-        acls=st.sampled_from([0.0, 0.5]),
-    )
-    def test_ap_equals_apkeep(self, seed, num_nodes, rules, acls):
-        dataset = random_dataset(
-            num_nodes=num_nodes,
-            rules_per_device=rules,
-            seed=seed,
-            acl_fraction=acls,
+    @pytest.mark.parametrize("oracle", DATAPLANE_ORACLES)
+    @pytest.mark.parametrize("index", DATAPLANE_INDICES)
+    def test_dataplane_oracles(self, oracle, index):
+        case = generators.generate_case(SEED, index, "dataplane")
+        oracles.run_oracle(oracle, case)
+
+    @pytest.mark.parametrize("oracle", TE_ORACLES)
+    @pytest.mark.parametrize("index", TE_INDICES)
+    def test_te_oracles(self, oracle, index):
+        case = generators.generate_case(SEED, index, "te")
+        oracles.run_oracle(oracle, case)
+
+    def test_registry_covers_both_kinds(self):
+        assert DATAPLANE_ORACLES and TE_ORACLES
+        assert set(DATAPLANE_ORACLES + TE_ORACLES) == set(
+            oracles.oracle_names()
         )
-        engine = new_engine("jdd")
-        ap = APVerifier(dataset, engine=engine)
-        apkeep = APKeepVerifier(dataset, engine=engine)
-        assert apkeep.num_atoms_minimal == ap.num_atoms
-        nodes = dataset.topology.nodes
-        for src in nodes[:2]:
-            for dst in nodes[-2:]:
-                if src == dst:
-                    continue
-                want = ap.atomics.union_bdd(ap.reachable_atoms(src, dst).atoms)
-                got = BDD_FALSE
-                for atom in apkeep.reachable_atoms(src, dst):
-                    got = engine.or_(got, apkeep.ppm.atoms[atom])
-                assert got == want, f"{src}->{dst} differs (seed {seed})"
-
-    @FUZZ_SETTINGS
-    @given(seed=st.integers(min_value=0, max_value=10_000))
-    def test_ap_matches_brute_force(self, seed):
-        dataset = random_dataset(num_nodes=4, rules_per_device=8, seed=seed)
-        verifier = APVerifier(dataset)
-        nodes = dataset.topology.nodes
-        src, dst = nodes[0], nodes[-1]
-        result = verifier.reachable_atoms(src, dst)
-        rng = random.Random(seed)
-        for _ in range(40):
-            address = rng.randrange(1 << HEADER_BITS)
-            assignment = {
-                i: bool((address >> (HEADER_BITS - 1 - i)) & 1)
-                for i in range(HEADER_BITS)
-            }
-            in_atoms = any(
-                verifier.engine.evaluate(verifier.atomics.atoms[a], assignment)
-                for a in result.atoms
-            )
-            assert in_atoms == brute_force_reaches(dataset, src, dst, address), (
-                f"address {address:#06x} disagrees (seed {seed})"
-            )
-
-    @FUZZ_SETTINGS
-    @given(
-        seed=st.integers(min_value=0, max_value=10_000),
-        rules=st.integers(min_value=2, max_value=8),
-    )
-    def test_bfs_equals_path_enumeration_on_random_planes(self, seed, rules):
-        dataset = random_dataset(num_nodes=4, rules_per_device=rules, seed=seed)
-        verifier = APVerifier(dataset)
-        nodes = dataset.topology.nodes
-        for src, dst in [(nodes[0], nodes[-1]), (nodes[1], nodes[0])]:
-            bfs = verifier.reachable_atoms(src, dst)
-            enum = verifier.reachable_atoms_by_path_enumeration(src, dst)
-            assert bfs.atoms == enum.atoms
-
-    @FUZZ_SETTINGS
-    @given(seed=st.integers(min_value=0, max_value=10_000))
-    def test_incremental_equals_batch_after_updates(self, seed):
-        """Insert extra random rules incrementally; a fresh batch build of
-        the final state must agree with the incrementally maintained one."""
-        from repro.netmodel.headerspace import Prefix
-        from repro.netmodel.rules import ForwardingRule
-
-        rng = random.Random(seed)
-        dataset = random_dataset(num_nodes=3, rules_per_device=4, seed=seed)
-        verifier = APKeepVerifier(dataset)
-        final = dataset.copy()
-        nodes = dataset.topology.nodes
-        for _ in range(3):
-            node = rng.choice(nodes)
-            neighbors = dataset.topology.successors(node)
-            port = rng.choice(neighbors + [DROP_PORT, SELF_PORT])
-            length = rng.randint(0, HEADER_BITS)
-            bits = rng.randrange(1 << length) if length else 0
-            prefix = Prefix(bits << (HEADER_BITS - length), length)
-            rule = ForwardingRule(prefix, port, rng.randint(0, 40))
-            verifier.insert_rule(node, rule)
-            final.devices[node].add_rule(rule)
-        fresh = APKeepVerifier(final)
-        assert verifier.num_atoms_minimal == fresh.num_atoms_minimal
 
     def test_random_dataset_validated(self):
         with pytest.raises(ValueError):

@@ -189,6 +189,38 @@ class TestWarmStartSession:
         session.solve(knapsack_model(num_vars=48))  # shape change -> cold
         assert session._accumulated is None
 
+    def test_warm_fault_falls_back_to_cold_never_masks(self):
+        # Full-rate chaos at the reduced-solve site: every warm attempt
+        # fails, every solve degrades to cold, results stay exact.
+        cold = FastLPBackend()
+        session = WarmStartSession(FastLPBackend())
+        plan = FaultPlan(seed=1, rate=1.0, sites=("lp.session.warm",))
+        with chaos(plan):
+            for rhs in (12.0, 11.0, 10.0):
+                warm = session.solve(knapsack_model(rhs=rhs))
+                reference = cold.solve(knapsack_model(rhs=rhs))
+                assert warm.status is SolveStatus.OPTIMAL
+                assert warm.objective == pytest.approx(
+                    reference.objective, rel=1e-7, abs=1e-7
+                )
+        # warm_solves counts *attempts*: under full-rate chaos every
+        # attempt fell back, so attempts == fallbacks and every solve
+        # also ran cold.
+        assert session.stats.fallbacks == 2  # every non-first solve
+        assert session.stats.warm_solves == session.stats.fallbacks
+        assert session.stats.cold_solves == 3
+
+    def test_warm_fault_site_counts_session_faults(self):
+        obs.metrics.reset()
+        session = WarmStartSession(FastLPBackend())
+        plan = FaultPlan(seed=1, rate=1.0, sites=("lp.session.warm",))
+        with chaos(plan):
+            session.solve(knapsack_model())
+            session.solve(knapsack_model(rhs=11.0))
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["lp.session.faults"]["value"] >= 1
+        assert snapshot["lp.warm_fallbacks"]["value"] >= 1
+
 
 class TestDecomposedBackend:
     def test_matches_exact_backend(self):
@@ -237,6 +269,20 @@ class TestDecomposedBackend:
         model.maximize(x)
         result = DecomposedLPBackend(min_core=32).solve(model)
         assert result.objective == pytest.approx(2.0)
+
+    def test_warm_fault_degrades_to_full_solve(self):
+        # The decomposed reduced solve shares the lp.session.warm fault
+        # site: under chaos it falls back to the full model and the
+        # answer still matches the exact backend.
+        backend = DecomposedLPBackend(min_core=4, core_fraction=0.25)
+        plan = FaultPlan(seed=1, rate=1.0, sites=("lp.session.warm",))
+        with chaos(plan):
+            reduced = backend.solve(knapsack_model())
+        exact = FastLPBackend().solve(knapsack_model())
+        assert reduced.status is SolveStatus.OPTIMAL
+        assert reduced.objective == pytest.approx(
+            exact.objective, rel=1e-7, abs=1e-7
+        )
 
 
 class TestDiscrepancyGate:
