@@ -1,7 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # A downstream reader (``repro jobs | head``) closed the pipe;
+    # the POSIX-polite exit is 128+SIGPIPE, not a traceback.  Dup
+    # devnull over stdout so interpreter shutdown's implicit flush
+    # cannot raise the same error again.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 128 + 13
+sys.exit(code)

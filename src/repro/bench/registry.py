@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 #: Layers a benchmark can belong to, in the order tables render them.
 LAYERS = (
     "bdd", "ap", "apkeep", "te", "lp", "store", "parallel", "pipeline",
-    "obs", "fuzz",
+    "obs", "fuzz", "serve",
 )
 
 

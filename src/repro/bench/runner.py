@@ -29,7 +29,7 @@ from repro.bench.registry import BenchmarkSpec
 #: pipeline step histograms) is noise at benchmark granularity.
 METRIC_PREFIXES = (
     "tunnel_cache.", "solver.", "lp.", "bdd.", "pipeline.", "parallel.",
-    "faults.", "llm.", "retries", "store.",
+    "faults.", "llm.", "retries", "store.", "serve.",
 )
 
 

@@ -24,7 +24,10 @@ Layers covered:
 * ``obs``      -- telemetry-tier overhead: labeled metric hot path and
   disabled-span cost (what un-instrumented runs pay);
 * ``fuzz``     -- differential-gate throughput: a fixed case window
-  through a fast oracle subset, timed end to end.
+  through a fast oracle subset, timed end to end;
+* ``serve``    -- the service tier: a fixed job batch through the
+  in-process pool vs the spawn worker pool (the multi-process speedup
+  pair CI gates on), and the full HTTP submit/wait round trip.
 
 The module-level helpers (:func:`bdd_profile_workload`,
 :func:`apkeep_update_latency_rows`, :func:`ncflow_scaling_rows`,
@@ -774,3 +777,110 @@ def bench_fuzz_cases_per_second() -> Dict[str, object]:
         "oracle_runs": report.oracle_runs,
         "checksum": report.oracle_runs,
     }
+
+
+# ----------------------------------------------------------------------
+# serve: service-tier throughput
+# ----------------------------------------------------------------------
+#: Jobs per timed pool iteration: enough to amortise dispatch overhead,
+#: small enough that the catalogue still smoke-runs in seconds.
+_SERVE_JOBS = 8
+
+
+def _serve_job_specs():
+    from repro.serve import JobSpec
+
+    # CPU-bound spin probes with distinct seeds: no store/memo layer
+    # can collapse the batch, and the GIL serializes the in-process
+    # pool while spawn workers run truly parallel -- the property the
+    # CI pair comparison asserts on a multi-core runner.
+    return [
+        JobSpec("probe", {"action": "spin"}, seed=index)
+        for index in range(_SERVE_JOBS)
+    ]
+
+
+def _serve_batch_checksum(outcomes) -> str:
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=8)
+    for outcome in outcomes:
+        digest.update(outcome.payload["digest"].encode())
+    return digest.hexdigest()
+
+
+@benchmark(
+    "serve.pool.inprocess", layer="serve",
+    description=f"{_SERVE_JOBS}-job batch through the in-process pool",
+    tags=("serve-pair",),
+)
+def bench_serve_pool_inprocess() -> Dict[str, object]:
+    """Baseline of the CI speedup pair: thread-isolated execution.
+
+    Ordered batch execution on the in-process (watchdog-thread) pool --
+    no process boundary, no pickling.  Compared against
+    ``serve.pool.multiprocess`` on a multi-core runner, this is the
+    side the spawn pool must beat for CPU-bound job mixes.
+    """
+    from repro.serve import run_jobs
+
+    outcomes = run_jobs(_serve_job_specs(), workers=2, mode="inprocess")
+    if not all(outcome.ok for outcome in outcomes):
+        raise AssertionError("serve bench batch had failures")
+    return {"jobs": len(outcomes),
+            "checksum": _serve_batch_checksum(outcomes)}
+
+
+@benchmark(
+    "serve.pool.multiprocess", layer="serve",
+    description=f"{_SERVE_JOBS}-job batch through the spawn worker pool",
+    setup=lambda: __import__("repro.serve", fromlist=["shared_pool"])
+    .shared_pool(workers=2).start(),
+    tags=("serve-pair",),
+)
+def bench_serve_pool_multiprocess() -> Dict[str, object]:
+    """The other side of the pair: spawned worker processes.
+
+    Uses the process-wide shared pool (started untimed in ``setup``) so
+    iterations time job dispatch + execution + result transport, not
+    interpreter start.  The same ordered batch as the in-process
+    variant; artifact comparison holds the two checksums equal.
+    """
+    from repro.serve import run_jobs, shared_pool
+
+    pool = shared_pool(workers=2)
+    outcomes = run_jobs(_serve_job_specs(), pool=pool)
+    if not all(outcome.ok for outcome in outcomes):
+        raise AssertionError("serve bench batch had failures")
+    return {"jobs": len(outcomes),
+            "checksum": _serve_batch_checksum(outcomes)}
+
+
+@benchmark(
+    "serve.http.roundtrip", layer="serve",
+    description="submit -> wait -> result over live HTTP, one probe job",
+)
+def bench_serve_http_roundtrip() -> Dict[str, object]:
+    """Full client-observed service latency for one trivial job.
+
+    One in-process daemon is kept on the function object across
+    iterations (a daemon per iteration would time socket binding, not
+    the service), so the timed body is exactly the client round trip
+    the ``repro submit --wait`` flow performs.
+    """
+    from repro.serve import ReproDaemon, ServeClient
+
+    daemon = getattr(bench_serve_http_roundtrip, "_daemon", None)
+    if daemon is None:
+        daemon = ReproDaemon(mode="inprocess", workers=1)
+        daemon.start()
+        bench_serve_http_roundtrip._daemon = daemon
+    client = ServeClient(daemon.url)
+    seed = getattr(bench_serve_http_roundtrip, "_seed", 0)
+    bench_serve_http_roundtrip._seed = seed + 1
+    record = client.submit("probe", {"action": "ok"}, seed=seed)
+    final = client.wait(record["id"], timeout=30.0)
+    if final["state"] != "completed":
+        raise AssertionError(f"roundtrip job failed: {final}")
+    payload = client.result(final["id"])["payload"]
+    return {"jobs": 1, "checksum": int(payload["ok"])}

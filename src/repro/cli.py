@@ -38,7 +38,20 @@ explore the reproduction without writing code:
 * ``obs``          -- live telemetry utilities (``obs serve`` runs the
   ``/metrics`` exposition endpoint standalone);
 * ``profile-view`` -- top-N rollup of a ``--profile`` collapsed-stacks
-  file.
+  file;
+* ``serve``        -- run the long-lived reproduction service: an HTTP
+  daemon with an admission-controlled job queue fanning out to a
+  multi-process worker pool (``--workers``/``--mode``/
+  ``--queue-limit``/``--job-budget``); with ``--store DIR`` repeat
+  submissions are answered from the artifact store at admission;
+* ``submit``       -- submit one job (``campaign``/``solve``/
+  ``verify``/``probe``) to a running service and optionally ``--wait``
+  for its result;
+* ``jobs``         -- list a running service's jobs, or show one job's
+  record/result (``--result``) or the daemon ``--stats``;
+* ``loadgen``      -- hammer a running service with N deterministic
+  jobs at C-way client concurrency and report jobs/sec plus p50/p95/p99
+  latency.
 
 Every command accepts the global flags ``--trace FILE`` (record obs
 spans; ``.json`` gets Chrome trace_event format, anything else JSON
@@ -416,6 +429,127 @@ def build_parser() -> argparse.ArgumentParser:
         "--plant-defect", action="store_true",
         help="register the planted lying-warm-backend oracle before the "
              "sweep (self-test: the gate must catch it)",
+    )
+
+    serve = add_parser(
+        "serve", help="run the long-lived reproduction service"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642, metavar="PORT",
+        help="port to bind (default 8642; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker pool size (default 2)",
+    )
+    serve.add_argument(
+        "--mode", choices=["process", "inprocess"], default="process",
+        help="worker isolation: 'process' = spawned worker processes "
+             "(a crashed job cannot take the daemon down), 'inprocess' "
+             "= watchdog threads (fast start, shared interpreter)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission control: reject submissions once N jobs are "
+             "queued (HTTP 429; default 64)",
+    )
+    serve.add_argument(
+        "--job-budget", type=float, default=None, metavar="S",
+        help="default per-job wall-clock budget in seconds, applied to "
+             "jobs submitted without one (over-budget jobs are killed)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after SECONDS (default: serve until SIGTERM/Ctrl-C)",
+    )
+
+    submit = add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    submit.add_argument(
+        "kind", choices=["campaign", "solve", "verify", "probe"],
+        help="job kind",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642", metavar="URL",
+        help="service base URL (default http://127.0.0.1:8642)",
+    )
+    submit.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        dest="params",
+        help="job parameter (repeatable); V is parsed as JSON when "
+             "possible, and comma-splits into a list otherwise "
+             "(e.g. --param papers=rps,apkeep --param commodities=30)",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=0,
+        help="job seed (part of the store key; default 0)",
+    )
+    submit.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="per-job wall-clock budget (overrides the daemon default)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print its result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="how long --wait polls before giving up (default 300)",
+    )
+
+    jobs_cmd = add_parser(
+        "jobs", help="list jobs on a running service"
+    )
+    jobs_cmd.add_argument(
+        "job_id", nargs="?", type=int, default=None,
+        help="show one job's record instead of the listing",
+    )
+    jobs_cmd.add_argument(
+        "--url", default="http://127.0.0.1:8642", metavar="URL",
+        help="service base URL (default http://127.0.0.1:8642)",
+    )
+    jobs_cmd.add_argument(
+        "--result", action="store_true",
+        help="with a job id: fetch the completed job's payload",
+    )
+    jobs_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's /stats document instead of the listing",
+    )
+
+    loadgen = add_parser(
+        "loadgen", help="throughput/latency load run against a service"
+    )
+    loadgen.add_argument(
+        "--url", default="http://127.0.0.1:8642", metavar="URL",
+        help="service base URL (default http://127.0.0.1:8642)",
+    )
+    loadgen.add_argument(
+        "--jobs", type=int, default=50, metavar="N",
+        help="jobs to submit (default 50)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8, metavar="C",
+        help="client submission threads (default 8)",
+    )
+    loadgen.add_argument(
+        "--kind", default="mix",
+        choices=["mix", "probe", "solve", "verify", "campaign"],
+        help="workload shape (default 'mix': solve/verify/probe cycle "
+             "with deliberate repeats, the store-hit workload)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the deterministic job specs (default 0)",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=120.0, metavar="S",
+        help="per-job submit-to-terminal deadline (default 120)",
     )
     return parser
 
@@ -1045,6 +1179,218 @@ def cmd_fuzz(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args, out) -> int:
+    import signal
+    import time
+
+    from repro import store as store_mod
+    from repro.serve import ReproDaemon
+
+    daemon = ReproDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        mode=args.mode,
+        queue_limit=args.queue_limit,
+        default_budget=args.job_budget,
+        store=store_mod.get_default(),
+    )
+    try:
+        daemon.start()
+    except OSError as exc:
+        out.write(f"error: cannot bind {args.host}:{args.port}: {exc}\n")
+        return 2
+    try:
+        # SIGTERM triggers the same clean stop as POST /shutdown; the
+        # handler is optional (main-thread only) so tests can call
+        # cmd_serve from worker threads.
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: daemon.request_shutdown(),
+        )
+    except ValueError:
+        pass
+    store = store_mod.get_default()
+    out.write(
+        f"serving {daemon.url} ({args.mode}, {args.workers} workers, "
+        f"queue limit {args.queue_limit}"
+        + (f", store {store.root}" if store is not None else "")
+        + ")\n"
+        + (f"stopping after {args.duration:g}s\n" if args.duration is not None
+           else "Ctrl-C (or SIGTERM, or POST /shutdown) to stop\n")
+    )
+    if hasattr(out, "flush"):
+        out.flush()
+    deadline = (
+        time.monotonic() + args.duration if args.duration is not None
+        else None
+    )
+    try:
+        while not daemon.shutdown_requested.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            daemon.shutdown_requested.wait(timeout=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+    out.write("stopped\n")
+    return 0
+
+
+def _parse_job_params(pairs):
+    """``--param K=V`` pairs to a params dict.
+
+    Values parse as JSON when possible (numbers, booleans, quoted
+    strings, ``[...]`` lists); otherwise a comma-separated value
+    becomes a list of strings and anything else stays a string.
+    """
+    import json as json_mod
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param needs K=V, got {pair!r}")
+        try:
+            value = json_mod.loads(raw)
+        except ValueError:
+            value = (
+                [part.strip() for part in raw.split(",") if part.strip()]
+                if "," in raw else raw
+            )
+        params[key] = value
+    return params
+
+
+def cmd_submit(args, out) -> int:
+    import json as json_mod
+    import urllib.error
+
+    from repro.serve import JobTimeoutError, ServeAPIError, ServeClient
+
+    try:
+        params = _parse_job_params(args.params)
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    client = ServeClient(args.url)
+    try:
+        record = client.submit(
+            args.kind, params, seed=args.seed,
+            budget_seconds=args.budget_seconds,
+        )
+    except ServeAPIError as exc:
+        out.write(f"error: {json_mod.dumps(exc.payload)}\n")
+        return 1
+    except urllib.error.URLError as exc:
+        out.write(f"error: cannot reach {args.url}: {exc.reason}\n")
+        return 2
+    out.write(
+        f"job {record['id']}: {record['kind']} {record['state']}"
+        + (" (cached)" if record.get("cached") else "")
+        + "\n"
+    )
+    if not args.wait:
+        return 0
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        final = (
+            record if record["state"] in ("completed", "failed")
+            else client.wait(record["id"], timeout=args.timeout)
+        )
+    except JobTimeoutError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    if final["state"] != "completed":
+        out.write(
+            f"job {final['id']}: FAILED [{final.get('failure_kind')}] "
+            f"{final.get('error')}: {final.get('message')}\n"
+        )
+        return 1
+    payload = client.result(final["id"])["payload"]
+    out.write(f"job {final['id']}: completed\n")
+    out.write(json_mod.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+def cmd_jobs(args, out) -> int:
+    import json as json_mod
+    import urllib.error
+
+    from repro.serve import ServeAPIError, ServeClient
+
+    client = ServeClient(args.url)
+    try:
+        if args.stats:
+            out.write(json_mod.dumps(client.stats(), indent=2,
+                                     sort_keys=True) + "\n")
+            return 0
+        if args.job_id is not None:
+            doc = (
+                client.result(args.job_id) if args.result
+                else client.job(args.job_id)
+            )
+            out.write(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+            return 0
+        records = client.jobs()
+    except ServeAPIError as exc:
+        out.write(f"error: {json_mod.dumps(exc.payload)}\n")
+        return 1
+    except urllib.error.URLError as exc:
+        out.write(f"error: cannot reach {args.url}: {exc.reason}\n")
+        return 2
+    if not records:
+        out.write("no jobs\n")
+        return 0
+    out.write(f"{'id':>4} {'kind':<9} {'state':<10} "
+              f"{'elapsed':>8}  detail\n")
+    for record in records:
+        elapsed = record.get("elapsed_seconds")
+        detail = ""
+        if record.get("cached"):
+            detail = "cached"
+        elif record["state"] == "failed":
+            detail = (
+                f"[{record.get('failure_kind')}] {record.get('message')}"
+            )
+        out.write(
+            f"{record['id']:>4} {record['kind']:<9} {record['state']:<10} "
+            f"{elapsed:>7.2f}s  {detail}\n"
+            if elapsed is not None else
+            f"{record['id']:>4} {record['kind']:<9} {record['state']:<10} "
+            f"{'-':>8}  {detail}\n"
+        )
+    out.write(f"{len(records)} jobs\n")
+    return 0
+
+
+def cmd_loadgen(args, out) -> int:
+    import urllib.error
+
+    from repro.serve import run_loadgen
+    from repro.serve.client import JobTimeoutError, ServeAPIError
+
+    try:
+        report = run_loadgen(
+            args.url,
+            jobs=args.jobs,
+            concurrency=args.concurrency,
+            kind=args.kind,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except urllib.error.URLError as exc:
+        out.write(f"error: cannot reach {args.url}: {exc.reason}\n")
+        return 2
+    except (ServeAPIError, JobTimeoutError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    out.write(report.render() + "\n")
+    return 0 if report.ok and report.jobs_per_second > 0 else 1
+
+
 _COMMANDS = {
     "experiment": cmd_experiment,
     "campaign": cmd_campaign,
@@ -1064,6 +1410,10 @@ _COMMANDS = {
     "profile-view": cmd_profile_view,
     "store": cmd_store,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
+    "loadgen": cmd_loadgen,
 }
 
 

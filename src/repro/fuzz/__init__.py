@@ -27,6 +27,7 @@ from repro.fuzz.generators import (
     case_seed,
     case_sizes,
     generate_case,
+    materialize_campaign,
     materialize_dataplane,
     materialize_te,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "generate_case",
     "get_spec",
     "list_failures",
+    "materialize_campaign",
     "materialize_dataplane",
     "materialize_te",
     "minimize_case",

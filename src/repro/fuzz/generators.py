@@ -8,7 +8,7 @@ decisions), and that value seeds a private ``numpy`` RNG -- no global
 needs to ship the whole input: the triple alone regenerates it, and the
 ``repro fuzz repro`` round-trip depends on exactly that.
 
-Cases come in two kinds:
+Cases come in three kinds:
 
 * ``"te"``        -- a Waxman topology (:func:`~repro.netmodel.topozoo.waxman_topology`)
   with gravity-model demands
@@ -16,7 +16,10 @@ Cases come in two kinds:
   chain of demand scales, feeding the TE/LP oracles;
 * ``"dataplane"`` -- a :func:`~repro.netmodel.datasets.random_dataset`
   data plane (arbitrary overlapping rules) plus a burst of random rule
-  updates, feeding the AP/APKeep/BDD oracles.
+  updates, feeding the AP/APKeep/BDD oracles;
+* ``"campaign"``  -- a random service-tier campaign job spec (papers x
+  prompt styles + a seed), feeding the multiprocess-vs-inprocess
+  execution oracle of :mod:`repro.serve`.
 
 The generated instance is immediately *serialized* into a plain-JSON
 ``data`` dict (:class:`FuzzCase`), and every consumer -- oracles, the
@@ -37,7 +40,7 @@ from typing import Dict, List, Tuple
 SCHEMA = "repro.fuzz/1"
 
 #: The case kinds the generator knows how to build.
-KINDS = ("te", "dataplane")
+KINDS = ("te", "dataplane", "campaign")
 
 #: Demand-scale chain attached to every TE case: three points so warm
 #: sessions genuinely re-solve (the first solve is always cold).
@@ -81,8 +84,10 @@ def generate_case(seed: int, index: int, kind: str) -> FuzzCase:
         raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
     if kind == "te":
         data = _generate_te(case_seed(seed, index, kind))
-    else:
+    elif kind == "dataplane":
         data = _generate_dataplane(case_seed(seed, index, kind))
+    else:
+        data = _generate_campaign(case_seed(seed, index, kind))
     return FuzzCase(seed=seed, index=index, kind=kind, data=data)
 
 
@@ -264,8 +269,64 @@ def materialize_dataplane(data: Dict):
     return dataset, updates
 
 
+# ----------------------------------------------------------------------
+# Campaign cases
+# ----------------------------------------------------------------------
+#: The paper corpus campaign cases draw from: the three cheapest
+#: reproductions, so a fuzz sweep stays time-boxable.
+_CAMPAIGN_PAPERS = ("rps", "apkeep", "ap")
+
+#: Prompt styles campaign cases may combine.
+_CAMPAIGN_STYLES = ("monolithic", "modular-text", "modular-pseudocode")
+
+
+def _generate_campaign(rng_seed: int) -> Dict:
+    import numpy as np
+
+    rng = np.random.RandomState(rng_seed)
+    num_papers = 1 + int(rng.randint(2))
+    paper_picks = rng.choice(
+        len(_CAMPAIGN_PAPERS), size=num_papers, replace=False
+    )
+    num_styles = 1 + int(rng.randint(2))
+    style_picks = rng.choice(
+        len(_CAMPAIGN_STYLES), size=num_styles, replace=False
+    )
+    return {
+        "papers": sorted(_CAMPAIGN_PAPERS[int(i)] for i in paper_picks),
+        "styles": sorted(_CAMPAIGN_STYLES[int(i)] for i in style_picks),
+        "max_debug_rounds": 2 + int(rng.randint(5)),
+        "seed": int(rng.randint(1 << 31)),
+    }
+
+
+def materialize_campaign(data: Dict):
+    """``data`` -> a :class:`repro.serve.jobs.JobSpec` campaign job.
+
+    The dict maps one-to-one onto the service tier's job-spec params, so
+    the mp-vs-inprocess oracle and the minimizer both work on the same
+    plain-JSON document every other consumer uses.
+    """
+    from repro.serve.jobs import JobSpec
+
+    return JobSpec(
+        kind="campaign",
+        params={
+            "papers": list(data["papers"]),
+            "styles": list(data["styles"]),
+            "max_debug_rounds": int(data["max_debug_rounds"]),
+        },
+        seed=int(data.get("seed", 0)),
+    )
+
+
 def case_sizes(data: Dict) -> Dict[str, int]:
     """Size summary of a case ``data`` dict (for shrink reporting)."""
+    if "papers" in data:
+        return {
+            "papers": len(data["papers"]),
+            "styles": len(data.get("styles", [])),
+        }
     sizes = {
         "nodes": len(data.get("nodes", [])),
         "links": len(data.get("links", [])),

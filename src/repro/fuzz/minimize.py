@@ -83,7 +83,7 @@ def minimize_case(
             return got[0] == "divergence"
         return got == expected
 
-    passes = _TE_PASSES if case.kind == "te" else _DATAPLANE_PASSES
+    passes = _PASSES_BY_KIND[case.kind]
     with obs.span("fuzz.minimize", oracle=spec.name, kind=case.kind) as sp:
         progressed = True
         while progressed and attempts < max_attempts:
@@ -234,3 +234,42 @@ def _drop_dp_nodes(data, reproduces, budget):
 
 _DATAPLANE_PASSES = (_drop_dp_updates, _drop_dp_rules, _drop_dp_acls,
                      _drop_dp_nodes)
+
+
+def _drop_campaign_papers(data, reproduces, budget):
+    # A campaign needs at least one paper to remain a valid job spec,
+    # so the last survivor is never offered for deletion.
+    removed = False
+    index = len(data.get("papers", [])) - 1
+    while index >= 0 and len(data["papers"]) > 1 and budget > 0:
+        candidate = copy.deepcopy(data)
+        del candidate["papers"][index]
+        budget -= 1
+        if reproduces(candidate):
+            data["papers"] = candidate["papers"]
+            removed = True
+        index -= 1
+    return removed
+
+
+def _drop_campaign_styles(data, reproduces, budget):
+    removed = False
+    index = len(data.get("styles", [])) - 1
+    while index >= 0 and len(data["styles"]) > 1 and budget > 0:
+        candidate = copy.deepcopy(data)
+        del candidate["styles"][index]
+        budget -= 1
+        if reproduces(candidate):
+            data["styles"] = candidate["styles"]
+            removed = True
+        index -= 1
+    return removed
+
+
+_CAMPAIGN_PASSES = (_drop_campaign_papers, _drop_campaign_styles)
+
+_PASSES_BY_KIND = {
+    "te": _TE_PASSES,
+    "dataplane": _DATAPLANE_PASSES,
+    "campaign": _CAMPAIGN_PASSES,
+}

@@ -31,7 +31,10 @@ share one implementation:
 * ``apkeep.incremental-vs-batch`` -- an update burst applied
   incrementally vs a fresh batch build of the final state;
 * ``bdd.profiles``             -- the jdd and javabdd BDD profiles must
-  see identical atoms, loops and blackholes.
+  see identical atoms, loops and blackholes;
+* ``campaign.multiprocess-vs-inprocess`` -- the same campaign job run
+  in-process and through the :mod:`repro.serve` spawn worker pool must
+  produce byte-identical summaries.
 
 :func:`register_planted_defect` adds the deliberately lying warm LP
 backend (``planted.warm-liar``) used by tests and the CI fuzz-smoke job
@@ -565,6 +568,51 @@ def _check_bdd_profiles(case: FuzzCase) -> None:
 
 
 # ----------------------------------------------------------------------
+# Campaign (service tier) oracles
+# ----------------------------------------------------------------------
+def _check_multiprocess_vs_inprocess(case: FuzzCase) -> None:
+    """The same campaign job executed in-process vs in a spawn worker.
+
+    The service tier's core determinism claim: where a job runs must
+    not change what it computes.  The job executes once in this
+    process and once through the process-wide spawn worker pool
+    (:func:`repro.serve.shared_pool`, so repeated cases amortise the
+    worker start), and the two payloads -- including the byte-exact
+    ``summary`` text -- must be identical.
+
+    Skipped under an active fault plan: fault injection is
+    process-local state that does not propagate into spawn workers, so
+    the two sides would legitimately diverge.
+    """
+    from repro.resilience import faults
+    from repro.serve import run_jobs, shared_pool
+    from repro.serve.jobs import execute_job
+
+    if faults.active() is not None:
+        return
+    spec = generators.materialize_campaign(case.data)
+    inprocess = execute_job(spec)
+    pool = shared_pool(workers=1)
+    outcome = run_jobs([spec], pool=pool)[0]
+    if not outcome.ok:
+        raise OracleFailure(
+            "campaign.multiprocess-vs-inprocess",
+            f"worker-pool run failed [{outcome.failure}] "
+            f"{outcome.error}: {outcome.message}",
+        )
+    if outcome.payload != inprocess:
+        diverging = sorted(
+            key for key in set(inprocess) | set(outcome.payload)
+            if inprocess.get(key) != outcome.payload.get(key)
+        )
+        raise OracleFailure(
+            "campaign.multiprocess-vs-inprocess",
+            f"payloads diverge on {diverging} for papers "
+            f"{case.data['papers']} styles {case.data['styles']}",
+        )
+
+
+# ----------------------------------------------------------------------
 # Planted defect (tests + CI fuzz-smoke)
 # ----------------------------------------------------------------------
 #: Name the planted-defect oracle registers under.
@@ -698,4 +746,9 @@ register(OracleSpec(
 register(OracleSpec(
     "bdd.profiles", "dataplane", _check_bdd_profiles,
     "jdd vs javabdd engine profiles on identical verification work",
+))
+register(OracleSpec(
+    "campaign.multiprocess-vs-inprocess", "campaign",
+    _check_multiprocess_vs_inprocess,
+    "same campaign job in-process vs spawn worker, byte-identical",
 ))

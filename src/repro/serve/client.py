@@ -1,0 +1,141 @@
+"""A small stdlib HTTP client for the reproduction service.
+
+:class:`ServeClient` speaks the daemon's JSON API over
+``urllib.request`` -- no dependencies, mirroring the stdlib-only HTTP
+server on the other side.  Non-2xx responses raise
+:class:`ServeAPIError` carrying the decoded JSON error payload, so a
+429 queue-full rejection arrives as the same structured document the
+daemon built (``{"error": "queue-full", "queue_depth": ..., ...}``)
+rather than as an opaque exception string.
+
+Typical flow (the ``docs/SERVICE.md`` examples run exactly this)::
+
+    client = ServeClient("http://127.0.0.1:8642")
+    job = client.submit("campaign", {"papers": ["rps"]})
+    done = client.wait(job["id"])
+    payload = client.result(job["id"])["payload"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+#: Default per-request HTTP timeout in seconds.
+DEFAULT_HTTP_TIMEOUT = 10.0
+
+
+class ServeAPIError(RuntimeError):
+    """A non-2xx response from the daemon, with its JSON payload.
+
+    ``status`` is the HTTP status code; ``payload`` is the decoded
+    error document (``{}`` when the body was not JSON).
+    """
+
+    def __init__(self, status: int, payload: Dict):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("message") or payload.get("error") or ""
+        super().__init__(f"serve API error {status}: {detail}")
+
+    @property
+    def queue_full(self) -> bool:
+        """True for an admission-control rejection (HTTP 429)."""
+        return self.status == 429
+
+
+class JobTimeoutError(TimeoutError):
+    """:meth:`ServeClient.wait` gave up before the job finished."""
+
+    def __init__(self, job_id: int, timeout: float, state: str):
+        self.job_id = job_id
+        self.state = state
+        super().__init__(
+            f"job {job_id} still {state!r} after {timeout:g}s"
+        )
+
+
+class ServeClient:
+    """Client for one daemon base URL (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode())
+            except (ValueError, OSError):
+                payload = {}
+            raise ServeAPIError(exc.code, payload) from None
+
+    def submit(self, kind: str, params: Optional[Dict] = None,
+               seed: int = 0,
+               budget_seconds: Optional[float] = None) -> Dict:
+        """``POST /jobs``; returns the created job record."""
+        return self._request("POST", "/jobs", {
+            "kind": kind,
+            "params": params or {},
+            "seed": seed,
+            "budget_seconds": budget_seconds,
+        })
+
+    def job(self, job_id: int) -> Dict:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict]:
+        """``GET /jobs`` (most recent first)."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: int) -> Dict:
+        """``GET /jobs/<id>/result``: the completed record with payload."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(self, job_id: int, timeout: float = 60.0,
+             poll_seconds: float = 0.05) -> Dict:
+        """Poll until the job is terminal; returns its final record.
+
+        Raises :class:`JobTimeoutError` if the job is still queued or
+        running after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("completed", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise JobTimeoutError(job_id, timeout, record["state"])
+            time.sleep(poll_seconds)
+
+    def health(self) -> Dict:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` as raw Prometheus text."""
+        with urllib.request.urlopen(self.url + "/metrics",
+                                    timeout=self.timeout) as response:
+            return response.read().decode()
+
+    def shutdown(self) -> Dict:
+        """``POST /shutdown``: ask the daemon to stop cleanly."""
+        return self._request("POST", "/shutdown")

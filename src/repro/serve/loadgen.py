@@ -1,0 +1,200 @@
+"""``repro loadgen``: hammer a running daemon and report throughput.
+
+The load generator is the service tier's proof-of-life: N deterministic
+jobs submitted from C concurrent client threads against a live daemon,
+with per-job submit-to-terminal latency recorded client-side.  The
+report carries jobs/sec and the p50/p95/p99 latency percentiles -- the
+same numbers the ``serve.job_seconds`` histogram tracks daemon-side, so
+the two views can be cross-checked in one run.
+
+The default ``mix`` workload cycles solve / verify / probe specs and
+*repeats* specs across the cycle on purpose: with a store attached to
+the daemon, every repeat is an admission-time store hit (``cached``
+completions), which is how a load run demonstrates repeat submissions
+are near-free.  Admission-control rejections (HTTP 429) are retried
+with a short backoff and counted, never dropped -- a saturated daemon
+sheds load visibly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.client import ServeAPIError, ServeClient
+from repro.serve.jobs import JobSpec
+
+#: Default number of jobs a load run submits.
+DEFAULT_JOBS = 50
+
+#: Default client-side submission concurrency.
+DEFAULT_CONCURRENCY = 8
+
+#: Backoff between retries of a 429-rejected submission.
+_REJECT_BACKOFF_SECONDS = 0.05
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one load run: counts, throughput, latency percentiles."""
+
+    jobs: int
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    rejections: int = 0
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Terminal jobs per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.completed + self.failed) / self.wall_seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile (``q`` in [0, 100])."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def ok(self) -> bool:
+        """True when every submitted job completed."""
+        return self.completed == self.jobs
+
+    def render(self) -> str:
+        """Human-readable report (the ``repro loadgen`` output)."""
+        lines = [
+            f"loadgen: {self.jobs} jobs in {self.wall_seconds:.2f}s "
+            f"({self.jobs_per_second:.1f} jobs/s)",
+            f"  completed={self.completed} failed={self.failed} "
+            f"cached={self.cached} rejections={self.rejections}",
+            f"  latency p50={self.percentile(50) * 1000:.1f}ms "
+            f"p95={self.percentile(95) * 1000:.1f}ms "
+            f"p99={self.percentile(99) * 1000:.1f}ms",
+        ]
+        return "\n".join(lines)
+
+
+def loadgen_spec(kind: str, index: int, seed: int = 0) -> JobSpec:
+    """The deterministic spec for job ``index`` of a load run.
+
+    ``kind`` is a concrete job kind or ``"mix"``.  The mix cycles
+    cheap solve / verify / probe jobs through a *small* spec alphabet
+    (three distinct solves, one verify), so later cycles resubmit
+    earlier specs verbatim -- the store-hit workload.
+    """
+    if kind == "mix":
+        slot = index % 5
+        if slot in (0, 3):
+            return JobSpec("solve", {
+                "instance": ("B4", "Internet2", "Uninett2010")[index % 3],
+                "solver": "pf4", "commodities": 20, "load": 0.1,
+            }, seed=seed)
+        if slot == 1:
+            return JobSpec("verify", {"dataset": "Internet2"}, seed=seed)
+        return JobSpec("probe", {"action": "ok"}, seed=seed + index)
+    if kind == "probe":
+        return JobSpec("probe", {"action": "ok"}, seed=seed + index)
+    if kind == "solve":
+        return JobSpec("solve", {
+            "instance": ("B4", "Internet2", "Uninett2010")[index % 3],
+            "solver": "pf4", "commodities": 20, "load": 0.1,
+        }, seed=seed)
+    if kind == "verify":
+        return JobSpec("verify", {"dataset": "Internet2"}, seed=seed)
+    if kind == "campaign":
+        return JobSpec("campaign", {
+            "papers": [("rps", "apkeep", "ap")[index % 3]],
+        }, seed=seed)
+    raise ValueError(f"unknown loadgen kind {kind!r}")
+
+
+def run_loadgen(
+    url: str,
+    jobs: int = DEFAULT_JOBS,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    kind: str = "mix",
+    seed: int = 0,
+    timeout: float = 120.0,
+    budget_seconds: Optional[float] = None,
+) -> LoadgenReport:
+    """Submit ``jobs`` deterministic jobs at ``concurrency`` and report.
+
+    Each worker thread claims the next job index, submits it (retrying
+    429 rejections with backoff until ``timeout``), waits for the
+    terminal state, and records the submit-to-terminal latency.  The
+    run fails loudly -- a job that never terminates surfaces as a
+    :class:`~repro.serve.client.JobTimeoutError` from the worker.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    report = LoadgenReport(jobs=jobs)
+    counter = {"next": 0}
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker() -> None:
+        client = ServeClient(url)
+        while True:
+            with lock:
+                index = counter["next"]
+                if index >= jobs:
+                    return
+                counter["next"] += 1
+            spec = loadgen_spec(kind, index, seed)
+            started = time.monotonic()
+            deadline = started + timeout
+            try:
+                while True:
+                    try:
+                        record = client.submit(
+                            spec.kind, spec.params, seed=spec.seed,
+                            budget_seconds=budget_seconds,
+                        )
+                        break
+                    except ServeAPIError as exc:
+                        if not exc.queue_full or time.monotonic() > deadline:
+                            raise
+                        with lock:
+                            report.rejections += 1
+                        time.sleep(_REJECT_BACKOFF_SECONDS)
+                final = (
+                    record if record["state"] in ("completed", "failed")
+                    else client.wait(record["id"], timeout=timeout)
+                )
+                latency = time.monotonic() - started
+                with lock:
+                    report.latencies.append(latency)
+                    if final["state"] == "completed":
+                        report.completed += 1
+                        if final.get("cached"):
+                            report.cached += 1
+                    else:
+                        report.failed += 1
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+                return
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, name=f"repro-loadgen-{i}",
+                         daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout + 30.0)
+    report.wall_seconds = time.monotonic() - started
+    if errors:
+        raise errors[0]
+    return report

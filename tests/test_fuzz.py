@@ -42,7 +42,7 @@ class TestSchedule:
             for i in range(5)
             for k in generators.KINDS
         }
-        assert len(seeds) == 20
+        assert len(seeds) == 2 * 5 * len(generators.KINDS)
 
     @pytest.mark.parametrize("kind", generators.KINDS)
     def test_generate_case_replays_from_triple(self, kind):

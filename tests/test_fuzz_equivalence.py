@@ -22,11 +22,17 @@ DATAPLANE_ORACLES = sorted(
     spec.name for spec in oracles.specs_for_kind("dataplane")
 )
 TE_ORACLES = sorted(spec.name for spec in oracles.specs_for_kind("te"))
+CAMPAIGN_ORACLES = sorted(
+    spec.name for spec in oracles.specs_for_kind("campaign")
+)
 
 #: TE oracles solve a handful of LPs per case; keep their slice of the
-#: schedule narrower than the cheap dataplane oracles'.
+#: schedule narrower than the cheap dataplane oracles'.  Campaign
+#: oracles run whole (simulated) reproductions twice per case -- the
+#: narrowest slice of all; deeper sweeps belong to ``repro fuzz``.
 DATAPLANE_INDICES = range(6)
 TE_INDICES = range(2)
+CAMPAIGN_INDICES = range(1)
 
 
 class TestFuzzedEquivalence:
@@ -42,11 +48,17 @@ class TestFuzzedEquivalence:
         case = generators.generate_case(SEED, index, "te")
         oracles.run_oracle(oracle, case)
 
-    def test_registry_covers_both_kinds(self):
-        assert DATAPLANE_ORACLES and TE_ORACLES
-        assert set(DATAPLANE_ORACLES + TE_ORACLES) == set(
-            oracles.oracle_names()
-        )
+    @pytest.mark.parametrize("oracle", CAMPAIGN_ORACLES)
+    @pytest.mark.parametrize("index", CAMPAIGN_INDICES)
+    def test_campaign_oracles(self, oracle, index):
+        case = generators.generate_case(SEED, index, "campaign")
+        oracles.run_oracle(oracle, case)
+
+    def test_registry_covers_every_kind(self):
+        assert DATAPLANE_ORACLES and TE_ORACLES and CAMPAIGN_ORACLES
+        assert set(
+            DATAPLANE_ORACLES + TE_ORACLES + CAMPAIGN_ORACLES
+        ) == set(oracles.oracle_names())
 
     def test_random_dataset_validated(self):
         with pytest.raises(ValueError):

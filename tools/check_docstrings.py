@@ -19,8 +19,8 @@ Usage::
 
 Exit status is the number of missing docstrings (0 = clean), so CI can
 gate on it directly.  The enforced default set is ``src/repro/bench``,
-``src/repro/fuzz``, ``src/repro/lp``, ``src/repro/resilience``, and
-``src/repro/store``.
+``src/repro/fuzz``, ``src/repro/lp``, ``src/repro/resilience``,
+``src/repro/serve``, and ``src/repro/store``.
 """
 
 from __future__ import annotations
@@ -33,7 +33,7 @@ from typing import Iterator, List, Tuple
 #: Trees linted when no arguments are given (the CI-enforced set).
 DEFAULT_TREES = (
     "src/repro/bench", "src/repro/fuzz", "src/repro/lp",
-    "src/repro/resilience", "src/repro/store",
+    "src/repro/resilience", "src/repro/serve", "src/repro/store",
 )
 
 #: Decorator names whose presence exempts a function from the lint.
