@@ -8,7 +8,7 @@ inputs to the atomic-predicates computation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bdd.builder import acl_permit_bdd, forwarding_port_bdds
 from repro.bdd.engine import BDDEngine, BDD_TRUE
@@ -58,11 +58,21 @@ class PredicateTable:
 
 
 def extract_predicates(
-    dataset: VerificationDataset, engine: BDDEngine
+    dataset: VerificationDataset,
+    engine: BDDEngine,
+    devices: Optional[Iterable[str]] = None,
 ) -> PredicateTable:
-    """Build the predicate table of ``dataset`` inside ``engine``."""
+    """Build the predicate table of ``dataset`` inside ``engine``.
+
+    ``devices`` restricts extraction to a subset of the dataset's
+    devices (boundary-aware shard extraction: a shard reads only its
+    members' FIBs and ACLs, so the table -- and every BDD node it
+    allocates -- is local to that shard's engine).  ``None`` extracts
+    the whole data plane.
+    """
     table = PredicateTable(engine)
-    for name in sorted(dataset.devices):
+    names = sorted(dataset.devices if devices is None else devices)
+    for name in names:
         device = dataset.devices[name]
         for port, bdd in sorted(forwarding_port_bdds(engine, device).items()):
             table.forwarding[(name, port)] = bdd

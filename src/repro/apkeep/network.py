@@ -133,12 +133,14 @@ class APKeepVerifier:
         import numpy as np
 
         if not self.updates:
-            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
         samples = np.asarray([record.seconds for record in self.updates])
         return {
             "count": int(samples.size),
             "mean": float(samples.mean()),
             "p50": float(np.percentile(samples, 50)),
+            "p95": float(np.percentile(samples, 95)),
             "p99": float(np.percentile(samples, 99)),
             "max": float(samples.max()),
         }

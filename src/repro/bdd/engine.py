@@ -240,6 +240,18 @@ class BDDEngine:
             node = self._high[node] if assignment[self._var[node]] else self._low[node]
         return node == BDD_TRUE
 
+    def node(self, u: int) -> Tuple[int, int, int]:
+        """The ``(var, low, high)`` triple of node ``u``.
+
+        Terminals report the sentinel level ``num_vars`` with themselves
+        as both branches.  This is the only structural accessor the
+        engine exposes; it lets exporters (the shard tier's
+        canonical-interval encoding) walk a BDD without reaching into
+        the node tables, so every engine stays free to own its storage
+        -- the property that makes shard-local node tables possible.
+        """
+        return self._var[u], self._low[u], self._high[u]
+
     def clear_cache(self) -> None:
         self._cache.clear()
 

@@ -33,8 +33,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 #: Layers a benchmark can belong to, in the order tables render them.
 LAYERS = (
-    "bdd", "ap", "apkeep", "te", "lp", "store", "parallel", "pipeline",
-    "obs", "fuzz", "serve",
+    "bdd", "ap", "apkeep", "shard", "te", "lp", "store", "parallel",
+    "pipeline", "obs", "fuzz", "serve",
 )
 
 

@@ -13,6 +13,10 @@ Layers covered:
   profiles, with computed-table statistics attached;
 * ``ap``       -- atomic-predicate computation and all-pairs queries;
 * ``apkeep``   -- full update-stream replay and post-build bursts;
+* ``shard``    -- partitioned verification: the sharded-beats-whole
+  spawn-worker pair (byte-equal result checksums), the streaming
+  update-burst latency path, and a store-cold vs store-warm artifact
+  pair on the 100k-rule large preset;
 * ``te``       -- every registry solver, as ``.cold`` (tunnel cache
   cleared before each iteration) and ``.warm`` (cache primed) variants
   where the solver uses tunnels;
@@ -884,3 +888,193 @@ def bench_serve_http_roundtrip() -> Dict[str, object]:
         raise AssertionError(f"roundtrip job failed: {final}")
     payload = client.result(final["id"])["payload"]
     return {"jobs": 1, "checksum": int(payload["ok"])}
+
+
+# ----------------------------------------------------------------------
+# Shard layer: partitioned data-plane verification
+# ----------------------------------------------------------------------
+#: Reachability sources the shard verify pair answers for.
+_SHARD_SOURCES = 4
+
+#: Updates per streaming-burst iteration (insert/remove pairs, so the
+#: data plane returns to its initial state after every iteration).
+_SHARD_BURST = 24
+
+
+@lru_cache(maxsize=None)
+def _shard_bench_dataset():
+    """The verify-pair input: a predicate-dense random data plane.
+
+    Random overlapping rules (unlike shortest-path FIBs) make the
+    atomic-predicate computation superlinear in predicate count, which
+    is exactly the regime where partitioning pays: each shard refines
+    only its own predicates, so sharded wins even before process
+    parallelism kicks in.
+    """
+    from repro.netmodel.datasets import random_dataset
+
+    return random_dataset(
+        num_nodes=64, rules_per_device=300, seed=7, acl_fraction=0.25,
+        name="bench-shard",
+    )
+
+
+def _shard_sources() -> List[str]:
+    return sorted(_shard_bench_dataset().devices)[:_SHARD_SOURCES]
+
+
+def _shard_doc_checksum(document) -> str:
+    import hashlib
+    import json
+
+    return hashlib.blake2b(
+        json.dumps(document, sort_keys=True).encode(), digest_size=8
+    ).hexdigest()
+
+
+@benchmark(
+    "shard.verify.whole", layer="shard",
+    description="unsharded APVerifier: build + reachability/blackhole "
+                "documents, 64-device random data plane",
+    tags=("shard-pair",),
+)
+def bench_shard_verify_whole() -> Dict[str, object]:
+    """Baseline of the sharded-beats-whole pair: one engine, one thread.
+
+    Times the full unsharded answer -- predicate extraction, atomic
+    predicates, reachability for :data:`_SHARD_SOURCES` sources, and
+    blackholes -- through the same canonical-interval export the
+    sharded side stitches, so the pair's checksums must be equal.
+    """
+    from repro.shard import whole_reference_document
+
+    dataset = _shard_bench_dataset()
+    document = whole_reference_document(dataset, sources=_shard_sources())
+    return {
+        "rules": dataset.total_rules,
+        "checksum": _shard_doc_checksum(document),
+    }
+
+
+@benchmark(
+    "shard.verify.sharded", layer="shard",
+    description="3-shard ShardVerifier through spawn workers, same "
+                "documents as shard.verify.whole",
+    setup=lambda: __import__("repro.serve", fromlist=["shared_pool"])
+    .shared_pool(workers=2).start(),
+    tags=("shard-pair",),
+)
+def bench_shard_verify_sharded() -> Dict[str, object]:
+    """The other side of the pair: shard-local engines, spawn fan-out.
+
+    Each worker builds one shard's artifact in its own BDD node table
+    (the pool is started untimed in ``setup``); the parent stitches the
+    interval artifacts.  On a multi-core runner this must beat
+    ``shard.verify.whole`` -- the CI shard-smoke job asserts it -- and
+    its checksum must equal the whole side's byte for byte.
+    """
+    from repro.serve import shared_pool
+    from repro.shard import ShardVerifier
+
+    dataset = _shard_bench_dataset()
+    verifier = ShardVerifier(
+        dataset, shards=3, mode="process", pool=shared_pool(workers=2)
+    )
+    document = verifier.comparison_document(_shard_sources())
+    return {
+        "rules": dataset.total_rules,
+        "checksum": _shard_doc_checksum(document),
+    }
+
+
+@benchmark(
+    "shard.stream.burst", layer="shard",
+    description=f"{_SHARD_BURST}-update streaming burst, per-update "
+                "re-verification latency (p95 in meta)",
+)
+def bench_shard_stream_burst() -> Dict[str, object]:
+    """Bounded-latency incremental path: one rule-change burst.
+
+    A :class:`repro.shard.StreamingVerifier` is kept on the function
+    object (building per-shard APKeep state is setup, not the measured
+    path); each iteration applies insert/remove pairs that cancel, so
+    every burst starts from the identical data plane.  ``p95_ms`` is
+    the per-update end-to-end re-verification latency the CI streaming
+    check bounds.
+    """
+    from repro.netmodel.datasets import random_dataset
+    from repro.netmodel.headerspace import HEADER_BITS, Prefix
+    from repro.netmodel.rules import ForwardingRule
+    from repro.shard import StreamingVerifier
+
+    streamer = getattr(bench_shard_stream_burst, "_streamer", None)
+    if streamer is None:
+        dataset = random_dataset(
+            num_nodes=10, rules_per_device=60, seed=11, acl_fraction=0.3,
+            name="bench-stream",
+        )
+        streamer = StreamingVerifier(dataset, shards=2)
+        bench_shard_stream_burst._streamer = streamer
+
+    nodes = sorted(streamer.dataset.devices)
+    burst = []
+    for k in range(_SHARD_BURST // 2):
+        node = nodes[k % len(nodes)]
+        port = streamer.dataset.topology.successors(node)[0]
+        prefix = Prefix((k << (HEADER_BITS - 8)) & 0xFF00, 8)
+        rule = ForwardingRule(prefix, port, priority=90 + k)
+        burst.append(("insert", node, rule))
+        burst.append(("remove", node, rule))
+    report = streamer.apply_burst(burst)
+    return {
+        "updates": report["burst"],
+        "p95_ms": round(report["p95"] * 1e3, 3),
+    }
+
+
+@lru_cache(maxsize=None)
+def _shard_large_dataset():
+    from repro.netmodel.datasets import build_large_dataset
+
+    return build_large_dataset("Airtel", target_rules=100_000)
+
+
+def _shard_store_verify(variant: str) -> Dict[str, object]:
+    """One 100k-rule ShardVerifier build against the variant's store."""
+    from repro.shard import ShardVerifier
+
+    dataset = _shard_large_dataset()
+    verifier = ShardVerifier(
+        dataset, shards=2, store=_bench_store(variant), mode="serial"
+    )
+    return {
+        "rules": dataset.total_rules,
+        "store_hits": verifier.store_hits,
+        "atoms": sum(a["atoms"] for a in verifier.artifacts),
+    }
+
+
+@benchmark(
+    "shard.build.cold", layer="shard",
+    description="2-shard artifact build, empty store: full BDD work + "
+                "write-through, 100k-rule large preset",
+    pre_iteration=lambda: _bench_store("shard-cold").clear(),
+    tags=("store-cold",),
+    repeat=2,
+)
+def bench_shard_build_cold() -> Dict[str, object]:
+    """The store's write path at scale: per-shard BDD builds persisted."""
+    return _shard_store_verify("shard-cold")
+
+
+@benchmark(
+    "shard.build.warm", layer="shard",
+    description="2-shard artifact load, populated store: no BDD engine "
+                "touched, 100k-rule large preset",
+    setup=lambda: _shard_store_verify("shard-warm"),
+    tags=("store-warm",),
+)
+def bench_shard_build_warm() -> Dict[str, object]:
+    """The read path the ``shard/1`` key family buys: a warm store turns
+    re-verification into artifact decode + stitching."""
+    return _shard_store_verify("shard-warm")

@@ -8,7 +8,10 @@ explore the reproduction without writing code:
   prompting style) and print the component log;
 * ``study``        -- print the Figure 1-2 statistics;
 * ``verify``       -- verify a data plane with AP and APKeep, optionally
-  injecting an anomaly first;
+  injecting an anomaly first, padding FIBs (``--rules-per-device``),
+  partitioning across shard-local BDD engines (``--shards N``), or
+  replaying a rule-change burst through the streaming verifier
+  (``--stream``);
 * ``te``           -- solve a TE instance with any registry solver
   (``--solver list`` shows them), optionally sweeping demand scales
   in parallel (``--sweep`` / ``--workers``) with an injected LP
@@ -185,6 +188,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("dataset", nargs="?", default="Internet2")
     verify.add_argument(
         "--inject", choices=["loop", "blackhole"], default=None
+    )
+    verify.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the data plane into N shards and verify each "
+             "with its own BDD engine, stitching the results "
+             "(1 = classic whole-network path)",
+    )
+    verify.add_argument(
+        "--stream", action="store_true",
+        help="with --shards > 1: feed a deterministic rule-change burst "
+             "through the streaming verifier and report per-update "
+             "re-verification latency",
+    )
+    verify.add_argument(
+        "--rules-per-device", type=int, default=None, metavar="N",
+        help="pad every FIB to at least N rules (semantically inert "
+             "route splitting; scales raw rule counts for shard runs)",
     )
 
     te = add_parser("te", help="solve a TE instance")
@@ -650,7 +670,9 @@ def cmd_verify(args, out) -> int:
         inject_loop,
     )
 
-    dataset = build_verification_dataset(args.dataset)
+    dataset = build_verification_dataset(
+        args.dataset, rules_per_device=args.rules_per_device
+    )
     note = ""
     if args.inject == "loop":
         dataset, where = inject_loop(dataset, seed=3)
@@ -662,6 +684,8 @@ def cmd_verify(args, out) -> int:
         f"{dataset.name}{note}: {dataset.topology.num_nodes} devices, "
         f"{dataset.total_rules} rules\n"
     )
+    if args.shards > 1:
+        return _cmd_verify_sharded(args, out, dataset)
     ap = APVerifier(dataset)
     apkeep = APKeepVerifier(dataset)
     loops = ap.find_loops()
@@ -679,6 +703,61 @@ def cmd_verify(args, out) -> int:
         out.write(f"  loop: atom {atom} via {' -> '.join(cycle)}\n")
     for report in blackholes[:5]:
         out.write(f"  blackhole: {report.device} atoms {sorted(report.atoms)}\n")
+    return 0
+
+
+def _cmd_verify_sharded(args, out, dataset) -> int:
+    """The ``repro verify --shards N [--stream]`` path."""
+    from repro.netmodel.headerspace import HEADER_BITS, Prefix
+    from repro.netmodel.rules import ForwardingRule
+    from repro.shard import ShardVerifier, StreamingVerifier
+    from repro.store import get_default
+
+    verifier = ShardVerifier(
+        dataset, shards=args.shards, mode="serial", store=get_default()
+    )
+    plan = verifier.plan
+    out.write(
+        f"shards: {plan.num_shards} ({plan.strategy}); "
+        f"{len(plan.boundary)} of {len(plan.links)} directed links "
+        f"cross shards ({plan.boundary_fraction * 100:.0f}%)\n"
+    )
+    for index, artifact in enumerate(verifier.artifacts):
+        engine = artifact["engine"]
+        out.write(
+            f"  shard {index}: {len(artifact['devices'])} devices, "
+            f"{artifact['atoms']} atoms, {engine['num_nodes']} BDD nodes, "
+            f"built in {artifact['build_seconds']:.3f}s\n"
+        )
+    blackholes = verifier.blackholes()
+    out.write(
+        f"stitched: blackholes at {len(blackholes)} devices; "
+        f"build {verifier.build_seconds:.3f}s, "
+        f"store hits {verifier.store_hits}\n"
+    )
+    if not args.stream:
+        return 0
+
+    streamer = StreamingVerifier(dataset, shards=args.shards)
+    nodes = sorted(dataset.devices)
+    burst = []
+    for k in range(10):
+        node = nodes[k % len(nodes)]
+        neighbors = dataset.topology.successors(node)
+        if not neighbors:
+            continue
+        rule = ForwardingRule(
+            Prefix((k << (HEADER_BITS - 8)) & 0xFF00, 8),
+            neighbors[0], priority=90 + k,
+        )
+        burst.append(("insert", node, rule))
+        burst.append(("remove", node, rule))
+    report = streamer.apply_burst(burst)
+    out.write(
+        f"stream: {report['burst']} updates, latency p50 "
+        f"{report['p50'] * 1e3:.2f}ms p95 {report['p95'] * 1e3:.2f}ms "
+        f"max {report['max'] * 1e3:.2f}ms\n"
+    )
     return 0
 
 

@@ -336,6 +336,9 @@ def case_sizes(data: Dict) -> Dict[str, int]:
         sizes["scales"] = len(data.get("scales", []))
     if "rules" in data:
         sizes["rules"] = sum(len(r) for r in data["rules"].values())
+        sizes["max_rules_per_device"] = max(
+            (len(r) for r in data["rules"].values()), default=0
+        )
         sizes["acls"] = sum(len(a) for a in data.get("acls", {}).values())
         sizes["updates"] = len(data.get("updates", []))
     return sizes

@@ -32,6 +32,12 @@ share one implementation:
   incrementally vs a fresh batch build of the final state;
 * ``bdd.profiles``             -- the jdd and javabdd BDD profiles must
   see identical atoms, loops and blackholes;
+* ``dataplane.sharded-vs-whole`` -- partitioned shard-local
+  verification stitched back together must equal the unsharded AP
+  verifier byte-for-byte, across shard counts and strategies;
+* ``dataplane.stream-vs-batch`` -- the case's update burst streamed
+  through per-shard APKeep deltas must equal a whole-network batch
+  rebuild of the final state;
 * ``campaign.multiprocess-vs-inprocess`` -- the same campaign job run
   in-process and through the :mod:`repro.serve` spawn worker pool must
   produce byte-identical summaries.
@@ -226,14 +232,19 @@ def _check_solver_pairs(case: FuzzCase) -> None:
 
 
 def _check_warm_equals_cold(case: FuzzCase) -> None:
-    """Per warm-capable solver: a warm chain must equal per-scale cold.
+    """Per warm-capable solver: a warm chain must match per-scale cold.
 
     One warm solver instance carries its LP session across the case's
     demand-scale chain (so the second and later solves genuinely take
     the reduced-model path); a fresh cold solver answers each scale
-    independently.  Status and objective must agree -- the pricing loop
-    runs to exactness, so warm is an optimisation, never an
-    approximation.
+    independently.  Status must always agree.  Solvers whose
+    capabilities advertise ``warm_start_exact`` must match objectives
+    exactly -- the pricing loop runs to optimality, so warm is an
+    optimisation, never an approximation.  Non-exact warm solvers
+    (ncflow: the session steers a heuristic partition search) are held
+    to :data:`repro.te.registry.WARM_APPROX_RELATIVE_BOUND` instead;
+    ``tests/test_lp_session.py`` pins the recorded divergence instances
+    that forced the split.
     """
     from repro.te import registry
 
@@ -243,6 +254,8 @@ def _check_warm_equals_cold(case: FuzzCase) -> None:
         if registry.get_spec(name).capabilities.supports_warm_start
     ]
     for name in warm_capable:
+        exact = registry.get_spec(name).capabilities.warm_start_exact
+        bound = _EXACT_TOL if exact else registry.WARM_APPROX_RELATIVE_BOUND
         warm_solver = registry.make_solver(name, warm=True)
         for scale in scales:
             scaled = traffic.scaled(scale)
@@ -254,11 +267,13 @@ def _check_warm_equals_cold(case: FuzzCase) -> None:
                     f"{name} scale {scale:g}: warm status {warm.status} "
                     f"!= cold {cold.status}",
                 )
-            if _relative_gap(warm.objective, cold.objective) > _EXACT_TOL:
+            if _relative_gap(warm.objective, cold.objective) > bound:
                 raise OracleFailure(
                     "te.warm-equals-cold",
                     f"{name} scale {scale:g}: warm objective "
-                    f"{warm.objective:.6g} != cold {cold.objective:.6g}",
+                    f"{warm.objective:.6g} vs cold {cold.objective:.6g} "
+                    f"exceeds the {'exact' if exact else 'approx'} bound "
+                    f"{bound:g}",
                 )
 
 
@@ -538,6 +553,90 @@ def _check_incremental_vs_batch(case: FuzzCase) -> None:
             )
 
 
+def _check_sharded_vs_whole(case: FuzzCase) -> None:
+    """Sharded verification vs the unsharded AP verifier, byte equality.
+
+    Partitions the case's dataset into 1..3 shards under both
+    strategies, runs :class:`~repro.shard.verifier.ShardVerifier`
+    (serial mode: the determinism baseline) and compares its canonical
+    result document -- per-source reachability interval sets plus
+    scoped blackholes -- byte-for-byte against the whole-network
+    reference export.  This is the tentpole equality the shard tier
+    promises: partitioning is an execution strategy, never a semantics
+    change.
+    """
+    import json
+
+    from repro.shard import (
+        ShardVerifier,
+        whole_reference_document,
+    )
+    from repro.shard.partition import STRATEGIES
+
+    dataset, _updates = generators.materialize_dataplane(case.data)
+    sources = [src for src, _dst in _node_pairs(dataset)] or list(
+        dataset.topology.nodes[:1]
+    )
+    reference = json.dumps(
+        whole_reference_document(dataset, sources=sources), sort_keys=True
+    )
+    for strategy in STRATEGIES:
+        for shards in (1, 2, 3):
+            sharded = ShardVerifier(
+                dataset, shards=shards, strategy=strategy
+            )
+            got = json.dumps(
+                sharded.comparison_document(sources=sources), sort_keys=True
+            )
+            if got != reference:
+                raise OracleFailure(
+                    "dataplane.sharded-vs-whole",
+                    f"{shards} shards ({strategy}) diverge from the "
+                    f"unsharded verifier on {case.data['name']}",
+                )
+
+
+def _check_stream_vs_batch(case: FuzzCase) -> None:
+    """Streaming sharded updates vs a whole-network batch rebuild.
+
+    Feeds the case's update burst through
+    :class:`~repro.shard.streaming.StreamingVerifier` (per-shard APKeep
+    deltas, affected-shard re-export, re-stitch) while mirroring each
+    rule into a dataset copy, then requires the streamed state's
+    canonical document to equal a from-scratch whole-network
+    verification of the final dataset -- byte-for-byte.
+    """
+    import json
+
+    from repro.shard import StreamingVerifier, whole_reference_document
+
+    dataset, updates = generators.materialize_dataplane(case.data)
+    sources = [src for src, _dst in _node_pairs(dataset)] or list(
+        dataset.topology.nodes[:1]
+    )
+    streaming = StreamingVerifier(dataset, shards=2, sources=sources)
+    final = dataset.copy()
+    applied = 0
+    for node, rule in updates:
+        if node not in final.devices:
+            continue
+        streaming.apply("insert", node, rule)
+        final.devices[node].add_rule(rule)
+        applied += 1
+    got = json.dumps(
+        streaming.comparison_document(sources=sources), sort_keys=True
+    )
+    want = json.dumps(
+        whole_reference_document(final, sources=sources), sort_keys=True
+    )
+    if got != want:
+        raise OracleFailure(
+            "dataplane.stream-vs-batch",
+            f"streamed state diverges from batch rebuild after "
+            f"{applied} updates on {case.data['name']}",
+        )
+
+
 def _check_bdd_profiles(case: FuzzCase) -> None:
     """The jdd and javabdd BDD profiles must verify identically.
 
@@ -746,6 +845,14 @@ register(OracleSpec(
 register(OracleSpec(
     "bdd.profiles", "dataplane", _check_bdd_profiles,
     "jdd vs javabdd engine profiles on identical verification work",
+))
+register(OracleSpec(
+    "dataplane.sharded-vs-whole", "dataplane", _check_sharded_vs_whole,
+    "sharded interval stitching vs unsharded AP, byte-identical",
+))
+register(OracleSpec(
+    "dataplane.stream-vs-batch", "dataplane", _check_stream_vs_batch,
+    "streamed shard deltas vs whole-network batch rebuild",
 ))
 register(OracleSpec(
     "campaign.multiprocess-vs-inprocess", "campaign",

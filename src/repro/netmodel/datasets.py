@@ -75,11 +75,20 @@ def build_verification_dataset(
     name: str,
     aggregate_fraction: float = 0.3,
     with_acls: Optional[bool] = None,
+    rules_per_device: Optional[int] = None,
 ) -> VerificationDataset:
     """Build the named dataset (see module docstring).
 
     ``with_acls`` defaults to True only for "Stanford", matching the paper's
     datasets (the Stanford backbone snapshot is the one with ACLs).
+
+    ``rules_per_device`` pads every FIB up to (at least) that many rules
+    by repeatedly splitting existing routes into their two more-specific
+    children pointing at the *same* next hop (see :func:`_pad_fib`).
+    Padding scales raw rule counts -- the knob the shard benches turn --
+    without changing forwarding semantics or the atomic-predicate
+    structure, so every verifier answers identically on the padded and
+    unpadded dataset.
     """
     topology = make_topology(name)
     if with_acls is None:
@@ -129,7 +138,63 @@ def build_verification_dataset(
     if with_acls:
         _install_acls(devices, prefix_of, rng)
 
+    if rules_per_device is not None:
+        for node in nodes:
+            _pad_fib(devices[node], rules_per_device)
+
     return VerificationDataset(name, topology, devices, prefix_of)
+
+
+def _pad_fib(device: Device, target_rules: int) -> None:
+    """Grow ``device``'s FIB to >= ``target_rules`` semantically inert rules.
+
+    Splits routes breadth-first into their two half-length-longer
+    children forwarding to the same port: the children jointly cover
+    the parent and agree with it, so LPM behaviour -- and therefore
+    every port predicate and atom -- is untouched while the raw rule
+    count doubles per generation.  Deterministic (no RNG): the same
+    target always yields the same FIB.
+    """
+    from collections import deque
+
+    queue = deque(
+        (rule.prefix, rule.port)
+        for rule in sorted(
+            device.rules, key=lambda r: (r.prefix.length, r.prefix.value)
+        )
+        if rule.prefix.length < HEADER_BITS
+    )
+    while device.num_rules < target_rules and queue:
+        prefix, port = queue.popleft()
+        child_length = prefix.length + 1
+        half = 1 << (HEADER_BITS - child_length)
+        for child_value in (prefix.value, prefix.value + half):
+            child = Prefix(child_value, child_length)
+            device.add_rule(ForwardingRule.lpm(child, port))
+            if child_length < HEADER_BITS:
+                queue.append((child, port))
+
+
+def build_large_dataset(
+    name: str = "Airtel",
+    target_rules: int = 100_000,
+    with_acls: Optional[bool] = None,
+) -> VerificationDataset:
+    """A deterministic large preset: ``name`` padded to >= ``target_rules``.
+
+    The scale point the shard benches and the CI multi-core check run
+    on: same topology and semantics as the named dataset, but with FIBs
+    padded (see :func:`_pad_fib`) until the whole data plane carries at
+    least ``target_rules`` forwarding rules.
+    """
+    base = build_verification_dataset(name, with_acls=with_acls)
+    num_devices = max(1, len(base.devices))
+    per_device = -(-target_rules // num_devices)  # ceil division
+    dataset = build_verification_dataset(
+        name, with_acls=with_acls, rules_per_device=per_device
+    )
+    dataset.name = f"{name}-large"
+    return dataset
 
 
 def _install_acls(

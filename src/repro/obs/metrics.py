@@ -178,6 +178,9 @@ BUCKET_PRESETS: Dict[str, Tuple[float, ...]] = {
     # Service jobs: a near-instant cached hit up to a minutes-long
     # campaign dispatched to a worker.
     "serve": (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+    # Sharded verification: sub-millisecond stitches and streaming
+    # updates up to multi-second cold shard builds.
+    "shard": (1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
 }
 
 

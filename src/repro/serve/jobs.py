@@ -38,7 +38,7 @@ from repro.store import ArtifactStore, fingerprint, memoized
 SCHEMA_VERSION = 1
 
 #: Job kinds the service executes, in catalogue order.
-JOB_KINDS = ("campaign", "solve", "verify", "probe")
+JOB_KINDS = ("campaign", "solve", "verify", "shard-build", "probe")
 
 #: Job lifecycle states (``rejected`` appears only in metrics: a
 #: rejected submission never becomes a record).
@@ -99,6 +99,16 @@ class JobSpec:
                     f"unknown campaign styles {bad_styles}; "
                     f"expected a subset of {CAMPAIGN_STYLES}"
                 )
+        elif self.kind == "verify":
+            if canonical["shards"] < 1:
+                raise ValueError(
+                    f"shards must be >= 1, got {canonical['shards']}"
+                )
+        elif self.kind == "shard-build":
+            if not isinstance(canonical["dataset_doc"], dict):
+                raise ValueError("shard-build needs a dataset_doc dict")
+            if not canonical["members"]:
+                raise ValueError("shard-build needs a non-empty members list")
         elif self.kind == "probe":
             if canonical["action"] not in PROBE_ACTIONS:
                 raise ValueError(
@@ -139,6 +149,14 @@ class JobSpec:
         if self.kind == "verify":
             return {
                 "dataset": str(params.get("dataset", "Internet2")),
+                "shards": int(params.get("shards", 1)),
+            }
+        if self.kind == "shard-build":
+            return {
+                "dataset_doc": params.get("dataset_doc", {}),
+                "members": [str(m) for m in params.get("members", [])],
+                "index": int(params.get("index", 0)),
+                "profile": str(params.get("profile", "jdd")),
             }
         # probe
         return {
@@ -176,9 +194,13 @@ def job_key(spec: JobSpec) -> Optional[str]:
     """``serve/1/<kind>/<fingerprint>`` for memoizable kinds.
 
     ``probe`` jobs return ``None``: their effects are the point, so
-    they are executed every time and never stored.
+    they are executed every time and never stored.  ``shard-build``
+    jobs are unkeyed too -- their results live under the
+    ``shard/1/artifact/...`` key family, persisted by the parent
+    :class:`~repro.shard.verifier.ShardVerifier`, so keying them here
+    would double-store every artifact.
     """
-    if spec.kind == "probe":
+    if spec.kind in ("probe", "shard-build"):
         return None
     return (
         f"serve/{SCHEMA_VERSION}/{spec.kind}/"
@@ -299,6 +321,25 @@ def _execute_verify(params: Dict) -> Dict:
     from repro.netmodel.datasets import build_verification_dataset
 
     dataset = build_verification_dataset(params["dataset"])
+    if params["shards"] > 1:
+        # Sharded path: serial artifact builds inside this worker (a
+        # serve worker is already one of N processes; nesting another
+        # spawn fan-out under it would oversubscribe the host).
+        from repro.shard import ShardVerifier
+
+        sharded = ShardVerifier(
+            dataset, shards=params["shards"], mode="serial"
+        )
+        return {
+            "ok": True,
+            "dataset": params["dataset"],
+            "devices": dataset.topology.num_nodes,
+            "rules": dataset.total_rules,
+            "shards": sharded.num_shards,
+            "plan": sharded.plan.describe(),
+            "atoms_per_shard": [a["atoms"] for a in sharded.artifacts],
+            "blackholes": len(sharded.blackholes()),
+        }
     verifier = APVerifier(dataset)
     loops = verifier.find_loops()
     blackholes = verifier.find_blackholes(scope=verifier.allocated_atoms())
@@ -311,6 +352,17 @@ def _execute_verify(params: Dict) -> Dict:
         "loops": len(loops),
         "blackholes": len(blackholes),
     }
+
+
+def _execute_shard_build(params: Dict) -> Dict:
+    from repro.shard.artifacts import build_shard_artifact_from_doc
+
+    return build_shard_artifact_from_doc(
+        params["dataset_doc"],
+        params["members"],
+        params["index"],
+        profile=params["profile"],
+    )
 
 
 def _execute_probe(params: Dict, seed: int) -> Dict:
@@ -356,6 +408,8 @@ def execute_job(spec: JobSpec) -> Dict:
         return _execute_solve(params)
     if spec.kind == "verify":
         return _execute_verify(params)
+    if spec.kind == "shard-build":
+        return _execute_shard_build(params)
     return _execute_probe(params, spec.seed)
 
 

@@ -1,0 +1,151 @@
+"""Per-shard verification artifacts: local BDD work, portable results.
+
+A *shard artifact* is everything the cross-shard stitcher needs from
+one shard, as plain JSON: per member device the canonical interval set
+forwarded to each port, the interval set its ingress ACL permits, the
+shard's atomic-predicate count, and the telemetry of the **shard-local
+BDD engine** that computed it all.  Building an artifact allocates a
+fresh engine, extracts only the shard members' predicates
+(:func:`repro.ap.predicates.extract_predicates` with a device subset),
+computes the shard's atomic predicates, and exports every predicate
+through :func:`repro.shard.intervals.bdd_to_intervals` -- after which
+the engine is garbage; no node id ever leaves the shard.
+
+That isolation is the point: two shards never share a node table, so a
+shard build parallelises across spawn processes with zero coordination,
+and the engine stats embedded in each artifact let tests prove the
+node counts are decoupled (building shard *i* alone allocates exactly
+the nodes building it alongside every other shard does).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.ap.atomic import compute_atomic_predicates
+from repro.ap.predicates import extract_predicates
+from repro.bdd.builder import new_engine
+from repro.bdd.engine import BDD_TRUE
+from repro.netmodel.datasets import VerificationDataset
+from repro.shard import intervals
+from repro.shard.codec import dataset_from_doc
+
+#: Artifact schema tag; bump to retire stored shard artifacts.
+SCHEMA = "repro.shard/1"
+
+
+def build_shard_artifact(
+    dataset: VerificationDataset,
+    members: List[str],
+    index: int,
+    profile: str = "jdd",
+) -> Dict:
+    """Build the artifact of shard ``index`` owning ``members``.
+
+    Pure function of (member FIBs/ACLs, profile): the BDD engine is
+    created and discarded inside the call, so concurrent builds -- in
+    threads, spawn workers, or separate machines -- cannot interact.
+    """
+    start = time.perf_counter()
+    engine = new_engine(profile)
+    table = extract_predicates(dataset, engine, devices=members)
+    atomics = compute_atomic_predicates(
+        engine, table.distinct_predicates()
+    )
+
+    ports: Dict[str, Dict[str, List[List[int]]]] = {}
+    for (device, port), bdd in sorted(table.forwarding.items()):
+        ports.setdefault(device, {})[port] = intervals.to_json(
+            intervals.bdd_to_intervals(engine, bdd)
+        )
+    acl: Dict[str, List[List[int]]] = {}
+    for device in sorted(table.acl):
+        bdd = table.acl[device]
+        if bdd == BDD_TRUE:
+            acl[device] = intervals.to_json(intervals.FULL)
+        else:
+            acl[device] = intervals.to_json(
+                intervals.bdd_to_intervals(engine, bdd)
+            )
+
+    elapsed = time.perf_counter() - start
+    obs.metrics.counter("shard.builds", shard=str(index)).inc()
+    obs.metrics.histogram("shard.build.seconds").observe(elapsed)
+    stats = engine.stats()
+    return {
+        "ok": True,
+        "schema": SCHEMA,
+        "index": index,
+        "devices": sorted(members),
+        "ports": ports,
+        "acl": acl,
+        "atoms": atomics.num_atoms,
+        "predicates": len(table.distinct_predicates()),
+        "build_seconds": elapsed,
+        "engine": {
+            "profile": stats["profile"],
+            "num_nodes": stats["num_nodes"],
+            "op_count": stats["op_count"],
+            "mk_count": stats["mk_count"],
+        },
+    }
+
+
+def build_shard_artifact_from_doc(
+    doc: Dict,
+    members: List[str],
+    index: int,
+    profile: str = "jdd",
+) -> Dict:
+    """:func:`build_shard_artifact` from a codec dataset document.
+
+    The spawn-worker entry point: the job params carry the dataset as
+    plain JSON, the worker rebuilds it and runs the same build as the
+    in-process path.
+    """
+    return build_shard_artifact(
+        dataset_from_doc(doc), members, index, profile=profile
+    )
+
+
+def artifact_port_intervals(
+    artifact: Dict,
+) -> Dict[str, Dict[str, intervals.IntervalSet]]:
+    """Decode an artifact's per-device ``port -> interval set`` maps."""
+    return {
+        device: {
+            port: intervals.from_json(doc)
+            for port, doc in port_map.items()
+        }
+        for device, port_map in artifact["ports"].items()
+    }
+
+
+def artifact_acl_intervals(
+    artifact: Dict,
+) -> Dict[str, intervals.IntervalSet]:
+    """Decode an artifact's per-device ACL-permit interval sets."""
+    return {
+        device: intervals.from_json(doc)
+        for device, doc in artifact["acl"].items()
+    }
+
+
+def check_artifact(artifact: Dict, members: Optional[List[str]] = None) -> None:
+    """Sanity-check a (possibly store-loaded) artifact document.
+
+    Raises ``ValueError`` on schema mismatch or a member-set mismatch,
+    which is how stale store entries surface instead of silently
+    stitching the wrong shard.
+    """
+    if artifact.get("schema") != SCHEMA:
+        raise ValueError(
+            f"shard artifact schema {artifact.get('schema')!r} != {SCHEMA!r}"
+        )
+    if members is not None and artifact.get("devices") != sorted(members):
+        raise ValueError(
+            f"shard artifact covers {artifact.get('devices')}, "
+            f"expected {sorted(members)}"
+        )

@@ -1,0 +1,138 @@
+"""Dataset serialization for shard workers and shard store keys.
+
+Shard-artifact builds cross the spawn-process boundary as plain-JSON
+job params, and shard store keys must fingerprint *what is verified*,
+not which Python objects happen to hold it.  Both needs are served by
+one canonical document: :func:`dataset_to_doc` writes a
+:class:`~repro.netmodel.datasets.VerificationDataset` as the same
+plain-JSON shape the fuzz generators use (``nodes`` / ``links`` /
+``rules`` / ``acls`` / ``prefixes``), :func:`dataset_from_doc` rebuilds
+it, and :func:`dataset_fingerprint` hashes the sorted-key JSON so two
+equal data planes share shard artifacts in the store.
+
+:func:`shard_dataset` cuts the per-shard sub-dataset (member devices +
+induced subtopology) that per-shard verifiers -- AP extraction and the
+streaming tier's per-shard APKeep instances -- operate on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.netmodel.datasets import VerificationDataset
+from repro.netmodel.headerspace import Prefix
+from repro.netmodel.rules import AclAction, AclRule, Device, ForwardingRule
+from repro.netmodel.topology import Topology
+from repro.store import fingerprint
+
+#: Link capacity restored on decode; verification never reads it.
+_LINK_CAPACITY = 1000.0
+
+
+def dataset_to_doc(dataset: VerificationDataset) -> Dict:
+    """Serialize a dataset to a plain-JSON document.
+
+    Deterministic: devices, rules (in priority order), ACLs and links
+    are emitted sorted, so equal data planes produce equal documents.
+    """
+    nodes = sorted(dataset.devices)
+    links = sorted(
+        [link.src, link.dst] for link in dataset.topology.links()
+    )
+    rules = {
+        node: [
+            [rule.prefix.value, rule.prefix.length, rule.port, rule.priority]
+            for rule in dataset.devices[node].rules
+        ]
+        for node in nodes
+    }
+    acls = {
+        node: [
+            [acl.prefix.value, acl.prefix.length, acl.action.value,
+             acl.priority]
+            for acl in dataset.devices[node].acl
+        ]
+        for node in nodes
+        if dataset.devices[node].has_acl
+    }
+    prefixes = {
+        node: [prefix.value, prefix.length]
+        for node, prefix in sorted(dataset.prefix_of.items())
+    }
+    return {
+        "name": dataset.name,
+        "nodes": nodes,
+        "links": links,
+        "rules": rules,
+        "acls": acls,
+        "prefixes": prefixes,
+    }
+
+
+def dataset_from_doc(doc: Dict) -> VerificationDataset:
+    """Rebuild the dataset a :func:`dataset_to_doc` document describes."""
+    topology = Topology(doc.get("name", "shard-doc"))
+    for node in doc["nodes"]:
+        topology.add_node(node)
+    for src, dst in doc["links"]:
+        topology.add_link(src, dst, _LINK_CAPACITY)
+
+    devices: Dict[str, Device] = {}
+    for node in doc["nodes"]:
+        device = Device(node)
+        for value, length, port, priority in doc["rules"].get(node, []):
+            device.add_rule(
+                ForwardingRule(Prefix(int(value), int(length)), port,
+                               int(priority))
+            )
+        for value, length, action, priority in doc.get("acls", {}).get(
+            node, []
+        ):
+            device.add_acl_rule(
+                AclRule(Prefix(int(value), int(length)), AclAction(action),
+                        int(priority))
+            )
+        devices[node] = device
+
+    prefix_of = {
+        node: Prefix(int(value), int(length))
+        for node, (value, length) in doc.get("prefixes", {}).items()
+        if node in devices
+    }
+    return VerificationDataset(
+        doc.get("name", "shard-doc"), topology, devices, prefix_of
+    )
+
+
+def dataset_fingerprint(dataset: VerificationDataset) -> str:
+    """Content fingerprint of the data plane (BLAKE2b of the document).
+
+    The identity shard store keys are derived from: two datasets with
+    equal rules/ACLs/links share warm shard artifacts even across
+    processes and restarts.
+    """
+    return fingerprint(
+        json.dumps(dataset_to_doc(dataset), sort_keys=True)
+    )
+
+
+def shard_dataset(
+    dataset: VerificationDataset, members: Iterable[str], name: str
+) -> VerificationDataset:
+    """The sub-dataset one shard owns: member devices, induced links.
+
+    Forwarding rules pointing at out-of-shard neighbours are kept
+    verbatim -- ports are names, and the cross-shard stitcher is what
+    follows them over boundary links.
+    """
+    keep: List[str] = sorted(members)
+    devices = {node: dataset.devices[node] for node in keep}
+    prefix_of = {
+        node: prefix
+        for node, prefix in dataset.prefix_of.items()
+        if node in devices
+    }
+    return VerificationDataset(
+        name, dataset.topology.subgraph(keep, name=name), devices, prefix_of
+    )

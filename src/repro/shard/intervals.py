@@ -1,0 +1,194 @@
+"""Canonical header-interval sets: the cross-shard predicate currency.
+
+Every shard computes its predicates in a **shard-local** BDD engine, so
+BDD node ids are meaningless across shards (and across processes).  The
+one representation that survives both boundaries is the extensional
+one: a packet-set over the ``HEADER_BITS``-bit header space written as a
+*canonical interval set* -- a sorted tuple of disjoint, non-adjacent
+``(start, end)`` half-open integer ranges.  Two predicates are equal iff
+their canonical interval sets are byte-identical JSON, which is exactly
+the equality the sharded-vs-whole acceptance check needs.
+
+Interval sets stay small for data-plane predicates: every FIB rule and
+ACL entry matches a *prefix* (one contiguous range), so port and ACL
+predicates are unions/differences of ranges and the interval count is
+bounded by the rule count, never by ``2**HEADER_BITS``.
+
+:func:`bdd_to_intervals` converts a BDD to this form by a memoized
+structural walk (variable 0 is the MSB, so low/high branches split a
+block into its lower/upper half); the set algebra (:func:`union`,
+:func:`intersect`, :func:`difference`) is plain sweep-merging with no
+BDD engine anywhere -- which is what lets the cross-shard stitcher run
+in the parent process with zero shared BDD state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.bdd.engine import BDDEngine, BDD_FALSE, BDD_TRUE
+from repro.netmodel.headerspace import HEADER_BITS, Prefix
+
+#: One interval: half-open ``[start, end)`` over header addresses.
+Interval = Tuple[int, int]
+
+#: A canonical interval set: sorted, disjoint, non-adjacent intervals.
+IntervalSet = Tuple[Interval, ...]
+
+#: The empty packet set.
+EMPTY: IntervalSet = ()
+
+#: The full header space.
+FULL: IntervalSet = ((0, 1 << HEADER_BITS),)
+
+
+def normalize(pairs: Iterable[Sequence[int]]) -> IntervalSet:
+    """Canonicalise arbitrary ``(start, end)`` pairs.
+
+    Drops empty ranges, sorts, and merges overlapping or adjacent
+    intervals, so any two extensionally-equal inputs produce the same
+    tuple.
+    """
+    cleaned = sorted(
+        (int(start), int(end)) for start, end in pairs if end > start
+    )
+    out: List[Interval] = []
+    for start, end in cleaned:
+        if out and start <= out[-1][1]:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return tuple(out)
+
+
+def _concat(lower: IntervalSet, upper: IntervalSet) -> IntervalSet:
+    """Join two canonical sets where all of ``lower`` precedes ``upper``.
+
+    The only overlap possible is adjacency at the seam, which is merged
+    so the result stays canonical.  O(1) beyond the tuple copy.
+    """
+    if not lower:
+        return upper
+    if not upper:
+        return lower
+    if lower[-1][1] == upper[0][0]:
+        return lower[:-1] + ((lower[-1][0], upper[0][1]),) + upper[1:]
+    return lower + upper
+
+
+def union(a: IntervalSet, b: IntervalSet) -> IntervalSet:
+    """Set union of two canonical interval sets."""
+    if not a:
+        return b
+    if not b:
+        return a
+    return normalize(list(a) + list(b))
+
+
+def intersect(a: IntervalSet, b: IntervalSet) -> IntervalSet:
+    """Set intersection of two canonical interval sets (linear sweep)."""
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if start < end:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return tuple(out)
+
+
+def difference(a: IntervalSet, b: IntervalSet) -> IntervalSet:
+    """Set difference ``a - b`` of two canonical interval sets."""
+    if not a or not b:
+        return a
+    out: List[Interval] = []
+    j = 0
+    for start, end in a:
+        cursor = start
+        while j < len(b) and b[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            if b[k][0] > cursor:
+                out.append((cursor, b[k][0]))
+            cursor = max(cursor, b[k][1])
+            if cursor >= end:
+                break
+            k += 1
+        if cursor < end:
+            out.append((cursor, end))
+    return tuple(out)
+
+
+def total(a: IntervalSet) -> int:
+    """Number of addresses the set contains."""
+    return sum(end - start for start, end in a)
+
+
+def prefix_to_intervals(prefix: Prefix) -> IntervalSet:
+    """The contiguous address range a prefix matches."""
+    width = 1 << (HEADER_BITS - prefix.length)
+    return ((prefix.value, prefix.value + width),)
+
+
+def to_json(a: IntervalSet) -> List[List[int]]:
+    """Plain-JSON form (``[[start, end], ...]``) for artifacts."""
+    return [[start, end] for start, end in a]
+
+
+def from_json(doc: Iterable[Sequence[int]]) -> IntervalSet:
+    """Rebuild a canonical set from :func:`to_json` output."""
+    return tuple((int(start), int(end)) for start, end in doc)
+
+
+def _lift(
+    intervals: IntervalSet, from_level: int, to_level: int, bits: int
+) -> IntervalSet:
+    """Replicate a node's block-relative intervals up skipped levels.
+
+    A BDD node at level ``from_level`` describes a block of
+    ``2**(bits - from_level)`` addresses; viewed from the shallower
+    ``to_level`` the node applies to *both* branches of every skipped
+    variable, i.e. its intervals repeat once per half.  Doubling one
+    level at a time keeps runs contiguous (a full block stays a single
+    interval instead of exploding into ``2**skipped`` pieces).
+    """
+    for level in range(from_level - 1, to_level - 1, -1):
+        half = 1 << (bits - level - 1)
+        intervals = _concat(
+            intervals, tuple((s + half, e + half) for s, e in intervals)
+        )
+    return intervals
+
+
+def bdd_to_intervals(engine: BDDEngine, node: int) -> IntervalSet:
+    """Canonical interval set of the packet set a BDD node denotes.
+
+    Exact: an address is in some interval iff the BDD evaluates true on
+    it (variable 0 = address MSB, the order every verifier uses).  The
+    walk is memoized per node, so shared subgraphs are converted once;
+    cost is O(nodes x intervals-per-node).
+    """
+    bits = engine.num_vars
+    memo = {BDD_FALSE: EMPTY, BDD_TRUE: ((0, 1),)}
+
+    def rec(current: int) -> IntervalSet:
+        found = memo.get(current)
+        if found is not None:
+            return found
+        var, low, high = engine.node(current)
+        half = 1 << (bits - var - 1)
+        low_ints = _lift(rec(low), engine.node(low)[0], var + 1, bits)
+        high_ints = _lift(rec(high), engine.node(high)[0], var + 1, bits)
+        out = _concat(
+            low_ints, tuple((s + half, e + half) for s, e in high_ints)
+        )
+        memo[current] = out
+        return out
+
+    return _lift(rec(node), engine.node(node)[0], 0, bits)

@@ -1,0 +1,220 @@
+"""Cross-shard stitching: whole-network answers from per-shard artifacts.
+
+Each shard artifact carries its members' forwarding and ACL predicates
+as canonical interval sets (:mod:`repro.shard.intervals`).  The
+stitcher merges those maps and runs the *same* propagation the
+unsharded :class:`~repro.ap.verifier.APVerifier` runs -- a worklist BFS
+computing the least fixpoint of
+
+    ``reach[dst] >= (reach[src] - seen) * fwd[src -> dst] * acl[dst]``
+
+-- except over interval sets instead of atom-id sets.  The two are
+provably equal: the whole-network atoms refine every port and ACL
+predicate of every device, so the atom-granularity BFS computes exactly
+the exact-packet-set fixpoint, which is what the interval BFS computes
+directly.  Canonical intervals then make equality *byte* equality:
+:func:`whole_reachability_intervals` exports the unsharded verifier's
+answer in the same representation, and the sharded-vs-whole acceptance
+check compares the JSON documents verbatim.
+
+Blackholes follow the same pattern (drop-port predicate, intersected
+with the device ACL and the allocated prefix space).  Forwarding-loop
+detection stays whole-network-only: a loop is a property of a cyclic
+trajectory, which the per-shard artifact representation deliberately
+does not carry -- :class:`~repro.shard.verifier.ShardVerifier` documents
+the restriction rather than approximating it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bdd.builder import prefix_to_bdd
+from repro.bdd.engine import BDD_FALSE
+from repro.netmodel.datasets import VerificationDataset
+from repro.netmodel.rules import DROP_PORT
+from repro.shard import intervals
+from repro.shard.artifacts import (
+    artifact_acl_intervals,
+    artifact_port_intervals,
+)
+
+#: ``device -> {port -> interval set}`` merged across all shards.
+PortMap = Dict[str, Dict[str, intervals.IntervalSet]]
+
+#: ``device -> interval set`` of ACL-permitted headers, merged.
+AclMap = Dict[str, intervals.IntervalSet]
+
+
+def merge_artifacts(artifacts: Sequence[Dict]) -> Tuple[PortMap, AclMap]:
+    """Merge per-shard artifacts into whole-network predicate maps.
+
+    Shards own disjoint device sets, so the merge is a plain dict union;
+    a duplicate device would mean two artifacts claim it and is an
+    error.
+    """
+    ports: PortMap = {}
+    acl: AclMap = {}
+    for artifact in artifacts:
+        for device, port_map in artifact_port_intervals(artifact).items():
+            if device in ports:
+                raise ValueError(
+                    f"device {device!r} appears in multiple shard artifacts"
+                )
+            ports[device] = port_map
+        acl.update(artifact_acl_intervals(artifact))
+    return ports, acl
+
+
+def build_adjacency(
+    links: Iterable[Tuple[str, str]]
+) -> Dict[str, Tuple[str, ...]]:
+    """``device -> sorted successor tuple`` from a directed link list."""
+    successors: Dict[str, List[str]] = {}
+    for src, dst in links:
+        successors.setdefault(src, []).append(dst)
+    return {
+        device: tuple(sorted(set(nbrs)))
+        for device, nbrs in successors.items()
+    }
+
+
+def stitched_reachability(
+    ports: PortMap,
+    acl: AclMap,
+    adjacency: Dict[str, Tuple[str, ...]],
+    src: str,
+) -> Dict[str, intervals.IntervalSet]:
+    """Headers injected at ``src`` that can arrive at every device.
+
+    The interval-set twin of
+    :meth:`~repro.ap.verifier.APVerifier.reachability_tree`: same
+    initial set (what ``src``'s ingress ACL admits), same worklist BFS,
+    same monotone fixpoint -- only the set representation differs.
+    Devices nothing reaches are omitted.
+    """
+    if src not in acl:
+        raise KeyError(f"unknown device {src!r}")
+    seen: Dict[str, intervals.IntervalSet] = {}
+    queue = deque([(src, acl[src])])
+    while queue:
+        device, incoming = queue.popleft()
+        fresh = intervals.difference(incoming, seen.get(device, intervals.EMPTY))
+        if not fresh:
+            continue
+        seen[device] = intervals.union(
+            seen.get(device, intervals.EMPTY), fresh
+        )
+        port_map = ports.get(device, {})
+        for neighbor in adjacency.get(device, ()):
+            label = port_map.get(neighbor)
+            if not label:
+                continue
+            moving = intervals.intersect(
+                intervals.intersect(fresh, label), acl[neighbor]
+            )
+            if moving:
+                queue.append((neighbor, moving))
+    return {device: found for device, found in seen.items() if found}
+
+
+def stitched_blackholes(
+    ports: PortMap,
+    acl: AclMap,
+    allocated: intervals.IntervalSet,
+) -> Dict[str, intervals.IntervalSet]:
+    """Allocated headers each device drops (ACL-admitted, drop-ported).
+
+    Scoping to ``allocated`` (see :func:`allocated_intervals`) mirrors
+    the whole verifier's convention: headers outside every advertised
+    prefix are legitimately dropped and not reported.
+    """
+    out: Dict[str, intervals.IntervalSet] = {}
+    for device in sorted(ports):
+        dropped = intervals.intersect(
+            intervals.intersect(
+                ports[device].get(DROP_PORT, intervals.EMPTY),
+                acl.get(device, intervals.FULL),
+            ),
+            allocated,
+        )
+        if dropped:
+            out[device] = dropped
+    return out
+
+
+def allocated_intervals(dataset: VerificationDataset) -> intervals.IntervalSet:
+    """Union of the dataset's allocated prefixes as an interval set."""
+    out = intervals.EMPTY
+    for prefix in dataset.prefix_of.values():
+        out = intervals.union(out, intervals.prefix_to_intervals(prefix))
+    return out
+
+
+def result_document(
+    per_device: Dict[str, intervals.IntervalSet]
+) -> Dict[str, List[List[int]]]:
+    """Canonical plain-JSON form of a ``device -> interval set`` answer.
+
+    Sorted device keys + canonical interval JSON: two extensionally
+    equal answers serialize byte-identically, which is the equality the
+    sharded-vs-whole oracle asserts.
+    """
+    return {
+        device: intervals.to_json(per_device[device])
+        for device in sorted(per_device)
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole-network reference exports (the unsharded side of the equality)
+# ----------------------------------------------------------------------
+def whole_reachability_intervals(
+    verifier, src: str
+) -> Dict[str, intervals.IntervalSet]:
+    """The unsharded verifier's reachability tree as interval sets.
+
+    Converts each device's reachable atom set (one global-engine BDD per
+    device) through :func:`~repro.shard.intervals.bdd_to_intervals`; the
+    sharded :func:`stitched_reachability` must match this byte-for-byte.
+    """
+    out: Dict[str, intervals.IntervalSet] = {}
+    for device, atoms in verifier.reachability_tree(src).items():
+        found = intervals.bdd_to_intervals(
+            verifier.engine, verifier.atomics.union_bdd(atoms)
+        )
+        if found:
+            out[device] = found
+    return out
+
+
+def whole_blackhole_intervals(verifier) -> Dict[str, intervals.IntervalSet]:
+    """The unsharded verifier's scoped blackhole sets as intervals.
+
+    Computed as exact packet sets -- ``(drop-port atoms n ACL atoms)``
+    intersected with the allocated-prefix union BDD -- rather than via
+    :meth:`~repro.ap.verifier.APVerifier.find_blackholes` with an
+    atoms-overlapping-allocated scope, because "atoms overlapping the
+    allocated space" depends on atom granularity and shard-local atoms
+    are coarser than whole-network ones.  The exact sets are
+    granularity-independent, which is what makes byte equality with
+    :func:`stitched_blackholes` possible.
+    """
+    engine = verifier.engine
+    allocated = BDD_FALSE
+    for prefix in verifier.dataset.prefix_of.values():
+        allocated = engine.or_(allocated, prefix_to_bdd(engine, prefix))
+    out: Dict[str, intervals.IntervalSet] = {}
+    for device in sorted(verifier.dataset.devices):
+        atoms = (
+            verifier.port_atoms.get((device, DROP_PORT), frozenset())
+            & verifier.acl_atoms[device]
+        )
+        if not atoms:
+            continue
+        scoped = engine.and_(verifier.atomics.union_bdd(atoms), allocated)
+        found = intervals.bdd_to_intervals(engine, scoped)
+        if found:
+            out[device] = found
+    return out

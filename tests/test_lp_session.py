@@ -326,9 +326,13 @@ class TestDiscrepancyGate:
 class TestWarmSolversProperty:
     """Satellite: every warm-capable registry solver, fuzzed.
 
-    A warm chain over scaled copies of a random instance must report
-    the same status and an objective within 1e-6 of the cold solver at
-    every point.
+    A warm chain over scaled copies of a random instance must report the
+    same status as the cold solver at every point.  Solvers whose
+    capabilities declare ``warm_start_exact`` must also match the cold
+    objective to LP tolerance; the rest (ncflow -- see
+    :class:`TestNcflowWarmDivergence` for a pinned falsifying instance)
+    get the documented relative bound
+    :data:`repro.te.registry.WARM_APPROX_RELATIVE_BOUND` instead.
     """
 
     @settings(**FUZZ_SETTINGS)
@@ -341,6 +345,7 @@ class TestWarmSolversProperty:
         ]
         assert warm_names  # the registry must advertise warm solvers
         for name in warm_names:
+            exact = registry.get_spec(name).capabilities.warm_start_exact
             warm_solver = registry.make_solver(name, warm=True)
             cold_solver = registry.make_solver(name)
             for scale in (0.5, 1.0, 1.7):
@@ -348,9 +353,73 @@ class TestWarmSolversProperty:
                 warm = warm_solver.solve(topo, scaled)
                 cold = cold_solver.solve(topo, scaled)
                 assert warm.status == cold.status, name
-                assert warm.objective == pytest.approx(
-                    cold.objective, rel=1e-6, abs=1e-6
-                ), f"{name} diverged at scale {scale}"
+                if exact:
+                    assert warm.objective == pytest.approx(
+                        cold.objective, rel=1e-6, abs=1e-6
+                    ), f"{name} diverged at scale {scale}"
+                else:
+                    denom = max(abs(cold.objective), 1e-9)
+                    gap = abs(warm.objective - cold.objective) / denom
+                    assert gap <= registry.WARM_APPROX_RELATIVE_BOUND, (
+                        f"{name} warm gap {gap:.4%} exceeds approx bound "
+                        f"at scale {scale}"
+                    )
+
+
+class TestNcflowWarmDivergence:
+    """Regression: ncflow warm starts are *not* exact (ROADMAP item).
+
+    ncflow decomposes per-cluster and reuses the previous partition's
+    flow split as the warm seed; after a demand rescale the reused split
+    can lock in a slightly suboptimal inter-cluster allocation, so the
+    warm chain may land strictly below the cold optimum.  This instance
+    (found by a seeded random search, seed 116) pins one such
+    divergence: warm 46.5 vs cold ~46.6667 at scale 1.7 -- a ~0.36%
+    relative gap.  The contract is therefore approximation, not
+    equality: status must match and the gap must stay within
+    :data:`repro.te.registry.WARM_APPROX_RELATIVE_BOUND`, which is what
+    ``warm_start_exact=False`` in the registry now encodes.
+    """
+
+    def _instance(self):
+        topo = Topology("ncflow-warm-divergence")
+        for i in range(6):
+            topo.add_node(f"n{i}")
+        links = [
+            ("n0", "n1", 18), ("n1", "n2", 15), ("n2", "n3", 3),
+            ("n3", "n4", 11), ("n4", "n5", 2), ("n5", "n0", 18),
+            ("n3", "n0", 13), ("n5", "n3", 19),
+        ]
+        for src, dst, cap in links:
+            topo.add_bidi_link(src, dst, float(cap))
+        traffic = TrafficMatrix({
+            ("n5", "n3"): 10.0, ("n5", "n2"): 14.0, ("n3", "n4"): 12.0,
+        })
+        return topo, traffic
+
+    def test_registry_declares_ncflow_warm_approximate(self):
+        capabilities = registry.get_spec("ncflow").capabilities
+        assert capabilities.supports_warm_start
+        assert not capabilities.warm_start_exact
+        assert "warm-approx" in capabilities.summary()
+
+    def test_pinned_instance_diverges_but_stays_within_bound(self):
+        topo, traffic = self._instance()
+        warm_solver = registry.make_solver("ncflow", warm=True)
+        cold_solver = registry.make_solver("ncflow")
+        max_gap = 0.0
+        for scale in (0.5, 1.0, 1.7):
+            scaled = traffic.scaled(scale)
+            warm = warm_solver.solve(topo, scaled)
+            cold = cold_solver.solve(topo, scaled)
+            assert warm.status == cold.status
+            denom = max(abs(cold.objective), 1e-9)
+            gap = abs(warm.objective - cold.objective) / denom
+            assert gap <= registry.WARM_APPROX_RELATIVE_BOUND
+            max_gap = max(max_gap, gap)
+        # The falsifying point: the warm chain genuinely diverges here,
+        # which is why exact warm==cold had to be replaced by a bound.
+        assert max_gap > 1e-6
 
 
 class TestChunking:

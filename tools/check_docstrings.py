@@ -20,7 +20,7 @@ Usage::
 Exit status is the number of missing docstrings (0 = clean), so CI can
 gate on it directly.  The enforced default set is ``src/repro/bench``,
 ``src/repro/fuzz``, ``src/repro/lp``, ``src/repro/resilience``,
-``src/repro/serve``, and ``src/repro/store``.
+``src/repro/serve``, ``src/repro/shard``, and ``src/repro/store``.
 """
 
 from __future__ import annotations
@@ -33,7 +33,8 @@ from typing import Iterator, List, Tuple
 #: Trees linted when no arguments are given (the CI-enforced set).
 DEFAULT_TREES = (
     "src/repro/bench", "src/repro/fuzz", "src/repro/lp",
-    "src/repro/resilience", "src/repro/serve", "src/repro/store",
+    "src/repro/resilience", "src/repro/serve", "src/repro/shard",
+    "src/repro/store",
 )
 
 #: Decorator names whose presence exempts a function from the lint.
